@@ -1,0 +1,84 @@
+// Command mcbench regenerates Figure 9 of "Safety Checking of Machine
+// Code": it runs the safety checker on the thirteen evaluation programs
+// and prints the program characteristics and per-phase checking times,
+// side by side with the numbers the paper reports for its 440 MHz
+// Sun Ultra 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcsafe/internal/core"
+	"mcsafe/internal/induction"
+	"mcsafe/internal/progs"
+)
+
+func main() {
+	ablate := flag.String("ablate", "", "run an ablation: nogen (no generalization), nodnf (no DNF disjuncts), maxiter=N")
+	only := flag.String("only", "", "comma-separated program names (default: all)")
+	flag.Parse()
+
+	opts := core.Options{}
+	switch {
+	case *ablate == "nogen":
+		opts.Induction = induction.Options{DisableGeneralization: true}
+	case *ablate == "nodnf":
+		opts.Induction = induction.Options{DisableDNF: true}
+	case strings.HasPrefix(*ablate, "maxiter="):
+		var n int
+		fmt.Sscanf(*ablate, "maxiter=%d", &n)
+		opts.Induction = induction.Options{MaxIter: n}
+	case *ablate != "":
+		fmt.Fprintln(os.Stderr, "unknown ablation:", *ablate)
+		os.Exit(2)
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+	}
+
+	fmt.Println("Figure 9: characteristics of the examples and performance results")
+	fmt.Println("(paper numbers in parentheses; paper times from a 440 MHz Sun Ultra 10)")
+	fmt.Println()
+	fmt.Printf("%-15s %-12s %-10s %-10s %-8s %-10s %-12s %-12s %-12s %-12s %s\n",
+		"Program", "Insns", "Branches", "Loops", "Calls", "GlobConds",
+		"Typestate", "Annot+Local", "Global", "Total", "Verdict")
+
+	for _, b := range progs.All() {
+		if len(wanted) > 0 && !wanted[b.Name] {
+			continue
+		}
+		res, err := b.Check(opts)
+		if err != nil {
+			fmt.Printf("%-15s ERROR: %v\n", b.Name, err)
+			continue
+		}
+		st := res.Stats
+		verdict := "safe"
+		if !res.Safe {
+			verdict = fmt.Sprintf("UNSAFE (%d violations)", len(res.Violations))
+		}
+		expect := "expected-safe"
+		if !b.WantSafe {
+			expect = "expected-unsafe"
+		}
+		fmt.Printf("%-15s %-12s %-10s %-10s %-8s %-10s %-12s %-12s %-12s %-12s %s [%s]\n",
+			b.Name,
+			fmt.Sprintf("%d(%d)", st.Instructions, b.Paper.Instructions),
+			fmt.Sprintf("%d(%d)", st.Branches, b.Paper.Branches),
+			fmt.Sprintf("%d/%d(%d/%d)", st.Loops, st.InnerLoops, b.Paper.Loops, b.Paper.InnerLoops),
+			fmt.Sprintf("%d(%d)", st.Calls, b.Paper.Calls),
+			fmt.Sprintf("%d(%d)", st.GlobalConds, b.Paper.GlobalConds),
+			fmt.Sprintf("%.3fs(%.2f)", res.Times.Typestate.Seconds(), b.Paper.TypestateSec),
+			fmt.Sprintf("%.3fs(%.3f)", res.Times.AnnotLocal.Seconds(), b.Paper.AnnotLocalSec),
+			fmt.Sprintf("%.3fs(%.2f)", res.Times.Global.Seconds(), b.Paper.GlobalSec),
+			fmt.Sprintf("%.3fs(%.2f)", res.Times.Total.Seconds(), b.Paper.TotalSec),
+			verdict, expect)
+	}
+}

@@ -1,0 +1,144 @@
+// Command mcsafe checks untrusted SPARC machine code against a
+// host-specified safety policy, reproducing the prototype safety checker
+// of "Safety Checking of Machine Code" (Xu, Miller, Reps; PLDI 2000).
+//
+// Usage:
+//
+//	mcsafe -spec policy.spec [-entry label] [-dump-typestate] [-dump-conds] prog.s
+//	mcsafe -list                       # list the built-in Figure 9 programs
+//	mcsafe -prog Sum [-dump-typestate] # check a built-in program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcsafe"
+	"mcsafe/internal/core"
+	"mcsafe/internal/progs"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to the policy/specification file")
+	entry := flag.String("entry", "", "entry label (default: first instruction)")
+	builtin := flag.String("prog", "", "check a built-in Figure 9 program by name")
+	list := flag.Bool("list", false, "list the built-in Figure 9 programs")
+	dumpTS := flag.Bool("dump-typestate", false, "print per-instruction typestates (Figure 6 style)")
+	dumpConds := flag.Bool("dump-conds", false, "print every global safety condition and its verdict")
+	dumpAsm := flag.Bool("dump-asm", false, "print the decoded program")
+	flag.Parse()
+
+	if *list {
+		for _, b := range progs.All() {
+			safe := "safe"
+			if !b.WantSafe {
+				safe = "UNSAFE"
+			}
+			fmt.Printf("%-15s %-7s %s\n", b.Name, safe, b.Descr)
+		}
+		return
+	}
+
+	var res *mcsafe.Result
+	var err error
+	switch {
+	case *builtin != "":
+		b := progs.Get(*builtin)
+		if b == nil {
+			fatal(fmt.Errorf("unknown built-in program %q (use -list)", *builtin))
+		}
+		inner, cerr := b.Check(core.Options{})
+		if cerr != nil {
+			fatal(cerr)
+		}
+		printCore(inner, *dumpConds)
+		if inner.Safe {
+			fmt.Println("VERDICT: safe")
+			return
+		}
+		fmt.Println("VERDICT: UNSAFE")
+		os.Exit(1)
+
+	default:
+		if *specPath == "" || flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: mcsafe -spec policy.spec [-entry label] prog.s")
+			os.Exit(2)
+		}
+		specText, rerr := os.ReadFile(*specPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		asmText, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		spec, perr := mcsafe.ParseSpec(string(specText))
+		if perr != nil {
+			fatal(perr)
+		}
+		prog, aerr := mcsafe.Assemble(string(asmText), spec, *entry)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		if *dumpAsm {
+			fmt.Print(prog.Disassemble())
+		}
+		res, err = mcsafe.Check(prog, spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpTS {
+			fmt.Print(res.DumpTypestate())
+		}
+		if *dumpConds {
+			fmt.Print(res.Conditions())
+		}
+		printResult(res)
+		if !res.Safe {
+			os.Exit(1)
+		}
+	}
+}
+
+func printResult(res *mcsafe.Result) {
+	st := res.Stats
+	fmt.Printf("instructions=%d branches=%d loops=%d(%d inner) calls=%d global-conditions=%d\n",
+		st.Instructions, st.Branches, st.Loops, st.InnerLoops, st.Calls, st.GlobalConds)
+	fmt.Printf("times: typestate=%v annot+local=%v global=%v total=%v\n",
+		res.Times.Typestate, res.Times.AnnotLocal, res.Times.Global, res.Times.Total)
+	for _, v := range res.Violations {
+		fmt.Println(" ", v)
+	}
+	if res.Safe {
+		fmt.Println("VERDICT: safe")
+	} else {
+		fmt.Println("VERDICT: UNSAFE")
+	}
+}
+
+func printCore(res *core.Result, dumpConds bool) {
+	st := res.Stats
+	fmt.Printf("instructions=%d branches=%d loops=%d(%d inner) calls=%d global-conditions=%d\n",
+		st.Instructions, st.Branches, st.Loops, st.InnerLoops, st.Calls, st.GlobalConds)
+	fmt.Printf("times: typestate=%v annot+local=%v global=%v total=%v\n",
+		res.Times.Typestate, res.Times.AnnotLocal, res.Times.Global, res.Times.Total)
+	if dumpConds {
+		for _, cr := range res.Conds {
+			verdict := "proved"
+			if !cr.Proved {
+				verdict = "VIOLATION"
+			}
+			fmt.Printf("  insn %4d: %-24s %s\n",
+				res.G.Nodes[cr.Cond.Node].Index, cr.Cond.Desc, verdict)
+		}
+	}
+	for _, v := range res.Violations {
+		fmt.Println(" ", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsafe:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,109 @@
+// Stack smashing: the Section 6 detection scenario. A parser copies
+// attacker-controlled input into a fixed-size stack buffer. The unsafe
+// version bounds the copy only by the input length — the classic gets()
+// overflow of Smith's stack-smashing examples — and the checker flags
+// every out-of-bounds store. The safe version also bounds the copy by
+// the buffer size.
+//
+// Run with: go run ./examples/stacksmash
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcsafe"
+)
+
+const hostSpec = `
+region V
+loc w int state init region V summary
+val src int[m] state {w} region V
+sym m
+constraint m >= 1
+invoke %o0 = src
+invoke %o1 = m
+allow V int ro
+allow V int[m] rfo
+frame parse size 160
+  slot fp-96 int[16] name buf state init
+end
+`
+
+// The overflow: "while (i < m) buf[i] = src[i];" with no check against
+// the 16-word buffer.
+const unsafeParser = `
+parse:
+	save %sp,-160,%sp
+	mov %i0,%l0
+	mov %i1,%l1
+	add %fp,-96,%l2    ! buf
+	clr %l4
+copy:
+	cmp %l4,%l1
+	bge done           ! bounded by the INPUT length only
+	nop
+	sll %l4,2,%l5
+	ld [%l0+%l5],%l6
+	st %l6,[%l2+%l5]   ! buf[i] — smashes the frame when i >= 16
+	ba copy
+	add %l4,1,%l4
+done:
+	ret
+	restore
+`
+
+// The fix: also stop at the buffer size.
+const safeParser = `
+parse:
+	save %sp,-160,%sp
+	mov %i0,%l0
+	mov %i1,%l1
+	add %fp,-96,%l2
+	clr %l4
+copy:
+	cmp %l4,%l1
+	bge done
+	nop
+	cmp %l4,16
+	bge done           ! ... AND by the buffer size
+	nop
+	sll %l4,2,%l5
+	ld [%l0+%l5],%l6
+	st %l6,[%l2+%l5]
+	ba copy
+	add %l4,1,%l4
+done:
+	ret
+	restore
+`
+
+func check(name, asm string) {
+	spec, err := mcsafe.ParseSpec(hostSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := mcsafe.Assemble(asm, spec, "parse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mcsafe.Check(prog, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s ==\n", name)
+	if res.Safe {
+		fmt.Println("verdict: safe")
+	} else {
+		fmt.Println("verdict: UNSAFE")
+		for _, v := range res.Violations {
+			fmt.Println("  ", v)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	check("unchecked copy (gets-style overflow)", unsafeParser)
+	check("length-checked copy", safeParser)
+}

@@ -1,0 +1,123 @@
+// Thread list: the worked policy example of Section 2 of the paper. The
+// host stores its threads in a linked list of
+//
+//	struct thread { int tid; int lwpid; struct thread *next; };
+//
+// and loads an untrusted extension that must find the lightweight
+// process (lwpid) on which a given thread (tid) runs. The policy
+//
+//	[H : thread.tid, thread.lwpid : ro]
+//	[H : thread.next : rfo]
+//
+// lets the extension read and examine tid and lwpid and follow only
+// next. The example then shows the policy doing its job: a variant that
+// tries to WRITE a tid, and a variant that tries to FOLLOW tid as if it
+// were a pointer, are both rejected.
+//
+// Run with: go run ./examples/threadlist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcsafe"
+)
+
+const hostSpec = `
+struct thread { tid int ; lwpid int ; next ptr<thread> }
+region H
+loc t thread region H summary fields(tid=init, lwpid=init, next={t,null})
+val threads ptr<thread> state {t,null} region H
+sym wanted
+invoke %o0 = threads
+invoke %o1 = wanted
+allow H thread.tid ro
+allow H thread.lwpid ro
+allow H thread.next rfo
+allow H ptr<thread> rfo
+`
+
+// The intended extension: walk the list, return lwpid of the thread
+// whose tid matches.
+const finder = `
+find:
+	mov %o0,%g1
+loop:
+	cmp %g1,%g0
+	be miss
+	nop
+	ld [%g1+0],%g2     ! t->tid (readable)
+	cmp %g2,%o1
+	be hit
+	nop
+	ba loop
+	ld [%g1+8],%g1     ! t->next (followable)
+hit:
+	ld [%g1+4],%o0     ! t->lwpid (readable)
+	retl
+	nop
+miss:
+	mov -1,%o0
+	retl
+	nop
+`
+
+// A malicious variant: tries to overwrite tid (the policy grants no w).
+const scribbler = `
+find:
+	mov %o0,%g1
+	cmp %g1,%g0
+	be out
+	nop
+	st %o1,[%g1+0]     ! write t->tid: NOT writable under the policy
+out:
+	retl
+	nop
+`
+
+// Another malicious variant: treats tid as a pointer and dereferences it
+// (tid has no f permission, and is not even a pointer type).
+const chaser = `
+find:
+	mov %o0,%g1
+	cmp %g1,%g0
+	be out
+	nop
+	ld [%g1+0],%g2     ! t->tid
+	ld [%g2+0],%o0     ! *(t->tid): tid is not followable
+out:
+	retl
+	nop
+`
+
+func check(name, asm string) {
+	spec, err := mcsafe.ParseSpec(hostSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := mcsafe.Assemble(asm, spec, "find")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mcsafe.Check(prog, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s ==\n", name)
+	if res.Safe {
+		fmt.Println("verdict: safe")
+	} else {
+		fmt.Println("verdict: UNSAFE")
+		for _, v := range res.Violations {
+			fmt.Println("  ", v)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	check("lwpid finder (obeys the policy)", finder)
+	check("tid scribbler (writes read-only host data)", scribbler)
+	check("tid chaser (follows a non-followable value)", chaser)
+}

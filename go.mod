@@ -1,0 +1,3 @@
+module mcsafe
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package annotate implements Phase 3 of the safety-checking analysis
+// (Section 4.3): it traverses the untrusted code and attaches to each
+// instruction occurrence its local safety preconditions (checked here,
+// against typestate information alone, together with Phase 4) and its
+// global safety preconditions (linear-constraint formulas handed to the
+// verification phase), plus assertions — facts derived from the results
+// of typestate propagation that serve as hypotheses for the prover.
+package annotate
+
+import (
+	"fmt"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
+	"mcsafe/internal/localcheck"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/propagate"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// GlobalCond is one global safety precondition: a formula that must hold
+// whenever control reaches the node.
+type GlobalCond struct {
+	ID   int
+	Node int
+	Desc string
+	// F is the safety predicate.
+	F expr.Formula
+	// Facts are assertions derived from typestate propagation, valid at
+	// the node; the verifier proves Facts -> F.
+	Facts expr.Formula
+	// AfterNode places the condition after the node executes (used for
+	// trusted-call preconditions, which must hold once the delay slot
+	// has run).
+	AfterNode bool
+}
+
+// Violation is a failed local safety precondition or a structural
+// problem found during annotation.
+type Violation struct {
+	Node int
+	Desc string
+}
+
+// Annotations is the output of Phases 3 and 4.
+type Annotations struct {
+	Res   *propagate.Result
+	Conds []*GlobalCond
+	// LocalViolations are local safety preconditions that do not hold.
+	LocalViolations []Violation
+	// LocalChecks counts local predicates evaluated (for reporting).
+	LocalChecks int
+}
+
+type annotator struct {
+	res *propagate.Result
+	out *Annotations
+}
+
+// Run performs annotation and local verification.
+func Run(res *propagate.Result) *Annotations {
+	a := &annotator{res: res, out: &Annotations{Res: res}}
+	for _, node := range res.G.Nodes {
+		if res.In[node.ID].Top {
+			continue // unreachable
+		}
+		a.visit(node)
+	}
+	// Propagation-time issues are violations too.
+	for _, issue := range res.Issues {
+		a.out.LocalViolations = append(a.out.LocalViolations,
+			Violation{Node: issue.Node, Desc: issue.Msg})
+	}
+	return a.out
+}
+
+func (a *annotator) fail(node *cfg.Node, format string, args ...interface{}) {
+	a.out.LocalViolations = append(a.out.LocalViolations, Violation{
+		Node: node.ID, Desc: fmt.Sprintf(format, args...),
+	})
+}
+
+func (a *annotator) check(node *cfg.Node, ok bool, format string, args ...interface{}) {
+	a.out.LocalChecks++
+	if !ok {
+		a.fail(node, format, args...)
+	}
+}
+
+func (a *annotator) cond(node *cfg.Node, desc string, f expr.Formula, facts expr.Formula, after bool) {
+	if _, isTrue := expr.Simplify(f).(expr.TrueF); isTrue {
+		return
+	}
+	gc := &GlobalCond{
+		ID: len(a.out.Conds), Node: node.ID, Desc: desc,
+		F: f, Facts: facts, AfterNode: after,
+	}
+	a.out.Conds = append(a.out.Conds, gc)
+}
+
+func (a *annotator) regTS(node *cfg.Node, reg sparc.Reg, in typestate.Store) typestate.Typestate {
+	if reg == sparc.G0 {
+		return typestate.Typestate{
+			Type: types.Int32Type, State: typestate.InitState,
+			Access: typestate.PermO, Known: true,
+		}
+	}
+	return in.Get(policy.RegLoc(reg, node.Depth))
+}
+
+func (a *annotator) visit(node *cfg.Node) {
+	res := a.res
+	in := res.In[node.ID]
+	insn := node.Insn
+
+	switch res.Kind[node.ID] {
+	case propagate.KindScalarOp, propagate.KindCompare:
+		a.checkOperands(node, in)
+
+	case propagate.KindCopy:
+		// mov/set: the source value is examined and copied, which
+		// requires the o permission (Section 2).
+		if insn.Op == sparc.OpOr && !insn.Imm && insn.Rs2 != sparc.G0 {
+			ts := a.regTS(node, insn.Rs2, in)
+			a.check(node, localcheck.Operable(ts),
+				"use of unusable value in %s (%v)", insn.Rs2, ts)
+		}
+
+	case propagate.KindArrayIndex:
+		a.checkOperands(node, in)
+		// Table 2, row 2: null ∉ S(rs) and inbounds(sizeof(t), 0, n, Opnd).
+		base, idx := insn.Rs1, insn.Rs2
+		baseTS := a.regTS(node, base, in)
+		if baseTS.Type == nil || !baseTS.Type.IsPointer() {
+			baseTS = a.regTS(node, idx, in)
+			base, idx = idx, base
+		}
+		if baseTS.Type.Kind == 0 {
+			return
+		}
+		baseVar := policy.RegVar(base, node.Depth)
+		facts := a.pointerFacts(baseVar, baseTS)
+		var idxE expr.LinExpr
+		if insn.Imm {
+			idxE = expr.Constant(int64(insn.SImm))
+		} else {
+			idxE = expr.V(policy.RegVar(idx, node.Depth))
+		}
+		if baseTS.Type.Elem == nil {
+			return
+		}
+		size := int64(baseTS.Type.Elem.Size())
+		bound := boundExpr(baseTS.Type.N, size)
+		if baseTS.Type.Kind == types.ArrayIn {
+			// Pointer arithmetic on an interior pointer cannot be
+			// bounds-checked against the (single) summary location; the
+			// paper's analysis has the same limitation (Section 8).
+			a.cond(node, "interior-pointer arithmetic", expr.F(), facts, false)
+			return
+		}
+		if baseTS.State.MayNull {
+			a.cond(node, "null-pointer check", expr.NeExpr(expr.V(baseVar), expr.Constant(0)), facts, false)
+		}
+		if insn.Op == sparc.OpSub || insn.Op == sparc.OpSubcc {
+			idxE = idxE.Scale(-1)
+		}
+		a.cond(node, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
+		a.cond(node, "array upper bound", expr.LtExpr(idxE, bound), facts, false)
+		a.cond(node, "address alignment",
+			expr.Divides(size, idxE), facts, false)
+
+	case propagate.KindPtrOffset:
+		ts := a.regTS(node, insn.Rs1, in)
+		if insn.Rs1 != sparc.FP && insn.Rs1 != sparc.SP {
+			a.check(node, localcheck.Operable(ts),
+				"pointer-offset on unusable value in %s (%v)", insn.Rs1, ts)
+		}
+
+	case propagate.KindLoad, propagate.KindStore:
+		a.visitMem(node, in)
+
+	case propagate.KindCall:
+		a.visitCall(node)
+
+	case propagate.KindSave:
+		// Stack-manipulation safety: a save must allocate at least the
+		// minimum SPARC frame (the 64-byte register-save area plus
+		// space for the hidden parameter and outgoing arguments = 92,
+		// rounded to 96) and keep the stack 8-aligned.
+		if !insn.Imm {
+			a.fail(node, "save with register-sized frame is not checkable")
+			return
+		}
+		a.check(node, insn.SImm <= -64, "save allocates too small a frame (%d)", insn.SImm)
+		a.check(node, insn.SImm%8 == 0, "save misaligns the stack (%d)", insn.SImm)
+		if fr, ok := a.res.Ini.Spec.Frames[res.G.Procs[node.Proc].Name]; ok {
+			a.check(node, int(-insn.SImm) >= fr.Size,
+				"save allocates %d bytes, frame annotation requires %d", -insn.SImm, fr.Size)
+		}
+	}
+}
+
+func (a *annotator) checkOperands(node *cfg.Node, in typestate.Store) {
+	insn := node.Insn
+	if insn.Rs1 != sparc.G0 {
+		ts := a.regTS(node, insn.Rs1, in)
+		a.check(node, localcheck.Operable(ts),
+			"use of uninitialized or unusable value in %s (%v)", insn.Rs1, ts)
+	}
+	if !insn.Imm && insn.Rs2 != sparc.G0 {
+		ts := a.regTS(node, insn.Rs2, in)
+		a.check(node, localcheck.Operable(ts),
+			"use of uninitialized or unusable value in %s (%v)", insn.Rs2, ts)
+	}
+}
+
+// pointerFacts derives assertions about a pointer register from its
+// typestate: non-nullness and alignment of the address it holds.
+func (a *annotator) pointerFacts(baseVar expr.Var, ts typestate.Typestate) expr.Formula {
+	var facts []expr.Formula
+	if ts.State.Kind != typestate.StatePointsTo {
+		return expr.T()
+	}
+	if !ts.State.MayNull {
+		facts = append(facts, expr.GeExpr(expr.V(baseVar), expr.Constant(1)))
+	}
+	// Alignment: every possible referent (loc, off) implies
+	// align(loc) | (base - off). The fact must hold for whichever
+	// referent the pointer has, so use the gcd over referents, and only
+	// when the offsets agree modulo it.
+	al := 0
+	off := -1
+	consistent := true
+	for _, ref := range ts.State.Set {
+		loc, ok := a.res.Ini.World.Lookup(ref.Loc)
+		if !ok || loc.Align <= 1 {
+			consistent = false
+			break
+		}
+		al = gcd(al, loc.Align)
+		if off == -1 {
+			off = ref.Off
+		}
+	}
+	if consistent && al > 1 && off >= 0 {
+		for _, ref := range ts.State.Set {
+			if ref.Off%al != off%al {
+				consistent = false
+			}
+		}
+		if consistent && len(ts.State.Set) > 0 {
+			facts = append(facts,
+				expr.Divides(int64(al), expr.V(baseVar).AddConst(int64(-off))))
+		}
+	}
+	return expr.Conj(facts...)
+}
+
+func gcd(a, b int) int {
+	if a == 0 {
+		return b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// boundExpr returns size * n as a linear expression: a constant when the
+// array bound is constant, or size * <symbol> when symbolic.
+func boundExpr(b types.Bound, size int64) expr.LinExpr {
+	if b.IsConst() {
+		return expr.Constant(size * b.Const)
+	}
+	return expr.Term(size, expr.Var(b.Name))
+}

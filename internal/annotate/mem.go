@@ -1,0 +1,217 @@
+package annotate
+
+import (
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
+	"mcsafe/internal/localcheck"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// visitMem attaches the load/store safety predicates of Table 2 (and the
+// load analogue): followability and operability of the base pointer,
+// readability/writability and initializedness of the targets,
+// assignability of stored values, plus the global null, bounds, and
+// alignment conditions illustrated in Figure 3.
+func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
+	res := a.res
+	insn := node.Insn
+	acc := res.Mem[node.ID]
+	if acc == nil {
+		return
+	}
+	isStore := insn.IsStore()
+
+	a.check(node, len(acc.Targets) > 0, "memory access resolves to no abstract location")
+	if len(acc.Targets) == 0 {
+		return
+	}
+
+	// Local predicates on the base pointer (frame accesses go through
+	// the annotated stack, which needs no pointer in a register).
+	var facts expr.Formula = expr.T()
+	if !acc.Frame {
+		baseTS := a.regTS(node, insn.Rs1, in)
+		a.check(node, localcheck.Followable(baseTS),
+			"base %s is not followable (%v)", insn.Rs1, baseTS)
+		a.check(node, localcheck.Operable(baseTS),
+			"base %s is not operable (%v)", insn.Rs1, baseTS)
+		facts = a.pointerFacts(expr.Var(acc.BaseVar), baseTS)
+	}
+	if acc.IndexReg != "" {
+		idxTS := in.Get(acc.IndexReg)
+		a.check(node, localcheck.Operable(idxTS),
+			"index %s is not usable (%v)", acc.IndexReg, idxTS)
+	}
+
+	for _, t := range acc.Targets {
+		if isStore {
+			val := a.regTS(node, insn.Rd, in)
+			lt := res.Ini.LocTypes[t.Loc]
+			if lt != nil && (lt.Kind == types.ArrayBase || lt.Kind == types.ArrayIn) {
+				lt = lt.Elem
+			}
+			a.check(node, localcheck.Operable(val),
+				"storing unusable value from %s (%v)", insn.Rd, val)
+			a.check(node, localcheck.Assignable(res.Ini.World, val, t.Loc, lt),
+				"value in %s (%v) is not assignable to %s", insn.Rd, val, t.Loc)
+		} else {
+			a.check(node, localcheck.Readable(res.Ini.World, t.Loc),
+				"location %s is not readable", t.Loc)
+			a.check(node, localcheck.Initialized(in.Get(t.Loc)),
+				"read of possibly-uninitialized location %s", t.Loc)
+		}
+	}
+
+	// Global predicates.
+	if acc.Frame {
+		// Frame offsets are static: bounds and alignment are decidable
+		// here; treat them as local checks.
+		if acc.Array {
+			size := int64(acc.ElemType.Size())
+			off := int64(acc.IndexImm)
+			a.check(node, off >= 0 && off < size*acc.Bound.Const,
+				"stack array access at offset %d is out of bounds [0,%d)", off, size*acc.Bound.Const)
+			a.check(node, off%size == 0,
+				"stack array access at offset %d is misaligned", off)
+		}
+		return
+	}
+
+	baseV := expr.V(expr.Var(acc.BaseVar))
+	mayNull := acc.MayNull
+	// Figure 3 condition 1: the base pointer is non-null. When the
+	// points-to set excludes null the fact base >= 1 discharges it.
+	a.cond(node, "null-pointer check", expr.NeExpr(baseV, expr.Constant(0)), facts, false)
+	_ = mayNull
+
+	if acc.Array {
+		if acc.BaseInterior && acc.IndexReg == "" && acc.IndexImm == 0 {
+			// Dereference of a checked interior pointer at offset 0:
+			// bounds were established at the index calculation.
+			return
+		}
+		size := int64(acc.ElemType.Size())
+		var idxE expr.LinExpr
+		if acc.IndexReg != "" {
+			idxE = expr.V(expr.Var(acc.IndexReg))
+		} else {
+			idxE = expr.Constant(int64(acc.IndexImm))
+		}
+		if acc.BaseInterior {
+			// Nonzero offset from an interior pointer: not checkable
+			// against a single summary location (Section 8).
+			a.cond(node, "interior-pointer offset", expr.F(), facts, false)
+			return
+		}
+		// Figure 3 conditions: %g2 >= 0, %g2 < 4n, and the address
+		// alignment (%o2 + %g2) mod 4 = 0 (which, with the base-
+		// alignment fact, also enforces %g2 mod 4 = 0).
+		a.cond(node, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
+		a.cond(node, "array upper bound", expr.LtExpr(idxE, boundExpr(acc.Bound, size)), facts, false)
+		if size > 1 {
+			a.cond(node, "address alignment",
+				expr.Divides(size, baseV.Add(idxE)), facts, false)
+		}
+		return
+	}
+
+	// Field access at a constant offset: alignment of base + offset.
+	align := int64(insn.MemSize())
+	if align > 1 {
+		a.cond(node, "address alignment",
+			expr.Divides(align, baseV.AddConst(int64(acc.IndexImm))), facts, false)
+	}
+}
+
+// visitCall attaches trusted-call conditions: the argument typestates and
+// the precondition of the host function's specification (Section 2's
+// control aspect). Internal calls need no conditions — the callee's own
+// instructions are checked.
+func (a *annotator) visitCall(node *cfg.Node) {
+	res := a.res
+	site := siteByCallNode(res.G, node.ID)
+	if site == nil || site.TrustedName == "" {
+		return
+	}
+	tf := res.Ini.Spec.Trusted[site.TrustedName]
+	if tf == nil {
+		a.fail(node, "call to undeclared trusted function %q", site.TrustedName)
+		return
+	}
+	// Arguments are in %o0..%o5 once the delay slot has executed.
+	argStore := res.Out[site.DelayNode]
+	depth := res.G.Nodes[site.DelayNode].Depth
+	for _, as := range tf.Args {
+		reg := sparc.O0 + sparc.Reg(as.Index)
+		ts := argStore.Get(policy.RegLoc(reg, depth))
+		a.check(node, argTypeOK(ts, as),
+			"argument %d of %s: have %v, requires %v/%v", as.Index, tf.Name, ts, as.Type, as.State)
+		a.check(node, ts.Access.Has(as.Perm.ValuePerms()),
+			"argument %d of %s lacks access %v", as.Index, tf.Name, as.Perm.ValuePerms())
+	}
+	// The precondition becomes a global safety condition after the
+	// delay slot.
+	pre := renameRegs(tf.Pre, depth)
+	if _, isTrue := pre.(expr.TrueF); !isTrue {
+		a.condAt(site.DelayNode, "precondition of "+tf.Name, pre, expr.T(), true)
+	}
+}
+
+func (a *annotator) condAt(nodeID int, desc string, f, facts expr.Formula, after bool) {
+	gc := &GlobalCond{
+		ID: len(a.out.Conds), Node: nodeID, Desc: desc,
+		F: f, Facts: facts, AfterNode: after,
+	}
+	a.out.Conds = append(a.out.Conds, gc)
+}
+
+func siteByCallNode(g *cfg.Graph, id int) *cfg.CallSite {
+	for _, s := range g.Sites {
+		if s.CallNode == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// argTypeOK checks an actual argument typestate against the declared
+// requirement.
+func argTypeOK(ts typestate.Typestate, as policy.ArgSpec) bool {
+	if types.Meet(ts.Type, as.Type).Kind == types.Bottom {
+		return false
+	}
+	switch as.State.Kind {
+	case typestate.StateInit:
+		return ts.State.Initialized()
+	case typestate.StatePointsTo:
+		if ts.State.Kind != typestate.StatePointsTo {
+			return false
+		}
+		if !as.State.MayNull && ts.State.MayNull {
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// renameRegs rewrites entry-window register variables in a policy
+// formula to the given window depth.
+func renameRegs(f expr.Formula, depth int) expr.Formula {
+	if depth == 0 {
+		return f
+	}
+	sub := map[expr.Var]expr.LinExpr{}
+	for _, v := range expr.FreeVarsOf(f) {
+		if len(v) >= 2 && v[0] == '%' {
+			r, err := sparc.ParseReg(string(v))
+			if err == nil && !r.IsGlobal() {
+				sub[v] = expr.V(policy.RegVar(r, depth))
+			}
+		}
+	}
+	return expr.SubstAll(f, sub)
+}

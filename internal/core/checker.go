@@ -1,0 +1,177 @@
+// Package core is the five-phase safety-checking driver (Section 3):
+// preparation, typestate propagation, annotation, local verification, and
+// global verification. It reports either that the untrusted machine code
+// meets the safety conditions, or the places where they are violated,
+// together with the per-phase timing and program statistics the paper's
+// Figure 9 tabulates.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mcsafe/internal/annotate"
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/induction"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/propagate"
+	"mcsafe/internal/solver"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/vcgen"
+)
+
+// PhaseTimes mirrors the timing rows of Figure 9.
+type PhaseTimes struct {
+	// Typestate is Phase 2 (typestate propagation).
+	Typestate time.Duration
+	// AnnotLocal is Phases 3 and 4 (annotation + local verification),
+	// reported together as in Figure 9.
+	AnnotLocal time.Duration
+	// Global is Phase 5 (global verification).
+	Global time.Duration
+	// Total is the whole analysis, including Phase 1 (preparation).
+	Total time.Duration
+}
+
+// Stats mirrors the characteristics rows of Figure 9.
+type Stats struct {
+	Instructions int
+	Branches     int
+	Loops        int
+	InnerLoops   int
+	Calls        int
+	TrustedCalls int
+	GlobalConds  int
+	// Extra effort counters (not in the paper's table).
+	PropagationSteps int
+	ProverQueries    int
+	InductionRuns    int
+}
+
+// Violation is one place where a safety condition is violated (or cannot
+// be proved to hold, which the checker treats identically).
+type Violation struct {
+	// Node is the CFG node; Index the instruction index; Line the
+	// source line when the program carries a source map.
+	Node  int
+	Index int
+	Line  int
+	// Phase is "local" or "global".
+	Phase string
+	Desc  string
+}
+
+func (v Violation) String() string {
+	where := fmt.Sprintf("instruction %d", v.Index)
+	if v.Line > 0 {
+		where = fmt.Sprintf("line %d", v.Line)
+	}
+	return fmt.Sprintf("%s: %s safety violation: %s", where, v.Phase, v.Desc)
+}
+
+// Options configures a check.
+type Options struct {
+	// Induction configures the invariant synthesizer (ablations).
+	Induction induction.Options
+}
+
+// Result is the outcome of checking one program against one policy.
+type Result struct {
+	// Safe is true when every safety condition was established.
+	Safe       bool
+	Violations []Violation
+	Stats      Stats
+	Times      PhaseTimes
+
+	// Conds carries the per-condition verdicts of global verification.
+	Conds []vcgen.CondResult
+	// Prop and Ann expose the intermediate results for inspection
+	// (dump tools, tests).
+	Prop *propagate.Result
+	Ann  *annotate.Annotations
+	Ini  *policy.Initial
+	G    *cfg.Graph
+}
+
+// Check runs the five-phase safety-checking analysis on a program
+// against a host specification.
+func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
+	t0 := time.Now()
+
+	// Phase 1: preparation.
+	ini, err := policy.Prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(prog, cfg.Options{TrustedFuncs: spec.TrustedNames()})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Ini: ini, G: g}
+
+	// Phase 2: typestate propagation.
+	t1 := time.Now()
+	prop := propagate.Run(g, ini)
+	res.Prop = prop
+	res.Times.Typestate = time.Since(t1)
+
+	// Phases 3 and 4: annotation + local verification.
+	t2 := time.Now()
+	ann := annotate.Run(prop)
+	res.Ann = ann
+	res.Times.AnnotLocal = time.Since(t2)
+
+	// Phase 5: global verification.
+	t3 := time.Now()
+	prover := solver.New()
+	eng := vcgen.New(prop, prover, vcgen.Options{Induction: opts.Induction})
+	res.Conds = eng.Prove(ann.Conds)
+	res.Times.Global = time.Since(t3)
+	res.Times.Total = time.Since(t0)
+
+	// Collect violations.
+	for _, v := range ann.LocalViolations {
+		res.Violations = append(res.Violations, Violation{
+			Node: v.Node, Index: g.Nodes[v.Node].Index,
+			Line: lineOf(prog, g, v.Node), Phase: "local", Desc: v.Desc,
+		})
+	}
+	for _, cr := range res.Conds {
+		if cr.Proved {
+			continue
+		}
+		res.Violations = append(res.Violations, Violation{
+			Node: cr.Cond.Node, Index: g.Nodes[cr.Cond.Node].Index,
+			Line: lineOf(prog, g, cr.Cond.Node), Phase: "global",
+			Desc: fmt.Sprintf("%s: %s", cr.Cond.Desc, cr.Detail),
+		})
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		if res.Violations[i].Index != res.Violations[j].Index {
+			return res.Violations[i].Index < res.Violations[j].Index
+		}
+		return res.Violations[i].Desc < res.Violations[j].Desc
+	})
+	res.Safe = len(res.Violations) == 0
+
+	// Statistics (Figure 9 characteristics).
+	res.Stats.Instructions = len(prog.Insns)
+	res.Stats.Branches = g.BranchCount()
+	res.Stats.Loops, res.Stats.InnerLoops = g.LoopCounts()
+	res.Stats.Calls, res.Stats.TrustedCalls = g.CallCounts()
+	res.Stats.GlobalConds = len(ann.Conds)
+	res.Stats.PropagationSteps = prop.Steps
+	res.Stats.ProverQueries = prover.Stats.ValidQueries
+	res.Stats.InductionRuns = eng.Stats.InductionRuns
+	return res, nil
+}
+
+func lineOf(prog *sparc.Program, g *cfg.Graph, node int) int {
+	idx := g.Nodes[node].Index
+	if idx >= 0 && idx < len(prog.SrcLines) {
+		return prog.SrcLines[idx]
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStackUninitReadRejected: reading a stack slot before initializing
+// it is a stack-manipulation/uninitialized-use violation.
+func TestStackUninitReadRejected(t *testing.T) {
+	asm := `
+f:
+	save %sp,-112,%sp
+	ld [%fp-8],%l0     ! read before any store
+	ret
+	restore
+`
+	spec := `
+frame f size 112
+  slot fp-8 int name tmp
+end
+`
+	res := check(t, asm, spec, "f")
+	if res.Safe {
+		t.Fatal("uninitialized stack read must be rejected")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v.Desc, "uninitialized") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an uninitialized-read violation: %+v", res.Violations)
+	}
+}
+
+// TestStackWriteThenReadAccepted: the same slot is fine once written.
+func TestStackWriteThenReadAccepted(t *testing.T) {
+	asm := `
+f:
+	save %sp,-112,%sp
+	st %g0,[%fp-8]
+	ld [%fp-8],%l0
+	ret
+	restore
+`
+	spec := `
+frame f size 112
+  slot fp-8 int name tmp
+end
+`
+	res := check(t, asm, spec, "f")
+	if !res.Safe {
+		t.Fatalf("write-then-read should verify: %+v", res.Violations)
+	}
+}
+
+// TestUndersizedFrameRejected: the save must cover the annotated frame.
+func TestUndersizedFrameRejected(t *testing.T) {
+	asm := `
+f:
+	save %sp,-96,%sp   ! annotation requires 112
+	st %g0,[%fp-8]
+	ret
+	restore
+`
+	spec := `
+frame f size 112
+  slot fp-8 int name tmp
+end
+`
+	res := check(t, asm, spec, "f")
+	if res.Safe {
+		t.Fatal("undersized frame must be rejected")
+	}
+}
+
+// TestGlobalCounterExtension: the classic performance-instrumentation
+// extension — load a host counter via its loader address, increment,
+// store back — verifies under a policy granting rw on the counter.
+func TestGlobalCounterExtension(t *testing.T) {
+	asm := `
+bump:
+	set counter,%o1
+	ld [%o1],%o2
+	add %o2,1,%o2
+	st %o2,[%o1]
+	retl
+	nop
+`
+	spec := `
+region H
+global counter int state init region H addr 0x20400
+allow H int rwo
+allow H ptr<int> rfo
+`
+	res := check(t, asm, spec, "bump")
+	if !res.Safe {
+		t.Fatalf("counter bump should verify: %+v", res.Violations)
+	}
+
+	// The same code against a read-only counter is rejected.
+	roSpec := strings.Replace(spec, "allow H int rwo", "allow H int ro", 1)
+	res2 := check(t, asm, roSpec, "bump")
+	if res2.Safe {
+		t.Fatal("store to a read-only global must be rejected")
+	}
+}
+
+// TestSandboxingPolicy: the paper's Section 2 sandboxing comparison — a
+// policy granting access only to the untrusted region makes any host
+// dereference fail, purely statically.
+func TestSandboxingPolicy(t *testing.T) {
+	asm := `
+f:
+	ld [%o0],%o1       ! dereference the host pointer
+	retl
+	nop
+`
+	// The host pointer arrives, but the policy grants it no f.
+	spec := `
+struct secret { v int }
+region H
+loc sec secret region H fields(v=init)
+val sp ptr<secret> state {sec} region H
+invoke %o0 = sp
+allow H secret.v ro
+`
+	res := check(t, asm, spec, "f")
+	if res.Safe {
+		t.Fatal("following a non-followable pointer must be rejected")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v.Desc, "followable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a followable violation: %+v", res.Violations)
+	}
+}
+
+// TestArrayWriteUnderRWPolicy: writes verify with w, fail without.
+func TestArrayWritePolicy(t *testing.T) {
+	asm := `
+f:
+	st %o1,[%o0+0]
+	retl
+	nop
+`
+	rw := `
+region V
+loc e int state init region V summary
+val arr int[n] state {e} region V
+sym v
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = v
+allow V int rwo
+allow V int[n] rfo
+`
+	res := check(t, asm, rw, "f")
+	if !res.Safe {
+		t.Fatalf("write under rw policy should verify: %+v", res.Violations)
+	}
+	ro := strings.Replace(rw, "allow V int rwo", "allow V int ro", 1)
+	res2 := check(t, asm, ro, "f")
+	if res2.Safe {
+		t.Fatal("write under ro policy must be rejected")
+	}
+}
+
+// TestViolationReportQuality: violations carry instruction indexes and
+// source lines usable for diagnostics.
+func TestViolationReportQuality(t *testing.T) {
+	asm := `
+f:
+	ld [%o0+4],%o1
+	retl
+	nop
+`
+	spec := `
+region V
+loc e int state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+allow V int ro
+allow V int[n] rfo
+`
+	res := check(t, asm, spec, "f")
+	if res.Safe {
+		t.Fatal("element 1 with n >= 1 must be rejected")
+	}
+	v := res.Violations[0]
+	if v.Index != 0 || v.Line != 3 {
+		t.Errorf("violation location = insn %d line %d, want insn 0 line 3", v.Index, v.Line)
+	}
+	if !strings.Contains(v.String(), "line 3") {
+		t.Errorf("violation string = %q", v.String())
+	}
+}

@@ -1,0 +1,572 @@
+// Package expr implements the annotation language of the safety checker:
+// linear expressions over integer variables, and formulas built from
+// linear equalities/inequalities and divisibility (alignment) constraints
+// combined with ∧, ∨, ¬, →, and the quantifiers ∀ and ∃. These are the
+// Presburger formulas the paper feeds to its Omega-library-based theorem
+// prover (Section 5.2).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var names an integer variable: a machine register at a window depth
+// (e.g. "w0.%o0"), a symbolic input bound ("n"), the value of an abstract
+// location ("val.e"), or a fresh havoc variable.
+type Var string
+
+// LinExpr is a linear expression sum(Coef[v] * v) + Const over Vars.
+// The zero value is the constant 0. LinExpr values are treated as
+// immutable; operations return new expressions.
+type LinExpr struct {
+	Coef  map[Var]int64
+	Const int64
+}
+
+// Const returns the constant expression c.
+func Constant(c int64) LinExpr { return LinExpr{Const: c} }
+
+// V returns the expression consisting of the single variable v.
+func V(v Var) LinExpr { return LinExpr{Coef: map[Var]int64{v: 1}} }
+
+// Term returns c*v.
+func Term(c int64, v Var) LinExpr {
+	if c == 0 {
+		return LinExpr{}
+	}
+	return LinExpr{Coef: map[Var]int64{v: c}}
+}
+
+func (e LinExpr) clone() LinExpr {
+	n := LinExpr{Const: e.Const, Coef: make(map[Var]int64, len(e.Coef))}
+	for k, v := range e.Coef {
+		n.Coef[k] = v
+	}
+	return n
+}
+
+// Add returns e + o.
+func (e LinExpr) Add(o LinExpr) LinExpr {
+	n := e.clone()
+	n.Const += o.Const
+	for k, v := range o.Coef {
+		n.Coef[k] += v
+		if n.Coef[k] == 0 {
+			delete(n.Coef, k)
+		}
+	}
+	return n
+}
+
+// Sub returns e - o.
+func (e LinExpr) Sub(o LinExpr) LinExpr { return e.Add(o.Scale(-1)) }
+
+// Scale returns k*e.
+func (e LinExpr) Scale(k int64) LinExpr {
+	if k == 0 {
+		return LinExpr{}
+	}
+	n := LinExpr{Const: e.Const * k, Coef: make(map[Var]int64, len(e.Coef))}
+	for v, c := range e.Coef {
+		n.Coef[v] = c * k
+	}
+	return n
+}
+
+// AddConst returns e + c.
+func (e LinExpr) AddConst(c int64) LinExpr {
+	n := e.clone()
+	n.Const += c
+	return n
+}
+
+// CoefOf returns the coefficient of v in e.
+func (e LinExpr) CoefOf(v Var) int64 { return e.Coef[v] }
+
+// IsConst reports whether e has no variables, returning its value.
+func (e LinExpr) IsConst() (int64, bool) {
+	if len(e.Coef) == 0 {
+		return e.Const, true
+	}
+	return 0, false
+}
+
+// Vars returns the variables of e in sorted order.
+func (e LinExpr) Vars() []Var {
+	vs := make([]Var, 0, len(e.Coef))
+	for v := range e.Coef {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Subst returns e with every occurrence of v replaced by r.
+func (e LinExpr) Subst(v Var, r LinExpr) LinExpr {
+	c, ok := e.Coef[v]
+	if !ok {
+		return e
+	}
+	n := e.clone()
+	delete(n.Coef, v)
+	return n.Add(r.Scale(c))
+}
+
+// Equal reports structural equality.
+func (e LinExpr) Equal(o LinExpr) bool {
+	if e.Const != o.Const || len(e.Coef) != len(o.Coef) {
+		return false
+	}
+	for v, c := range e.Coef {
+		if o.Coef[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates e under the given assignment (unassigned vars read 0).
+func (e LinExpr) Eval(env map[Var]int64) int64 {
+	r := e.Const
+	for v, c := range e.Coef {
+		r += c * env[v]
+	}
+	return r
+}
+
+func (e LinExpr) String() string {
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Coef[v]
+		switch {
+		case first && c == 1:
+			fmt.Fprintf(&b, "%s", v)
+		case first && c == -1:
+			fmt.Fprintf(&b, "-%s", v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, v)
+		case c == 1:
+			fmt.Fprintf(&b, " + %s", v)
+		case c == -1:
+			fmt.Fprintf(&b, " - %s", v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, v)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", e.Const)
+	case e.Const > 0:
+		fmt.Fprintf(&b, " + %d", e.Const)
+	case e.Const < 0:
+		fmt.Fprintf(&b, " - %d", -e.Const)
+	}
+	return b.String()
+}
+
+// AtomKind discriminates atomic constraints.
+type AtomKind int
+
+const (
+	// GE is the constraint E >= 0.
+	GE AtomKind = iota
+	// EQ is the constraint E == 0.
+	EQ
+	// DIV is the divisibility constraint M | E (used for alignment).
+	DIV
+)
+
+// Atom is an atomic linear constraint.
+type Atom struct {
+	Kind AtomKind
+	M    int64 // modulus, for DIV
+	E    LinExpr
+}
+
+// Formula is a Presburger formula. Implementations: True, False, Atom
+// (via AtomF), Not, And, Or, Impl, Forall, Exists.
+type Formula interface {
+	// Subst replaces every free occurrence of v by r.
+	Subst(v Var, r LinExpr) Formula
+	// FreeVars accumulates free variables into the set.
+	FreeVars(set map[Var]bool)
+	// Eval evaluates the formula under a total assignment; quantifiers
+	// are evaluated over the given finite domain of candidate values
+	// (used only for property testing).
+	Eval(env map[Var]int64, domain []int64) bool
+	String() string
+}
+
+// True and False are the boolean constants.
+type (
+	TrueF  struct{}
+	FalseF struct{}
+)
+
+// AtomF wraps an Atom as a Formula.
+type AtomF struct{ A Atom }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction.
+type And struct{ Fs []Formula }
+
+// Or is n-ary disjunction.
+type Or struct{ Fs []Formula }
+
+// Impl is implication A -> B.
+type Impl struct{ A, B Formula }
+
+// Forall is universal quantification.
+type Forall struct {
+	V Var
+	F Formula
+}
+
+// Exists is existential quantification.
+type Exists struct {
+	V Var
+	F Formula
+}
+
+// Convenience constructors.
+
+// T returns the true formula.
+func T() Formula { return TrueF{} }
+
+// F returns the false formula.
+func F() Formula { return FalseF{} }
+
+// Ge returns the formula e >= 0.
+func Ge(e LinExpr) Formula { return AtomF{Atom{Kind: GE, E: e}} }
+
+// GeExpr returns a >= b.
+func GeExpr(a, b LinExpr) Formula { return Ge(a.Sub(b)) }
+
+// GtExpr returns a > b (i.e. a - b - 1 >= 0).
+func GtExpr(a, b LinExpr) Formula { return Ge(a.Sub(b).AddConst(-1)) }
+
+// LeExpr returns a <= b.
+func LeExpr(a, b LinExpr) Formula { return Ge(b.Sub(a)) }
+
+// LtExpr returns a < b.
+func LtExpr(a, b LinExpr) Formula { return Ge(b.Sub(a).AddConst(-1)) }
+
+// Eq returns the formula e == 0.
+func Eq(e LinExpr) Formula { return AtomF{Atom{Kind: EQ, E: e}} }
+
+// EqExpr returns a == b.
+func EqExpr(a, b LinExpr) Formula { return Eq(a.Sub(b)) }
+
+// NeExpr returns a != b.
+func NeExpr(a, b LinExpr) Formula { return Not{EqExpr(a, b)} }
+
+// Divides returns the formula m | e.
+func Divides(m int64, e LinExpr) Formula { return AtomF{Atom{Kind: DIV, M: m, E: e}} }
+
+// Conj returns the conjunction of fs, flattening and short-circuiting.
+func Conj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case nil:
+		case TrueF:
+		case FalseF:
+			return FalseF{}
+		case And:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return TrueF{}
+	case 1:
+		return out[0]
+	}
+	return And{Fs: out}
+}
+
+// Disj returns the disjunction of fs, flattening and short-circuiting.
+func Disj(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case nil:
+		case FalseF:
+		case TrueF:
+			return TrueF{}
+		case Or:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return FalseF{}
+	case 1:
+		return out[0]
+	}
+	return Or{Fs: out}
+}
+
+// Implies returns a -> b with trivial simplifications.
+func Implies(a, b Formula) Formula {
+	switch a.(type) {
+	case TrueF:
+		return b
+	case FalseF:
+		return TrueF{}
+	}
+	if _, ok := b.(TrueF); ok {
+		return TrueF{}
+	}
+	return Impl{A: a, B: b}
+}
+
+// Negate returns ¬f with trivial simplifications.
+func Negate(f Formula) Formula {
+	switch g := f.(type) {
+	case TrueF:
+		return FalseF{}
+	case FalseF:
+		return TrueF{}
+	case Not:
+		return g.F
+	}
+	return Not{F: f}
+}
+
+// --- Subst ---
+
+func (TrueF) Subst(Var, LinExpr) Formula  { return TrueF{} }
+func (FalseF) Subst(Var, LinExpr) Formula { return FalseF{} }
+
+func (a AtomF) Subst(v Var, r LinExpr) Formula {
+	return AtomF{Atom{Kind: a.A.Kind, M: a.A.M, E: a.A.E.Subst(v, r)}}
+}
+
+func (n Not) Subst(v Var, r LinExpr) Formula { return Not{n.F.Subst(v, r)} }
+
+func (a And) Subst(v Var, r LinExpr) Formula {
+	fs := make([]Formula, len(a.Fs))
+	for i, f := range a.Fs {
+		fs[i] = f.Subst(v, r)
+	}
+	return And{fs}
+}
+
+func (o Or) Subst(v Var, r LinExpr) Formula {
+	fs := make([]Formula, len(o.Fs))
+	for i, f := range o.Fs {
+		fs[i] = f.Subst(v, r)
+	}
+	return Or{fs}
+}
+
+func (i Impl) Subst(v Var, r LinExpr) Formula {
+	return Impl{A: i.A.Subst(v, r), B: i.B.Subst(v, r)}
+}
+
+func (q Forall) Subst(v Var, r LinExpr) Formula {
+	if q.V == v {
+		return q
+	}
+	return Forall{V: q.V, F: q.F.Subst(v, r)}
+}
+
+func (q Exists) Subst(v Var, r LinExpr) Formula {
+	if q.V == v {
+		return q
+	}
+	return Exists{V: q.V, F: q.F.Subst(v, r)}
+}
+
+// SubstAll applies a set of parallel substitutions to f.
+func SubstAll(f Formula, sub map[Var]LinExpr) Formula {
+	// Parallel substitution: rename through temporaries to avoid capture
+	// when substitution targets mention substituted variables.
+	tmp := make(map[Var]Var, len(sub))
+	i := 0
+	for v := range sub {
+		tmp[v] = Var(fmt.Sprintf("$tmp%d.%s", i, v))
+		i++
+	}
+	for v, t := range tmp {
+		f = f.Subst(v, V(t))
+	}
+	for v, t := range tmp {
+		f = f.Subst(t, sub[v])
+	}
+	return f
+}
+
+// --- FreeVars ---
+
+func (TrueF) FreeVars(map[Var]bool)  {}
+func (FalseF) FreeVars(map[Var]bool) {}
+
+func (a AtomF) FreeVars(set map[Var]bool) {
+	for v := range a.A.E.Coef {
+		set[v] = true
+	}
+}
+func (n Not) FreeVars(set map[Var]bool) { n.F.FreeVars(set) }
+func (a And) FreeVars(set map[Var]bool) {
+	for _, f := range a.Fs {
+		f.FreeVars(set)
+	}
+}
+func (o Or) FreeVars(set map[Var]bool) {
+	for _, f := range o.Fs {
+		f.FreeVars(set)
+	}
+}
+func (i Impl) FreeVars(set map[Var]bool) { i.A.FreeVars(set); i.B.FreeVars(set) }
+func (q Forall) FreeVars(set map[Var]bool) {
+	inner := make(map[Var]bool)
+	q.F.FreeVars(inner)
+	delete(inner, q.V)
+	for v := range inner {
+		set[v] = true
+	}
+}
+func (q Exists) FreeVars(set map[Var]bool) {
+	inner := make(map[Var]bool)
+	q.F.FreeVars(inner)
+	delete(inner, q.V)
+	for v := range inner {
+		set[v] = true
+	}
+}
+
+// FreeVarsOf returns the sorted free variables of f.
+func FreeVarsOf(f Formula) []Var {
+	set := make(map[Var]bool)
+	f.FreeVars(set)
+	vs := make([]Var, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// --- Eval (testing aid) ---
+
+func (TrueF) Eval(map[Var]int64, []int64) bool  { return true }
+func (FalseF) Eval(map[Var]int64, []int64) bool { return false }
+
+func (a AtomF) Eval(env map[Var]int64, _ []int64) bool {
+	v := a.A.E.Eval(env)
+	switch a.A.Kind {
+	case GE:
+		return v >= 0
+	case EQ:
+		return v == 0
+	case DIV:
+		if a.A.M == 0 {
+			return v == 0
+		}
+		return v%a.A.M == 0
+	}
+	return false
+}
+
+func (n Not) Eval(env map[Var]int64, d []int64) bool { return !n.F.Eval(env, d) }
+
+func (a And) Eval(env map[Var]int64, d []int64) bool {
+	for _, f := range a.Fs {
+		if !f.Eval(env, d) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o Or) Eval(env map[Var]int64, d []int64) bool {
+	for _, f := range o.Fs {
+		if f.Eval(env, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (i Impl) Eval(env map[Var]int64, d []int64) bool {
+	return !i.A.Eval(env, d) || i.B.Eval(env, d)
+}
+
+func (q Forall) Eval(env map[Var]int64, d []int64) bool {
+	saved, had := env[q.V]
+	defer restore(env, q.V, saved, had)
+	for _, x := range d {
+		env[q.V] = x
+		if !q.F.Eval(env, d) {
+			return false
+		}
+	}
+	return true
+}
+
+func (q Exists) Eval(env map[Var]int64, d []int64) bool {
+	saved, had := env[q.V]
+	defer restore(env, q.V, saved, had)
+	for _, x := range d {
+		env[q.V] = x
+		if q.F.Eval(env, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func restore(env map[Var]int64, v Var, saved int64, had bool) {
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+}
+
+// --- String ---
+
+func (TrueF) String() string  { return "true" }
+func (FalseF) String() string { return "false" }
+
+func (a AtomF) String() string {
+	switch a.A.Kind {
+	case GE:
+		return a.A.E.String() + " >= 0"
+	case EQ:
+		return a.A.E.String() + " = 0"
+	case DIV:
+		return fmt.Sprintf("%d | (%s)", a.A.M, a.A.E)
+	}
+	return "?"
+}
+
+func (n Not) String() string { return "¬(" + n.F.String() + ")" }
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func (a And) String() string    { return joinFormulas(a.Fs, " ∧ ") }
+func (o Or) String() string     { return joinFormulas(o.Fs, " ∨ ") }
+func (i Impl) String() string   { return "(" + i.A.String() + " → " + i.B.String() + ")" }
+func (q Forall) String() string { return fmt.Sprintf("∀%s.(%s)", q.V, q.F) }
+func (q Exists) String() string { return fmt.Sprintf("∃%s.(%s)", q.V, q.F) }

@@ -1,0 +1,297 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinExprArith(t *testing.T) {
+	x, y := V("x"), V("y")
+	e := x.Add(y.Scale(2)).AddConst(3) // x + 2y + 3
+	if got := e.String(); got != "x + 2*y + 3" {
+		t.Errorf("String = %q", got)
+	}
+	if e.CoefOf("x") != 1 || e.CoefOf("y") != 2 || e.Const != 3 {
+		t.Fatalf("coeffs wrong: %v", e)
+	}
+	z := e.Sub(e)
+	if c, ok := z.IsConst(); !ok || c != 0 {
+		t.Fatalf("e - e = %v", z)
+	}
+	if got := e.Eval(map[Var]int64{"x": 1, "y": 2}); got != 8 {
+		t.Errorf("Eval = %d, want 8", got)
+	}
+}
+
+func TestLinExprSubst(t *testing.T) {
+	x, y := V("x"), V("y")
+	e := x.Scale(3).Add(y) // 3x + y
+	r := e.Subst("x", y.AddConst(1))
+	// 3(y+1) + y = 4y + 3
+	if r.CoefOf("y") != 4 || r.Const != 3 || r.CoefOf("x") != 0 {
+		t.Fatalf("Subst = %v", r)
+	}
+	// Substituting an absent var is identity.
+	if !e.Subst("z", Constant(9)).Equal(e) {
+		t.Error("subst of absent var changed expression")
+	}
+}
+
+func TestLinExprStringForms(t *testing.T) {
+	cases := []struct {
+		e    LinExpr
+		want string
+	}{
+		{Constant(0), "0"},
+		{Constant(-5), "-5"},
+		{V("x"), "x"},
+		{Term(-1, "x"), "-x"},
+		{Term(4, "x").AddConst(-1), "4*x - 1"},
+		{V("x").Sub(V("y")), "x - y"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConstructorsSemantics(t *testing.T) {
+	a, b := V("a"), V("b")
+	env := map[Var]int64{"a": 3, "b": 5}
+	if !LtExpr(a, b).Eval(env, nil) || LtExpr(b, a).Eval(env, nil) {
+		t.Error("LtExpr wrong")
+	}
+	if !LeExpr(a, a).Eval(env, nil) {
+		t.Error("LeExpr not reflexive")
+	}
+	if GtExpr(a, b).Eval(env, nil) || !GtExpr(b, a).Eval(env, nil) {
+		t.Error("GtExpr wrong")
+	}
+	if !EqExpr(a, a).Eval(env, nil) || EqExpr(a, b).Eval(env, nil) {
+		t.Error("EqExpr wrong")
+	}
+	if !NeExpr(a, b).Eval(env, nil) {
+		t.Error("NeExpr wrong")
+	}
+	if !Divides(4, Term(4, "a")).Eval(env, nil) {
+		t.Error("4 | 4a should hold")
+	}
+	if Divides(4, V("a")).Eval(env, nil) {
+		t.Error("4 | 3 should not hold")
+	}
+}
+
+func TestConjDisjShortCircuit(t *testing.T) {
+	if _, ok := Conj(T(), T()).(TrueF); !ok {
+		t.Error("Conj of trues should be true")
+	}
+	if _, ok := Conj(T(), F(), Ge(V("x"))).(FalseF); !ok {
+		t.Error("Conj with false should be false")
+	}
+	if _, ok := Disj(F(), F()).(FalseF); !ok {
+		t.Error("Disj of falses should be false")
+	}
+	if _, ok := Disj(F(), T()).(TrueF); !ok {
+		t.Error("Disj with true should be true")
+	}
+	// Flattening.
+	f := Conj(Conj(Ge(V("x")), Ge(V("y"))), Ge(V("z")))
+	if and, ok := f.(And); !ok || len(and.Fs) != 3 {
+		t.Errorf("Conj did not flatten: %v", f)
+	}
+}
+
+func TestImpliesNegate(t *testing.T) {
+	x := Ge(V("x"))
+	if _, ok := Implies(T(), x).(AtomF); !ok {
+		t.Error("true -> x should be x")
+	}
+	if _, ok := Implies(F(), x).(TrueF); !ok {
+		t.Error("false -> x should be true")
+	}
+	if _, ok := Implies(x, T()).(TrueF); !ok {
+		t.Error("x -> true should be true")
+	}
+	if _, ok := Negate(Negate(x)).(AtomF); !ok {
+		t.Error("double negation should cancel")
+	}
+}
+
+func TestSubstAllParallel(t *testing.T) {
+	// Parallel substitution {x -> y, y -> x} must swap, not chain.
+	f := EqExpr(V("x").Scale(2), V("y"))
+	g := SubstAll(f, map[Var]LinExpr{"x": V("y"), "y": V("x")})
+	env := map[Var]int64{"x": 4, "y": 2}
+	// After swap: 2y = x, holds for x=4,y=2.
+	if !g.Eval(env, nil) {
+		t.Fatalf("parallel substitution failed: %v", g)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Conj(Ge(V("x")), Exists{V: "y", F: EqExpr(V("y"), V("z"))})
+	vs := FreeVarsOf(f)
+	if len(vs) != 2 || vs[0] != "x" || vs[1] != "z" {
+		t.Fatalf("FreeVarsOf = %v", vs)
+	}
+}
+
+func TestQuantifierEval(t *testing.T) {
+	dom := []int64{-2, -1, 0, 1, 2}
+	// ∃y. y = x, over the domain, with x = 2.
+	f := Exists{V: "y", F: EqExpr(V("y"), V("x"))}
+	if !f.Eval(map[Var]int64{"x": 2}, dom) {
+		t.Error("exists failed")
+	}
+	if f.Eval(map[Var]int64{"x": 7}, dom) {
+		t.Error("exists out of domain should fail")
+	}
+	// ∀y. y*0 = 0.
+	g := Forall{V: "y", F: Eq(Term(0, "y"))}
+	if !g.Eval(map[Var]int64{}, dom) {
+		t.Error("forall failed")
+	}
+}
+
+// randAtom builds a random atom over vars x, y with small coefficients.
+func randAtom(r *rand.Rand) Formula {
+	e := Term(int64(r.Intn(5)-2), "x").Add(Term(int64(r.Intn(5)-2), "y")).AddConst(int64(r.Intn(9) - 4))
+	switch r.Intn(3) {
+	case 0:
+		return Ge(e)
+	case 1:
+		return Eq(e)
+	default:
+		return Divides([]int64{2, 4}[r.Intn(2)], e)
+	}
+}
+
+func randFormula(r *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		return randAtom(r)
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Conj(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 1:
+		return Disj(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 2:
+		return Negate(randFormula(r, depth-1))
+	case 3:
+		return Implies(randFormula(r, depth-1), randFormula(r, depth-1))
+	default:
+		return randAtom(r)
+	}
+}
+
+func randEnv(r *rand.Rand) map[Var]int64 {
+	return map[Var]int64{
+		"x": int64(r.Intn(21) - 10),
+		"y": int64(r.Intn(21) - 10),
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		f := randFormula(r, 3)
+		g := NNF(f)
+		env := randEnv(r)
+		if f.Eval(env, nil) != g.Eval(env, nil) {
+			t.Fatalf("NNF changed semantics:\n f=%v\n g=%v\n env=%v", f, g, env)
+		}
+	}
+}
+
+func TestDNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 2000; i++ {
+		f := randFormula(r, 3)
+		cs, err := DNF(f)
+		if err != nil {
+			continue
+		}
+		g := DNFFormula(cs)
+		env := randEnv(r)
+		if f.Eval(env, nil) != g.Eval(env, nil) {
+			t.Fatalf("DNF changed semantics:\n f=%v\n g=%v\n env=%v", f, g, env)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 3000; i++ {
+		f := randFormula(r, 3)
+		g := Simplify(f)
+		env := randEnv(r)
+		if f.Eval(env, nil) != g.Eval(env, nil) {
+			t.Fatalf("Simplify changed semantics:\n f=%v\n g=%v\n env=%v", f, g, env)
+		}
+	}
+}
+
+func TestSimplifyFoldsConstants(t *testing.T) {
+	if _, ok := Simplify(Ge(Constant(0))).(TrueF); !ok {
+		t.Error("0 >= 0 should simplify to true")
+	}
+	if _, ok := Simplify(Ge(Constant(-1))).(FalseF); !ok {
+		t.Error("-1 >= 0 should simplify to false")
+	}
+	if _, ok := Simplify(Divides(4, Constant(8))).(TrueF); !ok {
+		t.Error("4 | 8 should simplify to true")
+	}
+	if _, ok := Simplify(Divides(4, Constant(6))).(FalseF); !ok {
+		t.Error("4 | 6 should simplify to false")
+	}
+	// Subsumption of same linear part.
+	f := Conj(Ge(V("x").AddConst(5)), Ge(V("x").AddConst(2)))
+	if got := Simplify(f).String(); got != "x + 2 >= 0" {
+		t.Errorf("subsumption: %q", got)
+	}
+	// Contradiction x >= 1 ∧ x <= -1.
+	g := Conj(Ge(V("x").AddConst(-1)), Ge(V("x").Scale(-1).AddConst(-1)))
+	if _, ok := Simplify(g).(FalseF); !ok {
+		t.Errorf("contradiction not detected: %v", Simplify(g))
+	}
+}
+
+func TestSimplifyDropsUnusedQuantifier(t *testing.T) {
+	f := Forall{V: "q", F: Ge(V("x"))}
+	if _, ok := Simplify(f).(AtomF); !ok {
+		t.Errorf("unused quantifier should drop: %v", Simplify(f))
+	}
+}
+
+func TestNNFNegatedAtoms(t *testing.T) {
+	env := map[Var]int64{"x": 3}
+	// ¬(x >= 0) at x=3 is false; NNF form must agree.
+	f := NNF(Negate(Ge(V("x"))))
+	if f.Eval(env, nil) {
+		t.Error("¬(x>=0) at 3 should be false")
+	}
+	// ¬(x = 0) at x=3 is true.
+	g := NNF(Negate(Eq(V("x"))))
+	if !g.Eval(env, nil) {
+		t.Error("¬(x=0) at 3 should be true")
+	}
+	// ¬(2 | x) at x=3 is true; at x=4 false.
+	h := NNF(Negate(Divides(2, V("x"))))
+	if !h.Eval(env, nil) {
+		t.Error("¬(2|x) at 3 should be true")
+	}
+	if h.Eval(map[Var]int64{"x": 4}, nil) {
+		t.Error("¬(2|x) at 4 should be false")
+	}
+}
+
+func TestSizeMonotone(t *testing.T) {
+	a := Ge(V("x"))
+	if Size(a) != 1 {
+		t.Errorf("Size(atom) = %d", Size(a))
+	}
+	if Size(Conj(a, a, a)) <= Size(a) {
+		t.Error("Size of conjunction should exceed atom")
+	}
+}

@@ -1,0 +1,472 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrTooLarge is returned when normalization would blow up past the
+// configured size budget (the paper controls formula size by simplifying
+// at junction points; we additionally refuse pathological inputs).
+var ErrTooLarge = fmt.Errorf("expr: formula too large to normalize")
+
+// MaxDNFClauses bounds the number of conjunctive clauses DNF will produce.
+const MaxDNFClauses = 32768
+
+// NNF converts f to negation normal form: negations are pushed inward and
+// applied to atoms, which are rewritten into positive atoms:
+//
+//	¬(e >= 0)  =>  -e - 1 >= 0
+//	¬(e = 0)   =>  e - 1 >= 0  ∨  -e - 1 >= 0
+//	¬(m | e)   =>  ∨_{r=1..m-1} m | (e - r)
+//
+// Implications are expanded. Quantifiers flip under negation.
+func NNF(f Formula) Formula { return nnf(f, false) }
+
+func nnf(f Formula, neg bool) Formula {
+	switch g := f.(type) {
+	case TrueF:
+		if neg {
+			return FalseF{}
+		}
+		return g
+	case FalseF:
+		if neg {
+			return TrueF{}
+		}
+		return g
+	case AtomF:
+		if !neg {
+			return g
+		}
+		return negateAtom(g.A)
+	case Not:
+		return nnf(g.F, !neg)
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = nnf(sub, neg)
+		}
+		if neg {
+			return Disj(fs...)
+		}
+		return Conj(fs...)
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = nnf(sub, neg)
+		}
+		if neg {
+			return Conj(fs...)
+		}
+		return Disj(fs...)
+	case Impl:
+		// A -> B  ==  ¬A ∨ B
+		if neg {
+			return Conj(nnf(g.A, false), nnf(g.B, true))
+		}
+		return Disj(nnf(g.A, true), nnf(g.B, false))
+	case Forall:
+		if neg {
+			return Exists{V: g.V, F: nnf(g.F, true)}
+		}
+		return Forall{V: g.V, F: nnf(g.F, false)}
+	case Exists:
+		if neg {
+			return Forall{V: g.V, F: nnf(g.F, true)}
+		}
+		return Exists{V: g.V, F: nnf(g.F, false)}
+	}
+	return f
+}
+
+func negateAtom(a Atom) Formula {
+	switch a.Kind {
+	case GE:
+		return Ge(a.E.Scale(-1).AddConst(-1))
+	case EQ:
+		return Disj(Ge(a.E.AddConst(-1)), Ge(a.E.Scale(-1).AddConst(-1)))
+	case DIV:
+		m := a.M
+		if m < 0 {
+			m = -m
+		}
+		if m == 0 {
+			return negateAtom(Atom{Kind: EQ, E: a.E})
+		}
+		var fs []Formula
+		for r := int64(1); r < m; r++ {
+			fs = append(fs, Divides(m, a.E.AddConst(-r)))
+		}
+		return Disj(fs...)
+	}
+	return FalseF{}
+}
+
+// Clause is a conjunction of atoms.
+type Clause []Atom
+
+// DNF converts a quantifier-free formula to disjunctive normal form: a
+// disjunction of conjunctions of positive atoms. It returns ErrTooLarge if
+// the result would exceed MaxDNFClauses clauses. The formula "false" is
+// the empty disjunction; "true" is one empty clause.
+func DNF(f Formula) ([]Clause, error) {
+	return dnf(NNF(f))
+}
+
+func dnf(f Formula) ([]Clause, error) {
+	switch g := f.(type) {
+	case TrueF:
+		return []Clause{{}}, nil
+	case FalseF:
+		return nil, nil
+	case AtomF:
+		return []Clause{{g.A}}, nil
+	case Or:
+		var out []Clause
+		for _, sub := range g.Fs {
+			cs, err := dnf(sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cs...)
+			if len(out) > MaxDNFClauses {
+				return nil, ErrTooLarge
+			}
+		}
+		return out, nil
+	case And:
+		out := []Clause{{}}
+		for _, sub := range g.Fs {
+			cs, err := dnf(sub)
+			if err != nil {
+				return nil, err
+			}
+			var next []Clause
+			for _, a := range out {
+				for _, b := range cs {
+					merged := make(Clause, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+					if len(next) > MaxDNFClauses {
+						return nil, ErrTooLarge
+					}
+				}
+			}
+			out = next
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("expr: DNF of non-quantifier-free formula %T", f)
+	}
+}
+
+// ClauseFormula rebuilds a formula from a clause.
+func ClauseFormula(c Clause) Formula {
+	fs := make([]Formula, len(c))
+	for i, a := range c {
+		fs[i] = AtomF{a}
+	}
+	return Conj(fs...)
+}
+
+// DNFFormula rebuilds a formula from DNF clauses.
+func DNFFormula(cs []Clause) Formula {
+	fs := make([]Formula, len(cs))
+	for i, c := range cs {
+		fs[i] = ClauseFormula(c)
+	}
+	return Disj(fs...)
+}
+
+// Simplify performs cheap syntactic simplification: constant folding of
+// atoms, flattening, deduplication, and subsumption between inequalities
+// that share a linear part. It never changes the meaning of the formula.
+// The verifier applies it at junction points during back-substitution to
+// control formula growth (Section 5.2.1, fifth enhancement).
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case AtomF:
+		return simplifyAtom(g.A)
+	case Not:
+		return Negate(Simplify(g.F))
+	case And:
+		return simplifyAnd(g.Fs)
+	case Or:
+		return simplifyOr(g.Fs)
+	case Impl:
+		a, b := Simplify(g.A), Simplify(g.B)
+		if a.String() == b.String() {
+			return TrueF{}
+		}
+		return Implies(a, b)
+	case Forall:
+		inner := Simplify(g.F)
+		set := make(map[Var]bool)
+		inner.FreeVars(set)
+		if !set[g.V] {
+			return inner
+		}
+		return Forall{V: g.V, F: inner}
+	case Exists:
+		inner := Simplify(g.F)
+		set := make(map[Var]bool)
+		inner.FreeVars(set)
+		if !set[g.V] {
+			return inner
+		}
+		return Exists{V: g.V, F: inner}
+	}
+	return f
+}
+
+func simplifyAtom(a Atom) Formula {
+	if c, ok := a.E.IsConst(); ok {
+		switch a.Kind {
+		case GE:
+			if c >= 0 {
+				return TrueF{}
+			}
+			return FalseF{}
+		case EQ:
+			if c == 0 {
+				return TrueF{}
+			}
+			return FalseF{}
+		case DIV:
+			m := a.M
+			if m < 0 {
+				m = -m
+			}
+			if m == 0 {
+				if c == 0 {
+					return TrueF{}
+				}
+				return FalseF{}
+			}
+			if c%m == 0 {
+				return TrueF{}
+			}
+			return FalseF{}
+		}
+	}
+	// Normalize by gcd of coefficients.
+	return AtomF{normalizeAtom(a)}
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// normalizeAtom divides a GE atom's coefficients by their gcd (with floor
+// on the constant) and an EQ atom by the gcd of all terms when it divides
+// the constant; DIV atoms reduce coefficients modulo m.
+func normalizeAtom(a Atom) Atom {
+	switch a.Kind {
+	case GE:
+		g := int64(0)
+		for _, c := range a.E.Coef {
+			g = gcd(g, c)
+		}
+		if g > 1 {
+			n := LinExpr{Coef: make(map[Var]int64, len(a.E.Coef))}
+			for v, c := range a.E.Coef {
+				n.Coef[v] = c / g
+			}
+			n.Const = floorDiv(a.E.Const, g)
+			return Atom{Kind: GE, E: n}
+		}
+	case EQ:
+		g := int64(0)
+		for _, c := range a.E.Coef {
+			g = gcd(g, c)
+		}
+		if g > 1 && a.E.Const%g == 0 {
+			n := LinExpr{Coef: make(map[Var]int64, len(a.E.Coef)), Const: a.E.Const / g}
+			for v, c := range a.E.Coef {
+				n.Coef[v] = c / g
+			}
+			return Atom{Kind: EQ, E: n}
+		}
+	case DIV:
+		m := a.M
+		if m < 0 {
+			m = -m
+		}
+		if m == 0 {
+			return Atom{Kind: EQ, E: a.E}
+		}
+		n := LinExpr{Coef: make(map[Var]int64), Const: mod(a.E.Const, m)}
+		for v, c := range a.E.Coef {
+			if r := mod(c, m); r != 0 {
+				n.Coef[v] = r
+			}
+		}
+		return Atom{Kind: DIV, M: m, E: n}
+	}
+	return a
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func simplifyAnd(fs []Formula) Formula {
+	var flat []Formula
+	for _, f := range fs {
+		s := Simplify(f)
+		switch g := s.(type) {
+		case TrueF:
+		case FalseF:
+			return FalseF{}
+		case And:
+			flat = append(flat, g.Fs...)
+		default:
+			flat = append(flat, s)
+		}
+	}
+	// Subsume GE atoms with identical linear parts: keep the strongest
+	// (largest constant requirement means smallest Const since e+c>=0).
+	type geKey struct{ lin string }
+	best := make(map[string]int) // linear-part key -> index in out
+	var out []Formula
+	seen := make(map[string]bool)
+	for _, f := range flat {
+		if a, ok := f.(AtomF); ok && a.A.Kind == GE {
+			key := linKey(a.A.E)
+			if j, ok2 := best[key]; ok2 {
+				prev := out[j].(AtomF)
+				// Same linear part: e + c1 >= 0 and e + c2 >= 0; the
+				// conjunction is e + min(c1,c2) >= 0.
+				if a.A.E.Const < prev.A.E.Const {
+					out[j] = f
+				}
+				continue
+			}
+			best[key] = len(out)
+			out = append(out, f)
+			continue
+		}
+		s := f.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, f)
+	}
+	// Detect e >= 0 ∧ -e >= 0 pairs => e = 0, and direct contradictions
+	// e + c >= 0 ∧ -e - c' >= 0 with c' > c.
+	for i, f := range out {
+		a, ok := f.(AtomF)
+		if !ok || a.A.Kind != GE {
+			continue
+		}
+		negKeyStr := linKey(a.A.E.Scale(-1))
+		if j, ok2 := best[negKeyStr]; ok2 && j != i {
+			b := out[j].(AtomF)
+			// a: e + c >= 0 ; b: -e + d >= 0 i.e. e <= d
+			// contradiction if -c > d
+			if -a.A.E.Const > b.A.E.Const {
+				return FalseF{}
+			}
+			if -a.A.E.Const == b.A.E.Const {
+				// e = -c exactly
+				if i < j {
+					out[i] = AtomF{Atom{Kind: EQ, E: a.A.E}}
+					out[j] = TrueF{}
+				}
+			}
+		}
+	}
+	return Conj(out...)
+}
+
+// linKey returns a canonical string for the variable part of e (ignoring
+// the constant), used to detect shared linear parts.
+func linKey(e LinExpr) string {
+	vs := e.Vars()
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	s := ""
+	for _, v := range vs {
+		s += fmt.Sprintf("%+d*%s;", e.Coef[v], v)
+	}
+	return s
+}
+
+func simplifyOr(fs []Formula) Formula {
+	var flat []Formula
+	seen := make(map[string]bool)
+	for _, f := range fs {
+		s := Simplify(f)
+		switch g := s.(type) {
+		case FalseF:
+		case TrueF:
+			return TrueF{}
+		case Or:
+			for _, sub := range g.Fs {
+				if key := sub.String(); !seen[key] {
+					seen[key] = true
+					flat = append(flat, sub)
+				}
+			}
+		default:
+			if key := s.String(); !seen[key] {
+				seen[key] = true
+				flat = append(flat, s)
+			}
+		}
+	}
+	return Disj(flat...)
+}
+
+// Size returns the number of atoms and connectives in f, used by the
+// induction-iteration candidate-ranking heuristic.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case TrueF, FalseF, AtomF:
+		return 1
+	case Not:
+		return 1 + Size(g.F)
+	case And:
+		n := 1
+		for _, s := range g.Fs {
+			n += Size(s)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, s := range g.Fs {
+			n += Size(s)
+		}
+		return n
+	case Impl:
+		return 1 + Size(g.A) + Size(g.B)
+	case Forall:
+		return 1 + Size(g.F)
+	case Exists:
+		return 1 + Size(g.F)
+	}
+	return 1
+}

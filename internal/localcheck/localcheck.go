@@ -1,0 +1,91 @@
+// Package localcheck implements the safety predicates of Section 4.3 that
+// can be validated using typestate information alone (Phase 4 of the
+// analysis): readable, writable, operable, followable, executable, and
+// assignable, plus the static alignment helper.
+package localcheck
+
+import (
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// Operable reports whether a value may be examined, copied, and operated
+// upon: o ∈ A(l) and S(l) ∉ {[u], ⊥s} (Section 4.3).
+func Operable(ts typestate.Typestate) bool {
+	if !ts.Access.Has(typestate.PermO) {
+		return false
+	}
+	switch ts.State.Kind {
+	case typestate.StateInit, typestate.StatePointsTo:
+		return true
+	}
+	return false
+}
+
+// Followable reports whether a value is a pointer that may be
+// dereferenced: f ∈ A(l) and T(l) is a pointer type.
+func Followable(ts typestate.Typestate) bool {
+	return ts.Access.Has(typestate.PermF) && ts.Type.IsPointer()
+}
+
+// Executable reports whether a value is a function pointer that may be
+// called.
+func Executable(ts typestate.Typestate) bool {
+	return ts.Access.Has(typestate.PermX) && ts.Type.Kind == types.Func
+}
+
+// Readable reports whether an abstract location may be read.
+func Readable(w *typestate.World, loc string) bool {
+	l, ok := w.Lookup(loc)
+	return ok && (l.Readable || l.IsReg)
+}
+
+// Writable reports whether an abstract location may be written.
+func Writable(w *typestate.World, loc string) bool {
+	l, ok := w.Lookup(loc)
+	return ok && (l.Writable || l.IsReg)
+}
+
+// Initialized reports whether the value stored at a location may be read
+// (it is unsafe to read a location holding an uninitialized value).
+func Initialized(ts typestate.Typestate) bool {
+	return ts.State.Initialized()
+}
+
+// Assignable reports whether a value of typestate m may be stored into
+// abstract location l of declared type lt: writable(l), the types agree
+// (the stored type is at least as precise as the location's), and the
+// value's size matches the location (Section 4.3).
+func Assignable(w *typestate.World, m typestate.Typestate, loc string, lt *types.Type) bool {
+	if !Writable(w, loc) {
+		return false
+	}
+	if lt == nil {
+		return false
+	}
+	l, ok := w.Lookup(loc)
+	if !ok {
+		return false
+	}
+	if m.Type.Kind == types.Bottom || m.Type.Kind == types.Top {
+		return false
+	}
+	if !types.LE(m.Type, lt) && !m.Type.Equal(lt) {
+		// Pointer stores must match the declared pointee exactly;
+		// scalar stores may narrow (subtyping).
+		return false
+	}
+	if m.Type.Size() != l.Size && l.Size != 0 {
+		return false
+	}
+	return true
+}
+
+// AlignOK reports align(A, n): the statically known alignment A is a
+// multiple of n.
+func AlignOK(a, n int) bool {
+	if n <= 1 {
+		return true
+	}
+	return a > 0 && a%n == 0
+}

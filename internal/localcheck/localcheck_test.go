@@ -1,0 +1,142 @@
+package localcheck
+
+import (
+	"testing"
+
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+func ts(t *types.Type, s typestate.State, p typestate.Perm) typestate.Typestate {
+	return typestate.Typestate{Type: t, State: s, Access: p}
+}
+
+func TestOperable(t *testing.T) {
+	cases := []struct {
+		ts   typestate.Typestate
+		want bool
+		name string
+	}{
+		{ts(types.Int32Type, typestate.InitState, typestate.PermO), true, "init with o"},
+		{ts(types.Int32Type, typestate.InitState, 0), false, "init without o"},
+		{ts(types.Int32Type, typestate.UninitState, typestate.PermO), false, "uninit"},
+		{ts(types.Int32Type, typestate.BottomState, typestate.PermO), false, "bottom"},
+		{ts(types.Int32Type, typestate.TopState, typestate.PermO), false, "top"},
+		{ts(types.NewPtr(types.Int32Type), typestate.PointsTo(false, typestate.Ref{Loc: "x"}),
+			typestate.PermO), true, "pointer with o"},
+	}
+	for _, c := range cases {
+		if got := Operable(c.ts); got != c.want {
+			t.Errorf("%s: Operable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFollowable(t *testing.T) {
+	ptr := types.NewPtr(types.Int32Type)
+	pt := typestate.PointsTo(false, typestate.Ref{Loc: "x"})
+	if !Followable(ts(ptr, pt, typestate.PermF)) {
+		t.Error("pointer with f should be followable")
+	}
+	if Followable(ts(ptr, pt, typestate.PermO)) {
+		t.Error("pointer without f should not be followable")
+	}
+	if Followable(ts(types.Int32Type, typestate.InitState, typestate.PermF)) {
+		t.Error("an integer is never followable, even with f")
+	}
+	arr := types.NewArrayBase(types.Int32Type, types.SymBound("n"))
+	if !Followable(ts(arr, pt, typestate.PermF)) {
+		t.Error("array-base pointers are followable")
+	}
+}
+
+func TestExecutable(t *testing.T) {
+	fn := types.NewFunc([]*types.Type{types.Int32Type}, types.Int32Type)
+	pt := typestate.PointsTo(false, typestate.Ref{Loc: "f"})
+	if !Executable(ts(fn, pt, typestate.PermX)) {
+		t.Error("function pointer with x should be executable")
+	}
+	if Executable(ts(fn, pt, typestate.PermF|typestate.PermO)) {
+		t.Error("function pointer without x should not be executable")
+	}
+	if Executable(ts(types.NewPtr(types.Int32Type), pt, typestate.PermX)) {
+		t.Error("data pointer is never executable")
+	}
+}
+
+func world(t *testing.T) *typestate.World {
+	t.Helper()
+	w := typestate.NewWorld()
+	if err := w.Add(&typestate.AbsLoc{Name: "ro", Size: 4, Align: 4, Readable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(&typestate.AbsLoc{Name: "rw", Size: 4, Align: 4, Readable: true, Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	w.AddReg("%o0")
+	return w
+}
+
+func TestReadableWritable(t *testing.T) {
+	w := world(t)
+	if !Readable(w, "ro") || !Readable(w, "rw") || !Readable(w, "%o0") {
+		t.Error("readable predicates wrong")
+	}
+	if Writable(w, "ro") {
+		t.Error("ro should not be writable")
+	}
+	if !Writable(w, "rw") || !Writable(w, "%o0") {
+		t.Error("rw and registers should be writable")
+	}
+	if Readable(w, "nosuch") || Writable(w, "nosuch") {
+		t.Error("unknown locations should be neither")
+	}
+}
+
+func TestInitialized(t *testing.T) {
+	if Initialized(ts(types.Int32Type, typestate.UninitState, typestate.PermO)) {
+		t.Error("uninit should not be Initialized")
+	}
+	if !Initialized(ts(types.Int32Type, typestate.InitState, typestate.PermO)) {
+		t.Error("init should be Initialized")
+	}
+	if !Initialized(ts(types.NewPtr(types.Int32Type),
+		typestate.PointsTo(true), typestate.PermO)) {
+		t.Error("a pointer value (even null) is an initialized value")
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	w := world(t)
+	intVal := ts(types.Int32Type, typestate.InitState, typestate.PermO)
+	if !Assignable(w, intVal, "rw", types.Int32Type) {
+		t.Error("int into rw int location should be assignable")
+	}
+	if Assignable(w, intVal, "ro", types.Int32Type) {
+		t.Error("read-only location should not be assignable")
+	}
+	if Assignable(w, intVal, "rw", types.NewPtr(types.Int32Type)) {
+		t.Error("int into pointer location should not be assignable")
+	}
+	bot := ts(types.BottomType, typestate.BottomState, 0)
+	if Assignable(w, bot, "rw", types.Int32Type) {
+		t.Error("bottom value should not be assignable")
+	}
+	if Assignable(w, intVal, "rw", nil) {
+		t.Error("nil location type should not be assignable")
+	}
+	// Subtype narrowing of grounds is allowed (footnote 2).
+	byteVal := ts(types.Int8Type, typestate.InitState, typestate.PermO)
+	if Assignable(w, byteVal, "rw", types.Int32Type) {
+		t.Error("size mismatch (1-byte value into 4-byte location) should fail")
+	}
+}
+
+func TestAlignOK(t *testing.T) {
+	if !AlignOK(8, 4) || !AlignOK(4, 4) || !AlignOK(4, 1) || !AlignOK(0, 1) {
+		t.Error("AlignOK false negatives")
+	}
+	if AlignOK(2, 4) || AlignOK(0, 4) {
+		t.Error("AlignOK false positives")
+	}
+}

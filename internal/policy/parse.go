@@ -1,0 +1,833 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// Parse reads a policy/specification file. The grammar is line-oriented;
+// '#' and '!' start comments. See the package tests and the specs under
+// internal/progs for worked examples. Supported declarations:
+//
+//	struct <name> { <field> <type> ; ... }
+//	abstract <name> size <n> align <n>
+//	region <name>
+//	sym <name>
+//	loc <name> <type> [state <state>] [region <R>] [summary] [align <n>] [fields(<f>=<state>,...)]
+//	global <name> <type> addr <hex> [state <state>] [region <R>] ...
+//	val <name> <type> [state <state>] [region <R>]
+//	constraint <formula>
+//	invoke %reg = <entity-or-symbol>
+//	allow <region> <category> <perms>
+//	trusted <name> args <n> ... end
+//	frame <proc> size <n> ... end
+type parseState struct {
+	spec *Spec
+	line int
+}
+
+func (p *parseState) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("policy: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// Parse parses a specification.
+func Parse(src string) (*Spec, error) {
+	p := &parseState{spec: NewSpec()}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		p.line = i + 1
+		text := stripComment(lines[i])
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		var err error
+		switch fields[0] {
+		case "struct":
+			err = p.parseStruct(text)
+		case "abstract":
+			err = p.parseAbstract(fields)
+		case "region":
+			if len(fields) != 2 {
+				err = p.errf("region expects a name")
+			} else {
+				p.spec.Regions[fields[1]] = true
+			}
+		case "sym":
+			if len(fields) != 2 {
+				err = p.errf("sym expects a name")
+			} else {
+				p.spec.Symbols[fields[1]] = true
+			}
+		case "loc", "val", "global":
+			err = p.parseEntity(fields)
+		case "constraint":
+			var f expr.Formula
+			f, err = p.parseFormula(strings.TrimSpace(strings.TrimPrefix(text, "constraint")))
+			if err == nil {
+				p.spec.Constraints = append(p.spec.Constraints, f)
+			}
+		case "invoke":
+			err = p.parseInvoke(fields)
+		case "allow":
+			err = p.parseAllow(fields)
+		case "trusted":
+			i, err = p.parseTrusted(lines, i)
+			if err == nil {
+				continue
+			}
+		case "frame":
+			i, err = p.parseFrame(lines, i)
+			if err == nil {
+				continue
+			}
+		default:
+			err = p.errf("unknown declaration %q", fields[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.spec, nil
+}
+
+// stripComment removes '#' comments. ('!' is not a comment leader here —
+// unlike in the assembly syntax — because formulas contain "!=".)
+func stripComment(s string) string {
+	if idx := strings.IndexByte(s, '#'); idx >= 0 {
+		s = s[:idx]
+	}
+	return strings.TrimSpace(s)
+}
+
+// --- types ---
+
+// parseType parses a type expression: a ground-type name, a declared
+// struct/abstract name, ptr<T>, T[n] (array base), or T(n] (pointer into
+// an array).
+func (p *parseState) parseType(s string) (*types.Type, error) {
+	s = strings.TrimSpace(s)
+	// Array suffixes.
+	if strings.HasSuffix(s, "]") {
+		if open := strings.LastIndex(s, "["); open > 0 {
+			elem, err := p.parseType(s[:open])
+			if err != nil {
+				return nil, err
+			}
+			b, err := p.parseBound(s[open+1 : len(s)-1])
+			if err != nil {
+				return nil, err
+			}
+			return types.NewArrayBase(elem, b), nil
+		}
+		if open := strings.LastIndex(s, "("); open > 0 {
+			elem, err := p.parseType(s[:open])
+			if err != nil {
+				return nil, err
+			}
+			b, err := p.parseBound(s[open+1 : len(s)-1])
+			if err != nil {
+				return nil, err
+			}
+			return types.NewArrayIn(elem, b), nil
+		}
+	}
+	if strings.HasPrefix(s, "ptr<") && strings.HasSuffix(s, ">") {
+		elem, err := p.parseType(s[4 : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		return types.NewPtr(elem), nil
+	}
+	if t, ok := types.GroundByName(s); ok {
+		return t, nil
+	}
+	if t, ok := p.spec.Types[s]; ok {
+		return t, nil
+	}
+	return nil, p.errf("unknown type %q", s)
+}
+
+func (p *parseState) parseBound(s string) (types.Bound, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return types.ConstBound(n), nil
+	}
+	if s == "" {
+		return types.Bound{}, p.errf("empty array bound")
+	}
+	p.spec.Symbols[s] = true
+	return types.SymBound(s), nil
+}
+
+// parseStruct parses: struct name { f1 type1 ; f2 type2 ; ... }
+func (p *parseState) parseStruct(text string) error {
+	open := strings.Index(text, "{")
+	close := strings.LastIndex(text, "}")
+	if open < 0 || close < open {
+		return p.errf("struct expects a { ... } body on one line")
+	}
+	head := strings.Fields(text[:open])
+	if len(head) != 2 {
+		return p.errf("struct expects a name")
+	}
+	name := head[1]
+	if _, dup := p.spec.Types[name]; dup {
+		return p.errf("duplicate type %q", name)
+	}
+	// Pre-register a placeholder so members may refer to the struct
+	// itself (linked structures); it is completed in place below, and
+	// struct equality is nominal, so early references stay valid.
+	placeholder := types.NewStruct(name, nil, 0, 4)
+	p.spec.Types[name] = placeholder
+	var labels []string
+	var memberTypes []*types.Type
+	for _, part := range strings.Split(text[open+1:close], ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fs := strings.Fields(part)
+		if len(fs) < 2 {
+			return p.errf("struct member %q needs a name and a type", part)
+		}
+		t, err := p.parseType(strings.Join(fs[1:], " "))
+		if err != nil {
+			return err
+		}
+		labels = append(labels, fs[0])
+		memberTypes = append(memberTypes, t)
+	}
+	if len(labels) == 0 {
+		delete(p.spec.Types, name)
+		return p.errf("struct %q has no members", name)
+	}
+	*placeholder = *types.LayoutStruct(name, labels, memberTypes)
+	return nil
+}
+
+func (p *parseState) parseAbstract(fields []string) error {
+	// abstract name size N align N
+	if len(fields) != 6 || fields[2] != "size" || fields[4] != "align" {
+		return p.errf("abstract expects: abstract <name> size <n> align <n>")
+	}
+	size, err1 := strconv.Atoi(fields[3])
+	align, err2 := strconv.Atoi(fields[5])
+	if err1 != nil || err2 != nil {
+		return p.errf("bad size/align")
+	}
+	if _, dup := p.spec.Types[fields[1]]; dup {
+		return p.errf("duplicate type %q", fields[1])
+	}
+	p.spec.Types[fields[1]] = types.NewAbstract(fields[1], size, align)
+	return nil
+}
+
+// --- states ---
+
+// parseStateExpr parses: init | uninit | {a, b+4, null} (a points-to set).
+func (p *parseState) parseStateExpr(s string) (typestate.State, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "init":
+		return typestate.InitState, nil
+	case "uninit":
+		return typestate.UninitState, nil
+	}
+	if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		mayNull := false
+		var refs []typestate.Ref
+		if inner != "" {
+			for _, part := range strings.Split(inner, ",") {
+				part = strings.TrimSpace(part)
+				if part == "null" {
+					mayNull = true
+					continue
+				}
+				off := 0
+				if plus := strings.Index(part, "+"); plus > 0 {
+					o, err := strconv.Atoi(strings.TrimSpace(part[plus+1:]))
+					if err != nil {
+						return typestate.State{}, p.errf("bad points-to offset in %q", part)
+					}
+					off = o
+					part = strings.TrimSpace(part[:plus])
+				}
+				refs = append(refs, typestate.Ref{Loc: part, Off: off})
+			}
+		}
+		return typestate.PointsTo(mayNull, refs...), nil
+	}
+	return typestate.State{}, p.errf("unknown state %q", s)
+}
+
+// --- entities ---
+
+func (p *parseState) parseEntity(fields []string) error {
+	kind := fields[0]
+	if len(fields) < 3 {
+		return p.errf("%s expects a name and a type", kind)
+	}
+	ent := &Entity{Name: fields[1], IsVal: kind == "val", State: typestate.UninitState}
+	if p.spec.Entity(ent.Name) != nil {
+		return p.errf("duplicate entity %q", ent.Name)
+	}
+	t, err := p.parseType(fields[2])
+	if err != nil {
+		return err
+	}
+	ent.Type = t
+	i := 3
+	for i < len(fields) {
+		switch fields[i] {
+		case "state":
+			if i+1 >= len(fields) {
+				return p.errf("state expects a value")
+			}
+			// A points-to set may contain spaces; rejoin to the next
+			// closing brace.
+			val := fields[i+1]
+			for !balanced(val) && i+2 < len(fields) {
+				i++
+				val += " " + fields[i+1]
+			}
+			st, err := p.parseStateExpr(val)
+			if err != nil {
+				return err
+			}
+			ent.State = st
+			i += 2
+		case "region":
+			if i+1 >= len(fields) {
+				return p.errf("region expects a name")
+			}
+			if !p.spec.Regions[fields[i+1]] {
+				return p.errf("undeclared region %q", fields[i+1])
+			}
+			ent.Region = fields[i+1]
+			i += 2
+		case "summary":
+			ent.Summary = true
+			i++
+		case "align":
+			if i+1 >= len(fields) {
+				return p.errf("align expects a value")
+			}
+			a, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return p.errf("bad align %q", fields[i+1])
+			}
+			ent.Align = a
+			i += 2
+		case "addr":
+			if i+1 >= len(fields) {
+				return p.errf("addr expects a value")
+			}
+			a, err := strconv.ParseUint(fields[i+1], 0, 32)
+			if err != nil {
+				return p.errf("bad addr %q", fields[i+1])
+			}
+			ent.Addr = uint32(a)
+			i += 2
+		default:
+			if strings.HasPrefix(fields[i], "fields(") {
+				// fields(f=state,g=state) — rejoin to closing paren.
+				val := fields[i]
+				for !strings.HasSuffix(val, ")") && i+1 < len(fields) {
+					i++
+					val += " " + fields[i]
+				}
+				if err := p.parseFieldStates(ent, val); err != nil {
+					return err
+				}
+				i++
+				continue
+			}
+			return p.errf("unknown %s attribute %q", kind, fields[i])
+		}
+	}
+	if kind == "global" && ent.Addr == 0 {
+		return p.errf("global %q needs an addr", ent.Name)
+	}
+	p.spec.Entities = append(p.spec.Entities, ent)
+	return nil
+}
+
+func balanced(s string) bool {
+	return strings.Count(s, "{") == strings.Count(s, "}")
+}
+
+func (p *parseState) parseFieldStates(ent *Entity, s string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(s, "fields("), ")")
+	ent.FieldStates = make(map[string]typestate.State)
+	for _, part := range splitTop(inner, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.Index(part, "=")
+		if eq < 0 {
+			return p.errf("bad field state %q", part)
+		}
+		st, err := p.parseStateExpr(part[eq+1:])
+		if err != nil {
+			return err
+		}
+		ent.FieldStates[strings.TrimSpace(part[:eq])] = st
+	}
+	return nil
+}
+
+// splitTop splits on sep at brace depth zero.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{', '(':
+			depth++
+		case '}', ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// --- invoke / allow ---
+
+func (p *parseState) parseInvoke(fields []string) error {
+	// invoke %reg = name
+	if len(fields) != 4 || fields[2] != "=" {
+		return p.errf("invoke expects: invoke %%reg = <name>")
+	}
+	r, err := sparc.ParseReg(fields[1])
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	name := fields[3]
+	if p.spec.Entity(name) == nil && !p.spec.Symbols[name] {
+		return p.errf("invoke of undeclared %q", name)
+	}
+	if _, dup := p.spec.Invoke[r]; dup {
+		return p.errf("register %s bound twice", r)
+	}
+	p.spec.Invoke[r] = name
+	return nil
+}
+
+func (p *parseState) parseAllow(fields []string) error {
+	// allow <region> <category> <perms>
+	if len(fields) != 4 {
+		return p.errf("allow expects: allow <region> <category> <perms>")
+	}
+	if !p.spec.Regions[fields[1]] {
+		return p.errf("undeclared region %q", fields[1])
+	}
+	perm, err := typestate.ParsePerm(fields[3])
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	rule := AllowRule{Region: fields[1], Perm: perm}
+	cat := fields[2]
+	if dot := strings.Index(cat, "."); dot > 0 {
+		structName := cat[:dot]
+		if t, ok := p.spec.Types[structName]; ok && t.Kind == types.Struct {
+			rule.CatStruct = structName
+			rule.CatField = cat[dot+1:]
+			p.spec.Rules = append(p.spec.Rules, rule)
+			return nil
+		}
+	}
+	t, err := p.parseType(cat)
+	if err != nil {
+		return err
+	}
+	rule.CatType = t
+	p.spec.Rules = append(p.spec.Rules, rule)
+	return nil
+}
+
+// --- trusted functions ---
+
+func (p *parseState) parseTrusted(lines []string, start int) (int, error) {
+	p.line = start + 1
+	fields := strings.Fields(stripComment(lines[start]))
+	// trusted <name> args <n>
+	if len(fields) != 4 || fields[2] != "args" {
+		return start, p.errf("trusted expects: trusted <name> args <n>")
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 || n > 6 {
+		return start, p.errf("bad arg count %q", fields[3])
+	}
+	tf := &TrustedFunc{Name: fields[1], NArgs: n, Pre: expr.T(), Post: expr.T()}
+	if _, dup := p.spec.Trusted[tf.Name]; dup {
+		return start, p.errf("duplicate trusted function %q", tf.Name)
+	}
+	i := start + 1
+	for ; i < len(lines); i++ {
+		p.line = i + 1
+		text := stripComment(lines[i])
+		if text == "" {
+			continue
+		}
+		if text == "end" {
+			p.spec.Trusted[tf.Name] = tf
+			return i, nil
+		}
+		fs := strings.Fields(text)
+		switch fs[0] {
+		case "arg":
+			// arg <idx> <type> <state> [perm <p>]
+			if len(fs) < 4 {
+				return i, p.errf("arg expects: arg <idx> <type> <state>")
+			}
+			idx, err := strconv.Atoi(fs[1])
+			if err != nil || idx < 0 || idx >= n {
+				return i, p.errf("bad arg index %q", fs[1])
+			}
+			t, err := p.parseType(fs[2])
+			if err != nil {
+				return i, err
+			}
+			stStr := fs[3]
+			rest := fs[4:]
+			for !balanced(stStr) && len(rest) > 0 {
+				stStr += " " + rest[0]
+				rest = rest[1:]
+			}
+			st, err := p.parseStateExpr(stStr)
+			if err != nil {
+				return i, err
+			}
+			a := ArgSpec{Index: idx, Type: t, State: st, Perm: typestate.PermO}
+			if len(rest) >= 2 && rest[0] == "perm" {
+				pm, err := typestate.ParsePerm(rest[1])
+				if err != nil {
+					return i, p.errf("%v", err)
+				}
+				a.Perm = pm
+			}
+			tf.Args = append(tf.Args, a)
+		case "ret":
+			// ret <type> <state> [perm <p>]
+			if len(fs) < 3 {
+				return i, p.errf("ret expects: ret <type> <state>")
+			}
+			t, err := p.parseType(fs[1])
+			if err != nil {
+				return i, err
+			}
+			stStr := fs[2]
+			rest := fs[3:]
+			for !balanced(stStr) && len(rest) > 0 {
+				stStr += " " + rest[0]
+				rest = rest[1:]
+			}
+			st, err := p.parseStateExpr(stStr)
+			if err != nil {
+				return i, err
+			}
+			ts := &typestate.Typestate{Type: t, State: st, Access: typestate.PermO}
+			if len(rest) >= 2 && rest[0] == "perm" {
+				pm, err := typestate.ParsePerm(rest[1])
+				if err != nil {
+					return i, p.errf("%v", err)
+				}
+				ts.Access = pm.ValuePerms()
+			}
+			tf.Ret = ts
+		case "pre":
+			f, err := p.parseFormula(strings.TrimSpace(strings.TrimPrefix(text, "pre")))
+			if err != nil {
+				return i, err
+			}
+			tf.Pre = expr.Conj(tf.Pre, f)
+		case "post":
+			f, err := p.parseFormula(strings.TrimSpace(strings.TrimPrefix(text, "post")))
+			if err != nil {
+				return i, err
+			}
+			tf.Post = expr.Conj(tf.Post, f)
+		default:
+			return i, p.errf("unknown trusted clause %q", fs[0])
+		}
+	}
+	return i, p.errf("trusted %q missing end", tf.Name)
+}
+
+// --- frames ---
+
+func (p *parseState) parseFrame(lines []string, start int) (int, error) {
+	p.line = start + 1
+	fields := strings.Fields(stripComment(lines[start]))
+	// frame <proc> size <n>
+	if len(fields) != 4 || fields[2] != "size" {
+		return start, p.errf("frame expects: frame <proc> size <n>")
+	}
+	size, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return start, p.errf("bad frame size %q", fields[3])
+	}
+	fr := &Frame{Proc: fields[1], Size: size}
+	if _, dup := p.spec.Frames[fr.Proc]; dup {
+		return start, p.errf("duplicate frame for %q", fr.Proc)
+	}
+	i := start + 1
+	for ; i < len(lines); i++ {
+		p.line = i + 1
+		text := stripComment(lines[i])
+		if text == "" {
+			continue
+		}
+		if text == "end" {
+			p.spec.Frames[fr.Proc] = fr
+			return i, nil
+		}
+		fs := strings.Fields(text)
+		if fs[0] != "slot" || len(fs) < 3 {
+			return i, p.errf("frame clause must be: slot <fp-8|sp+64> <type> ...")
+		}
+		slot := FrameSlot{State: typestate.UninitState}
+		loc := fs[1]
+		switch {
+		case strings.HasPrefix(loc, "fp"):
+			slot.Base = "fp"
+			loc = loc[2:]
+		case strings.HasPrefix(loc, "sp"):
+			slot.Base = "sp"
+			loc = loc[2:]
+		default:
+			return i, p.errf("slot base must be fp or sp, got %q", fs[1])
+		}
+		off, err := strconv.Atoi(loc)
+		if err != nil {
+			return i, p.errf("bad slot offset %q", fs[1])
+		}
+		slot.Off = off
+		t, err := p.parseType(fs[2])
+		if err != nil {
+			return i, err
+		}
+		// Array slots: elem[count] with a constant bound.
+		if t.Kind == types.ArrayBase && t.N.IsConst() {
+			slot.Type = t.Elem
+			slot.Count = int(t.N.Const)
+		} else {
+			slot.Type = t
+		}
+		j := 3
+		for j < len(fs) {
+			switch fs[j] {
+			case "name":
+				if j+1 >= len(fs) {
+					return i, p.errf("name expects a value")
+				}
+				slot.Name = fs[j+1]
+				j += 2
+			case "state":
+				if j+1 >= len(fs) {
+					return i, p.errf("state expects a value")
+				}
+				val := fs[j+1]
+				for !balanced(val) && j+2 < len(fs) {
+					j++
+					val += " " + fs[j+1]
+				}
+				st, err := p.parseStateExpr(val)
+				if err != nil {
+					return i, err
+				}
+				slot.State = st
+				j += 2
+			default:
+				return i, p.errf("unknown slot attribute %q", fs[j])
+			}
+		}
+		if slot.Name == "" {
+			slot.Name = fmt.Sprintf("%s.%s%+d", fr.Proc, slot.Base, slot.Off)
+		}
+		fr.Slots = append(fr.Slots, slot)
+	}
+	return i, p.errf("frame %q missing end", fr.Proc)
+}
+
+// --- formulas ---
+
+// parseFormula parses a conjunction/disjunction of linear comparisons:
+//
+//	term (+|-) term ... (=|!=|<|<=|>|>=) rhs [and|or ...]
+//	<lhs> mod <k> = 0   (alignment)
+//
+// Identifiers are symbols or %registers (entry-window values).
+func (p *parseState) parseFormula(s string) (expr.Formula, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "true" {
+		return expr.T(), nil
+	}
+	// Split on top-level " and " / " or " (no precedence mixing allowed).
+	if strings.Contains(s, " or ") && strings.Contains(s, " and ") {
+		return nil, p.errf("mixing and/or without parentheses is not supported")
+	}
+	if parts := strings.Split(s, " or "); len(parts) > 1 {
+		var fs []expr.Formula
+		for _, part := range parts {
+			f, err := p.parseFormula(part)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		return expr.Disj(fs...), nil
+	}
+	if parts := strings.Split(s, " and "); len(parts) > 1 {
+		var fs []expr.Formula
+		for _, part := range parts {
+			f, err := p.parseFormula(part)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		return expr.Conj(fs...), nil
+	}
+	return p.parseComparison(s)
+}
+
+func (p *parseState) parseComparison(s string) (expr.Formula, error) {
+	// Alignment form: <expr> mod <k> = 0
+	if idx := strings.Index(s, " mod "); idx > 0 {
+		lhs, err := p.parseLin(s[:idx])
+		if err != nil {
+			return nil, err
+		}
+		rest := strings.TrimSpace(s[idx+5:])
+		fs := strings.Fields(rest)
+		if len(fs) != 3 || fs[1] != "=" || fs[2] != "0" {
+			return nil, p.errf("mod constraints must be: <e> mod <k> = 0")
+		}
+		k, err := strconv.ParseInt(fs[0], 0, 64)
+		if err != nil {
+			return nil, p.errf("bad modulus %q", fs[0])
+		}
+		return expr.Divides(k, lhs), nil
+	}
+	for _, op := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		if idx := strings.Index(s, op); idx > 0 {
+			lhs, err := p.parseLin(s[:idx])
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseLin(s[idx+len(op):])
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "<=":
+				return expr.LeExpr(lhs, rhs), nil
+			case ">=":
+				return expr.GeExpr(lhs, rhs), nil
+			case "<":
+				return expr.LtExpr(lhs, rhs), nil
+			case ">":
+				return expr.GtExpr(lhs, rhs), nil
+			case "=":
+				return expr.EqExpr(lhs, rhs), nil
+			case "!=":
+				return expr.NeExpr(lhs, rhs), nil
+			}
+		}
+	}
+	return nil, p.errf("cannot parse comparison %q", s)
+}
+
+// parseLin parses a linear expression: [k*]ident or k, joined by + / -.
+func (p *parseState) parseLin(s string) (expr.LinExpr, error) {
+	s = strings.TrimSpace(s)
+	out := expr.LinExpr{}
+	sign := int64(1)
+	i := 0
+	expectTerm := true
+	for i < len(s) {
+		switch {
+		case s[i] == ' ':
+			i++
+		case s[i] == '+' && !expectTerm:
+			sign = 1
+			expectTerm = true
+			i++
+		case s[i] == '-':
+			if expectTerm {
+				sign = -sign
+			} else {
+				sign = -1
+			}
+			expectTerm = true
+			i++
+		default:
+			if !expectTerm {
+				return out, p.errf("unexpected %q in expression %q", s[i:], s)
+			}
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '+' && s[j] != '-' {
+				j++
+			}
+			tok := s[i:j]
+			term, err := p.parseTerm(tok, sign)
+			if err != nil {
+				return out, err
+			}
+			out = out.Add(term)
+			sign = 1
+			expectTerm = false
+			i = j
+		}
+	}
+	if expectTerm {
+		return out, p.errf("trailing operator in %q", s)
+	}
+	return out, nil
+}
+
+func (p *parseState) parseTerm(tok string, sign int64) (expr.LinExpr, error) {
+	coef := sign
+	if star := strings.Index(tok, "*"); star > 0 {
+		k, err := strconv.ParseInt(tok[:star], 0, 64)
+		if err != nil {
+			return expr.LinExpr{}, p.errf("bad coefficient in %q", tok)
+		}
+		coef *= k
+		tok = tok[star+1:]
+	}
+	if n, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return expr.Constant(coef * n), nil
+	}
+	if strings.HasPrefix(tok, "%") {
+		r, err := sparc.ParseReg(tok)
+		if err != nil {
+			return expr.LinExpr{}, p.errf("%v", err)
+		}
+		return expr.Term(coef, RegVar(r, 0)), nil
+	}
+	// val(loc): the value stored in an abstract location (host data
+	// invariants, e.g. "val(tmr.count) >= 0").
+	if strings.HasPrefix(tok, "val(") && strings.HasSuffix(tok, ")") {
+		return expr.Term(coef, ValVar(tok[4:len(tok)-1])), nil
+	}
+	// Symbol; declare on first use.
+	p.spec.Symbols[tok] = true
+	return expr.Term(coef, expr.Var(tok)), nil
+}

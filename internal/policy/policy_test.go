@@ -1,0 +1,388 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// fig1Spec is the host typestate, safety policy, and invocation
+// specification of Figure 1: arr is an integer array of size n (n >= 1),
+// e summarizes its elements, V is the region holding both.
+const fig1Spec = `
+# Figure 1: summing the elements of an integer array.
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int ro
+allow V int[n] rfo
+`
+
+func parseFig1(t *testing.T) *Spec {
+	t.Helper()
+	s, err := Parse(fig1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseFig1(t *testing.T) {
+	s := parseFig1(t)
+	if !s.Regions["V"] {
+		t.Error("region V missing")
+	}
+	e := s.Entity("e")
+	if e == nil || !e.Summary || e.Region != "V" || e.IsVal {
+		t.Fatalf("e = %+v", e)
+	}
+	if e.State.Kind != typestate.StateInit {
+		t.Errorf("e state = %v", e.State)
+	}
+	arr := s.Entity("arr")
+	if arr == nil || !arr.IsVal {
+		t.Fatalf("arr = %+v", arr)
+	}
+	if arr.Type.Kind != types.ArrayBase || arr.Type.N.Name != "n" {
+		t.Errorf("arr type = %v", arr.Type)
+	}
+	if arr.State.Kind != typestate.StatePointsTo || len(arr.State.Set) != 1 || arr.State.Set[0].Loc != "e" {
+		t.Errorf("arr state = %v", arr.State)
+	}
+	if !s.Symbols["n"] {
+		t.Error("symbol n missing")
+	}
+	if got := s.Invoke[sparc.O0]; got != "arr" {
+		t.Errorf("invoke %%o0 = %q", got)
+	}
+	if len(s.Rules) != 2 {
+		t.Fatalf("rules = %+v", s.Rules)
+	}
+}
+
+// TestFig2InitialAnnotations reproduces Figure 2: the initial typestates
+// and constraints produced by preparation.
+func TestFig2InitialAnnotations(t *testing.T) {
+	s := parseFig1(t)
+	ini, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// e: <int, initialized, ro> — location attrs r (no w), value perm o.
+	eLoc, ok := ini.World.Lookup("e")
+	if !ok {
+		t.Fatal("no absloc for e")
+	}
+	if !eLoc.Readable || eLoc.Writable || !eLoc.Summary {
+		t.Errorf("e absloc = %+v", eLoc)
+	}
+	eTS := ini.Entry.Get("e")
+	if !eTS.Type.Equal(types.Int32Type) || eTS.State.Kind != typestate.StateInit {
+		t.Errorf("e typestate = %v", eTS)
+	}
+	if !eTS.Access.Has(typestate.PermO) || eTS.Access.Has(typestate.PermF) {
+		t.Errorf("e access = %v", eTS.Access)
+	}
+
+	// %o0: <int[n], {e}, rwfo> — f and o come from the int[n] rule.
+	o0 := ini.Entry.Get("%o0")
+	if o0.Type.Kind != types.ArrayBase {
+		t.Errorf("%%o0 type = %v", o0.Type)
+	}
+	if o0.State.Kind != typestate.StatePointsTo || o0.State.MayNull {
+		t.Errorf("%%o0 state = %v", o0.State)
+	}
+	if !o0.Access.Has(typestate.PermF|typestate.PermO) || o0.Access.Has(typestate.PermX) {
+		t.Errorf("%%o0 access = %v", o0.Access)
+	}
+
+	// %o1: <int, initialized, rwo>.
+	o1 := ini.Entry.Get("%o1")
+	if !o1.Type.Equal(types.Int32Type) || o1.State.Kind != typestate.StateInit {
+		t.Errorf("%%o1 = %v", o1)
+	}
+
+	// Constraints: n >= 1 and n = %o1.
+	got := ini.Constraints.String()
+	if !strings.Contains(got, "n - 1 >= 0") {
+		t.Errorf("missing n >= 1 in %q", got)
+	}
+	// n = %o1 appears as %o1 - n = 0 or n - %o1 = 0.
+	if !strings.Contains(got, "n = 0") && !strings.Contains(got, "%o1 = 0") {
+		t.Errorf("missing n = %%o1 in %q", got)
+	}
+
+	// Unannotated registers start at <bottom, bottom, empty>.
+	g3 := ini.Entry.Get("%g3")
+	if g3.State.Kind != typestate.StateBottom {
+		t.Errorf("%%g3 = %v", g3)
+	}
+}
+
+// The Section 2 thread-list policy: read tid/lwpid, follow only next.
+const threadSpec = `
+struct thread { tid int ; lwpid int ; next ptr<thread> }
+region H
+loc t thread region H summary fields(tid=init, lwpid=init, next={t,null})
+val tlist ptr<thread> state {t} region H
+invoke %o0 = tlist
+allow H thread.tid ro
+allow H thread.lwpid ro
+allow H thread.next rfo
+allow H ptr<thread> rfo
+`
+
+func TestThreadListSpec(t *testing.T) {
+	s, err := Parse(threadSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.Types["thread"]
+	if th == nil || th.Size() != 12 {
+		t.Fatalf("thread type = %v", th)
+	}
+	ini, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field locations t.tid, t.lwpid, t.next exist with policy perms.
+	tid, ok := ini.World.Lookup("t.tid")
+	if !ok || !tid.Readable || tid.Writable {
+		t.Fatalf("t.tid = %+v", tid)
+	}
+	next := ini.Entry.Get("t.next")
+	if !next.Access.Has(typestate.PermF) {
+		t.Errorf("t.next should be followable: %v", next)
+	}
+	if next.State.Kind != typestate.StatePointsTo || !next.State.MayNull {
+		t.Errorf("t.next state = %v", next.State)
+	}
+	tidTS := ini.Entry.Get("t.tid")
+	if tidTS.Access.Has(typestate.PermF) {
+		t.Errorf("t.tid must not be followable: %v", tidTS)
+	}
+	// Aggregate location records the struct type for lookUp.
+	if ini.LocTypes["t"] == nil || ini.LocTypes["t"].Kind != types.Struct {
+		t.Error("aggregate type missing")
+	}
+	// Field alignment: t.next at offset 8 of a 4-aligned struct is
+	// 4-aligned.
+	nl, _ := ini.World.Lookup("t.next")
+	if nl.Align != 4 {
+		t.Errorf("t.next align = %d", nl.Align)
+	}
+}
+
+func TestTrustedFunctionSpec(t *testing.T) {
+	src := `
+region H
+trusted gettime args 1
+  arg 0 int init
+  ret int init perm o
+  pre %o0 >= 0
+  post %o0 >= 1
+end
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := s.Trusted["gettime"]
+	if tf == nil || tf.NArgs != 1 || len(tf.Args) != 1 {
+		t.Fatalf("tf = %+v", tf)
+	}
+	if tf.Ret == nil || !tf.Ret.Type.Equal(types.Int32Type) {
+		t.Fatalf("ret = %+v", tf.Ret)
+	}
+	if tf.Pre.String() == "true" || tf.Post.String() == "true" {
+		t.Error("pre/post not parsed")
+	}
+	if names := s.TrustedNames(); !names["gettime"] {
+		t.Error("TrustedNames missing gettime")
+	}
+}
+
+func TestFrameSpec(t *testing.T) {
+	src := `
+frame md5 size 160
+  slot fp-8 int name tmp
+  slot fp-88 int[16] name block state init
+end
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := s.Frames["md5"]
+	if fr == nil || fr.Size != 160 || len(fr.Slots) != 2 {
+		t.Fatalf("frame = %+v", fr)
+	}
+	if fr.Slots[1].Count != 16 || !fr.Slots[1].Type.Equal(types.Int32Type) {
+		t.Fatalf("array slot = %+v", fr.Slots[1])
+	}
+	ini, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, ok := ini.World.Lookup("block")
+	if !ok || !blk.Summary || !blk.Writable {
+		t.Fatalf("block = %+v", blk)
+	}
+	if ini.SlotCounts["block"] != 16 {
+		t.Error("SlotCounts missing block")
+	}
+	if ini.FrameSlots["md5"]["fp"][-8] == nil {
+		t.Error("FrameSlots index missing")
+	}
+}
+
+func TestGlobalEntity(t *testing.T) {
+	src := `
+region H
+global counter int state init region H addr 0x20400
+allow H int rwo
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ini.AddrToLoc[0x20400] != "counter" {
+		t.Error("AddrToLoc missing")
+	}
+	c, _ := ini.World.Lookup("counter")
+	if !c.Readable || !c.Writable {
+		t.Errorf("counter = %+v", c)
+	}
+	if ds := s.DataSyms(); ds["counter"] != 0x20400 {
+		t.Error("DataSyms missing")
+	}
+}
+
+func TestFormulaParsing(t *testing.T) {
+	p := &parseState{spec: NewSpec()}
+	cases := []struct {
+		src  string
+		env  map[expr.Var]int64
+		want bool
+	}{
+		{"n >= 1", map[expr.Var]int64{"n": 1}, true},
+		{"n >= 1", map[expr.Var]int64{"n": 0}, false},
+		{"n = %o1", map[expr.Var]int64{"n": 5, "%o1": 5}, true},
+		{"n != %o1", map[expr.Var]int64{"n": 5, "%o1": 5}, false},
+		{"2*n - 1 < m and m <= 10", map[expr.Var]int64{"n": 3, "m": 6}, true},
+		{"2*n - 1 < m and m <= 10", map[expr.Var]int64{"n": 4, "m": 6}, false},
+		{"n < 0 or n > 10", map[expr.Var]int64{"n": 11}, true},
+		{"x mod 4 = 0", map[expr.Var]int64{"x": 8}, true},
+		{"x mod 4 = 0", map[expr.Var]int64{"x": 6}, false},
+		{"-n + 3 >= 0", map[expr.Var]int64{"n": 3}, true},
+	}
+	for _, c := range cases {
+		f, err := p.parseFormula(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		if got := f.Eval(c.env, nil); got != c.want {
+			t.Errorf("%q under %v = %v, want %v", c.src, c.env, got, c.want)
+		}
+	}
+	for _, bad := range []string{"n >=", "n ? 3", "a and b or c", "n mod 3 = 1"} {
+		if _, err := p.parseFormula(bad); err == nil {
+			t.Errorf("parseFormula(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"loc x int region Q",                    // undeclared region
+		"bogus stuff",                           // unknown decl
+		"loc x nosuchtype",                      // unknown type
+		"region V\nloc x int\nloc x int",        // duplicate entity
+		"invoke %o0 = missing",                  // undeclared invoke target
+		"sym n\ninvoke %o0 = n\ninvoke %o0 = n", // double binding
+		"trusted f args 1\n  arg 0 int init",    // missing end
+		"struct s { }",                          // empty struct
+		"abstract a size x align 4",             // bad size
+		"allow V int ro",                        // undeclared region in allow
+		"region V\nallow V int rz",              // bad perms
+		"global g int addr nope",                // bad addr
+		"region V\nglobal g int region V",       // global missing addr
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTypeParsing(t *testing.T) {
+	p := &parseState{spec: NewSpec()}
+	p.spec.Types["thread"] = types.LayoutStruct("thread",
+		[]string{"tid"}, []*types.Type{types.Int32Type})
+
+	cases := map[string]func(*types.Type) bool{
+		"int":         func(t *types.Type) bool { return t.Equal(types.Int32Type) },
+		"uint8":       func(t *types.Type) bool { return t.Equal(types.UInt8Type) },
+		"ptr<int>":    func(t *types.Type) bool { return t.Kind == types.Ptr },
+		"int[n]":      func(t *types.Type) bool { return t.Kind == types.ArrayBase && t.N.Name == "n" },
+		"int[8]":      func(t *types.Type) bool { return t.Kind == types.ArrayBase && t.N.Const == 8 },
+		"int(n]":      func(t *types.Type) bool { return t.Kind == types.ArrayIn },
+		"thread":      func(t *types.Type) bool { return t.Kind == types.Struct },
+		"ptr<thread>": func(t *types.Type) bool { return t.Kind == types.Ptr && t.Elem.Kind == types.Struct },
+	}
+	for src, check := range cases {
+		got, err := p.parseType(src)
+		if err != nil {
+			t.Errorf("parseType(%q): %v", src, err)
+			continue
+		}
+		if !check(got) {
+			t.Errorf("parseType(%q) = %v", src, got)
+		}
+	}
+}
+
+func TestRegVarNaming(t *testing.T) {
+	if RegVar(sparc.O0, 0) != "%o0" {
+		t.Error("depth-0 naming should be bare")
+	}
+	if RegVar(sparc.O0, 1) != "w1.%o0" {
+		t.Error("deep naming should carry the window")
+	}
+	// Globals are depth-independent.
+	if RegVar(sparc.Reg(3), 2) != "%g3" {
+		t.Error("globals should not be window-qualified")
+	}
+	if ValVar("e") != "val.e" {
+		t.Error("ValVar naming")
+	}
+}
+
+func TestPermsFor(t *testing.T) {
+	s := parseFig1(t)
+	intPerm := s.permsFor("V", types.Int32Type)
+	if !intPerm.Has(typestate.PermR|typestate.PermO) || intPerm.Has(typestate.PermF) {
+		t.Errorf("permsFor(V, int) = %v", intPerm)
+	}
+	arrT := s.Entity("arr").Type
+	arrPerm := s.permsFor("V", arrT)
+	if !arrPerm.Has(typestate.PermR | typestate.PermF | typestate.PermO) {
+		t.Errorf("permsFor(V, int[n]) = %v", arrPerm)
+	}
+	if p := s.permsFor("V", types.UInt8Type); p != 0 {
+		t.Errorf("unmatched type should have no perms, got %v", p)
+	}
+}

@@ -1,0 +1,221 @@
+// Package policy implements the host-side inputs of the safety checker
+// (Section 2): the host-typestate specification (data and control
+// aspects), the invocation specification, the access policy
+// [Region : Category : Access], trusted-function pre/postconditions, and
+// stack-frame annotations for procedures with local arrays (Section 6).
+// It also implements Phase 1 (preparation), which translates these into
+// the initial annotations: an abstract-location world, an entry abstract
+// store, and initial linear constraints.
+package policy
+
+import (
+	"fmt"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// Entity is a named host datum: either an abstract memory location
+// ("loc", "global") or a named value ("val") such as an array-base
+// pointer passed to the untrusted code.
+type Entity struct {
+	Name  string
+	Type  *types.Type
+	State typestate.State
+	// FieldStates overrides the state of individual struct fields
+	// (path -> state).
+	FieldStates map[string]typestate.State
+	Region      string
+	Summary     bool
+	Align       int // 0: natural alignment of the type
+	// IsVal marks pure values (no abstract location is created).
+	IsVal bool
+	// Addr is the virtual address for "global" entities (0 if none).
+	Addr uint32
+}
+
+// AllowRule is one [Region : Category : Access] triple. The category is
+// either a type (e.g. "int", "int[n]") or an aggregate field path
+// (e.g. "thread.next").
+type AllowRule struct {
+	Region string
+	// CatType is non-nil for type categories.
+	CatType *types.Type
+	// CatStruct/CatField name a struct-field category.
+	CatStruct, CatField string
+	Perm                typestate.Perm
+}
+
+// ArgSpec is the required typestate of one argument of a trusted
+// function (the safety precondition's local part).
+type ArgSpec struct {
+	Index int
+	Type  *types.Type
+	State typestate.State
+	// Perm is the minimum access required on the value.
+	Perm typestate.Perm
+}
+
+// TrustedFunc is the control aspect of the host-typestate specification:
+// a host function the untrusted code may call, with safety pre- and
+// postconditions (Section 2).
+type TrustedFunc struct {
+	Name string
+	// NArgs is the number of register arguments (%o0..%o5).
+	NArgs int
+	Args  []ArgSpec
+	// Ret is the typestate of the return value in %o0 (nil for void).
+	Ret *typestate.Typestate
+	// Pre is a linear-constraint precondition over the argument
+	// registers; it becomes a global safety condition at each call site.
+	Pre expr.Formula
+	// Post is a linear-constraint postcondition over the return
+	// register; callers may assume it after the call.
+	Post expr.Formula
+}
+
+// FrameSlot annotates one stack slot of a procedure's frame, relative to
+// %fp (negative offsets) or %sp.
+type FrameSlot struct {
+	Base string // "fp" or "sp"
+	Off  int
+	Name string
+	Type *types.Type
+	// ElemType/Count describe local arrays: Type is the element type
+	// and Count the element count; a summary location is created.
+	Count int // 0 for scalar slots
+	State typestate.State
+}
+
+// Frame annotates the stack frame of one procedure (needed when the
+// untrusted code uses local arrays, which the analysis cannot infer on
+// its own — a limitation the paper reports in Section 6).
+type Frame struct {
+	Proc  string
+	Size  int
+	Slots []FrameSlot
+}
+
+// Spec is a parsed policy file: everything the host supplies.
+type Spec struct {
+	Types       map[string]*types.Type
+	Regions     map[string]bool
+	Entities    []*Entity
+	Symbols     map[string]bool // symbolic integers (array bounds etc.)
+	Constraints []expr.Formula
+	// Invoke maps an entry register to the entity or symbol passed in it.
+	Invoke  map[sparc.Reg]string
+	Rules   []AllowRule
+	Trusted map[string]*TrustedFunc
+	Frames  map[string]*Frame
+}
+
+// NewSpec returns an empty specification.
+func NewSpec() *Spec {
+	return &Spec{
+		Types:   make(map[string]*types.Type),
+		Regions: make(map[string]bool),
+		Symbols: make(map[string]bool),
+		Invoke:  make(map[sparc.Reg]string),
+		Trusted: make(map[string]*TrustedFunc),
+		Frames:  make(map[string]*Frame),
+	}
+}
+
+// Entity returns the declared entity with the given name.
+func (s *Spec) Entity(name string) *Entity {
+	for _, e := range s.Entities {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// DataSyms returns the address bindings of global entities, for the
+// assembler/loader symbol table.
+func (s *Spec) DataSyms() map[string]uint32 {
+	out := make(map[string]uint32)
+	for _, e := range s.Entities {
+		if e.Addr != 0 {
+			out[e.Name] = e.Addr
+		}
+	}
+	return out
+}
+
+// TrustedNames returns the set of trusted function names.
+func (s *Spec) TrustedNames() map[string]bool {
+	out := make(map[string]bool, len(s.Trusted))
+	for name := range s.Trusted {
+		out[name] = true
+	}
+	return out
+}
+
+// PermsFor computes the access permissions granted by the policy rules to
+// a value of the given type in the given region.
+func (s *Spec) PermsFor(region string, t *types.Type) typestate.Perm {
+	return s.permsFor(region, t)
+}
+
+// permsFor computes the access permissions granted by the policy rules to
+// a value of the given type in the given region, and separately the
+// location attributes (r, w).
+func (s *Spec) permsFor(region string, t *types.Type) typestate.Perm {
+	var p typestate.Perm
+	for _, r := range s.Rules {
+		if r.Region != region || r.CatType == nil {
+			continue
+		}
+		if r.CatType.Equal(t) {
+			p |= r.Perm
+		}
+	}
+	return p
+}
+
+// permsForField computes permissions for a struct field category.
+func (s *Spec) permsForField(region, structName, fieldPath string) (typestate.Perm, bool) {
+	var p typestate.Perm
+	found := false
+	for _, r := range s.Rules {
+		if r.Region != region || r.CatStruct == "" {
+			continue
+		}
+		if r.CatStruct == structName && r.CatField == fieldPath {
+			p |= r.Perm
+			found = true
+		}
+	}
+	return p, found
+}
+
+// RegVar names the expr variable carrying the value of a register at a
+// window depth: depth 0 uses the bare register name so that formulas read
+// exactly like the paper's ("%g3 < n"); globals are depth-independent.
+func RegVar(r sparc.Reg, depth int) expr.Var {
+	if r.IsGlobal() || depth == 0 {
+		return expr.Var(r.String())
+	}
+	return expr.Var(fmt.Sprintf("w%d.%s", depth, r))
+}
+
+// RegLoc names the abstract location of a register at a window depth
+// (same naming scheme as RegVar).
+func RegLoc(r sparc.Reg, depth int) string {
+	return string(RegVar(r, depth))
+}
+
+// ValVar names the expr variable carrying the value stored in an
+// abstract location.
+func ValVar(loc string) expr.Var { return expr.Var("val." + loc) }
+
+// Ghost condition-code variables: a cc-setting instruction records its
+// two comparands here; a conditional branch edge constrains them.
+const (
+	ICCA expr.Var = "icc.A"
+	ICCB expr.Var = "icc.B"
+)

@@ -1,0 +1,161 @@
+package progs
+
+// btreeSpec is shared by both Btree variants: a binary search tree whose
+// nodes carry an overflow chain — cur->child descends a level, cur->next
+// walks the chain within a level. The policy permits reading key/val,
+// and following next/child.
+const btreeSpec = `
+struct node { key int ; val int ; next ptr<node> ; child ptr<node> }
+region H
+loc t node region H summary fields(key=init, val=init, next={t,null}, child={t,null})
+val root ptr<node> state {t,null} region H
+sym key
+invoke %o0 = root
+invoke %o1 = key
+allow H node.key ro
+allow H node.val ro
+allow H node.next rfo
+allow H node.child rfo
+allow H ptr<node> rfo
+`
+
+// Btree is the Btree-traversal example of Section 6: an outer descent
+// loop and an inner chain walk, every dereference guarded by a null test
+// that the verifier must carry through the loop invariants.
+func Btree() *Benchmark {
+	return &Benchmark{
+		Name:  "Btree",
+		Descr: "Btree traversal (inline key comparison)",
+		Entry: "btree",
+		Source: `
+btree:
+	mov %o0,%g1        ! cur = root
+outer:
+	cmp %g1,%g0
+	be miss            ! cur == null
+	nop
+	ld [%g1+0],%g2     ! cur->key
+	cmp %g2,%o1
+	be found
+	nop
+	bg descend         ! cur->key > key: go down a level
+	nop
+chain:                     ! cur->key < key: walk the overflow chain
+	ld [%g1+8],%g3     ! next = cur->next
+	cmp %g3,%g0
+	be miss            ! end of chain
+	nop
+	ld [%g3+0],%g4     ! next->key
+	cmp %g4,%o1
+	bl chainstep       ! still smaller: keep walking
+	nop
+	ba outer           ! next->key >= key: re-examine from next
+	mov %g3,%g1
+chainstep:
+	ba chain
+	mov %g3,%g1
+descend:
+	ld [%g1+12],%g1    ! cur = cur->child
+	ba outer
+	nop
+found:
+	ld [%g1+4],%o0     ! cur->val
+	retl
+	nop
+miss:
+	mov -1,%o0
+	retl
+	nop
+`,
+		Spec:     btreeSpec,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 41, Branches: 11, Loops: 2, InnerLoops: 1,
+			Calls: 0, GlobalConds: 41,
+			TypestateSec: 0.08, AnnotLocalSec: 0.007, GlobalSec: 0.50, TotalSec: 0.59,
+		},
+	}
+}
+
+// Btree2 is the second Btree variant of Section 6, which compares keys
+// via a function call; field loads also go through tiny accessor
+// procedures, giving four call sites whose safety preconditions are
+// discharged interprocedurally at each caller.
+func Btree2() *Benchmark {
+	return &Benchmark{
+		Name:  "Btree2",
+		Descr: "Btree traversal (key comparison via function call)",
+		Entry: "btree2",
+		Source: `
+btree2:
+	save %sp,-96,%sp   ! non-leaf: calls the accessors
+	mov %i0,%g1        ! cur = root
+	mov %i1,%g4        ! key
+outer:
+	cmp %g1,%g0
+	be miss
+	nop
+	mov %g1,%o0
+	call cmpkey        ! cmpkey(cur, key): cur->key - key
+	mov %g4,%o1
+	cmp %o0,%g0
+	be found
+	nop
+	bg descend
+	nop
+chain:
+	mov %g1,%o0
+	call getnext       ! next = cur->next
+	nop
+	cmp %o0,%g0
+	be miss
+	nop
+	mov %o0,%g3
+	mov %g3,%o0
+	call cmpkey        ! cmpkey(next, key)
+	mov %g4,%o1
+	cmp %o0,%g0
+	bl chainstep
+	nop
+	ba outer
+	mov %g3,%g1
+chainstep:
+	ba chain
+	mov %g3,%g1
+descend:
+	mov %g1,%o0
+	call getchild      ! cur = cur->child
+	nop
+	ba outer
+	mov %o0,%g1
+found:
+	ld [%g1+4],%i0     ! cur->val
+	ret
+	restore
+miss:
+	mov -1,%i0
+	ret
+	restore
+
+cmpkey:                    ! %o0 = node (non-null), %o1 = key
+	ld [%o0+0],%o0     ! node->key
+	retl
+	sub %o0,%o1,%o0
+getnext:                   ! %o0 = node (non-null)
+	ld [%o0+8],%o0
+	retl
+	nop
+getchild:                  ! %o0 = node (non-null)
+	ld [%o0+12],%o0
+	retl
+	nop
+`,
+		Spec:     btreeSpec,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 51, Branches: 11, Loops: 2, InnerLoops: 1,
+			Calls: 4, GlobalConds: 42,
+			TypestateSec: 0.11, AnnotLocalSec: 0.009, GlobalSec: 0.41, TotalSec: 0.53,
+		},
+	}
+}

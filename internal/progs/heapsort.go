@@ -1,0 +1,234 @@
+package progs
+
+// heapSpec is shared by both HeapSort variants.
+const heapSpec = `
+region V
+loc e int state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int rwo
+allow V int[n] rfo
+`
+
+// HeapSort is the manually inlined heap sort of Section 6: a build phase
+// and an extraction phase, each containing an inlined sift-down loop —
+// four loops, two of them inner, exactly as Figure 9 reports. The sift
+// bounds (child = 2j+1 < limit <= n) exercise invariant synthesis with
+// linear but non-unit-step induction variables.
+func HeapSort() *Benchmark {
+	return &Benchmark{
+		Name:  "HeapSort",
+		Descr: "heap sort, sift-down manually inlined twice",
+		Entry: "hsort",
+		Source: `
+hsort:
+	cmp %o1,1
+	ble hdone          ! n <= 1: already sorted
+	nop
+	sub %o1,1,%g1      ! i = n-1
+build:
+	cmp %g1,%g0
+	bl exinit          ! while i >= 0
+	nop
+	mov %g1,%g2        ! j = i
+	mov %o1,%g4        ! limit = n
+sift1:
+	sll %g2,1,%g3
+	add %g3,1,%g3      ! child = 2j+1
+	cmp %g3,%g4
+	bge sift1done      ! child >= limit
+	nop
+	add %g3,1,%g5      ! right = child+1
+	cmp %g5,%g4
+	bge nosib1         ! no right sibling
+	nop
+	sll %g3,2,%o2
+	ld [%o0+%o2],%o3   ! a[child]
+	sll %g5,2,%o2
+	ld [%o0+%o2],%o4   ! a[right]
+	cmp %o4,%o3
+	ble nosib1
+	nop
+	mov %g5,%g3        ! child = right
+nosib1:
+	sll %g2,2,%o2
+	ld [%o0+%o2],%o3   ! a[j]
+	sll %g3,2,%o5
+	ld [%o0+%o5],%o4   ! a[child]
+	cmp %o3,%o4
+	bge sift1done      ! heap property holds
+	nop
+	st %o4,[%o0+%o2]   ! swap a[j], a[child]
+	st %o3,[%o0+%o5]
+	ba sift1
+	mov %g3,%g2        ! j = child
+sift1done:
+	ba build
+	sub %g1,1,%g1      ! i--
+exinit:
+	sub %o1,1,%g1      ! end = n-1
+extract:
+	cmp %g1,1
+	bl hdone           ! while end >= 1
+	nop
+	ld [%o0+0],%o3     ! swap a[0], a[end]
+	sll %g1,2,%o2
+	ld [%o0+%o2],%o4
+	st %o4,[%o0+0]
+	st %o3,[%o0+%o2]
+	clr %g2            ! j = 0
+	mov %g1,%g4        ! limit = end
+sift2:
+	sll %g2,1,%g3
+	add %g3,1,%g3      ! child = 2j+1
+	cmp %g3,%g4
+	bge sift2done
+	nop
+	add %g3,1,%g5
+	cmp %g5,%g4
+	bge nosib2
+	nop
+	sll %g3,2,%o2
+	ld [%o0+%o2],%o3
+	sll %g5,2,%o2
+	ld [%o0+%o2],%o4
+	cmp %o4,%o3
+	ble nosib2
+	nop
+	mov %g5,%g3
+nosib2:
+	sll %g2,2,%o2
+	ld [%o0+%o2],%o3
+	sll %g3,2,%o5
+	ld [%o0+%o5],%o4
+	cmp %o3,%o4
+	bge sift2done
+	nop
+	st %o4,[%o0+%o2]
+	st %o3,[%o0+%o5]
+	ba sift2
+	mov %g3,%g2
+sift2done:
+	ba extract
+	sub %g1,1,%g1      ! end--
+hdone:
+	retl
+	nop
+`,
+		Spec:     heapSpec,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 95, Branches: 16, Loops: 4, InnerLoops: 2,
+			Calls: 0, GlobalConds: 84,
+			TypestateSec: 0.08, AnnotLocalSec: 0.010, GlobalSec: 3.58, TotalSec: 3.67,
+		},
+	}
+}
+
+// HeapSort2 is the interprocedural version: sift-down and swap are
+// separate procedures with their own register windows, and the safety
+// conditions inside them are discharged at each call site. The paper
+// observes this version checks FASTER than the inlined one because the
+// callee's conditions are verified once rather than once per inlined
+// copy.
+func HeapSort2() *Benchmark {
+	return &Benchmark{
+		Name:  "HeapSort2",
+		Descr: "heap sort with sift-down and swap as procedures",
+		Entry: "hsort2",
+		Source: `
+hsort2:
+	save %sp,-96,%sp   ! non-leaf: needs its own window and return slot
+	cmp %i1,1
+	ble hdone2
+	nop
+	mov %i0,%g6        ! arr (preserved across internal calls)
+	mov %i1,%g7        ! n
+	sub %g7,1,%g1      ! i = n-1
+build2:
+	cmp %g1,%g0
+	bl exinit2         ! while i >= 0
+	nop
+	mov %g6,%o0
+	mov %g1,%o1
+	call sift          ! sift(arr, i, n)
+	mov %g7,%o2
+	ba build2
+	sub %g1,1,%g1      ! i--
+exinit2:
+	sub %g7,1,%g1      ! end = n-1
+extract2:
+	cmp %g1,1
+	bl hdone2          ! while end >= 1
+	nop
+	mov %g6,%o0
+	clr %o1
+	call swap          ! swap(arr, 0, end)
+	mov %g1,%o2
+	mov %g6,%o0
+	clr %o1
+	call sift          ! sift(arr, 0, end)
+	mov %g1,%o2
+	ba extract2
+	sub %g1,1,%g1      ! end--
+hdone2:
+	ret
+	restore
+
+sift:                      ! sift(arr=%o0, j=%o1, limit=%o2)
+	save %sp,-96,%sp
+sloop:
+	sll %i1,1,%l0
+	add %l0,1,%l0      ! child = 2j+1
+	cmp %l0,%i2
+	bge sdone          ! child >= limit
+	nop
+	add %l0,1,%l1      ! right
+	cmp %l1,%i2
+	bge snosib
+	nop
+	sll %l0,2,%l2
+	ld [%i0+%l2],%l3   ! a[child]
+	sll %l1,2,%l2
+	ld [%i0+%l2],%l4   ! a[right]
+	cmp %l4,%l3
+	ble snosib
+	nop
+	mov %l1,%l0        ! child = right
+snosib:
+	sll %i1,2,%l2
+	ld [%i0+%l2],%l3   ! a[j]
+	sll %l0,2,%l5
+	ld [%i0+%l5],%l4   ! a[child]
+	cmp %l3,%l4
+	bge sdone
+	nop
+	st %l4,[%i0+%l2]
+	st %l3,[%i0+%l5]
+	ba sloop
+	mov %l0,%i1        ! j = child
+sdone:
+	ret
+	restore
+
+swap:                      ! swap(arr=%o0, i=%o1, j=%o2)
+	sll %o1,2,%o3
+	ld [%o0+%o3],%o4   ! a[i]
+	sll %o2,2,%o5
+	ld [%o0+%o5],%g3   ! a[j]
+	st %g3,[%o0+%o3]
+	st %o4,[%o0+%o5]
+	retl
+	nop
+`,
+		Spec:     heapSpec,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 71, Branches: 9, Loops: 4, InnerLoops: 2,
+			Calls: 3, GlobalConds: 56,
+			TypestateSec: 0.12, AnnotLocalSec: 0.010, GlobalSec: 2.05, TotalSec: 2.18,
+		},
+	}
+}

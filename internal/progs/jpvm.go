@@ -1,0 +1,205 @@
+package progs
+
+// JPVM models Java_jPVM_addhosts of Section 6: a JNI native method that
+// marshals a Java array of host names into PVM calls. Every interaction
+// with the JVM and with PVM goes through a trusted host function with a
+// declared safety pre/postcondition; the checker verifies all 21 call
+// sites obey them (Section 6: "we verify that calls into JNI methods and
+// PVM library functions are safe").
+func JPVM() *Benchmark {
+	return &Benchmark{
+		Name:  "jPVM",
+		Descr: "JNI native method marshalling into PVM (21 trusted calls)",
+		Entry: "jpvm_addhosts",
+		Source: `
+jpvm_addhosts:
+	save %sp,-112,%sp
+	mov %i0,%l0        ! env
+	mov %i1,%l1        ! hosts (object-array handle)
+	mov %i2,%l2        ! infos (int-array handle)
+	mov %l0,%o0
+	call jni_monitorenter           ! 1
+	mov %l1,%o1
+	mov %l0,%o0
+	call jni_getarraylength         ! 2: len = length(hosts), >= 0
+	mov %l1,%o1
+	mov %o0,%l3        ! len
+	mov %l0,%o0
+	call jni_getarraylength         ! 3: ilen = length(infos), >= 0
+	mov %l2,%o1
+	mov %o0,%l4        ! ilen
+	cmp %l3,%g0
+	ble jfinish        ! no hosts
+	nop
+	cmp %l4,%l3
+	bl jfinish         ! infos too short for the results
+	nop
+	clr %l5            ! i = 0
+jmarshal:
+	mov %l0,%o0
+	mov %l1,%o1
+	call jni_getobjectarrayelement  ! 4: pre 0 <= index
+	mov %l5,%o2
+	cmp %o0,%g0
+	be jskip           ! null element: skip it
+	nop
+	mov %o0,%l6        ! jstring handle
+	mov %l0,%o0
+	call jni_getstringutfchars      ! 5: pre string != 0
+	mov %l6,%o1
+	mov %o0,%l7        ! char buffer handle
+	mov %l7,%o0
+	call host_namecheck             ! 6: validate the name
+	nop
+	cmp %o0,%g0
+	bl jrelease        ! invalid name
+	nop
+	mov %l7,%o0
+	call pvm_stage_host             ! 7: queue for pvm_addhosts
+	mov %l5,%o1
+jrelease:
+	mov %l0,%o0
+	mov %l6,%o1
+	call jni_releasestringutfchars  ! 8
+	mov %l7,%o2
+jskip:
+	inc %l5
+	cmp %l5,%l3
+	bl jmarshal
+	nop
+	call pvm_addhosts               ! 9: submit the staged hosts
+	mov %l3,%o0
+	cmp %o0,%g0
+	bl jerror
+	nop
+	clr %l5            ! i = 0
+jresults:
+	call pvm_host_status            ! 10: pre 0 <= index
+	mov %l5,%o0
+	mov %o0,%l6        ! status
+	mov %l0,%o0
+	mov %l2,%o1
+	mov %l5,%o2
+	call jni_setintarrayelement     ! 11: pre 0 <= index
+	mov %l6,%o3
+	inc %l5
+	cmp %l5,%l3
+	bl jresults
+	nop
+	clr %l5            ! i = 0
+jcleanup:
+	call pvm_unstage_host           ! 12: pre 0 <= index
+	mov %l5,%o0
+	inc %l5
+	cmp %l5,%l3
+	bl jcleanup
+	nop
+	call pvm_config                 ! 13
+	nop
+	call host_log                   ! 14
+	mov %l3,%o0
+jfinish:
+	mov %l0,%o0
+	call jni_monitorexit            ! 15
+	mov %l1,%o1
+	call host_log                   ! 16
+	clr %o0
+	mov %l3,%i0
+	ret
+	restore
+jerror:
+	mov %l0,%o0
+	call jni_throwexception         ! 17
+	nop
+	mov %l0,%o0
+	call jni_monitorexit            ! 18
+	mov %l1,%o1
+	call host_log                   ! 19
+	clr %o0
+	call pvm_perror                 ! 20
+	nop
+	call host_stats                 ! 21
+	nop
+	mov -1,%i0
+	ret
+	restore
+`,
+		Spec: `
+region H
+sym envh
+sym hostsh
+sym infosh
+constraint envh >= 1 and hostsh >= 1 and infosh >= 1
+invoke %o0 = envh
+invoke %o1 = hostsh
+invoke %o2 = infosh
+trusted jni_monitorenter args 2
+end
+trusted jni_monitorexit args 2
+end
+trusted jni_getarraylength args 2
+  ret int init perm o
+  post %o0 >= 0
+end
+trusted jni_getobjectarrayelement args 3
+  arg 2 int init
+  ret int init perm o
+  pre %o2 >= 0
+end
+trusted jni_getstringutfchars args 2
+  arg 1 int init
+  ret int init perm o
+  pre %o1 != 0
+  post %o0 >= 1
+end
+trusted jni_releasestringutfchars args 3
+end
+trusted jni_setintarrayelement args 4
+  arg 2 int init
+  arg 3 int init
+  pre %o2 >= 0
+end
+trusted jni_throwexception args 1
+end
+trusted host_namecheck args 1
+  arg 0 int init
+  pre %o0 >= 1
+  ret int init perm o
+end
+trusted host_log args 1
+  arg 0 int init
+end
+trusted host_stats args 0
+end
+trusted pvm_stage_host args 2
+  arg 0 int init
+  arg 1 int init
+  pre %o0 >= 1 and %o1 >= 0
+end
+trusted pvm_unstage_host args 1
+  arg 0 int init
+  pre %o0 >= 0
+end
+trusted pvm_addhosts args 1
+  arg 0 int init
+  ret int init perm o
+  pre %o0 >= 1
+end
+trusted pvm_host_status args 1
+  arg 0 int init
+  ret int init perm o
+  pre %o0 >= 0
+end
+trusted pvm_config args 0
+end
+trusted pvm_perror args 0
+end
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 157, Branches: 12, Loops: 3, InnerLoops: 0,
+			Calls: 21, TrustedCalls: 21, GlobalConds: 57,
+			TypestateSec: 1.04, AnnotLocalSec: 0.032, GlobalSec: 4.18, TotalSec: 5.25,
+		},
+	}
+}

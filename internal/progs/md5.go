@@ -1,0 +1,235 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// md5S are the per-round rotate amounts of RFC 1321.
+var md5S = [4][4]int{
+	{7, 12, 17, 22},
+	{5, 9, 14, 20},
+	{4, 11, 16, 23},
+	{6, 10, 15, 21},
+}
+
+// md5K are the first sixteen sine-table constants (the generator cycles
+// them; the checker only cares that they are large opaque constants).
+var md5K = []uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+}
+
+// md5X is the message-word schedule: index of the block word used in
+// round r, step s.
+func md5X(r, s int) int {
+	switch r {
+	case 0:
+		return s
+	case 1:
+		return (1 + 5*s) % 16
+	case 2:
+		return (5 + 3*s) % 16
+	}
+	return (7 * s) % 16
+}
+
+// MD5 models MD5Update of RFC 1321 (Section 6's largest example): the
+// driver slices the input into 16-word blocks, copies each into the
+// context's block buffer, and runs the 64-step compression function —
+// a procedure of several hundred straight-line instructions whose every
+// memory access the checker must clear.
+func MD5() *Benchmark {
+	var b strings.Builder
+	b.WriteString(`
+md5update:
+	save %sp,-96,%sp
+	mov %i0,%l0        ! ctx (struct: a,b,c,d,count)
+	mov %i1,%l1        ! block buffer base (int[16], read-write)
+	mov %i2,%l2        ! input (int[m], read-only)
+	mov %i3,%l3        ! m = input length in words
+	! ---- preliminary sanity scan: blocks x words (nested, safe) ----
+	clr %l4            ! pos = 0
+vblock:
+	add %l4,16,%l5
+	cmp %l5,%l3
+	bg vdone           ! while pos+16 <= m
+	nop
+	clr %l6            ! j = 0
+vword:
+	cmp %l6,16
+	bge vwend          ! while j < 16
+	nop
+	add %l4,%l6,%l7
+	sll %l7,2,%o5
+	ld [%l2+%o5],%o4   ! input[pos+j]
+	cmp %o4,%g0
+	bne vnext
+	nop
+vnext:
+	ba vword
+	add %l6,1,%l6
+vwend:
+	ba vblock
+	add %l4,16,%l4
+vdone:
+	! ---- main loop: fill one 16-word block (zero-padding once the
+	! input is exhausted mid-block) and compress it ----
+	clr %l4            ! pos = 0
+mblock:
+	cmp %l4,%l3
+	bge mdone          ! while pos < m
+	nop
+	clr %l6            ! j = 0
+mfill:
+	cmp %l6,16
+	bge mgo            ! block full
+	nop
+	clr %o4            ! v = 0 (padding)
+	cmp %l4,%l3
+	bge mpad           ! input exhausted: pad
+	nop
+	sll %l4,2,%o5
+	ld [%l2+%o5],%o4   ! v = input[pos]
+	add %l4,1,%l4
+mpad:
+	sll %l6,2,%o5
+	st %o4,[%l1+%o5]   ! block[j] = v
+	ba mfill
+	add %l6,1,%l6
+mgo:
+	mov %l0,%o0
+	call md5transform  ! compress the block
+	mov %l1,%o1
+	mov %l0,%o0
+	call ctxcount      ! count += 16 words
+	mov 16,%o1
+	ba mblock
+	nop
+mdone:
+	call host_note     ! trusted: input consumed
+	mov %l4,%o0
+	! ---- epilogue: length block (constant-index stores) + final
+	! compression ----
+	clr %l6
+efin:
+	cmp %l6,16
+	bge edone          ! zero the block
+	nop
+	sll %l6,2,%o5
+	st %g0,[%l1+%o5]
+	ba efin
+	add %l6,1,%l6
+edone:
+	mov %l0,%o0
+	call md5transform  ! compress the length block
+	mov %l1,%o1
+	mov %l0,%o0
+	call ctxcount
+	mov 16,%o1
+	call host_note     ! trusted: done
+	mov %l3,%o0
+	ret
+	restore
+
+ctxcount:                  ! ctx->count += delta
+	ld [%o0+16],%o2
+	add %o2,%o1,%o2
+	st %o2,[%o0+16]
+	retl
+	nop
+
+md5transform:              ! md5transform(ctx, block)
+	save %sp,-96,%sp
+	ld [%i0+0],%l0     ! a = ctx->a
+	ld [%i0+4],%l1     ! b
+	ld [%i0+8],%l2     ! c
+	ld [%i0+12],%l3    ! d
+`)
+	// 64 steps; the (a,b,c,d) roles rotate each step.
+	regs := []string{"%l0", "%l1", "%l2", "%l3"}
+	for r := 0; r < 4; r++ {
+		for s := 0; s < 16; s++ {
+			step := r*16 + s
+			a := regs[(64-step)%4]
+			bb := regs[(65-step)%4]
+			c := regs[(66-step)%4]
+			d := regs[(67-step)%4]
+			x := md5X(r, s)
+			k := md5K[step%16]
+			rot := md5S[r][s%4]
+			fmt.Fprintf(&b, "\t! step %d: %s += F(%s,%s,%s) + X[%d] + K, rotate %d\n",
+				step, a, bb, c, d, x, rot)
+			fmt.Fprintf(&b, "\txor %s,%s,%%o2\n", c, d)
+			fmt.Fprintf(&b, "\tand %%o2,%s,%%o2\n", bb)
+			fmt.Fprintf(&b, "\txor %%o2,%s,%%o2\n", d)
+			fmt.Fprintf(&b, "\tld [%%i1+%d],%%o3\n", 4*x)
+			fmt.Fprintf(&b, "\tadd %s,%%o2,%s\n", a, a)
+			fmt.Fprintf(&b, "\tadd %s,%%o3,%s\n", a, a)
+			fmt.Fprintf(&b, "\tset 0x%x,%%o4\n", k)
+			fmt.Fprintf(&b, "\tadd %s,%%o4,%s\n", a, a)
+			fmt.Fprintf(&b, "\tsll %s,%d,%%o2\n", a, rot)
+			fmt.Fprintf(&b, "\tsrl %s,%d,%%o3\n", a, 32-rot)
+			fmt.Fprintf(&b, "\tor %%o2,%%o3,%s\n", a)
+			fmt.Fprintf(&b, "\tadd %s,%s,%s\n", a, bb, a)
+		}
+	}
+	b.WriteString(`
+	ld [%i0+0],%o0     ! fold the new state back into the context
+	add %o0,%l0,%o0
+	st %o0,[%i0+0]
+	ld [%i0+4],%o0
+	add %o0,%l1,%o0
+	st %o0,[%i0+4]
+	ld [%i0+8],%o0
+	add %o0,%l2,%o0
+	st %o0,[%i0+8]
+	ld [%i0+12],%o0
+	add %o0,%l3,%o0
+	st %o0,[%i0+12]
+	ret
+	restore
+`)
+	return &Benchmark{
+		Name:   "MD5",
+		Descr:  "MD5Update and the 64-step compression function (RFC 1321)",
+		Entry:  "md5update",
+		Source: b.String(),
+		Spec: `
+struct md5ctx { a int ; b int ; c int ; d int ; count int }
+region H
+loc ctx md5ctx region H fields(a=init, b=init, c=init, d=init, count=init)
+val ctxp ptr<md5ctx> state {ctx} region H
+loc blk int state init region H summary
+val blkp int[16] state {blk} region H
+loc w int state init region H summary
+val input int[m] state {w} region H
+sym m
+constraint m >= 0
+invoke %o0 = ctxp
+invoke %o1 = blkp
+invoke %o2 = input
+invoke %o3 = m
+allow H md5ctx.a rwo
+allow H md5ctx.b rwo
+allow H md5ctx.c rwo
+allow H md5ctx.d rwo
+allow H md5ctx.count rwo
+allow H ptr<md5ctx> rfo
+allow H int[16] rfo
+allow H int[m] rfo
+allow H int rwo
+trusted host_note args 1
+  arg 0 int init
+end
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 883, Branches: 11, Loops: 5, InnerLoops: 2,
+			Calls: 6, GlobalConds: 135,
+			TypestateSec: 6.82, AnnotLocalSec: 0.087, GlobalSec: 7.04, TotalSec: 13.95,
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"mcsafe/internal/core"
+)
+
+// TestAllBenchmarks checks every Figure 9 program end to end: the safe
+// programs must verify cleanly, and the two buggy programs must produce
+// the violations the paper reports.
+func TestAllBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := b.Check(core.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if b.WantSafe {
+				for _, v := range res.Violations {
+					t.Errorf("%s: unexpected violation: %v", b.Name, v)
+				}
+				if !res.Safe {
+					t.Fatalf("%s should be safe", b.Name)
+				}
+				return
+			}
+			if res.Safe {
+				t.Fatalf("%s should be rejected", b.Name)
+			}
+			for _, want := range b.WantViolations {
+				found := false
+				for _, v := range res.Violations {
+					if strings.Contains(v.Desc, want) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: no violation matching %q in %+v", b.Name, want, res.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestCharacteristicsShape sanity-checks each program's structure against
+// the paper's Figure 9 row: loop and call counts must match exactly;
+// instruction and branch counts must be in the same ballpark (EXPERIMENTS
+// records exact numbers).
+func TestCharacteristicsShape(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := b.Check(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			if abs(st.Loops-b.Paper.Loops) > 2 || abs(st.InnerLoops-b.Paper.InnerLoops) > 2 {
+				t.Errorf("loops = %d(%d), paper %d(%d)",
+					st.Loops, st.InnerLoops, b.Paper.Loops, b.Paper.InnerLoops)
+			}
+			if abs(st.Calls-b.Paper.Calls) > 2 {
+				t.Errorf("calls = %d, paper %d", st.Calls, b.Paper.Calls)
+			}
+			lo, hi := b.Paper.Instructions/2, b.Paper.Instructions*2
+			if st.Instructions < lo || st.Instructions > hi {
+				t.Errorf("instructions = %d, paper %d (outside 2x band)",
+					st.Instructions, b.Paper.Instructions)
+			}
+		})
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

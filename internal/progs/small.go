@@ -1,0 +1,367 @@
+package progs
+
+// Sum is the running example of Figures 1-3, 6, and 8: summing the
+// elements of an integer array. Verifying the array bounds inside the
+// loop requires synthesizing the invariant %g3 < n ∧ %o1 = n
+// (Section 5.2.2).
+func Sum() *Benchmark {
+	return &Benchmark{
+		Name:  "Sum",
+		Descr: "array summation (the paper's running example, Figure 1)",
+		Entry: "",
+		Source: `
+1:  mov %o0,%o2      ! move %o0 into %o2
+2:  clr %o0          ! set %o0 to zero
+3:  cmp %o0,%o1      ! compare %o0 and %o1
+4:  bge 12           ! branch to 12 if %o0 >= %o1
+5:  clr %g3          ! set %g3 to zero
+6:  sll %g3,2,%g2    ! %g2 = 4 x %g3
+7:  ld [%o2+%g2],%g2 ! load from address %o2+%g2
+8:  inc %g3          ! %g3 = %g3 + 1
+9:  cmp %g3,%o1      ! compare %g3 and %o1
+10: bl 6             ! branch to 6 if %g3 < %o1
+11: add %o0,%g2,%o0  ! %o0 = %o0 + %g2
+12: retl
+13: nop
+`,
+		Spec: `
+# Figure 1 host typestate, safety policy, and invocation specification.
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int ro
+allow V int[n] rfo
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 13, Branches: 2, Loops: 1, InnerLoops: 0,
+			Calls: 0, GlobalConds: 4,
+			TypestateSec: 0.01, AnnotLocalSec: 0.001, GlobalSec: 0.05, TotalSec: 0.06,
+		},
+	}
+}
+
+// PagingPolicy is the kernel extension implementing a page-replacement
+// policy (Section 6): it scans the host's list of page frames for an
+// unreferenced victim. The checker finds the safety violation the paper
+// reports — the extension dereferences a pointer that could be null.
+func PagingPolicy() *Benchmark {
+	return &Benchmark{
+		Name:  "PagingPolicy",
+		Descr: "kernel page-replacement policy extension (null-deref bug)",
+		Entry: "policy",
+		Source: `
+policy:
+	mov %o0,%o3        ! head of the frame list
+	clr %o4            ! pass counter
+outer:
+	mov %o3,%o1        ! cur = head
+scan:
+	ld [%o1+4],%o2     ! cur->refbit   (cur could be null: BUG)
+	cmp %o2,%g0
+	be found           ! refbit clear: victim found
+	nop
+	ld [%o1+8],%o1     ! cur = cur->next
+	cmp %o1,%g0
+	bne scan
+	nop
+	inc %o4            ! end of list: start another pass
+	cmp %o4,2
+	bl outer
+	nop
+	mov -1,%o0         ! no victim
+	retl
+	nop
+found:
+	ld [%o1+0],%o0     ! victim page-frame number
+	retl
+	nop
+`,
+		Spec: `
+struct frame { pfn int ; refbit int ; next ptr<frame> }
+region H
+loc fr frame region H summary fields(pfn=init, refbit=init, next={fr,null})
+val head ptr<frame> state {fr,null} region H
+invoke %o0 = head
+allow H frame.pfn ro
+allow H frame.refbit ro
+allow H frame.next rfo
+allow H ptr<frame> rfo
+`,
+		WantSafe:       false,
+		WantViolations: []string{"null"},
+		Paper: PaperRow{
+			Instructions: 20, Branches: 5, Loops: 2, InnerLoops: 1,
+			Calls: 0, GlobalConds: 9,
+			TypestateSec: 0.06, AnnotLocalSec: 0.003, GlobalSec: 0.41, TotalSec: 0.47,
+		},
+	}
+}
+
+// StartTimer is the start-timer routine from Paradyn's
+// performance-instrumentation suite (Section 6): it reads host timer
+// state, fetches the current time through a trusted host function, and
+// updates the timer fields.
+func StartTimer() *Benchmark {
+	return &Benchmark{
+		Name:  "StartTimer",
+		Descr: "Paradyn performance-instrumentation start-timer",
+		Entry: "starttimer",
+		Source: `
+starttimer:
+	save %sp,-96,%sp   ! non-leaf: calls gettime
+	mov %i0,%g6        ! keep the timer pointer across the call
+	ld [%g6+0],%g1     ! tmr->active
+	cmp %g1,%g0
+	bne bump           ! already running: just bump the nest count
+	nop
+	call gettime       ! current time (trusted host function)
+	nop
+	st %o0,[%g6+4]     ! tmr->start = now
+	ld [%g6+16],%g4    ! tmr->events
+	add %g4,1,%g4
+	st %g4,[%g6+16]
+bump:
+	ld [%g6+0],%g2     ! tmr->active
+	add %g2,1,%g2
+	st %g2,[%g6+0]     ! tmr->active++
+	ld [%g6+8],%g3     ! tmr->count
+	add %g3,1,%g3
+	st %g3,[%g6+8]     ! tmr->count++
+	ret
+	restore
+`,
+		Spec: `
+struct timer { active int ; start int ; count int ; total int ; events int }
+region H
+loc tmr timer region H fields(active=init, start=init, count=init, total=init, events=init)
+val tp ptr<timer> state {tmr} region H
+invoke %o0 = tp
+allow H timer.active rwo
+allow H timer.start rwo
+allow H timer.count rwo
+allow H timer.total rwo
+allow H timer.events rwo
+allow H ptr<timer> rfo
+trusted gettime args 0
+  ret int init perm o
+  post %o0 >= 0
+end
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 22, Branches: 1, Loops: 0, InnerLoops: 0,
+			Calls: 1, TrustedCalls: 1, GlobalConds: 13,
+			TypestateSec: 0.02, AnnotLocalSec: 0.004, GlobalSec: 0.06, TotalSec: 0.08,
+		},
+	}
+}
+
+// StopTimer is the matching stop-timer routine: two trusted calls, a
+// sanity branch for non-monotone clocks, and a host-data invariant
+// (val(tmr.count) >= 0) used to discharge the log function's
+// precondition.
+func StopTimer() *Benchmark {
+	return &Benchmark{
+		Name:  "StopTimer",
+		Descr: "Paradyn performance-instrumentation stop-timer",
+		Entry: "stoptimer",
+		Source: `
+stoptimer:
+	save %sp,-96,%sp   ! non-leaf: calls gettime and logevent
+	mov %i0,%g6
+	ld [%g6+0],%g1     ! tmr->active
+	cmp %g1,%g0
+	ble out            ! not running
+	nop
+	sub %g1,1,%g1
+	st %g1,[%g6+0]     ! tmr->active--
+	cmp %g1,%g0
+	bne out            ! still nested
+	nop
+	call gettime
+	nop
+	ld [%g6+4],%g2     ! tmr->start
+	sub %o0,%g2,%g3    ! delta = now - start
+	cmp %g3,%g0
+	bl skip            ! clock went backwards: drop the sample
+	nop
+	ld [%g6+12],%g4    ! tmr->total
+	add %g4,%g3,%g4
+	st %g4,[%g6+12]    ! tmr->total += delta
+	ld [%g6+16],%g5    ! tmr->events
+	add %g5,1,%g5
+	st %g5,[%g6+16]
+skip:
+	ld [%g6+8],%o0     ! tmr->count (host invariant: >= 0)
+	call logevent      ! trusted; pre %o0 >= 0
+	nop
+	ld [%g6+8],%g7
+	add %g7,1,%g7
+	st %g7,[%g6+8]     ! tmr->count++
+out:
+	ret
+	restore
+`,
+		Spec: `
+struct timer { active int ; start int ; count int ; total int ; events int }
+region H
+loc tmr timer region H fields(active=init, start=init, count=init, total=init, events=init)
+val tp ptr<timer> state {tmr} region H
+constraint val(tmr.count) >= 0
+invoke %o0 = tp
+allow H timer.active rwo
+allow H timer.start rwo
+allow H timer.count rwo
+allow H timer.total rwo
+allow H timer.events rwo
+allow H ptr<timer> rfo
+trusted gettime args 0
+  ret int init perm o
+  post %o0 >= 0
+end
+trusted logevent args 1
+  arg 0 int init
+  pre %o0 >= 0
+end
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 36, Branches: 3, Loops: 0, InnerLoops: 0,
+			Calls: 2, TrustedCalls: 2, GlobalConds: 17,
+			TypestateSec: 0.04, AnnotLocalSec: 0.005, GlobalSec: 0.08, TotalSec: 0.13,
+		},
+	}
+}
+
+// Hash is a hash-table lookup: the slot index is range-clamped, then a
+// chain of table indices is walked with explicit guards — the loop
+// invariant 0 <= h < n comes from the guards on the loaded link values.
+func Hash() *Benchmark {
+	return &Benchmark{
+		Name:  "Hash",
+		Descr: "hash-table lookup over an index-linked table",
+		Entry: "hash",
+		Source: `
+hash:
+	! %o0 = key, %o1 = n (table size), %o2 = table base (int[n])
+	save %sp,-96,%sp   ! non-leaf: calls host_record
+	mov %i0,%g1
+	cmp %g1,%g0
+	bge pos
+	nop
+	clr %g1            ! clamp negative keys
+pos:
+	cmp %g1,%i1
+	bl walk
+	nop
+	clr %g1            ! clamp out-of-range keys
+walk:
+	sll %g1,2,%g2
+	ld [%i2+%g2],%g3   ! link = table[h]
+	cmp %g3,%i0
+	be found           ! this implementation stores the key itself
+	nop
+	cmp %g3,%g0
+	ble miss           ! zero/negative link: end of chain
+	nop
+	cmp %g3,%i1
+	bge miss           ! out-of-range link: corrupt table, stop
+	nop
+	ba walk
+	mov %g3,%g1        ! follow the link
+found:
+	mov %g1,%i0        ! return the slot (before %g1 is clobbered)
+	call host_record   ! trusted: report the hit slot
+	mov %g1,%o0        ! slot index (>= 0 by the walk invariant)
+	ret
+	restore
+miss:
+	mov -1,%i0
+	ret
+	restore
+`,
+		Spec: `
+region V
+loc slot int state init region V summary
+val table int[n] state {slot} region V
+sym key
+constraint n >= 1
+invoke %o0 = key
+invoke %o1 = n
+invoke %o2 = table
+allow V int ro
+allow V int[n] rfo
+trusted host_record args 1
+  arg 0 int init
+  pre %o0 >= 0
+end
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 25, Branches: 4, Loops: 1, InnerLoops: 0,
+			Calls: 1, TrustedCalls: 1, GlobalConds: 14,
+			TypestateSec: 0.04, AnnotLocalSec: 0.004, GlobalSec: 0.35, TotalSec: 0.39,
+		},
+	}
+}
+
+// BubbleSort sorts the host array in place: nested loops whose inner
+// bound depends on the outer induction variable, exercising nested
+// invariant synthesis (j < i and i <= n-1).
+func BubbleSort() *Benchmark {
+	return &Benchmark{
+		Name:  "BubbleSort",
+		Descr: "in-place bubble sort of a host integer array",
+		Entry: "bsort",
+		Source: `
+bsort:
+	! %o0 = arr (int[n], writable), %o1 = n
+	sub %o1,1,%g1      ! i = n-1
+outer:
+	cmp %g1,%g0
+	ble done           ! while i > 0
+	nop
+	clr %g2            ! j = 0
+inner:
+	sll %g2,2,%g3      ! 4j
+	ld [%o0+%g3],%g4   ! a = arr[j]
+	add %g3,4,%g5      ! 4(j+1)
+	ld [%o0+%g5],%o2   ! b = arr[j+1]
+	cmp %g4,%o2
+	ble noswap
+	nop
+	st %o2,[%o0+%g3]   ! arr[j] = b
+	st %g4,[%o0+%g5]   ! arr[j+1] = a
+noswap:
+	inc %g2
+	cmp %g2,%g1
+	bl inner           ! while j < i
+	nop
+	ba outer
+	sub %g1,1,%g1      ! i--
+done:
+	retl
+	nop
+`,
+		Spec: `
+region V
+loc e int state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int rwo
+allow V int[n] rfo
+`,
+		WantSafe: true,
+		Paper: PaperRow{
+			Instructions: 25, Branches: 5, Loops: 2, InnerLoops: 1,
+			Calls: 0, GlobalConds: 19,
+			TypestateSec: 0.03, AnnotLocalSec: 0.002, GlobalSec: 0.45, TotalSec: 0.48,
+		},
+	}
+}

@@ -1,0 +1,170 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StackSmashing reproduces the stack-smashing example of Section 6
+// (example 9.b of Smith's "Stack Smashing Vulnerabilities in the UNIX
+// Operating System"): a parser with a fixed-size stack buffer that copies
+// attacker-controlled input without a bounds check. The checker
+// identifies all the array out-of-bounds violations — the unchecked
+// stores into the local buffers — while proving the rest of the
+// branch-heavy validation code safe.
+func StackSmashing() *Benchmark {
+	var b strings.Builder
+	b.WriteString(`
+smash:
+	save %sp,-160,%sp
+	mov %i0,%l0        ! src (int[m], read-only host data)
+	mov %i1,%l1        ! m = number of words in src
+	add %fp,-96,%l2    ! buf  (16 words)   <- target of the overflow
+	add %fp,-128,%l3   ! buf2 (8 words)
+	clr %l4            ! i = 0
+	! ---- loop 1: classic gets()-style copy: bounded by the INPUT
+	! length only, not by the buffer size: every store can smash the
+	! frame. ----
+copy:
+	cmp %l4,%l1
+	bge copydone       ! while i < m   (no check against 16!)
+	nop
+	sll %l4,2,%l5
+	ld [%l0+%l5],%l6   ! src[i]
+	st %l6,[%l2+%l5]   ! buf[i]        <- OUT OF BOUNDS when i >= 16
+	ba copy
+	add %l4,1,%l4
+copydone:
+	! ---- loop 2: clear buf2 (safe: bounded by 8) ----
+	clr %l4
+clear2:
+	cmp %l4,8
+	bge clear2done
+	nop
+	sll %l4,2,%l5
+	st %g0,[%l3+%l5]
+	ba clear2
+	add %l4,1,%l4
+clear2done:
+	! ---- loop 3/4: nested scan of buf for a token (safe) ----
+	clr %l4            ! window start
+scanout:
+	cmp %l4,12
+	bge scandone       ! while start < 12
+	nop
+	clr %l6            ! k = 0
+scanin:
+	cmp %l6,4
+	bge scaninend      ! while k < 4
+	nop
+	add %l4,%l6,%l7
+	sll %l7,2,%l5
+	ld [%l2+%l5],%o3   ! buf[start+k]  (start+k < 16: safe)
+	cmp %o3,%g0
+	be scaninend
+	nop
+	ba scanin
+	add %l6,1,%l6
+scaninend:
+	ba scanout
+	add %l4,1,%l4
+scandone:
+	! ---- loop 5: checksum over the source (safe) ----
+	clr %l4
+	clr %l7            ! sum
+csum:
+	cmp %l4,%l1
+	bge csumdone
+	nop
+	sll %l4,2,%l5
+	ld [%l0+%l5],%o3
+	add %l7,%o3,%l7
+	ba csum
+	add %l4,1,%l4
+csumdone:
+	mov %l7,%o0
+	call checksum      ! internal helper: fold the checksum
+	mov %l1,%o1
+	mov %o0,%l7
+	! ---- loop 6: second unchecked copy into the small buffer ----
+	clr %l4
+copy2:
+	cmp %l4,%l1
+	bge copy2done      ! while i < m   (no check against 8!)
+	nop
+	sll %l4,2,%l5
+	ld [%l0+%l5],%o3
+	st %o3,[%l3+%l5]   ! buf2[i]       <- OUT OF BOUNDS when i >= 8
+	ba copy2
+	add %l4,1,%l4
+copy2done:
+	! ---- branch-heavy command dispatch on the first word (safe) ----
+	ld [%l2+0],%o4     ! buf[0]
+`)
+	// Generate the validation chain: ~60 compare-and-dispatch cases, the
+	// kind of code a hand-written protocol parser produces. Each case
+	// adjusts the checksum; all cases are safe.
+	for i := 1; i <= 60; i++ {
+		fmt.Fprintf(&b, "\tcmp %%o4,%d\n\tbne case%d\n\tnop\n\tadd %%l7,%d,%%l7\n", i, i, i)
+		fmt.Fprintf(&b, "case%d:\n", i)
+	}
+	b.WriteString(`
+	! ---- loop 7: tally vowel-coded words in buf2 (safe) ----
+	clr %l4
+tally:
+	cmp %l4,8
+	bge tallydone
+	nop
+	sll %l4,2,%l5
+	ld [%l3+%l5],%o3
+	add %l7,%o3,%l7
+	ba tally
+	add %l4,1,%l4
+tallydone:
+	call syslog        ! trusted: report what we saw
+	mov %l1,%o0
+	mov %l7,%i0
+	ret
+	restore
+
+checksum:                  ! checksum(sum, m): fold to a small value
+	cmp %o0,%g0
+	bge cksgood
+	nop
+	sub %g0,%o0,%o0    ! abs
+cksgood:
+	retl
+	add %o0,%o1,%o0
+`)
+	return &Benchmark{
+		Name:   "Stack-smashing",
+		Descr:  "protocol parser overflowing its stack buffers (Smith 9.b)",
+		Entry:  "smash",
+		Source: b.String(),
+		Spec: `
+region V
+loc w int state init region V summary
+val src int[m] state {w} region V
+sym m
+constraint m >= 1
+invoke %o0 = src
+invoke %o1 = m
+allow V int ro
+allow V int[m] rfo
+frame smash size 160
+  slot fp-96 int[16] name buf state init
+  slot fp-128 int[8] name buf2 state init
+end
+trusted syslog args 1
+  arg 0 int init
+end
+`,
+		WantSafe:       false,
+		WantViolations: []string{"upper bound"},
+		Paper: PaperRow{
+			Instructions: 309, Branches: 89, Loops: 7, InnerLoops: 1,
+			Calls: 2, TrustedCalls: 1, GlobalConds: 162,
+			TypestateSec: 1.42, AnnotLocalSec: 0.031, GlobalSec: 10.15, TotalSec: 11.60,
+		},
+	}
+}

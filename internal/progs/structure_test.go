@@ -1,0 +1,201 @@
+package progs
+
+// Structural invariants checked across the whole Figure 9 corpus: the
+// CFG analyses (RPO, dominators, loops, window depths) must satisfy
+// their defining properties on every program, and every program must
+// survive an assemble -> encode -> decode round trip bit-for-bit.
+
+import (
+	"testing"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/sparc"
+)
+
+func buildGraph(t *testing.T, b *Benchmark) (*sparc.Program, *cfg.Graph) {
+	t.Helper()
+	prog, spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(prog, cfg.Options{TrustedFuncs: spec.TrustedNames()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g
+}
+
+// TestCorpusRoundTrip: every benchmark's words decode back to the same
+// instructions and re-encode to the same words.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, _, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range prog.Words {
+				insn, err := sparc.Decode(w)
+				if err != nil {
+					t.Fatalf("word %d: %v", i, err)
+				}
+				w2, err := sparc.Encode(insn)
+				if err != nil {
+					t.Fatalf("re-encode %d: %v", i, err)
+				}
+				if w2 != w {
+					t.Fatalf("word %d: %08x -> %08x", i, w, w2)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusRPOProperty: within each procedure's intraprocedural view,
+// every non-back edge goes forward in RPO and every back edge targets a
+// dominator.
+func TestCorpusRPOProperty(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, g := buildGraph(t, b)
+			for _, p := range g.Procs {
+				pos := map[int]int{}
+				for i, id := range p.RPO {
+					pos[id] = i
+				}
+				for _, id := range p.RPO {
+					for _, e := range g.IntraSuccs(id) {
+						toPos, ok := pos[e.To]
+						if !ok {
+							continue // unreachable successor
+						}
+						if toPos > pos[id] {
+							continue // forward edge
+						}
+						// Retreating edge: must be a back edge, i.e. its
+						// target is a loop header whose body contains the
+						// source.
+						found := false
+						for _, l := range p.Loops {
+							if l.Header == e.To && l.Contains(id) {
+								found = true
+							}
+						}
+						if !found {
+							t.Errorf("%s/%s: retreating edge %d->%d not a back edge",
+								b.Name, p.Name, id, e.To)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDominatorProperty: each node's idom is distinct from it and
+// the idom chain reaches the procedure entry.
+func TestCorpusDominatorProperty(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, g := buildGraph(t, b)
+			for _, p := range g.Procs {
+				for _, id := range p.RPO {
+					if id == p.Entry {
+						continue
+					}
+					steps := 0
+					for x := id; x != p.Entry; x = g.Idom(x) {
+						if g.Idom(x) == x || g.Idom(x) < 0 {
+							t.Fatalf("%s/%s: idom chain of %d broken at %d",
+								b.Name, p.Name, id, x)
+						}
+						if steps++; steps > len(g.Nodes) {
+							t.Fatalf("%s/%s: idom chain of %d cyclic", b.Name, p.Name, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusLoopProperty: loop headers dominate their latches, and every
+// latch is in the body.
+func TestCorpusLoopProperty(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, g := buildGraph(t, b)
+			for _, p := range g.Procs {
+				for _, l := range p.Loops {
+					for _, latch := range l.Latches {
+						if !l.Contains(latch) {
+							t.Errorf("%s/%s: latch %d outside its loop", b.Name, p.Name, latch)
+						}
+						dominated := false
+						steps := 0
+						for x := latch; steps <= len(g.Nodes); x = g.Idom(x) {
+							if x == l.Header {
+								dominated = true
+								break
+							}
+							if g.Idom(x) < 0 {
+								break
+							}
+							steps++
+						}
+						if !dominated {
+							t.Errorf("%s/%s: header %d does not dominate latch %d",
+								b.Name, p.Name, l.Header, latch)
+						}
+					}
+					if l.Parent != nil && !l.Parent.Contains(l.Header) {
+						t.Errorf("%s/%s: nested loop header outside parent", b.Name, p.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusWindowDepths: depths are consistent (save/restore balanced)
+// and nonnegative everywhere.
+func TestCorpusWindowDepths(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, g := buildGraph(t, b)
+			for _, n := range g.Nodes {
+				if n.Depth < 0 {
+					t.Errorf("%s: node %d has negative window depth", b.Name, n.ID)
+				}
+			}
+			// Return points resume at their call site's depth.
+			for _, site := range g.Sites {
+				if site.Return < 0 {
+					continue
+				}
+				if g.Nodes[site.Return].Depth != g.Nodes[site.CallNode].Depth {
+					t.Errorf("%s: call/return depth mismatch at site %d", b.Name, site.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDisassembles: the disassembler renders every program without
+// panicking and mentions every label.
+func TestCorpusDisassembles(t *testing.T) {
+	for _, b := range All() {
+		prog, _, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.Disassemble()) == 0 {
+			t.Errorf("%s: empty disassembly", b.Name)
+		}
+	}
+}

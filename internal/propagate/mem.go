@@ -1,0 +1,242 @@
+package propagate
+
+import (
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// frameDelta returns the effective immediate offset of an add/sub from a
+// frame register.
+func frameDelta(insn sparc.Insn) int {
+	if insn.Op == sparc.OpSub {
+		return -int(insn.SImm)
+	}
+	return int(insn.SImm)
+}
+
+// frameSlotAt looks up a stack-frame annotation slot for the node's
+// procedure at the given %fp/%sp offset (exact match only).
+func (r *Result) frameSlotAt(node *cfg.Node, base sparc.Reg, off int) *policy.FrameSlot {
+	proc := r.G.Procs[node.Proc]
+	frames, ok := r.Ini.FrameSlots[proc.Name]
+	if !ok {
+		return nil
+	}
+	key := "fp"
+	if base == sparc.SP {
+		key = "sp"
+	}
+	return frames[key][off]
+}
+
+// frameSlotCovering finds the slot whose extent covers the given offset
+// (for direct [fp+imm] accesses into scalar slots or array slots).
+func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int) (*policy.FrameSlot, int) {
+	proc := r.G.Procs[node.Proc]
+	frames, ok := r.Ini.FrameSlots[proc.Name]
+	if !ok {
+		return nil, 0
+	}
+	key := "fp"
+	if base == sparc.SP {
+		key = "sp"
+	}
+	for slotOff, slot := range frames[key] {
+		extent := slot.Type.Size()
+		if slot.Count > 0 {
+			extent = slot.Type.Size() * slot.Count
+		}
+		if off >= slotOff && off+size <= slotOff+extent {
+			return slot, off - slotOff
+		}
+	}
+	return nil, 0
+}
+
+// transferMem implements the abstract semantics of loads and stores
+// (Table 1, row 3, and its load counterpart), including the strong/weak
+// update distinction and overload resolution of the addressing mode.
+func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(int, string, ...interface{})) typestate.Store {
+	insn := node.Insn
+	d := node.Depth
+	size := insn.MemSize()
+	isStore := insn.IsStore()
+	if insn.Op == sparc.OpLdd || insn.Op == sparc.OpStd {
+		report(node.ID, "doubleword memory access not supported")
+		if !isStore {
+			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
+		}
+		return s
+	}
+	if isStore {
+		r.Kind[node.ID] = KindStore
+	} else {
+		r.Kind[node.ID] = KindLoad
+	}
+
+	acc := &MemAccess{MinAlign: 1 << 30}
+	r.Mem[node.ID] = acc
+
+	base := insn.Rs1
+	var immOff int
+	if insn.Imm {
+		immOff = int(insn.SImm)
+		acc.IndexImm = insn.SImm
+	} else {
+		acc.IndexReg = string(policy.RegVar(insn.Rs2, d))
+	}
+
+	addTarget := func(locName string) {
+		loc, ok := r.Ini.World.Lookup(locName)
+		summary := false
+		align := 1
+		if ok {
+			summary = loc.Summary
+			align = loc.Align
+		}
+		for _, t := range acc.Targets {
+			if t.Loc == locName {
+				return
+			}
+		}
+		acc.Targets = append(acc.Targets, Target{Loc: locName, Summary: summary})
+		if align < acc.MinAlign {
+			acc.MinAlign = align
+		}
+	}
+
+	// Frame-relative accesses resolved through stack annotations.
+	if (base == sparc.FP || base == sparc.SP) && insn.Imm {
+		if slot, rel := r.frameSlotCovering(node, base, immOff, size); slot != nil {
+			acc.Frame = true
+			acc.IndexImm = int32(rel)
+			if slot.Count > 0 {
+				acc.Array = true
+				acc.ElemType = slot.Type
+				acc.Bound = types.ConstBound(int64(slot.Count))
+			}
+			addTarget(slot.Name)
+			return r.finishMem(node, in, s, acc, report)
+		}
+	}
+
+	a := r.regTS(base, d, s)
+	acc.BaseVar = string(policy.RegVar(base, d))
+
+	switch {
+	case a.Type.Kind == types.ArrayBase || a.Type.Kind == types.ArrayIn:
+		acc.Array = true
+		acc.ElemType = a.Type.Elem
+		acc.Bound = a.Type.N
+		acc.BaseInterior = a.Type.Kind == types.ArrayIn
+		if a.State.Kind != typestate.StatePointsTo {
+			report(node.ID, "array access through %s whose state is %v", base, a.State)
+			break
+		}
+		acc.MayNull = a.State.MayNull
+		if acc.ElemType.Size() != size {
+			report(node.ID, "access width %d does not match array element %v", size, acc.ElemType)
+		}
+		for _, ref := range a.State.Set {
+			addTarget(ref.Loc)
+		}
+
+	case a.Type.Kind == types.Ptr:
+		if a.State.Kind != typestate.StatePointsTo {
+			report(node.ID, "pointer dereference through %s whose state is %v", base, a.State)
+			break
+		}
+		acc.MayNull = a.State.MayNull
+		if !insn.Imm {
+			// A register-indexed access into a non-array object cannot
+			// be resolved to fields.
+			idx := r.regTS(insn.Rs2, d, s)
+			if !idx.Known {
+				report(node.ID, "register-indexed access into non-array object")
+				break
+			}
+			immOff = int(idx.ConstVal)
+		}
+		for _, ref := range a.State.Set {
+			declared := r.Ini.LocTypes[ref.Loc]
+			if declared == nil {
+				report(node.ID, "dereference of pointer to unknown location %q", ref.Loc)
+				continue
+			}
+			off := ref.Off + immOff
+			if declared.Kind == types.Struct || declared.Kind == types.Union {
+				fields := types.LookUp(declared, off, size)
+				if len(fields) == 0 {
+					report(node.ID, "no field of %v at offset %d size %d", declared, off, size)
+					continue
+				}
+				for _, f := range fields {
+					addTarget(ref.Loc + "." + f.Path)
+				}
+			} else {
+				if off != 0 || declared.Size() != size {
+					report(node.ID, "bad scalar access at offset %d size %d of %v", off, size, declared)
+					continue
+				}
+				addTarget(ref.Loc)
+			}
+		}
+
+	default:
+		report(node.ID, "memory access through non-pointer %s of type %v", base, a.Type)
+	}
+
+	return r.finishMem(node, in, s, acc, report)
+}
+
+// finishMem applies the load/store effect once the target set F is known.
+func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, report func(int, string, ...interface{})) typestate.Store {
+	insn := node.Insn
+	d := node.Depth
+	if acc.MinAlign == 1<<30 {
+		acc.MinAlign = 1
+	}
+	if len(acc.Targets) == 0 {
+		report(node.ID, "memory access resolves to no abstract location")
+		if !insn.IsStore() {
+			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
+		}
+		return s
+	}
+
+	if insn.IsStore() {
+		val := r.regTS(insn.Rd, d, in)
+		strong := len(acc.Targets) == 1 && !acc.Targets[0].Summary
+		for _, t := range acc.Targets {
+			if strong {
+				s.SetInPlace(t.Loc, val)
+			} else {
+				s.SetInPlace(t.Loc, val.Meet(s.Get(t.Loc)))
+			}
+		}
+		return s
+	}
+
+	// Load: the destination receives the meet over possible sources.
+	loaded := typestate.TopTS
+	for _, t := range acc.Targets {
+		loaded = loaded.Meet(s.Get(t.Loc))
+	}
+	// Sub-word loads refine the ground type (footnote 2's subtyping).
+	switch insn.Op {
+	case sparc.OpLdub:
+		loaded.Type = types.Meet(loaded.Type, types.UInt8Type)
+	case sparc.OpLdsb:
+		loaded.Type = types.Meet(loaded.Type, types.Int8Type)
+	case sparc.OpLduh:
+		loaded.Type = types.Meet(loaded.Type, types.UInt16Type)
+	case sparc.OpLdsh:
+		loaded.Type = types.Meet(loaded.Type, types.Int16Type)
+	}
+	loaded.Known = false
+	r.setReg(insn.Rd, d, &s, loaded)
+	return s
+}

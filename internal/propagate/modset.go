@@ -1,0 +1,118 @@
+package propagate
+
+import (
+	"strings"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+)
+
+// modSet describes the abstract locations a procedure (transitively) may
+// modify. Return edges restore the caller's values for everything else,
+// which keeps the context-insensitive interprocedural analysis from
+// smearing caller-local state across call sites.
+type modSet struct {
+	locs map[string]bool
+	// mem is true when the procedure (transitively) stores to memory or
+	// calls a trusted function: all non-register locations count as
+	// modified.
+	mem bool
+}
+
+func isRegLoc(name string) bool {
+	return strings.HasPrefix(name, "%") || strings.HasPrefix(name, "w")
+}
+
+// computeModSets builds the per-procedure modification summaries,
+// processing callees before callers (the call graph is acyclic).
+func computeModSets(g *cfg.Graph) []*modSet {
+	sets := make([]*modSet, len(g.Procs))
+
+	// Reverse-topological order over the call graph.
+	adj := make(map[int][]int)
+	for _, site := range g.Sites {
+		if site.Callee >= 0 {
+			caller := g.Nodes[site.CallNode].Proc
+			adj[caller] = append(adj[caller], site.Callee)
+		}
+	}
+	var order []int
+	state := make([]int, len(g.Procs))
+	var visit func(p int)
+	visit = func(p int) {
+		state[p] = 1
+		for _, q := range adj[p] {
+			if state[q] == 0 {
+				visit(q)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for p := range g.Procs {
+		if state[p] == 0 {
+			visit(p)
+		}
+	}
+
+	for _, pi := range order {
+		ms := &modSet{locs: make(map[string]bool)}
+		sets[pi] = ms
+		for _, id := range g.Procs[pi].Nodes {
+			node := g.Nodes[id]
+			insn := node.Insn
+			d := node.Depth
+			addReg := func(r sparc.Reg, depth int) {
+				if r != sparc.G0 {
+					ms.locs[policy.RegLoc(r, depth)] = true
+				}
+			}
+			switch {
+			case insn.Op == sparc.OpSave:
+				for k := sparc.Reg(8); k < 32; k++ {
+					addReg(k, d+1)
+				}
+			case insn.Op == sparc.OpRestore:
+				addReg(insn.Rd, d-1)
+			case insn.Op == sparc.OpCall:
+				addReg(sparc.O7, d)
+				site := siteByCall(g, id)
+				if site == nil {
+					continue
+				}
+				if site.Callee >= 0 {
+					callee := sets[site.Callee]
+					if callee != nil {
+						for l := range callee.locs {
+							ms.locs[l] = true
+						}
+						ms.mem = ms.mem || callee.mem
+					}
+				} else {
+					// Trusted call: caller-saved registers plus any
+					// host memory.
+					for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5} {
+						addReg(r, d)
+					}
+					ms.mem = true
+				}
+			case insn.IsStore():
+				ms.mem = true
+			case insn.Op == sparc.OpBranch || insn.Op == sparc.OpJmpl || insn.Op == sparc.OpSethi && insn.IsNop():
+			default:
+				addReg(insn.Rd, d)
+			}
+		}
+	}
+	return sets
+}
+
+func siteByCall(g *cfg.Graph, id int) *cfg.CallSite {
+	for _, s := range g.Sites {
+		if s.CallNode == id {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,542 @@
+// Package propagate implements Phase 2 of the safety-checking analysis:
+// typestate propagation (Sections 4.2 and 5.1). A worklist algorithm
+// computes the greatest fixed point of the typestate-propagation
+// equations over the interprocedural control-flow graph, annotating each
+// instruction with an abstract store describing the memory contents
+// before its execution. Overload resolution of instructions such as add
+// and ld falls out as a by-product: the type components of the operands
+// determine whether an occurrence is a scalar operation, an array-index
+// calculation, a pointer indirection, or a field access.
+package propagate
+
+import (
+	"fmt"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+// UsageKind is the resolved overload of one instruction occurrence
+// (the single-usage restriction of Section 4.2.1: each occurrence
+// resolves to exactly one kind).
+type UsageKind int
+
+const (
+	KindUnknown UsageKind = iota
+	// KindScalarOp: arithmetic on scalar values.
+	KindScalarOp
+	// KindArrayIndex: pointer-plus-index producing a t(n] pointer.
+	KindArrayIndex
+	// KindPtrOffset: pointer plus constant (field address calculation).
+	KindPtrOffset
+	// KindCopy: register-to-register or constant move.
+	KindCopy
+	// KindLoad: memory read.
+	KindLoad
+	// KindStore: memory write.
+	KindStore
+	// KindCompare: condition-code setting operation.
+	KindCompare
+	// KindBranch, KindCall, KindRet, KindSave, KindRestore, KindNop:
+	// control and window management.
+	KindBranch
+	KindCall
+	KindRet
+	KindSave
+	KindRestore
+	KindNop
+)
+
+func (k UsageKind) String() string {
+	names := [...]string{"unknown", "scalar-op", "array-index", "ptr-offset",
+		"copy", "load", "store", "compare", "branch", "call", "ret", "save",
+		"restore", "nop"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// Target is one possible destination of a memory access.
+type Target struct {
+	Loc     string
+	Summary bool
+}
+
+// MemAccess is the resolution of one load or store: the abstract-location
+// set F of Table 1, plus everything the annotation phase needs to build
+// the safety predicates of Table 2.
+type MemAccess struct {
+	Targets []Target
+	// Array is true when the base register held a t[n] or t(n] pointer.
+	Array    bool
+	ElemType *types.Type
+	Bound    types.Bound
+	// BaseVar is the expr variable of the base register ("" for
+	// frame-relative accesses).
+	BaseVar string
+	// MayNull reports whether the base pointer's points-to set includes
+	// null.
+	MayNull bool
+	// IndexReg is the expr variable of the index register, or "" when
+	// the offset is the immediate IndexImm.
+	IndexReg string
+	IndexImm int32
+	// MinAlign is the smallest alignment over the target locations.
+	MinAlign int
+	// Frame is true for %fp/%sp-relative accesses resolved through a
+	// stack-frame annotation.
+	Frame bool
+	// BaseInterior is true when the base was a t(n] pointer (the index
+	// origin is unknown, so bounds checks must cover the base offset).
+	BaseInterior bool
+}
+
+// Issue is a problem discovered during propagation (unresolvable memory
+// access, call into the middle of a procedure, ...). These become
+// violations in the checker's report.
+type Issue struct {
+	Node int
+	Msg  string
+}
+
+// Result is the output of typestate propagation.
+type Result struct {
+	G    *cfg.Graph
+	Ini  *policy.Initial
+	mods []*modSet
+	// In and Out are the abstract stores before/after each node.
+	In, Out []typestate.Store
+	// Kind is the resolved usage kind of each node.
+	Kind []UsageKind
+	// Mem is the memory-access resolution for load/store nodes.
+	Mem []*MemAccess
+	// Issues are propagation-time errors.
+	Issues []Issue
+	// Steps counts worklist iterations (reported by benchmarks).
+	Steps int
+}
+
+// DebugNode, when >= 0, traces meets at one node (tests only).
+var DebugNode = -1
+
+// Run performs typestate propagation to a fixed point.
+func Run(g *cfg.Graph, ini *policy.Initial) *Result {
+	r := &Result{
+		G:    g,
+		Ini:  ini,
+		In:   make([]typestate.Store, len(g.Nodes)),
+		Out:  make([]typestate.Store, len(g.Nodes)),
+		Kind: make([]UsageKind, len(g.Nodes)),
+		Mem:  make([]*MemAccess, len(g.Nodes)),
+	}
+	for i := range r.In {
+		r.In[i] = typestate.TopStore()
+		r.Out[i] = typestate.TopStore()
+	}
+	r.mods = computeModSets(g)
+	// Return points must be revisited when their call site's pre-state
+	// changes (the return-edge transfer reads the delay node's out).
+	returnsOfDelay := map[int][]int{}
+	for _, site := range g.Sites {
+		if site.Callee >= 0 && site.Return >= 0 {
+			returnsOfDelay[site.DelayNode] = append(returnsOfDelay[site.DelayNode], site.Return)
+		}
+	}
+
+	issueSeen := map[string]bool{}
+	report := func(node int, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", node, msg)
+		if !issueSeen[key] {
+			issueSeen[key] = true
+			r.Issues = append(r.Issues, Issue{Node: node, Msg: msg})
+		}
+	}
+
+	inWork := make([]bool, len(g.Nodes))
+	var work []int
+	push := func(id int) {
+		if !inWork[id] {
+			inWork[id] = true
+			work = append(work, id)
+		}
+	}
+	push(g.Entry)
+
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		r.Steps++
+
+		node := g.Nodes[id]
+		if DebugNode == id {
+			fmt.Printf("[dbg] processing node %d (insn %d)\n", id, node.Index)
+			for _, e := range node.Preds {
+				fmt.Printf("[dbg]   pred %d kind=%v topOut=%v g1=%v\n", e.To, e.Kind, r.Out[e.To].Top, r.Out[e.To].Get("%g1"))
+			}
+		}
+
+		// In = meet over predecessors' edge-transferred outs; the entry
+		// node additionally meets the initial annotations.
+		in := typestate.TopStore()
+		if id == g.Entry {
+			in = ini.Entry.Clone()
+		}
+		for _, e := range node.Preds {
+			pred := e.To
+			out := r.Out[pred]
+			if out.Top {
+				continue
+			}
+			in = in.Meet(r.edgeTransfer(e, pred, id, out))
+		}
+		if in.Top {
+			// Strict in top: propagation through this node is delayed
+			// until a non-top value arrives (Section 4.2.1).
+			continue
+		}
+		r.In[id] = in
+		out := r.transfer(node, in, report)
+		if !out.Equal(r.Out[id]) {
+			r.Out[id] = out
+			for _, e := range node.Succs {
+				push(e.To)
+			}
+			for _, ret := range returnsOfDelay[id] {
+				push(ret)
+			}
+		}
+	}
+	return r
+}
+
+// edgeTransfer applies edge-specific effects: trusted-call summary edges
+// apply the trusted function's typestate summary, and return edges
+// restore the caller's values for locations the callee cannot modify
+// (per the procedure MOD summaries).
+func (r *Result) edgeTransfer(e cfg.Edge, pred, succ int, out typestate.Store) typestate.Store {
+	if e.Kind == cfg.EdgeReturn {
+		site := r.G.Sites[e.Site]
+		callerOut := r.Out[site.DelayNode]
+		if callerOut.Top {
+			// The call site has not executed yet; this return cannot
+			// belong to it.
+			return typestate.TopStore()
+		}
+		ms := r.mods[site.Callee]
+		merged := callerOut.Clone()
+		for l := range ms.locs {
+			merged.SetInPlace(l, out.Get(l))
+		}
+		if ms.mem {
+			for _, k := range out.Keys() {
+				if !isRegLoc(k) {
+					merged.SetInPlace(k, out.Get(k))
+				}
+			}
+			for _, k := range callerOut.Keys() {
+				if !isRegLoc(k) {
+					merged.SetInPlace(k, out.Get(k))
+				}
+			}
+		}
+		return merged
+	}
+	if e.Kind != cfg.EdgeSummary {
+		return out
+	}
+	site := r.G.Sites[e.Site]
+	if site.TrustedName == "" {
+		return out
+	}
+	tf := r.Ini.Spec.Trusted[site.TrustedName]
+	depth := r.G.Nodes[pred].Depth
+	s := out.Clone()
+	// Caller-saved registers are clobbered by the callee.
+	for _, reg := range []sparc.Reg{8, 9, 10, 11, 12, 13} { // %o0-%o5
+		s.SetInPlace(policy.RegLoc(reg, depth), typestate.BottomTS)
+	}
+	for _, reg := range []sparc.Reg{1, 2, 3, 4, 5} { // %g1-%g5
+		s.SetInPlace(policy.RegLoc(reg, depth), typestate.BottomTS)
+	}
+	if tf != nil && tf.Ret != nil {
+		s.SetInPlace(policy.RegLoc(sparc.O0, depth), *tf.Ret)
+	}
+	return s
+}
+
+func constTS(v int64) typestate.Typestate {
+	return typestate.Typestate{
+		Type: types.Int32Type, State: typestate.InitState,
+		Access: typestate.PermO, Known: true, ConstVal: v,
+	}
+}
+
+// resolveAddr upgrades a known-constant value that matches a data-symbol
+// address into the corresponding pointer typestate.
+func (r *Result) resolveAddr(ts typestate.Typestate) typestate.Typestate {
+	if !ts.Known {
+		return ts
+	}
+	locName, ok := r.Ini.AddrToLoc[uint32(ts.ConstVal)]
+	if !ok {
+		return ts
+	}
+	declared := r.Ini.LocTypes[locName]
+	ent := r.Ini.Spec.Entity(locName)
+	region := ""
+	if ent != nil {
+		region = ent.Region
+	}
+	var ptrType *types.Type
+	if declared != nil && (declared.Kind == types.ArrayBase || declared.Kind == types.ArrayIn) {
+		// The location holds array elements; its address is the array
+		// base pointer.
+		ptrType = types.NewArrayBase(declared.Elem, declared.N)
+	} else if declared != nil {
+		ptrType = types.NewPtr(declared)
+	} else {
+		return ts
+	}
+	perm := typestate.PermF | typestate.PermO
+	if region != "" {
+		if p := r.Ini.Spec.PermsFor(region, ptrType); p != 0 {
+			perm = p.ValuePerms()
+		}
+	}
+	return typestate.Typestate{
+		Type:   ptrType,
+		State:  typestate.PointsTo(false, typestate.Ref{Loc: locName}),
+		Access: perm,
+		Known:  ts.Known, ConstVal: ts.ConstVal,
+	}
+}
+
+// operand returns the typestate of the second operand (register or
+// immediate) at the node's depth.
+func (r *Result) operandTS(node *cfg.Node, s typestate.Store) typestate.Typestate {
+	if node.Insn.Imm {
+		return r.resolveAddr(constTS(int64(node.Insn.SImm)))
+	}
+	return r.regTS(node.Insn.Rs2, node.Depth, s)
+}
+
+func (r *Result) regTS(reg sparc.Reg, depth int, s typestate.Store) typestate.Typestate {
+	if reg == sparc.G0 {
+		return constTS(0)
+	}
+	return s.Get(policy.RegLoc(reg, depth))
+}
+
+func (r *Result) setReg(reg sparc.Reg, depth int, s *typestate.Store, ts typestate.Typestate) {
+	if reg == sparc.G0 {
+		return
+	}
+	s.SetInPlace(policy.RegLoc(reg, depth), ts)
+}
+
+// transfer is the abstract operational semantics R: M -> M of Section 4.2.
+func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, string, ...interface{})) typestate.Store {
+	insn := node.Insn
+	d := node.Depth
+	s := in.Clone()
+
+	switch insn.Op {
+	case sparc.OpSethi:
+		if insn.IsNop() {
+			r.Kind[node.ID] = KindNop
+			return s
+		}
+		r.Kind[node.ID] = KindCopy
+		r.setReg(insn.Rd, d, &s, r.resolveAddr(constTS(int64(insn.SImm))))
+		return s
+
+	case sparc.OpBranch:
+		r.Kind[node.ID] = KindBranch
+		return s
+
+	case sparc.OpCall:
+		r.Kind[node.ID] = KindCall
+		// The call writes the return address into %o7.
+		r.setReg(sparc.O7, d, &s, typestate.Typestate{
+			Type: types.UInt32Type, State: typestate.InitState, Access: typestate.PermO,
+		})
+		return s
+
+	case sparc.OpJmpl:
+		r.Kind[node.ID] = KindRet
+		return s
+
+	case sparc.OpSave:
+		r.Kind[node.ID] = KindSave
+		// New window: %i[k] <- old %o[k]; locals and outs become
+		// undefined; the new %sp is computed from the old one.
+		spVal := r.regTS(insn.Rs1, d, s)
+		opnd := r.operandTS(node, s)
+		newSP := scalarOp(spVal, opnd, insn, true)
+		for k := sparc.Reg(0); k < 8; k++ {
+			r.setReg(24+k, d+1, &s, r.regTS(8+k, d, in))
+		}
+		for k := sparc.Reg(0); k < 8; k++ {
+			r.setReg(16+k, d+1, &s, typestate.BottomTS)
+			if 8+k != sparc.SP {
+				r.setReg(8+k, d+1, &s, typestate.BottomTS)
+			}
+		}
+		r.setReg(insn.Rd, d+1, &s, newSP)
+		return s
+
+	case sparc.OpRestore:
+		r.Kind[node.ID] = KindRestore
+		val := scalarOp(r.regTS(insn.Rs1, d, s), r.operandTS(node, s), insn, true)
+		r.setReg(insn.Rd, d-1, &s, val)
+		return s
+	}
+
+	if insn.IsLoad() || insn.IsStore() {
+		return r.transferMem(node, in, s, report)
+	}
+
+	// Arithmetic and logical operations.
+	a := r.regTS(insn.Rs1, d, s)
+	b := r.operandTS(node, s)
+	cc := insn.SetsCC()
+	if cc && insn.Rd == sparc.G0 {
+		r.Kind[node.ID] = KindCompare
+		return s
+	}
+
+	var out typestate.Typestate
+	switch {
+	case insn.Op == sparc.OpOr && insn.Rs1 == sparc.G0:
+		// mov X,rd (synthetic): a pure copy.
+		r.Kind[node.ID] = KindCopy
+		out = b
+
+	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpAddcc || insn.Op == sparc.OpSub || insn.Op == sparc.OpSubcc) &&
+		(a.Type.Kind == types.ArrayBase || a.Type.Kind == types.ArrayIn) && b.Type.IsScalar():
+		// Array-index calculation (Table 1, row 2): rd becomes t(n].
+		r.Kind[node.ID] = KindArrayIndex
+		out = typestate.Typestate{
+			Type:   types.NewArrayIn(a.Type.Elem, a.Type.N),
+			State:  a.State,
+			Access: a.Access,
+		}
+
+	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpAddcc) &&
+		(b.Type.Kind == types.ArrayBase || b.Type.Kind == types.ArrayIn) && a.Type.IsScalar():
+		// Commuted array-index calculation.
+		r.Kind[node.ID] = KindArrayIndex
+		out = typestate.Typestate{
+			Type:   types.NewArrayIn(b.Type.Elem, b.Type.N),
+			State:  b.State,
+			Access: b.Access,
+		}
+
+	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpSub) &&
+		a.Type.Kind == types.Ptr && b.Known:
+		// Field-address calculation: shift the points-to offsets.
+		r.Kind[node.ID] = KindPtrOffset
+		delta := int(b.ConstVal)
+		if insn.Op == sparc.OpSub {
+			delta = -delta
+		}
+		out = typestate.Typestate{
+			Type:   a.Type,
+			State:  a.State.AddOffset(delta),
+			Access: a.Access,
+		}
+
+	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpSub) && insn.Imm &&
+		(insn.Rs1 == sparc.FP || insn.Rs1 == sparc.SP) &&
+		r.frameSlotAt(node, insn.Rs1, frameDelta(insn)) != nil:
+		// Address of an annotated stack slot (local-array bases;
+		// Section 6's stack-frame annotations).
+		slot := r.frameSlotAt(node, insn.Rs1, frameDelta(insn))
+		r.Kind[node.ID] = KindPtrOffset
+		if slot.Count > 0 {
+			out = typestate.Typestate{
+				Type:   types.NewArrayBase(slot.Type, types.ConstBound(int64(slot.Count))),
+				State:  typestate.PointsTo(false, typestate.Ref{Loc: slot.Name}),
+				Access: typestate.PermF | typestate.PermO,
+			}
+		} else {
+			out = typestate.Typestate{
+				Type:   types.NewPtr(slot.Type),
+				State:  typestate.PointsTo(false, typestate.Ref{Loc: slot.Name}),
+				Access: typestate.PermF | typestate.PermO,
+			}
+		}
+
+	case a.Type.IsPointer() && b.Type.IsPointer():
+		// Pointer meets pointer: no meaningful typestate (Section 4.1).
+		r.Kind[node.ID] = KindScalarOp
+		out = typestate.BottomTS
+
+	default:
+		r.Kind[node.ID] = KindScalarOp
+		out = scalarOp(a, b, insn, false)
+	}
+	r.setReg(insn.Rd, d, &s, out)
+	return s
+}
+
+// scalarOp computes the typestate of a scalar arithmetic result
+// (Table 1, row 1): the meet of the operand typestates, with the constant
+// refinement folded when both operands are known.
+func scalarOp(a, b typestate.Typestate, insn sparc.Insn, keepType bool) typestate.Typestate {
+	out := typestate.Typestate{
+		Type:   types.Meet(a.Type, b.Type),
+		State:  a.State.Meet(b.State),
+		Access: a.Access.Meet(b.Access),
+	}
+	if keepType {
+		// save/restore compute stack pointers; keep the first operand's
+		// type when the meet degenerates.
+		if out.Type.Kind == types.Bottom {
+			out.Type = a.Type
+		}
+		if out.State.Kind == typestate.StateBottom &&
+			a.State.Initialized() && b.State.Initialized() {
+			out.State = typestate.InitState
+		}
+		if out.Access == 0 {
+			out.Access = typestate.PermO
+		}
+	}
+	if a.Known && b.Known {
+		out.Known = true
+		switch insn.Op {
+		case sparc.OpAdd, sparc.OpAddcc, sparc.OpSave, sparc.OpRestore:
+			out.ConstVal = a.ConstVal + b.ConstVal
+		case sparc.OpSub, sparc.OpSubcc:
+			out.ConstVal = a.ConstVal - b.ConstVal
+		case sparc.OpOr, sparc.OpOrcc:
+			out.ConstVal = a.ConstVal | b.ConstVal
+		case sparc.OpAnd, sparc.OpAndcc:
+			out.ConstVal = a.ConstVal & b.ConstVal
+		case sparc.OpAndn:
+			out.ConstVal = a.ConstVal &^ b.ConstVal
+		case sparc.OpXor, sparc.OpXorcc:
+			out.ConstVal = a.ConstVal ^ b.ConstVal
+		case sparc.OpXnor:
+			out.ConstVal = ^(a.ConstVal ^ b.ConstVal)
+		case sparc.OpSll:
+			out.ConstVal = a.ConstVal << uint(b.ConstVal&31)
+		case sparc.OpSrl:
+			out.ConstVal = int64(uint32(a.ConstVal) >> uint(b.ConstVal&31))
+		case sparc.OpSra:
+			out.ConstVal = int64(int32(a.ConstVal) >> uint(b.ConstVal&31))
+		case sparc.OpSMul, sparc.OpUMul:
+			out.ConstVal = a.ConstVal * b.ConstVal
+		default:
+			out.Known = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,506 @@
+package propagate
+
+import (
+	"testing"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+	"mcsafe/internal/typestate"
+)
+
+const fig1Source = `
+1:  mov %o0,%o2
+2:  clr %o0
+3:  cmp %o0,%o1
+4:  bge 12
+5:  clr %g3
+6:  sll %g3,2,%g2
+7:  ld [%o2+%g2],%g2
+8:  inc %g3
+9:  cmp %g3,%o1
+10: bl 6
+11: add %o0,%g2,%o0
+12: retl
+13: nop
+`
+
+const fig1Spec = `
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int ro
+allow V int[n] rfo
+`
+
+func run(t *testing.T, asm, spec string, entry string) *Result {
+	t.Helper()
+	s, err := policy.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini, err := policy.Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sparc.Assemble(asm, sparc.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(prog, cfg.Options{TrustedFuncs: s.TrustedNames()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(g, ini)
+}
+
+// nodeByIndex returns the primary (non-replica) node for an instruction.
+func nodeByIndex(r *Result, idx int) *cfg.Node {
+	for _, n := range r.G.Nodes {
+		if n.Index == idx && !n.Replica {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestFig6TypestatePropagation reproduces the key rows of Figure 6: the
+// abstract stores computed before each instruction of the array-summation
+// example.
+func TestFig6TypestatePropagation(t *testing.T) {
+	r := run(t, fig1Source, fig1Spec, "")
+	if len(r.Issues) != 0 {
+		t.Fatalf("unexpected issues: %+v", r.Issues)
+	}
+
+	// Before line 1: %o0 holds the array base pointer, %o1 the size.
+	in0 := r.In[nodeByIndex(r, 0).ID]
+	o0 := in0.Get("%o0")
+	if o0.Type.Kind != types.ArrayBase {
+		t.Errorf("line 1 %%o0 = %v", o0)
+	}
+
+	// Before line 2 (after the mov): %o2 also points to e.
+	in1 := r.In[nodeByIndex(r, 1).ID]
+	o2 := in1.Get("%o2")
+	if o2.Type.Kind != types.ArrayBase || o2.State.Kind != typestate.StatePointsTo ||
+		len(o2.State.Set) != 1 || o2.State.Set[0].Loc != "e" {
+		t.Errorf("line 2 %%o2 = %v", o2)
+	}
+
+	// Before line 3: %o0 is the integer 0.
+	in2 := r.In[nodeByIndex(r, 2).ID]
+	if got := in2.Get("%o0"); !got.Known || got.ConstVal != 0 || !got.Type.Equal(types.Int32Type) {
+		t.Errorf("line 3 %%o0 = %v", got)
+	}
+
+	// Before line 7 (the ld): %o2 holds the base address of an integer
+	// array and %g2 is an integer — this is what makes the ld resolve
+	// as an array access (Section 5.1).
+	ld := nodeByIndex(r, 6)
+	in6 := r.In[ld.ID]
+	if got := in6.Get("%o2"); got.Type.Kind != types.ArrayBase {
+		t.Errorf("line 7 %%o2 = %v", got)
+	}
+	if got := in6.Get("%g2"); !got.Type.IsScalar() || got.State.Kind != typestate.StateInit {
+		t.Errorf("line 7 %%g2 = %v", got)
+	}
+
+	// The ld resolved as an array load from summary location e.
+	if r.Kind[ld.ID] != KindLoad {
+		t.Fatalf("ld kind = %v", r.Kind[ld.ID])
+	}
+	acc := r.Mem[ld.ID]
+	if acc == nil || !acc.Array || len(acc.Targets) != 1 || acc.Targets[0].Loc != "e" {
+		t.Fatalf("ld resolution = %+v", acc)
+	}
+	if !acc.Targets[0].Summary {
+		t.Error("e should be a summary location")
+	}
+	if acc.Bound.Name != "n" || acc.ElemType != types.Int32Type {
+		t.Errorf("ld bound/elem = %v %v", acc.Bound, acc.ElemType)
+	}
+	if acc.IndexReg != "%g2" || acc.BaseVar != "%o2" {
+		t.Errorf("ld index/base = %q %q", acc.IndexReg, acc.BaseVar)
+	}
+	if acc.MayNull {
+		t.Error("arr is non-null")
+	}
+
+	// After the ld, %g2 holds an initialized integer (the element).
+	out := r.Out[ld.ID].Get("%g2")
+	if !out.Type.Equal(types.Int32Type) || out.State.Kind != typestate.StateInit {
+		t.Errorf("loaded %%g2 = %v", out)
+	}
+
+	// Line 11 (add %o0,%g2,%o0) is a scalar add.
+	if k := r.Kind[nodeByIndex(r, 10).ID]; k != KindScalarOp {
+		t.Errorf("line 11 kind = %v", k)
+	}
+	// Line 6 (sll) is a scalar op; line 3 cmp resolves as compare.
+	if k := r.Kind[nodeByIndex(r, 5).ID]; k != KindScalarOp {
+		t.Errorf("sll kind = %v", k)
+	}
+	if k := r.Kind[nodeByIndex(r, 2).ID]; k != KindCompare {
+		t.Errorf("cmp kind = %v", k)
+	}
+}
+
+// Thread-list traversal (the Section 2 policy): following next pointers
+// converges to a fixed point.
+func TestThreadListTraversal(t *testing.T) {
+	asm := `
+loop:
+	cmp %o0,%g0
+	be done
+	nop
+	ld [%o0+0],%o1     ! tid
+	ld [%o0+8],%o0     ! next
+	ba loop
+	nop
+done:
+	retl
+	nop
+`
+	spec := `
+struct thread { tid int ; lwpid int ; next ptr<thread> }
+region H
+loc t thread region H summary fields(tid=init, lwpid=init, next={t,null})
+val tlist ptr<thread> state {t,null} region H
+invoke %o0 = tlist
+allow H thread.tid ro
+allow H thread.lwpid ro
+allow H thread.next rfo
+allow H ptr<thread> rfo
+`
+	r := run(t, asm, spec, "loop")
+	if len(r.Issues) != 0 {
+		t.Fatalf("issues: %+v", r.Issues)
+	}
+	// The tid load resolves to t.tid.
+	tidLd := nodeByIndex(r, 3)
+	acc := r.Mem[tidLd.ID]
+	if acc == nil || len(acc.Targets) != 1 || acc.Targets[0].Loc != "t.tid" {
+		t.Fatalf("tid load = %+v", acc)
+	}
+	if acc.MayNull {
+		// %o0 may be null here: the be/cmp does not refine typestate
+		// (path sensitivity comes from the verification phase).
+		t.Log("tid load may be null — expected, verified globally")
+	}
+	// The next load resolves to t.next and keeps %o0 a thread pointer.
+	nextLd := nodeByIndex(r, 4)
+	acc2 := r.Mem[nextLd.ID]
+	if acc2 == nil || len(acc2.Targets) != 1 || acc2.Targets[0].Loc != "t.next" {
+		t.Fatalf("next load = %+v", acc2)
+	}
+	o0 := r.Out[nextLd.ID].Get("%o0")
+	if o0.Type.Kind != types.Ptr || o0.State.Kind != typestate.StatePointsTo || !o0.State.MayNull {
+		t.Errorf("%%o0 after next load = %v", o0)
+	}
+}
+
+func TestFieldStoreStrongWeak(t *testing.T) {
+	asm := `
+	st %o1,[%o0+4]
+	retl
+	nop
+`
+	// Non-summary struct: strong update; summary struct: weak update.
+	strongSpec := `
+struct pair { a int ; b int }
+region H
+loc p pair region H fields(a=init, b=uninit)
+val pp ptr<pair> state {p} region H
+sym v
+invoke %o0 = pp
+invoke %o1 = v
+allow H pair.a rwo
+allow H pair.b rwo
+allow H ptr<pair> rfo
+`
+	r := run(t, asm, strongSpec, "")
+	st := nodeByIndex(r, 0)
+	if r.Kind[st.ID] != KindStore {
+		t.Fatalf("kind = %v", r.Kind[st.ID])
+	}
+	acc := r.Mem[st.ID]
+	if len(acc.Targets) != 1 || acc.Targets[0].Loc != "p.b" {
+		t.Fatalf("store targets = %+v", acc.Targets)
+	}
+	// Strong update: p.b becomes initialized.
+	if got := r.Out[st.ID].Get("p.b"); got.State.Kind != typestate.StateInit {
+		t.Errorf("p.b after strong store = %v", got)
+	}
+
+	weakSpec := `
+struct pair { a int ; b int }
+region H
+loc p pair region H summary fields(a=init, b=uninit)
+val pp ptr<pair> state {p} region H
+sym v
+invoke %o0 = pp
+invoke %o1 = v
+allow H pair.a rwo
+allow H pair.b rwo
+allow H ptr<pair> rfo
+`
+	r2 := run(t, asm, weakSpec, "")
+	st2 := nodeByIndex(r2, 0)
+	// Weak update: meet of stored value (init) and old (uninit) = bottom.
+	if got := r2.Out[st2.ID].Get("p.b"); got.State.Kind != typestate.StateBottom {
+		t.Errorf("p.b after weak store = %v", got)
+	}
+}
+
+func TestSaveRestoreWindowShift(t *testing.T) {
+	asm := `
+main:
+	save %sp,-96,%sp
+	mov %i0,%o0
+	ret
+	restore
+`
+	spec := `
+sym x
+invoke %o0 = x
+`
+	r := run(t, asm, spec, "main")
+	if len(r.Issues) != 0 {
+		t.Fatalf("issues: %+v", r.Issues)
+	}
+	// After save, w1.%i0 holds what %o0 held at depth 0.
+	save := nodeByIndex(r, 0)
+	i0 := r.Out[save.ID].Get("w1.%i0")
+	if i0.State.Kind != typestate.StateInit || !i0.Type.Equal(types.Int32Type) {
+		t.Errorf("w1.%%i0 after save = %v", i0)
+	}
+	// Locals of the new window are undefined.
+	if got := r.Out[save.ID].Get("w1.%l0"); got.State.Kind != typestate.StateBottom {
+		t.Errorf("w1.%%l0 after save = %v", got)
+	}
+	// New %sp is an initialized stack pointer.
+	if got := r.Out[save.ID].Get("w1.%sp"); got.State.Kind != typestate.StateInit {
+		t.Errorf("w1.%%sp after save = %v", got)
+	}
+	// The mov copies within window 1.
+	mov := nodeByIndex(r, 1)
+	if got := r.Out[mov.ID].Get("w1.%o0"); got.State.Kind != typestate.StateInit {
+		t.Errorf("w1.%%o0 after mov = %v", got)
+	}
+}
+
+func TestTrustedCallSummary(t *testing.T) {
+	asm := `
+main:
+	call gettime
+	nop
+	add %o0,1,%o1
+	retl
+	nop
+gettime:
+	retl
+	nop
+`
+	// Mark gettime trusted via the spec; it must NOT be part of the
+	// program for a trusted call, so point the call at a stub label and
+	// declare it trusted. The cfg resolves internal procedures first,
+	// so here we exercise the trusted summary by removing the callee
+	// body — calls to labels inside the program resolve internally.
+	spec := `
+trusted gettime args 0
+  ret int init perm o
+  post %o0 >= 1
+end
+`
+	// Assemble without the callee to force the trusted path.
+	asmTrusted := `
+main:
+	call gettime
+	nop
+	add %o0,1,%o1
+	retl
+	nop
+gettime:
+`
+	_ = asm
+	r := run(t, asmTrusted, spec, "main")
+	if len(r.Issues) != 0 {
+		t.Fatalf("issues: %+v", r.Issues)
+	}
+	// After the call, %o0 carries the declared return typestate and the
+	// add is a scalar op on it.
+	add := nodeByIndex(r, 2)
+	o0 := r.In[add.ID].Get("%o0")
+	if o0.State.Kind != typestate.StateInit || !o0.Type.Equal(types.Int32Type) {
+		t.Errorf("%%o0 after trusted call = %v", o0)
+	}
+	// Other caller-saved registers are clobbered.
+	if got := r.In[add.ID].Get("%o1"); got.State.Kind != typestate.StateBottom {
+		t.Errorf("%%o1 after trusted call = %v", got)
+	}
+	if r.Kind[add.ID] != KindScalarOp {
+		t.Errorf("add kind = %v", r.Kind[add.ID])
+	}
+}
+
+func TestFrameSlots(t *testing.T) {
+	asm := `
+f:
+	save %sp,-112,%sp
+	st %g0,[%fp-8]
+	ld [%fp-8],%l0
+	add %fp,-24,%l1
+	st %l0,[%l1+4]
+	ret
+	restore
+`
+	spec := `
+frame f size 112
+  slot fp-8 int name tmp
+  slot fp-24 int[4] name buf
+end
+`
+	r := run(t, asm, spec, "f")
+	if len(r.Issues) != 0 {
+		t.Fatalf("issues: %+v", r.Issues)
+	}
+	// Store to [fp-8] resolves to the scalar slot.
+	st := nodeByIndex(r, 1)
+	if acc := r.Mem[st.ID]; acc == nil || !acc.Frame || acc.Targets[0].Loc != "tmp" {
+		t.Fatalf("fp store = %+v", r.Mem[st.ID])
+	}
+	// After the store, tmp is initialized; the load gets an int.
+	ld := nodeByIndex(r, 2)
+	if got := r.In[ld.ID].Get("tmp"); got.State.Kind != typestate.StateInit {
+		t.Errorf("tmp = %v", got)
+	}
+	// add %fp,-24 produces a pointer to the local array summary.
+	addr := nodeByIndex(r, 3)
+	if r.Kind[addr.ID] != KindPtrOffset {
+		t.Errorf("addr kind = %v", r.Kind[addr.ID])
+	}
+	l1 := r.Out[addr.ID].Get("w1.%l1")
+	if l1.Type.Kind != types.ArrayBase || l1.Type.N.Const != 4 {
+		t.Fatalf("w1.%%l1 = %v", l1)
+	}
+	// The [l1+4] store is an array store into buf.
+	ast := nodeByIndex(r, 4)
+	acc := r.Mem[ast.ID]
+	if acc == nil || !acc.Array || acc.Targets[0].Loc != "buf" {
+		t.Fatalf("array store = %+v", acc)
+	}
+	if acc.Bound.Const != 4 {
+		t.Errorf("bound = %v", acc.Bound)
+	}
+}
+
+func TestGlobalAddressFormation(t *testing.T) {
+	asm := `
+	set counter,%o0
+	ld [%o0],%o1
+	retl
+	nop
+`
+	spec := `
+region H
+global counter int state init region H addr 0x20400
+allow H int rwo
+allow H ptr<int> rfo
+`
+	r := run(t, asm, spec, "")
+	if len(r.Issues) != 0 {
+		t.Fatalf("issues: %+v", r.Issues)
+	}
+	setN := nodeByIndex(r, 0)
+	o0 := r.Out[setN.ID].Get("%o0")
+	if o0.Type.Kind != types.Ptr {
+		t.Fatalf("%%o0 after set = %v", o0)
+	}
+	ld := nodeByIndex(r, 1)
+	acc := r.Mem[ld.ID]
+	if acc == nil || len(acc.Targets) != 1 || acc.Targets[0].Loc != "counter" {
+		t.Fatalf("global load = %+v", acc)
+	}
+	if got := r.Out[ld.ID].Get("%o1"); got.State.Kind != typestate.StateInit {
+		t.Errorf("loaded counter = %v", got)
+	}
+}
+
+func TestUnresolvableAccessReported(t *testing.T) {
+	asm := `
+	ld [%o0],%o1
+	retl
+	nop
+`
+	// %o0 is an integer, not a pointer.
+	spec := `
+sym x
+invoke %o0 = x
+`
+	r := run(t, asm, spec, "")
+	if len(r.Issues) == 0 {
+		t.Fatal("dereference of an integer should be reported")
+	}
+	ld := nodeByIndex(r, 0)
+	if got := r.Out[ld.ID].Get("%o1"); got.State.Kind != typestate.StateBottom {
+		t.Errorf("failed load should produce bottom, got %v", got)
+	}
+}
+
+func TestWrongWidthArrayAccess(t *testing.T) {
+	asm := `
+	ldub [%o0],%o1
+	retl
+	nop
+`
+	r := run(t, asm, fig1Spec, "")
+	if len(r.Issues) == 0 {
+		t.Fatal("byte access to an int array should be reported")
+	}
+}
+
+func TestUninitializedMeet(t *testing.T) {
+	// Conditional initialization: %o2 is set on only one path, so after
+	// the join its state must be bottom (meet of init and bottom).
+	asm := `
+	cmp %o0,%g0
+	be skip
+	nop
+	mov 1,%o2
+skip:
+	add %o2,1,%o3
+	retl
+	nop
+`
+	spec := `
+sym x
+invoke %o0 = x
+`
+	r := run(t, asm, spec, "")
+	add := nodeByIndex(r, 4)
+	if got := r.In[add.ID].Get("%o2"); got.State.Kind != typestate.StateBottom {
+		t.Errorf("%%o2 at join = %v", got)
+	}
+}
+
+func TestStrictInTopDelaysLoops(t *testing.T) {
+	// Propagation must terminate and produce non-top stores for all
+	// reachable nodes of the Figure 1 loop.
+	r := run(t, fig1Source, fig1Spec, "")
+	for _, n := range r.G.Nodes {
+		if len(n.Preds) == 0 && n.ID != r.G.Entry {
+			continue // unreachable
+		}
+		if r.In[n.ID].Top {
+			t.Errorf("node %d (insn %d) still top", n.ID, n.Index)
+		}
+	}
+	if r.Steps == 0 {
+		t.Error("no propagation steps recorded")
+	}
+}

@@ -1,0 +1,596 @@
+// Package solver implements the safety checker's theorem prover for
+// Presburger-style formulas: linear equalities and inequalities over
+// integer variables plus divisibility (alignment) constraints, combined
+// with the usual connectives and quantifiers.
+//
+// The paper uses the Omega Library; this is a from-scratch replacement
+// built around integer Fourier-Motzkin elimination with the Omega test's
+// real/dark shadows. The prover is sound and three-valued at heart: it
+// answers "valid" only when certain, and treats everything it cannot
+// decide as "not proved", which makes the overall safety checker reject
+// rather than accept in the presence of incompleteness.
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"mcsafe/internal/expr"
+)
+
+// Limits bound the work the prover will do before giving a conservative
+// answer.
+type Limits struct {
+	MaxFMConstraints int // constraint-count cap during elimination
+	MaxResidueCombos int // residue enumeration cap for congruences
+	MaxDNFClauses    int
+}
+
+// DefaultLimits are generous enough for all formulas the checker
+// generates for the paper's 13 evaluation programs.
+var DefaultLimits = Limits{
+	MaxFMConstraints: 4096,
+	MaxResidueCombos: 1 << 16,
+	MaxDNFClauses:    expr.MaxDNFClauses,
+}
+
+// Stats counts prover activity, reported by the benchmark harness.
+type Stats struct {
+	ValidQueries int
+	CacheHits    int
+	Eliminations int
+}
+
+// Prover decides validity of formulas. A Prover caches results by
+// canonical formula string (the caching enhancement of Section 5.2.3) and
+// is not safe for concurrent use.
+type Prover struct {
+	Lim   Limits
+	Stats Stats
+	cache map[string]bool
+}
+
+// New returns a prover with default limits.
+func New() *Prover {
+	return &Prover{Lim: DefaultLimits, cache: make(map[string]bool)}
+}
+
+// Valid reports whether f is valid (true under every integer assignment
+// of its free variables). A false answer means "not proved": the formula
+// may be valid but outside the decidable fragment the prover handles
+// exactly.
+func (p *Prover) Valid(f expr.Formula) bool {
+	p.Stats.ValidQueries++
+	key := f.String()
+	if r, ok := p.cache[key]; ok {
+		p.Stats.CacheHits++
+		return r
+	}
+	r := p.valid(f)
+	p.cache[key] = r
+	return r
+}
+
+// Implied reports whether hyp -> goal is valid.
+func (p *Prover) Implied(hyp, goal expr.Formula) bool {
+	return p.Valid(expr.Implies(hyp, goal))
+}
+
+func (p *Prover) valid(f expr.Formula) bool {
+	// f valid  iff  ¬f unsatisfiable.
+	neg, exact := p.qe(expr.NNF(expr.Negate(f)), true)
+	if !exact {
+		return false
+	}
+	clauses, err := expr.DNF(neg)
+	if err != nil {
+		return false
+	}
+	for _, c := range clauses {
+		if !p.clauseUnsat(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unsat reports whether f is certainly unsatisfiable.
+func (p *Prover) Unsat(f expr.Formula) bool {
+	return p.Valid(expr.Negate(f))
+}
+
+// qe eliminates quantifiers from an NNF formula. overApprox selects the
+// approximation direction: when true the result may be weaker than f (an
+// over-approximation, safe when f is being refuted); when false it may be
+// stronger (an under-approximation, safe when f is being proved). The
+// second result is false when no approximation in the requested direction
+// could be produced.
+func (p *Prover) qe(f expr.Formula, overApprox bool) (expr.Formula, bool) {
+	switch g := f.(type) {
+	case expr.TrueF, expr.FalseF, expr.AtomF:
+		return f, true
+	case expr.And:
+		fs := make([]expr.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			r, ok := p.qe(sub, overApprox)
+			if !ok {
+				return nil, false
+			}
+			fs[i] = r
+		}
+		return expr.Conj(fs...), true
+	case expr.Or:
+		fs := make([]expr.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			r, ok := p.qe(sub, overApprox)
+			if !ok {
+				return nil, false
+			}
+			fs[i] = r
+		}
+		return expr.Disj(fs...), true
+	case expr.Not:
+		r, ok := p.qe(expr.NNF(g), overApprox)
+		return r, ok
+	case expr.Exists:
+		body, ok := p.qe(g.F, overApprox)
+		if !ok {
+			return nil, false
+		}
+		clauses, err := expr.DNF(body)
+		if err != nil {
+			return nil, false
+		}
+		var out []expr.Formula
+		for _, c := range clauses {
+			elim, ok2 := p.eliminateFromClause(c, g.V, overApprox)
+			if !ok2 {
+				return nil, false
+			}
+			out = append(out, expr.ClauseFormula(elim))
+		}
+		return expr.Simplify(expr.Disj(out...)), true
+	case expr.Forall:
+		// ∀v.φ == ¬∃v.¬φ ; to approximate ∀ in one direction we need
+		// ∃v.¬φ approximated in the opposite direction.
+		inner, ok := p.qe(expr.NNF(expr.Negate(g.F)), !overApprox)
+		if !ok {
+			return nil, false
+		}
+		clauses, err := expr.DNF(inner)
+		if err != nil {
+			return nil, false
+		}
+		var out []expr.Formula
+		for _, c := range clauses {
+			elim, ok2 := p.eliminateFromClause(c, g.V, !overApprox)
+			if !ok2 {
+				return nil, false
+			}
+			out = append(out, expr.ClauseFormula(elim))
+		}
+		r, ok2 := p.qe(expr.NNF(expr.Negate(expr.Disj(out...))), overApprox)
+		if !ok2 {
+			return nil, false
+		}
+		return expr.Simplify(r), true
+	}
+	return f, true
+}
+
+// eliminateFromClause removes variable v from a conjunction of atoms,
+// producing an approximation of the projection of the clause onto the
+// remaining variables. When overApprox is true it computes the real
+// shadow (a superset of the true projection, possibly dropping
+// divisibility constraints on v); when false the dark shadow (a subset).
+// The second result is false when no approximation in the requested
+// direction could be produced.
+func (p *Prover) eliminateFromClause(c expr.Clause, v expr.Var, overApprox bool) (expr.Clause, bool) {
+	p.Stats.Eliminations++
+
+	// First use an equality with a ±1 coefficient on v to substitute.
+	for i, a := range c {
+		if a.Kind != expr.EQ {
+			continue
+		}
+		coef := a.E.CoefOf(v)
+		if coef == 1 || coef == -1 {
+			// v = (-E + coef*v) / coef  i.e. v = (coef*v - E*... )
+			// From coef*v + rest = 0: v = -rest/coef.
+			rest := a.E.Sub(expr.Term(coef, v))
+			repl := rest.Scale(-coef) // -rest when coef=1, rest when coef=-1
+			out := make(expr.Clause, 0, len(c)-1)
+			for j, b := range c {
+				if j == i {
+					continue
+				}
+				out = append(out, expr.Atom{Kind: b.Kind, M: b.M, E: b.E.Subst(v, repl)})
+			}
+			return out, true
+		}
+	}
+
+	// Classify atoms mentioning v into lower bounds (cL*v + eL >= 0 with
+	// cL > 0, i.e. v >= -eL/cL) and upper bounds (-cU*v + eU >= 0 with
+	// cU > 0, i.e. v <= eU/cU). Equalities split into one of each.
+	type bound struct {
+		c int64 // positive multiplier of v
+		e expr.LinExpr
+	}
+	var lowers, uppers []bound
+	var rest expr.Clause
+	addGE := func(a expr.LinExpr) {
+		coef := a.CoefOf(v)
+		e := a.Sub(expr.Term(coef, v))
+		if coef > 0 {
+			lowers = append(lowers, bound{c: coef, e: e})
+		} else {
+			uppers = append(uppers, bound{c: -coef, e: e})
+		}
+	}
+	for _, a := range c {
+		coef := a.E.CoefOf(v)
+		if coef == 0 {
+			rest = append(rest, a)
+			continue
+		}
+		switch a.Kind {
+		case expr.EQ:
+			addGE(a.E)
+			addGE(a.E.Scale(-1))
+		case expr.GE:
+			addGE(a.E)
+		case expr.DIV:
+			// Dropping a divisibility constraint weakens the clause,
+			// which only an over-approximation may do.
+			if !overApprox {
+				return rest, false
+			}
+		}
+	}
+	if len(lowers)*len(uppers) > p.Lim.MaxFMConstraints {
+		if overApprox {
+			// Drop all constraints on v: weaker, but allowed.
+			return rest, true
+		}
+		return rest, false
+	}
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			// v >= -lo.e/lo.c and v <= up.e/up.c combine to the real
+			// shadow lo.c*up.e + up.c*lo.e >= 0.
+			comb := up.e.Scale(lo.c).Add(lo.e.Scale(up.c))
+			if !overApprox && (lo.c > 1 || up.c > 1) {
+				// Dark shadow: subtract (cL-1)(cU-1).
+				comb = comb.AddConst(-(lo.c - 1) * (up.c - 1))
+			}
+			rest = append(rest, expr.Atom{Kind: expr.GE, E: comb})
+		}
+	}
+	return rest, true
+}
+
+// clauseUnsat reports whether a conjunction of atoms is certainly
+// unsatisfiable over the integers.
+func (p *Prover) clauseUnsat(c expr.Clause) bool {
+	// Normalize and constant-fold.
+	work := make(expr.Clause, 0, len(c))
+	for _, a := range c {
+		f := expr.Simplify(expr.AtomF{A: a})
+		switch g := f.(type) {
+		case expr.FalseF:
+			return true
+		case expr.TrueF:
+		case expr.AtomF:
+			work = append(work, g.A)
+		}
+	}
+
+	// Substitute equalities with unit coefficients; detect gcd failures.
+	changed := true
+	for changed {
+		changed = false
+		for i, a := range work {
+			if a.Kind != expr.EQ {
+				continue
+			}
+			if cst, ok := a.E.IsConst(); ok {
+				if cst != 0 {
+					return true
+				}
+				work = append(work[:i], work[i+1:]...)
+				changed = true
+				break
+			}
+			g := int64(0)
+			for _, co := range a.E.Coef {
+				g = gcd64(g, co)
+			}
+			if g > 1 && a.E.Const%g != 0 {
+				return true // no integer solution
+			}
+			var unit expr.Var
+			var unitC int64
+			for _, v := range a.E.Vars() {
+				if co := a.E.CoefOf(v); co == 1 || co == -1 {
+					unit, unitC = v, co
+					break
+				}
+			}
+			if unitC == 0 {
+				continue
+			}
+			rest := a.E.Sub(expr.Term(unitC, unit))
+			repl := rest.Scale(-unitC)
+			next := make(expr.Clause, 0, len(work)-1)
+			for j, b := range work {
+				if j == i {
+					continue
+				}
+				nb := expr.Atom{Kind: b.Kind, M: b.M, E: b.E.Subst(unit, repl)}
+				f := expr.Simplify(expr.AtomF{A: nb})
+				switch g2 := f.(type) {
+				case expr.FalseF:
+					return true
+				case expr.TrueF:
+				case expr.AtomF:
+					next = append(next, g2.A)
+				}
+			}
+			work = next
+			changed = true
+			break
+		}
+	}
+
+	// Split remaining (non-unit) equalities into inequality pairs.
+	var ineqs, divs expr.Clause
+	for _, a := range work {
+		switch a.Kind {
+		case expr.EQ:
+			ineqs = append(ineqs, expr.Atom{Kind: expr.GE, E: a.E})
+			ineqs = append(ineqs, expr.Atom{Kind: expr.GE, E: a.E.Scale(-1)})
+		case expr.GE:
+			ineqs = append(ineqs, a)
+		case expr.DIV:
+			divs = append(divs, a)
+		}
+	}
+
+	if p.congruencesUnsat(divs) {
+		return true
+	}
+	return p.ineqsUnsat(ineqs)
+}
+
+// congruencesUnsat decides a system of divisibility constraints by
+// residue enumeration after reducing coefficients modulo each modulus.
+// It is exact when the search space fits the limits; otherwise it answers
+// false (not certainly unsat).
+func (p *Prover) congruencesUnsat(divs expr.Clause) bool {
+	if len(divs) == 0 {
+		return false
+	}
+	lcm := int64(1)
+	varSet := make(map[expr.Var]bool)
+	for _, a := range divs {
+		m := a.M
+		if m < 0 {
+			m = -m
+		}
+		if m == 0 {
+			continue
+		}
+		lcm = lcm / gcd64(lcm, m) * m
+		for v := range a.E.Coef {
+			varSet[v] = true
+		}
+		if lcm > 64 {
+			return false
+		}
+	}
+	vars := make([]expr.Var, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	total := int64(1)
+	for range vars {
+		total *= lcm
+		if total > int64(p.Lim.MaxResidueCombos) {
+			return false
+		}
+	}
+	env := make(map[expr.Var]int64, len(vars))
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(vars) {
+			for _, a := range divs {
+				m := a.M
+				if m < 0 {
+					m = -m
+				}
+				if m == 0 {
+					continue
+				}
+				if a.E.Eval(env)%m != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		for r := int64(0); r < lcm; r++ {
+			env[vars[i]] = r
+			if try(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return !try(0)
+}
+
+// ineqsUnsat runs Fourier-Motzkin elimination over the rationals (real
+// shadow); if the final constant constraints are contradictory the system
+// has no rational — hence no integer — solution.
+func (p *Prover) ineqsUnsat(ineqs expr.Clause) bool {
+	work := ineqs
+	for {
+		// Collect variables; pick the one with the fewest pairings.
+		varCount := make(map[expr.Var][2]int)
+		for _, a := range work {
+			for v, co := range a.E.Coef {
+				cnt := varCount[v]
+				if co > 0 {
+					cnt[0]++
+				} else {
+					cnt[1]++
+				}
+				varCount[v] = cnt
+			}
+		}
+		if len(varCount) == 0 {
+			break
+		}
+		var bestV expr.Var
+		bestCost := int(^uint(0) >> 1)
+		vs := make([]expr.Var, 0, len(varCount))
+		for v := range varCount {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for _, v := range vs {
+			c := varCount[v]
+			cost := c[0] * c[1]
+			if cost < bestCost {
+				bestCost, bestV = cost, v
+			}
+		}
+		next, _ := p.eliminateFromClause(work, bestV, true)
+		if len(next) > p.Lim.MaxFMConstraints {
+			return false
+		}
+		// Constant-fold.
+		folded := make(expr.Clause, 0, len(next))
+		for _, a := range next {
+			f := expr.Simplify(expr.AtomF{A: a})
+			switch g := f.(type) {
+			case expr.FalseF:
+				return true
+			case expr.TrueF:
+			case expr.AtomF:
+				folded = append(folded, g.A)
+			}
+		}
+		work = folded
+	}
+	for _, a := range work {
+		if cst, ok := a.E.IsConst(); ok {
+			switch a.Kind {
+			case expr.GE:
+				if cst < 0 {
+					return true
+				}
+			case expr.EQ:
+				if cst != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Eliminate projects away the given variables from a formula using
+// real-shadow Fourier-Motzkin elimination per DNF clause. Quantifiers
+// are first removed by over-approximating quantifier elimination, so the
+// result is an over-approximation of ∃vars.f. This is the "elimination"
+// step of the generalization heuristic of Section 5.2.1.
+func (p *Prover) Eliminate(f expr.Formula, vars []expr.Var) (expr.Formula, error) {
+	qf, ok := p.qe(expr.NNF(f), true)
+	if !ok {
+		return nil, fmt.Errorf("solver: cannot eliminate quantifiers")
+	}
+	clauses, err := expr.DNF(qf)
+	if err != nil {
+		return nil, err
+	}
+	var out []expr.Formula
+	for _, c := range clauses {
+		cur := c
+		for _, v := range vars {
+			cur, _ = p.eliminateFromClause(cur, v, true)
+		}
+		out = append(out, expr.ClauseFormula(cur))
+	}
+	return expr.Simplify(expr.Disj(out...)), nil
+}
+
+// Generalize computes the generalization of f: ¬(Eliminate(¬f, vars))
+// (Section 5.2.1). The result is a strengthening candidate; callers must
+// re-verify anything built from it.
+func (p *Prover) Generalize(f expr.Formula, vars []expr.Var) (expr.Formula, error) {
+	elim, err := p.Eliminate(expr.NNF(expr.Negate(f)), vars)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Simplify(expr.NNF(expr.Negate(elim))), nil
+}
+
+// GeneralizeClauses computes one generalization per DNF clause of ¬f:
+// ¬(eliminate(vars, clause)). When ¬f splits into several cases, a case
+// whose projection is trivial (true) would otherwise wash out the useful
+// generalizations of the other cases; per-clause results are the
+// "several resulting generalizations" of Section 5.2.1, each tried in
+// turn.
+func (p *Prover) GeneralizeClauses(f expr.Formula, vars []expr.Var) []expr.Formula {
+	qf, ok := p.qe(expr.NNF(expr.Negate(f)), true)
+	if !ok {
+		return nil
+	}
+	clauses, err := expr.DNF(qf)
+	if err != nil || len(clauses) > 64 {
+		return nil
+	}
+	var out []expr.Formula
+	for _, c := range clauses {
+		cur := c
+		for _, v := range vars {
+			cur, _ = p.eliminateFromClause(cur, v, true)
+		}
+		g := expr.Simplify(expr.NNF(expr.Negate(expr.ClauseFormula(cur))))
+		switch g.(type) {
+		case expr.TrueF, expr.FalseF:
+			continue
+		}
+		out = append(out, g)
+		// The negation of a multi-atom projection is a disjunction, in
+		// which the weakest disjunct dominates; the negation of each
+		// individual atom is a stronger, often sharper candidate (e.g.
+		// "limit <= n" rather than "limit <= n ∨ limit <= n+1").
+		if len(cur) > 1 {
+			for _, a := range cur {
+				na := expr.Simplify(expr.NNF(expr.Negate(expr.AtomF{A: a})))
+				switch na.(type) {
+				case expr.TrueF, expr.FalseF:
+					continue
+				}
+				out = append(out, na)
+			}
+		}
+	}
+	return out
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,278 @@
+package sparc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultBase is the virtual address assigned to the first instruction of
+// an assembled program.
+const DefaultBase uint32 = 0x10000
+
+// Program is an assembled (or externally supplied) machine-code program:
+// the raw words, their decoded view, and the side tables a loader would
+// provide (symbols and, for authored programs, a source map).
+type Program struct {
+	// Words are the SPARC machine words, the checker's real input.
+	Words []uint32
+	// Insns is the decoded view of Words.
+	Insns []Insn
+	// Base is the virtual address of Words[0].
+	Base uint32
+	// Symbols maps every label to its instruction index.
+	Symbols map[string]int
+	// Procs lists labels that are procedure entry points (call targets
+	// plus the program entry), sorted by instruction index.
+	Procs []string
+	// Entry is the instruction index where execution begins.
+	Entry int
+	// DataSyms maps data-symbol names to their virtual addresses, as a
+	// loader's relocation/symbol table would.
+	DataSyms map[string]uint32
+	// SrcLines maps instruction index to source line (0 when unknown).
+	SrcLines []int
+}
+
+// AsmOptions configures assembly.
+type AsmOptions struct {
+	// Base virtual address for the first instruction (DefaultBase if 0).
+	Base uint32
+	// DataSyms assigns virtual addresses to data symbols referenced by
+	// "set sym,%rd".
+	DataSyms map[string]uint32
+	// Entry names the entry label; defaults to the first instruction.
+	Entry string
+	// Externs names call targets defined outside the program (trusted
+	// host functions); each is assigned a slot past the last
+	// instruction, as a linker would resolve an external symbol.
+	Externs map[string]bool
+}
+
+// Assemble runs the two-pass assembler over SPARC assembly source.
+// Synthetic instructions are expanded; labels (including the numeric line
+// labels used in the paper's figures) are resolved to displacements; the
+// result is encoded to machine words and re-decoded so that Program.Insns
+// is exactly what a checker sees when handed the binary.
+func Assemble(src string, opts AsmOptions) (*Program, error) {
+	base := opts.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	p := &parser{dataSyms: opts.DataSyms}
+
+	var insns []Insn
+	labels := make(map[string]int)
+	var pendingLabels []string
+
+	for lineNo, text := range strings.Split(src, "\n") {
+		lbls, parsed, err := p.parseLine(text, lineNo+1)
+		if err != nil {
+			return nil, err
+		}
+		pendingLabels = append(pendingLabels, lbls...)
+		if len(parsed) == 0 {
+			continue
+		}
+		for _, l := range pendingLabels {
+			if _, dup := labels[l]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, l)
+			}
+			labels[l] = len(insns)
+		}
+		pendingLabels = pendingLabels[:0]
+		insns = append(insns, parsed...)
+	}
+	if len(pendingLabels) > 0 {
+		// Trailing labels refer past the last instruction.
+		for _, l := range pendingLabels {
+			labels[l] = len(insns)
+		}
+	}
+	if len(insns) == 0 {
+		return nil, fmt.Errorf("sparc: empty program")
+	}
+	// External symbols resolve to slots past the last instruction.
+	for name := range opts.Externs {
+		if _, defined := labels[name]; !defined {
+			labels[name] = len(insns) + len(labels)
+		}
+	}
+
+	// Pass 2: resolve targets, encode.
+	words := make([]uint32, len(insns))
+	srcLines := make([]int, len(insns))
+	callTargets := make(map[string]bool)
+	for idx := range insns {
+		insn := insns[idx]
+		srcLines[idx] = insn.Line
+		if insn.Target != "" {
+			tgt, ok := labels[insn.Target]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", insn.Line, insn.Target)
+			}
+			insn.Disp = int32(tgt - idx)
+			if insn.Op == OpCall {
+				callTargets[insn.Target] = true
+			}
+			insn.Target = ""
+		}
+		w, err := Encode(insn)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", insn.Line, err)
+		}
+		words[idx] = w
+	}
+
+	decoded, err := DecodeAll(words)
+	if err != nil {
+		return nil, fmt.Errorf("sparc: internal round-trip failure: %v", err)
+	}
+	for idx := range decoded {
+		decoded[idx].Line = srcLines[idx]
+	}
+
+	entry := 0
+	if opts.Entry != "" {
+		e, ok := labels[opts.Entry]
+		if !ok {
+			return nil, fmt.Errorf("sparc: entry label %q not defined", opts.Entry)
+		}
+		entry = e
+	}
+
+	var procs []string
+	for l := range callTargets {
+		// Labels past the last instruction are external symbols
+		// (trusted host functions), not procedures of this program.
+		if labels[l] < len(insns) {
+			procs = append(procs, l)
+		}
+	}
+	// The entry is a procedure too; name it if it has a label.
+	for l, idx := range labels {
+		if idx == entry && !callTargets[l] {
+			procs = append(procs, l)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return labels[procs[i]] < labels[procs[j]] })
+
+	return &Program{
+		Words:    words,
+		Insns:    decoded,
+		Base:     base,
+		Symbols:  labels,
+		Procs:    procs,
+		Entry:    entry,
+		DataSyms: opts.DataSyms,
+		SrcLines: srcLines,
+	}, nil
+}
+
+// FromWords builds a Program directly from machine words, the checker's
+// binary-first entry point. symbols and dataSyms may be nil.
+func FromWords(words []uint32, base uint32, symbols map[string]int, dataSyms map[string]uint32) (*Program, error) {
+	insns, err := DecodeAll(words)
+	if err != nil {
+		return nil, err
+	}
+	if base == 0 {
+		base = DefaultBase
+	}
+	prog := &Program{
+		Words:    append([]uint32(nil), words...),
+		Insns:    insns,
+		Base:     base,
+		Symbols:  symbols,
+		DataSyms: dataSyms,
+		SrcLines: make([]int, len(insns)),
+	}
+	if prog.Symbols == nil {
+		prog.Symbols = map[string]int{}
+	}
+	// Call targets identify procedure entries.
+	seen := map[int]bool{}
+	for idx, insn := range insns {
+		if insn.Op == OpCall {
+			tgt := idx + int(insn.Disp)
+			if tgt >= 0 && tgt < len(insns) && !seen[tgt] {
+				seen[tgt] = true
+			}
+		}
+	}
+	nameOf := make(map[int]string)
+	for name, idx := range prog.Symbols {
+		nameOf[idx] = name
+	}
+	var procIdx []int
+	for idx := range seen {
+		procIdx = append(procIdx, idx)
+	}
+	if !seen[prog.Entry] {
+		procIdx = append(procIdx, prog.Entry)
+	}
+	sort.Ints(procIdx)
+	for _, idx := range procIdx {
+		name := nameOf[idx]
+		if name == "" {
+			name = fmt.Sprintf("proc_%d", idx)
+			prog.Symbols[name] = idx
+		}
+		prog.Procs = append(prog.Procs, name)
+	}
+	return prog, nil
+}
+
+// AddrOf returns the virtual address of instruction idx.
+func (p *Program) AddrOf(idx int) uint32 { return p.Base + uint32(idx)*4 }
+
+// IndexOf returns the instruction index of a virtual address.
+func (p *Program) IndexOf(addr uint32) (int, bool) {
+	if addr < p.Base || (addr-p.Base)%4 != 0 {
+		return 0, false
+	}
+	idx := int((addr - p.Base) / 4)
+	if idx >= len(p.Insns) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// ProcEntry returns the instruction index of a procedure label.
+func (p *Program) ProcEntry(name string) (int, bool) {
+	idx, ok := p.Symbols[name]
+	return idx, ok
+}
+
+// LabelAt returns a label naming instruction idx, preferring procedure
+// labels; it returns "" if the instruction is unlabeled.
+func (p *Program) LabelAt(idx int) string {
+	best := ""
+	for name, at := range p.Symbols {
+		if at != idx {
+			continue
+		}
+		if best == "" || name < best {
+			best = name
+		}
+	}
+	return best
+}
+
+// Disassemble renders the program, one instruction per line, with
+// resolved branch targets shown as absolute indices.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for idx, insn := range p.Insns {
+		if lbl := p.LabelAt(idx); lbl != "" {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		text := insn.String()
+		if insn.Op == OpBranch || insn.Op == OpCall {
+			text = strings.Replace(text, fmt.Sprintf(".%+d", insn.Disp),
+				fmt.Sprintf("@%d", idx+int(insn.Disp)), 1)
+		}
+		fmt.Fprintf(&b, "%4d: %08x  %s\n", idx, p.Words[idx], text)
+	}
+	return b.String()
+}

@@ -1,0 +1,379 @@
+package sparc
+
+import "fmt"
+
+// Machine is a concrete SPARC V8 interpreter over the decoded
+// instruction stream. It exists for differential testing: the abstract
+// operational semantics of the checker (typestate propagation, wlp) are
+// validated against real executions on random inputs.
+//
+// The model is deliberately small: 32-bit integer registers with eight
+// register windows, a word-addressed sparse memory, and the integer
+// condition codes. Traps, floating point, and alternate address spaces
+// are out of scope, exactly as they are for the checker.
+type Machine struct {
+	prog *Program
+
+	// windows[w][r] for windowed registers; globals shared.
+	globals [8]uint32
+	windows [][16]uint32 // %o0-%o7 then %l0-%l7 per window
+	cwp     int
+
+	// Mem is sparse byte memory.
+	Mem map[uint32]byte
+
+	// Condition codes.
+	N, Z, V, C bool
+
+	// PC is the current instruction index; npc the next (for delayed
+	// control transfers).
+	pc, npc int
+
+	// Steps executed (guard against runaway loops in tests).
+	Steps int
+
+	// pendingHost carries an external call across its delay slot.
+	pendingHost string
+
+	// OnMem, when set, observes every data-memory access (differential
+	// tests use it to assert memory safety of checker-approved code).
+	OnMem func(addr uint32, size int, write bool)
+
+	// HostCall, when set, simulates calls to external (trusted host)
+	// symbols: it runs after the delay slot, and control resumes at the
+	// call's return point. When nil, external calls return 0 in %o0.
+	HostCall func(name string, m *Machine)
+}
+
+// NewMachine creates an interpreter for a program with 32 register
+// windows' worth of space (enough for the checker's non-recursive
+// programs).
+func NewMachine(p *Program) *Machine {
+	m := &Machine{
+		prog:    p,
+		windows: make([][16]uint32, 32),
+		cwp:     16, // middle of the window stack
+		Mem:     make(map[uint32]byte),
+		pc:      p.Entry,
+		npc:     p.Entry + 1,
+	}
+	return m
+}
+
+// regIndex resolves a register to its storage.
+func (m *Machine) get(r Reg) uint32 {
+	switch {
+	case r == G0:
+		return 0
+	case r < 8:
+		return m.globals[r]
+	case r < 24: // %o, %l of current window
+		return m.windows[m.cwp][r-8]
+	default: // %i = %o of previous window
+		return m.windows[m.cwp+1][r-24]
+	}
+}
+
+func (m *Machine) set(r Reg, v uint32) {
+	switch {
+	case r == G0:
+	case r < 8:
+		m.globals[r] = v
+	case r < 24:
+		m.windows[m.cwp][r-8] = v
+	default:
+		m.windows[m.cwp+1][r-24] = v
+	}
+}
+
+// SetReg sets a register (for test setup).
+func (m *Machine) SetReg(r Reg, v uint32) { m.set(r, v) }
+
+// Reg reads a register (for test assertions).
+func (m *Machine) Reg(r Reg) uint32 { return m.get(r) }
+
+// Store32/Load32 access the sparse memory.
+func (m *Machine) Store32(addr uint32, v uint32) {
+	m.Mem[addr] = byte(v >> 24)
+	m.Mem[addr+1] = byte(v >> 16)
+	m.Mem[addr+2] = byte(v >> 8)
+	m.Mem[addr+3] = byte(v)
+}
+
+func (m *Machine) Load32(addr uint32) uint32 {
+	return uint32(m.Mem[addr])<<24 | uint32(m.Mem[addr+1])<<16 |
+		uint32(m.Mem[addr+2])<<8 | uint32(m.Mem[addr+3])
+}
+
+// ErrExit is returned by Run when the program returns from its entry
+// procedure (a return with no caller).
+var ErrExit = fmt.Errorf("sparc: program exited")
+
+// operand2 evaluates the second operand.
+func (m *Machine) operand2(i Insn) uint32 {
+	if i.Imm {
+		return uint32(i.SImm)
+	}
+	return m.get(i.Rs2)
+}
+
+func (m *Machine) setCC(res uint32, v, c bool) {
+	m.N = res&0x80000000 != 0
+	m.Z = res == 0
+	m.V = v
+	m.C = c
+}
+
+// cond evaluates a branch condition against the current codes.
+func (m *Machine) cond(c Cond) bool {
+	switch c {
+	case CondA:
+		return true
+	case CondN:
+		return false
+	case CondE:
+		return m.Z
+	case CondNE:
+		return !m.Z
+	case CondL:
+		return m.N != m.V
+	case CondGE:
+		return m.N == m.V
+	case CondLE:
+		return m.Z || m.N != m.V
+	case CondG:
+		return !m.Z && m.N == m.V
+	case CondCS:
+		return m.C
+	case CondCC:
+		return !m.C
+	case CondLEU:
+		return m.C || m.Z
+	case CondGU:
+		return !m.C && !m.Z
+	case CondNEG:
+		return m.N
+	case CondPOS:
+		return !m.N
+	case CondVS:
+		return m.V
+	case CondVC:
+		return !m.V
+	}
+	return false
+}
+
+// exitPC is the sentinel "return address" of the entry frame.
+const exitPC = -1
+
+// Step executes one instruction. It returns ErrExit on a return past the
+// entry frame, or an error for faults (out-of-range PC, window
+// underflow).
+func (m *Machine) Step() error {
+	if m.pc == exitPC {
+		return ErrExit
+	}
+	if m.pc < 0 || m.pc >= len(m.prog.Insns) {
+		return fmt.Errorf("sparc: PC %d out of range", m.pc)
+	}
+	m.Steps++
+	i := m.prog.Insns[m.pc]
+	pc, npc := m.npc, m.npc+1
+
+	switch {
+	case i.Op == OpSethi:
+		m.set(i.Rd, uint32(i.SImm))
+
+	case i.Op == OpBranch:
+		taken := m.cond(i.Cond)
+		target := m.pc + int(i.Disp)
+		if taken {
+			npc = target
+			if i.Cond == CondA && i.Annul {
+				pc, npc = target, target+1
+			}
+		} else if i.Annul {
+			pc, npc = m.npc+1, m.npc+2
+		}
+
+	case i.Op == OpCall:
+		m.set(O7, m.prog.AddrOf(m.pc))
+		tgt := m.pc + int(i.Disp)
+		if tgt >= len(m.prog.Insns) || tgt < 0 {
+			// External (trusted host) call: the delay slot executes,
+			// the host function runs, and control resumes after it.
+			name := m.prog.LabelAt(tgt)
+			m.pendingHost = name
+			npc = m.pc + 2
+		} else {
+			npc = tgt
+		}
+
+	case i.Op == OpJmpl:
+		ret := m.get(i.Rs1) + m.operand2(i)
+		m.set(i.Rd, m.prog.AddrOf(m.pc))
+		idx, ok := m.prog.IndexOf(ret)
+		switch {
+		case ok:
+			npc = idx
+		case ret == 8 || ret == 0:
+			// Return past the entry frame: the delay slot still
+			// executes, then the program exits.
+			npc = exitPC
+		default:
+			return fmt.Errorf("sparc: jmpl to unmapped address 0x%x", ret)
+		}
+
+	case i.Op == OpSave:
+		// save decrements CWP: the new window's %i registers overlap
+		// the caller's %o registers (windows[cwp+1] after decrement).
+		v := m.get(i.Rs1) + m.operand2(i)
+		if m.cwp == 0 {
+			return fmt.Errorf("sparc: window overflow")
+		}
+		m.cwp--
+		m.set(i.Rd, v)
+
+	case i.Op == OpRestore:
+		v := m.get(i.Rs1) + m.operand2(i)
+		if m.cwp+2 >= len(m.windows) {
+			return fmt.Errorf("sparc: window underflow")
+		}
+		m.cwp++
+		m.set(i.Rd, v)
+
+	case i.IsLoad():
+		addr := m.get(i.Rs1) + m.operand2(i)
+		if m.OnMem != nil {
+			m.OnMem(addr, i.MemSize(), false)
+		}
+		switch i.Op {
+		case OpLd:
+			m.set(i.Rd, m.Load32(addr))
+		case OpLdub:
+			m.set(i.Rd, uint32(m.Mem[addr]))
+		case OpLdsb:
+			m.set(i.Rd, uint32(int32(int8(m.Mem[addr]))))
+		case OpLduh:
+			m.set(i.Rd, uint32(m.Mem[addr])<<8|uint32(m.Mem[addr+1]))
+		case OpLdsh:
+			m.set(i.Rd, uint32(int32(int16(uint16(m.Mem[addr])<<8|uint16(m.Mem[addr+1])))))
+		default:
+			return fmt.Errorf("sparc: unsupported load %v", i.Op)
+		}
+
+	case i.IsStore():
+		addr := m.get(i.Rs1) + m.operand2(i)
+		if m.OnMem != nil {
+			m.OnMem(addr, i.MemSize(), true)
+		}
+		v := m.get(i.Rd)
+		switch i.Op {
+		case OpSt:
+			m.Store32(addr, v)
+		case OpStb:
+			m.Mem[addr] = byte(v)
+		case OpSth:
+			m.Mem[addr] = byte(v >> 8)
+			m.Mem[addr+1] = byte(v)
+		default:
+			return fmt.Errorf("sparc: unsupported store %v", i.Op)
+		}
+
+	default:
+		a := m.get(i.Rs1)
+		b := m.operand2(i)
+		var res uint32
+		switch i.Op {
+		case OpAdd, OpAddcc:
+			res = a + b
+			if i.Op == OpAddcc {
+				v := (a&0x80000000 == b&0x80000000) && (res&0x80000000 != a&0x80000000)
+				c := uint64(a)+uint64(b) > 0xffffffff
+				m.setCC(res, v, c)
+			}
+		case OpSub, OpSubcc:
+			res = a - b
+			if i.Op == OpSubcc {
+				v := (a&0x80000000 != b&0x80000000) && (res&0x80000000 == b&0x80000000)
+				c := uint64(a) < uint64(b)
+				m.setCC(res, v, c)
+			}
+		case OpAnd, OpAndcc:
+			res = a & b
+			if i.Op == OpAndcc {
+				m.setCC(res, false, false)
+			}
+		case OpAndn:
+			res = a &^ b
+		case OpOr, OpOrcc:
+			res = a | b
+			if i.Op == OpOrcc {
+				m.setCC(res, false, false)
+			}
+		case OpOrn:
+			res = a | ^b
+		case OpXor, OpXorcc:
+			res = a ^ b
+			if i.Op == OpXorcc {
+				m.setCC(res, false, false)
+			}
+		case OpXnor:
+			res = ^(a ^ b)
+		case OpSll:
+			res = a << (b & 31)
+		case OpSrl:
+			res = a >> (b & 31)
+		case OpSra:
+			res = uint32(int32(a) >> (b & 31))
+		case OpUMul, OpSMul:
+			res = a * b
+		case OpUDiv:
+			if b == 0 {
+				return fmt.Errorf("sparc: division by zero")
+			}
+			res = a / b
+		case OpSDiv:
+			if b == 0 {
+				return fmt.Errorf("sparc: division by zero")
+			}
+			res = uint32(int32(a) / int32(b))
+		default:
+			return fmt.Errorf("sparc: unsupported op %v", i.Op)
+		}
+		m.set(i.Rd, res)
+	}
+
+	m.pc, m.npc = pc, npc
+	if m.pendingHost != "" && m.pc != exitPC {
+		// We just executed the delay slot of an external call.
+		name := m.pendingHost
+		m.pendingHost = ""
+		if i.Op != OpCall { // fires on the instruction AFTER the call
+			if m.HostCall != nil {
+				m.HostCall(name, m)
+			} else {
+				m.set(O0, 0)
+			}
+		} else {
+			m.pendingHost = name // delay slot not yet executed
+		}
+	}
+	return nil
+}
+
+// Run executes until exit, error, or the step bound.
+func (m *Machine) Run(maxSteps int) error {
+	for n := 0; n < maxSteps; n++ {
+		if err := m.Step(); err != nil {
+			if err == ErrExit {
+				return nil
+			}
+			return err
+		}
+	}
+	return fmt.Errorf("sparc: did not terminate within %d steps", maxSteps)
+}
+
+// PC exposes the current instruction index (tests).
+func (m *Machine) PC() int { return m.pc }

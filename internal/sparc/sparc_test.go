@@ -1,0 +1,428 @@
+package sparc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseReg(t *testing.T) {
+	cases := map[string]Reg{
+		"%g0": 0, "%g7": 7, "%o0": 8, "%o7": 15,
+		"%l0": 16, "%l7": 23, "%i0": 24, "%i7": 31,
+		"%sp": 14, "%fp": 30,
+	}
+	for s, want := range cases {
+		got, err := ParseReg(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"%x0", "%o8", "o0", "%o", "%sp1"} {
+		if _, err := ParseReg(bad); err == nil {
+			t.Errorf("ParseReg(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if SP.String() != "%sp" || FP.String() != "%fp" {
+		t.Error("sp/fp aliases wrong")
+	}
+	if Reg(9).String() != "%o1" || Reg(17).String() != "%l1" || Reg(25).String() != "%i1" {
+		t.Error("bank naming wrong")
+	}
+}
+
+func TestRegBanks(t *testing.T) {
+	if !G0.IsGlobal() || !O0.IsOut() || !L0.IsLocal() || !I0.IsIn() {
+		t.Error("bank predicates wrong")
+	}
+	if SP.IsGlobal() || !SP.IsOut() {
+		t.Error("sp should be an out register")
+	}
+}
+
+// Figure 1 of the paper: summing the elements of an integer array.
+const fig1Source = `
+1:  mov %o0,%o2      ! move %o0 into %o2
+2:  clr %o0          ! set %o0 to zero
+3:  cmp %o0,%o1      ! compare %o0 and %o1
+4:  bge 12           ! branch to 12 if %o0 >= %o1
+5:  clr %g3          ! set %g3 to zero
+6:  sll %g3,2,%g2    ! %g2 = 4 x %g3
+7:  ld [%o2+%g2],%g2 ! load from address %o2+%g2
+8:  inc %g3          ! %g3 = %g3 + 1
+9:  cmp %g3,%o1      ! compare %g3 and %o1
+10: bl 6             ! branch to 6 if %g3 < %o1
+11: add %o0,%g2,%o0  ! %o0 = %o0 + %g2
+12: retl
+13: nop
+`
+
+func assembleFig1(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble(fig1Source, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAssembleFig1(t *testing.T) {
+	p := assembleFig1(t)
+	if len(p.Insns) != 13 {
+		t.Fatalf("expected 13 instructions, got %d", len(p.Insns))
+	}
+	// Instruction 0 is mov expanded to or %g0,%o0,%o2.
+	i0 := p.Insns[0]
+	if i0.Op != OpOr || i0.Rs1 != G0 || i0.Imm || i0.Rs2 != O0 || i0.Rd != 10 {
+		t.Errorf("insn 0 = %v", i0)
+	}
+	// Instruction 3 is bge with displacement to label "12" (index 11).
+	i3 := p.Insns[3]
+	if i3.Op != OpBranch || i3.Cond != CondGE || i3.Disp != 8 {
+		t.Errorf("insn 3 = %+v", i3)
+	}
+	// Instruction 9 is bl back to index 5.
+	i9 := p.Insns[9]
+	if i9.Op != OpBranch || i9.Cond != CondL || i9.Disp != -4 {
+		t.Errorf("insn 9 = %+v", i9)
+	}
+	// Instruction 6 is the array load ld [%o2+%g2],%g2.
+	i6 := p.Insns[6]
+	if i6.Op != OpLd || i6.Imm || i6.Rs1 != 10 || i6.Rs2 != 2 || i6.Rd != 2 {
+		t.Errorf("insn 6 = %+v", i6)
+	}
+	// Instruction 11 is retl = jmpl %o7+8,%g0, recognized as a return.
+	if !p.Insns[11].IsReturn() {
+		t.Errorf("insn 11 = %+v not a return", p.Insns[11])
+	}
+	// Instruction 12 is nop.
+	if !p.Insns[12].IsNop() {
+		t.Errorf("insn 12 = %+v not a nop", p.Insns[12])
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate %o0",           // unknown mnemonic
+		"add %o0,%o1",              // wrong arity
+		"bl nowhere",               // undefined label
+		"ld %o0,%o1",               // load without brackets
+		"add %q0,%o1,%o2",          // bad register
+		"L: add %o0,1,%o1\nL: nop", // duplicate label
+		"",                         // empty program
+		"mov 99999999,%o0",         // immediate out of simm13 for or
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, AsmOptions{}); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntheticExpansion(t *testing.T) {
+	src := `
+start:
+	set 0x20000,%o0
+	set 42,%o1
+	inc 4,%o2
+	dec %o3
+	tst %o4
+	neg %o5
+	not %l0
+	clr [%o0+4]
+	retl
+	nop
+`
+	p, err := Assemble(src, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// set 0x20000 -> single sethi (low bits zero); set 42 -> or %g0,42.
+	if p.Insns[0].Op != OpSethi || uint32(p.Insns[0].SImm) != 0x20000 {
+		t.Errorf("set high: %+v", p.Insns[0])
+	}
+	if p.Insns[1].Op != OpOr || !p.Insns[1].Imm || p.Insns[1].SImm != 42 {
+		t.Errorf("set low: %+v", p.Insns[1])
+	}
+	if p.Insns[2].Op != OpAdd || p.Insns[2].SImm != 4 {
+		t.Errorf("inc: %+v", p.Insns[2])
+	}
+	if p.Insns[3].Op != OpSub || p.Insns[3].SImm != 1 {
+		t.Errorf("dec: %+v", p.Insns[3])
+	}
+	if p.Insns[4].Op != OpOrcc || p.Insns[4].Rd != G0 {
+		t.Errorf("tst: %+v", p.Insns[4])
+	}
+	if p.Insns[5].Op != OpSub || p.Insns[5].Rs1 != G0 {
+		t.Errorf("neg: %+v", p.Insns[5])
+	}
+	if p.Insns[6].Op != OpXnor {
+		t.Errorf("not: %+v", p.Insns[6])
+	}
+	if p.Insns[7].Op != OpSt || p.Insns[7].Rd != G0 || p.Insns[7].SImm != 4 {
+		t.Errorf("clr mem: %+v", p.Insns[7])
+	}
+}
+
+func TestSetWithDataSymbol(t *testing.T) {
+	src := "set counter,%o0\nld [%o0],%o1\nretl\nnop"
+	p, err := Assemble(src, AsmOptions{DataSyms: map[string]uint32{"counter": 0x20400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].Op != OpSethi || uint32(p.Insns[0].SImm) != 0x20400 {
+		t.Fatalf("set sym: %+v", p.Insns[0])
+	}
+	// Unknown symbol fails.
+	if _, err := Assemble("set nosuch,%o0\nretl\nnop", AsmOptions{}); err == nil {
+		t.Error("unknown data symbol should fail")
+	}
+}
+
+func TestHiLoOperands(t *testing.T) {
+	src := "sethi %hi(0x12345400),%o0\nor %o0,%lo(0x12345403),%o0\nretl\nnop"
+	p, err := Assemble(src, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(p.Insns[0].SImm) != 0x12345400 {
+		t.Errorf("hi: %x", uint32(p.Insns[0].SImm))
+	}
+	if p.Insns[1].SImm != 0x3 {
+		t.Errorf("lo: %x", p.Insns[1].SImm)
+	}
+}
+
+func TestAddressingForms(t *testing.T) {
+	src := `
+	ld [%fp-8],%o0
+	ld [%o0],%o1
+	ld [%o0+12],%o2
+	ld [%o0+%o3],%o4
+	st %o0,[%sp+64]
+	retl
+	nop
+`
+	p, err := Assemble(src, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].SImm != -8 || p.Insns[0].Rs1 != FP {
+		t.Errorf("fp-8: %+v", p.Insns[0])
+	}
+	if p.Insns[1].SImm != 0 || !p.Insns[1].Imm {
+		t.Errorf("[reg]: %+v", p.Insns[1])
+	}
+	if p.Insns[3].Imm || p.Insns[3].Rs2 != 11 {
+		t.Errorf("[reg+reg]: %+v", p.Insns[3])
+	}
+	if p.Insns[4].Op != OpSt || p.Insns[4].Rd != O0 || p.Insns[4].SImm != 64 {
+		t.Errorf("st: %+v", p.Insns[4])
+	}
+}
+
+func TestCallAndProcs(t *testing.T) {
+	src := `
+main:
+	call helper
+	nop
+	retl
+	nop
+helper:
+	retl
+	nop
+`
+	p, err := Assemble(src, AsmOptions{Entry: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[0].Op != OpCall || p.Insns[0].Disp != 4 {
+		t.Fatalf("call: %+v", p.Insns[0])
+	}
+	if len(p.Procs) != 2 || p.Procs[0] != "main" || p.Procs[1] != "helper" {
+		t.Fatalf("procs = %v", p.Procs)
+	}
+	if idx, ok := p.ProcEntry("helper"); !ok || idx != 4 {
+		t.Fatalf("helper entry = %d, %v", idx, ok)
+	}
+}
+
+func TestAnnulledBranch(t *testing.T) {
+	src := "cmp %o0,%o1\nbe,a done\nadd %o0,1,%o0\ndone: retl\nnop"
+	p, err := Assemble(src, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Insns[1].Annul || p.Insns[1].Cond != CondE {
+		t.Fatalf("annulled branch: %+v", p.Insns[1])
+	}
+}
+
+func TestEncodeDecodeRoundTripFig1(t *testing.T) {
+	p := assembleFig1(t)
+	for idx, w := range p.Words {
+		insn, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %d: %v", idx, err)
+		}
+		w2, err := Encode(insn)
+		if err != nil {
+			t.Fatalf("encode %d: %v", idx, err)
+		}
+		if w2 != w {
+			t.Errorf("round trip %d: %08x -> %08x", idx, w, w2)
+		}
+	}
+}
+
+// randInsn generates a random encodable instruction.
+func randInsn(r *rand.Rand) Insn {
+	arithOps := []Op{OpAdd, OpAddcc, OpSub, OpSubcc, OpAnd, OpAndcc, OpAndn,
+		OpOr, OpOrcc, OpOrn, OpXor, OpXorcc, OpXnor, OpSll, OpSrl, OpSra,
+		OpUMul, OpSMul, OpUDiv, OpSDiv, OpJmpl, OpSave, OpRestore}
+	memOps := []Op{OpLd, OpLdub, OpLduh, OpLdsb, OpLdsh, OpLdd, OpSt, OpStb, OpSth, OpStd}
+	switch r.Intn(4) {
+	case 0:
+		i := Insn{
+			Op:   OpBranch,
+			Cond: Cond(r.Intn(16)),
+			Disp: int32(r.Intn(1<<20) - 1<<19),
+		}
+		if r.Intn(2) == 0 {
+			i.Annul = true
+		}
+		return i
+	case 1:
+		return Insn{Op: OpCall, Disp: int32(r.Intn(1 << 24))}
+	case 2:
+		return Insn{Op: OpSethi, Rd: Reg(r.Intn(32)), Imm: true,
+			SImm: int32(uint32(r.Intn(1<<22)) << 10)}
+	default:
+		ops := arithOps
+		if r.Intn(2) == 0 {
+			ops = memOps
+		}
+		i := Insn{
+			Op:  ops[r.Intn(len(ops))],
+			Rd:  Reg(r.Intn(32)),
+			Rs1: Reg(r.Intn(32)),
+		}
+		if r.Intn(2) == 0 {
+			i.Imm = true
+			i.SImm = int32(r.Intn(8192) - 4096)
+		} else {
+			i.Rs2 = Reg(r.Intn(32))
+		}
+		return i
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		insn := randInsn(r)
+		w, err := Encode(insn)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", insn, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %08x (%+v): %v", w, insn, err)
+		}
+		got.Line = insn.Line
+		if got != insn {
+			t.Fatalf("round trip:\n in  %+v\n out %+v", insn, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// op=0, op2=0 (UNIMP) is not something we accept.
+	if _, err := Decode(0x00000000); err == nil {
+		t.Error("UNIMP should not decode")
+	}
+	// op=2 with an undefined op3.
+	if _, err := Decode(2<<30 | 0x3f<<19); err == nil {
+		t.Error("undefined op3 should not decode")
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	if _, err := Encode(Insn{Op: OpAdd, Imm: true, SImm: 5000}); err == nil {
+		t.Error("simm13 overflow should fail")
+	}
+	if _, err := Encode(Insn{Op: OpBranch, Cond: CondA, Disp: 1 << 22}); err == nil {
+		t.Error("disp22 overflow should fail")
+	}
+	if _, err := Encode(Insn{Op: OpSethi, Imm: true, SImm: 0x123}); err == nil {
+		t.Error("sethi with low bits should fail")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	p := assembleFig1(t)
+	q, err := FromWords(p.Words, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Insns) != len(p.Insns) {
+		t.Fatalf("FromWords lost instructions")
+	}
+	for i := range q.Insns {
+		a, b := q.Insns[i], p.Insns[i]
+		b.Line = 0
+		if a != b {
+			t.Errorf("insn %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(q.Procs) != 1 || q.Procs[0] != "proc_0" {
+		t.Errorf("procs = %v", q.Procs)
+	}
+}
+
+func TestAddrMapping(t *testing.T) {
+	p := assembleFig1(t)
+	if p.AddrOf(0) != DefaultBase || p.AddrOf(3) != DefaultBase+12 {
+		t.Error("AddrOf wrong")
+	}
+	if idx, ok := p.IndexOf(DefaultBase + 12); !ok || idx != 3 {
+		t.Error("IndexOf wrong")
+	}
+	if _, ok := p.IndexOf(DefaultBase + 2); ok {
+		t.Error("unaligned address should not resolve")
+	}
+	if _, ok := p.IndexOf(DefaultBase + 4*1000); ok {
+		t.Error("out-of-range address should not resolve")
+	}
+}
+
+func TestDisassembleContainsBranchTargets(t *testing.T) {
+	p := assembleFig1(t)
+	d := p.Disassemble()
+	if !strings.Contains(d, "bge @11") || !strings.Contains(d, "bl @5") {
+		t.Errorf("disassembly missing targets:\n%s", d)
+	}
+	if !strings.Contains(d, "ld [%o2+%g2],%g2") {
+		t.Errorf("disassembly missing load:\n%s", d)
+	}
+}
+
+func TestInsnPredicates(t *testing.T) {
+	ld := Insn{Op: OpLd}
+	st := Insn{Op: OpSt}
+	if !ld.IsLoad() || ld.IsStore() || !st.IsStore() || st.IsLoad() {
+		t.Error("load/store predicates wrong")
+	}
+	if ld.MemSize() != 4 || (Insn{Op: OpLdub}).MemSize() != 1 || (Insn{Op: OpSth}).MemSize() != 2 {
+		t.Error("MemSize wrong")
+	}
+	if !(Insn{Op: OpSubcc}).SetsCC() || (Insn{Op: OpSub}).SetsCC() {
+		t.Error("SetsCC wrong")
+	}
+	if !(Insn{Op: OpBranch, Cond: CondA}).IsUncondBranch() {
+		t.Error("IsUncondBranch wrong")
+	}
+}

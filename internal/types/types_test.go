@@ -1,0 +1,239 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroundSizesAndAlignment(t *testing.T) {
+	cases := []struct {
+		ty    *Type
+		size  int
+		align int
+	}{
+		{Int8Type, 1, 1},
+		{UInt8Type, 1, 1},
+		{Int16Type, 2, 2},
+		{UInt16Type, 2, 2},
+		{Int32Type, 4, 4},
+		{UInt32Type, 4, 4},
+		{NewPtr(Int32Type), 4, 4},
+		{NewArrayBase(Int32Type, SymBound("n")), 4, 4},
+	}
+	for _, c := range cases {
+		if c.ty.Size() != c.size {
+			t.Errorf("%s: size = %d, want %d", c.ty, c.ty.Size(), c.size)
+		}
+		if c.ty.Align() != c.align {
+			t.Errorf("%s: align = %d, want %d", c.ty, c.ty.Align(), c.align)
+		}
+	}
+}
+
+func TestGroundByName(t *testing.T) {
+	for name, want := range map[string]*Type{
+		"int": Int32Type, "int32": Int32Type, "char": Int8Type,
+		"uint": UInt32Type, "byte": UInt8Type, "short": Int16Type,
+	} {
+		got, ok := GroundByName(name)
+		if !ok || !got.Equal(want) {
+			t.Errorf("GroundByName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := GroundByName("float"); ok {
+		t.Error("GroundByName(float) should fail")
+	}
+}
+
+func TestMeetPaperRules(t *testing.T) {
+	n := SymBound("n")
+	m := SymBound("m")
+	intArrN := NewArrayBase(Int32Type, n)
+	intArrInN := NewArrayIn(Int32Type, n)
+	intArrM := NewArrayBase(Int32Type, m)
+	intPtr := NewPtr(Int32Type)
+
+	cases := []struct {
+		a, b, want *Type
+		name       string
+	}{
+		{Int32Type, Int32Type, Int32Type, "identical grounds"},
+		{Int32Type, NewAbstract("tid_t", 4, 4), BottomType, "different non-pointers"},
+		{intPtr, NewPtr(Int8Type), BottomType, "different pointers"},
+		{intPtr, Int32Type, BottomType, "pointer with non-pointer"},
+		{intArrN, intArrInN, intArrInN, "t[n] meet t(n] = t(n]"},
+		{intArrInN, intArrN, intArrInN, "t(n] meet t[n] = t(n]"},
+		{intArrN, intArrM, BottomType, "t[n] meet t[m] = bottom"},
+		{intArrInN, NewArrayIn(Int32Type, m), BottomType, "t(n] meet t(m] = bottom"},
+		{TopType, intArrN, intArrN, "top is identity"},
+		{BottomType, intArrN, BottomType, "bottom absorbs"},
+		// Footnote 2 subtyping refinements.
+		{Int8Type, Int32Type, Int8Type, "int8 meet int32 = int8"},
+		{UInt8Type, UInt32Type, UInt8Type, "uint8 meet uint32 = uint8"},
+		{UInt8Type, Int8Type, BottomType, "uint8 meet int8 = bottom"},
+		{UInt8Type, Int32Type, BottomType, "cross-signedness meets to bottom"},
+		{UInt32Type, Int32Type, BottomType, "uint32 meet int32 = bottom"},
+	}
+	for _, c := range cases {
+		if got := Meet(c.a, c.b); !got.Equal(c.want) {
+			t.Errorf("%s: Meet(%s, %s) = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// typeGen draws a random type from a small universe for lattice property
+// tests.
+func typeGen(r *rand.Rand) *Type {
+	n := SymBound("n")
+	universe := []*Type{
+		TopType, BottomType,
+		Int8Type, UInt8Type, Int16Type, UInt16Type, Int32Type, UInt32Type,
+		NewPtr(Int32Type), NewPtr(Int8Type),
+		NewArrayBase(Int32Type, n), NewArrayIn(Int32Type, n),
+		NewArrayBase(Int32Type, ConstBound(16)), NewArrayIn(Int32Type, ConstBound(16)),
+		NewAbstract("mutex", 8, 4),
+		LayoutStruct("thread", []string{"tid", "lwpid", "next"},
+			[]*Type{Int32Type, Int32Type, NewPtr(Int32Type)}),
+	}
+	return universe[r.Intn(len(universe))]
+}
+
+func TestMeetLatticeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	r := rand.New(rand.NewSource(1))
+
+	commutative := func() bool {
+		a, b := typeGen(r), typeGen(r)
+		return Meet(a, b).Equal(Meet(b, a))
+	}
+	if err := quick.Check(func(uint8) bool { return commutative() }, cfg); err != nil {
+		t.Error("meet not commutative:", err)
+	}
+
+	idempotent := func() bool {
+		a := typeGen(r)
+		return Meet(a, a).Equal(a)
+	}
+	if err := quick.Check(func(uint8) bool { return idempotent() }, cfg); err != nil {
+		t.Error("meet not idempotent:", err)
+	}
+
+	associative := func() bool {
+		a, b, c := typeGen(r), typeGen(r), typeGen(r)
+		return Meet(Meet(a, b), c).Equal(Meet(a, Meet(b, c)))
+	}
+	if err := quick.Check(func(uint8) bool { return associative() }, cfg); err != nil {
+		t.Error("meet not associative:", err)
+	}
+
+	lowerBound := func() bool {
+		a, b := typeGen(r), typeGen(r)
+		m := Meet(a, b)
+		return LE(m, a) && LE(m, b)
+	}
+	if err := quick.Check(func(uint8) bool { return lowerBound() }, cfg); err != nil {
+		t.Error("meet not a lower bound:", err)
+	}
+}
+
+func TestLayoutStruct(t *testing.T) {
+	// struct thread { int tid; int lwpid; struct thread *next; }
+	th := LayoutStruct("thread", []string{"tid", "lwpid", "next"},
+		[]*Type{Int32Type, Int32Type, NewPtr(Int32Type)})
+	if th.Size() != 12 || th.Align() != 4 {
+		t.Fatalf("thread size/align = %d/%d, want 12/4", th.Size(), th.Align())
+	}
+	if th.Members[1].Offset != 4 || th.Members[2].Offset != 8 {
+		t.Fatalf("offsets = %v", th.Members)
+	}
+
+	// Padding: struct { char c; int x; short s; } has size 12, align 4.
+	p := LayoutStruct("p", []string{"c", "x", "s"},
+		[]*Type{Int8Type, Int32Type, Int16Type})
+	if p.Size() != 12 || p.Align() != 4 {
+		t.Fatalf("padded size/align = %d/%d, want 12/4", p.Size(), p.Align())
+	}
+	if p.Members[1].Offset != 4 || p.Members[2].Offset != 8 {
+		t.Fatalf("padded offsets = %v", p.Members)
+	}
+}
+
+func TestLookUp(t *testing.T) {
+	th := LayoutStruct("thread", []string{"tid", "lwpid", "next"},
+		[]*Type{Int32Type, Int32Type, NewPtr(Int32Type)})
+
+	fs := LookUp(th, 4, 4)
+	if len(fs) != 1 || fs[0].Path != "lwpid" {
+		t.Fatalf("LookUp(thread, 4, 4) = %v, want [lwpid]", fs)
+	}
+	if fs := LookUp(th, 8, 4); len(fs) != 1 || fs[0].Path != "next" || fs[0].Type.Kind != Ptr {
+		t.Fatalf("LookUp(thread, 8, 4) = %v, want [next ptr]", fs)
+	}
+	if fs := LookUp(th, 2, 4); fs != nil {
+		t.Fatalf("LookUp(thread, 2, 4) = %v, want nil (misaligned)", fs)
+	}
+	if fs := LookUp(th, 0, 2); fs != nil {
+		t.Fatalf("LookUp(thread, 0, 2) = %v, want nil (wrong size)", fs)
+	}
+
+	// Nested aggregate.
+	inner := LayoutStruct("pair", []string{"a", "b"}, []*Type{Int32Type, Int32Type})
+	outer := LayoutStruct("box", []string{"hdr", "p"}, []*Type{Int32Type, inner})
+	fs = LookUp(outer, 8, 4)
+	if len(fs) != 1 || fs[0].Path != "p.b" {
+		t.Fatalf("LookUp(box, 8, 4) = %v, want [p.b]", fs)
+	}
+
+	// Union: both members at offset 0.
+	u := NewUnion("u", []Member{
+		{Label: "i", Type: Int32Type, Offset: 0},
+		{Label: "p", Type: NewPtr(Int32Type), Offset: 0},
+	}, 4, 4)
+	fs = LookUp(u, 0, 4)
+	if len(fs) != 2 {
+		t.Fatalf("LookUp(union, 0, 4) = %v, want two fields", fs)
+	}
+
+	// Scalar lookup of the whole object.
+	fs = LookUp(Int32Type, 0, 4)
+	if len(fs) != 1 || fs[0].Path != "" {
+		t.Fatalf("LookUp(int, 0, 4) = %v", fs)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	n := SymBound("n")
+	cases := map[string]*Type{
+		"int32":      Int32Type,
+		"int32[n]":   NewArrayBase(Int32Type, n),
+		"int32(n]":   NewArrayIn(Int32Type, n),
+		"int32 ptr":  NewPtr(Int32Type),
+		"int32[16]":  NewArrayBase(Int32Type, ConstBound(16)),
+		"struct s":   NewStruct("s", nil, 0, 1),
+		"abstract m": NewAbstract("m", 4, 4),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFuncTypes(t *testing.T) {
+	f := NewFunc([]*Type{Int32Type, NewPtr(Int32Type)}, Int32Type)
+	if !f.IsPointer() {
+		t.Error("function values should be pointer-like (addresses)")
+	}
+	g := NewFunc([]*Type{Int32Type, NewPtr(Int32Type)}, Int32Type)
+	if !f.Equal(g) {
+		t.Error("structurally equal function types should be Equal")
+	}
+	h := NewFunc([]*Type{Int32Type}, nil)
+	if f.Equal(h) {
+		t.Error("different function types should not be Equal")
+	}
+	if got := f.String(); got != "(int32, int32 ptr) -> int32" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,541 @@
+// Package vcgen implements Phase 5 of the safety-checking analysis:
+// verification of the global safety preconditions (Section 5.2). It
+// generates verification conditions by back-substituting each condition
+// through the program — demand-driven, one condition at a time — using
+// weakest liberal preconditions, and discharges them with the
+// linear-constraint prover. Loops are crossed by synthesizing invariants
+// with the induction-iteration method; procedure calls are walked through
+// as if inlined; trusted host calls apply their specified
+// postconditions. Back-substitution over acyclic regions proceeds in
+// backwards topological order with simplification at junction points to
+// control formula growth (Section 5.2.1).
+package vcgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcsafe/internal/annotate"
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
+	"mcsafe/internal/induction"
+	"mcsafe/internal/propagate"
+	"mcsafe/internal/solver"
+)
+
+// Options configures the engine.
+type Options struct {
+	Induction induction.Options
+}
+
+// Stats reports verification effort.
+type Stats struct {
+	Conditions    int
+	Proved        int
+	InductionRuns int
+	CacheHits     int
+}
+
+// CondResult is the verdict for one global safety condition.
+type CondResult struct {
+	Cond   *annotate.GlobalCond
+	Proved bool
+	Detail string
+}
+
+// Engine proves global safety conditions.
+type Engine struct {
+	Res   *propagate.Result
+	P     *solver.Prover
+	Opts  Options
+	Stats Stats
+
+	g          *cfg.Graph
+	fresh      int
+	cache      map[string]bool
+	entryCache map[string]bool
+	crossCache map[string]expr.Formula
+	// entryActive breaks recursion cycles between loop crossings and
+	// their entry checks (a cycle answers false: conservative).
+	entryActive map[string]bool
+}
+
+// New builds an engine over propagation results.
+func New(res *propagate.Result, p *solver.Prover, opts Options) *Engine {
+	return &Engine{Res: res, P: p, Opts: opts, g: res.G,
+		cache:       make(map[string]bool),
+		entryCache:  make(map[string]bool),
+		crossCache:  make(map[string]expr.Formula),
+		entryActive: make(map[string]bool)}
+}
+
+// Prove verifies every global condition, returning per-condition
+// verdicts. Conditions are partitioned into groups of comparable
+// constituents — the bounds checks of one memory access — and each group
+// is first attempted as a single conjunction (the formula-grouping
+// enhancement of Section 5.2.1: the lower bound's invariant protects the
+// upper bound's impossible paths and vice versa), falling back to
+// individual proofs so that a single violation does not mask the rest.
+func (e *Engine) Prove(conds []*annotate.GlobalCond) []CondResult {
+	verdicts := make(map[*annotate.GlobalCond]bool, len(conds))
+
+	// Group bounds conditions per (node, position).
+	type groupKey struct {
+		node  int
+		after bool
+	}
+	groups := map[groupKey][]*annotate.GlobalCond{}
+	for _, c := range conds {
+		if strings.Contains(c.Desc, "bound") {
+			k := groupKey{c.Node, c.AfterNode}
+			groups[k] = append(groups[k], c)
+		}
+	}
+	var groupKeys []groupKey
+	for k := range groups {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool {
+		if groupKeys[i].node != groupKeys[j].node {
+			return groupKeys[i].node < groupKeys[j].node
+		}
+		return !groupKeys[i].after && groupKeys[j].after
+	})
+	for _, k := range groupKeys {
+		group := groups[k]
+		if len(group) < 2 {
+			continue
+		}
+		fs := make([]expr.Formula, len(group))
+		for i, c := range group {
+			fs[i] = c.F
+		}
+		conj := expr.Simplify(expr.Conj(fs...))
+		if e.provedCached(k.node, k.after, conj) {
+			for _, c := range group {
+				verdicts[c] = true
+			}
+		}
+	}
+
+	out := make([]CondResult, 0, len(conds))
+	for _, c := range conds {
+		proved, done := verdicts[c]
+		if !done || !proved {
+			// Bare predicate first: fact-free formulas keep the
+			// invariant chains clean; fall back to assuming the
+			// typestate assertions.
+			proved = e.provedCached(c.Node, c.AfterNode, expr.Simplify(c.F))
+			if !proved {
+				if _, noFacts := c.Facts.(expr.TrueF); !noFacts {
+					proved = e.provedCached(c.Node, c.AfterNode,
+						expr.Simplify(expr.Implies(c.Facts, c.F)))
+				}
+			}
+		}
+		e.Stats.Conditions++
+		detail := ""
+		if proved {
+			e.Stats.Proved++
+		} else {
+			detail = "cannot establish " + c.F.String()
+		}
+		out = append(out, CondResult{Cond: c, Proved: proved, Detail: detail})
+	}
+	return out
+}
+
+// provedCached runs proveAt through the per-query cache.
+func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
+	key := fmt.Sprintf("%d|%v|%s", node, after, f)
+	if v, ok := e.cache[key]; ok {
+		e.Stats.CacheHits++
+		return v
+	}
+	v := e.proveAt(node, after, f)
+	e.cache[key] = v
+	return v
+}
+
+// point context: a formula required before a node, in all executions.
+
+// simplify applies syntactic simplification plus quantifier pruning (a
+// sound strengthening; see solver.PruneQuant).
+func (e *Engine) simplify(f expr.Formula) expr.Formula {
+	return expr.Simplify(e.P.PruneQuant(expr.Simplify(f)))
+}
+
+// proveAt proves that f holds before (or after) node in every execution.
+func (e *Engine) proveAt(node int, after bool, f expr.Formula) bool {
+	if after {
+		f = e.wlpInsn(node, f)
+	}
+	f = e.simplify(f)
+	if _, isTrue := f.(expr.TrueF); isTrue {
+		return true
+	}
+	if l := e.g.InnermostLoop(node); l != nil {
+		return e.proveInLoop(l, node, f)
+	}
+	proc := e.g.ProcOf(node)
+	g := e.passRegion(region{proc: proc}, map[int]expr.Formula{node: f}, nil, nil, expr.T())
+	return e.proveAtProcEntry(proc, g)
+}
+
+// proveInLoop runs induction iteration for a condition at a node inside a
+// natural loop (Section 5.2.2's worked example).
+func (e *Engine) proveInLoop(l *cfg.Loop, node int, f expr.Formula) bool {
+	e.Stats.InductionRuns++
+	proc := e.g.ProcOf(node)
+	reg := region{proc: proc, loop: l}
+	hooks := induction.Hooks{
+		First: func(back expr.Formula) expr.Formula {
+			return e.passRegion(reg, map[int]expr.Formula{node: f}, nil, nil, back)
+		},
+		Next: func(back expr.Formula) expr.Formula {
+			return e.passRegion(reg, nil, nil, nil, back)
+		},
+		OnEntry: func(w expr.Formula) bool {
+			return e.proveAtLoopEntry(l, w)
+		},
+		ModifiedVars: e.modifiedVars(l),
+	}
+	_, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	return ok
+}
+
+// proveAtLoopEntry proves that w holds at the loop's header whenever the
+// loop is entered from outside.
+func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
+	w = expr.Simplify(w)
+	if _, isTrue := w.(expr.TrueF); isTrue {
+		return true
+	}
+	key := fmt.Sprintf("%d|%s", l.Header, w)
+	if v, ok := e.entryCache[key]; ok {
+		return v
+	}
+	if e.entryActive[key] {
+		return false
+	}
+	e.entryActive[key] = true
+	v := e.proveAtLoopEntryUncached(l, w)
+	delete(e.entryActive, key)
+	e.entryCache[key] = v
+	return v
+}
+
+func (e *Engine) proveAtLoopEntryUncached(l *cfg.Loop, w expr.Formula) bool {
+	proc := e.g.ProcOf(l.Header)
+	entryTargets := map[*cfg.Loop]expr.Formula{l: w}
+	if l.Parent == nil {
+		g := e.passRegion(region{proc: proc}, nil, entryTargets, nil, expr.T())
+		return e.proveAtProcEntry(proc, g)
+	}
+	// The loop entry lies inside the parent loop: synthesize at the
+	// parent level (the nested-loop enhancement of Section 5.2.1).
+	parent := l.Parent
+	e.Stats.InductionRuns++
+	reg := region{proc: proc, loop: parent}
+	hooks := induction.Hooks{
+		First: func(back expr.Formula) expr.Formula {
+			return e.passRegion(reg, nil, entryTargets, nil, back)
+		},
+		Next: func(back expr.Formula) expr.Formula {
+			return e.passRegion(reg, nil, nil, nil, back)
+		},
+		OnEntry: func(wi expr.Formula) bool {
+			return e.proveAtLoopEntry(parent, wi)
+		},
+		ModifiedVars: e.modifiedVars(parent),
+	}
+	_, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	return ok
+}
+
+// proveAtProcEntry discharges a formula required at a procedure's entry:
+// against the initial annotations for the program's entry procedure, and
+// at every call site otherwise (Section 5.2.1: "when we reach the entry
+// of a procedure, we check that the conditions are true at each
+// call site").
+func (e *Engine) proveAtProcEntry(proc *cfg.Proc, g expr.Formula) bool {
+	g = expr.Simplify(g)
+	if _, isTrue := g.(expr.TrueF); isTrue {
+		return true
+	}
+	if proc.Index == e.g.EntryProc {
+		return e.P.Valid(expr.Implies(e.Res.Ini.Constraints, g))
+	}
+	sites := e.sitesCalling(proc.Index)
+	if len(sites) == 0 {
+		// Never called: vacuously true.
+		return true
+	}
+	for _, site := range sites {
+		if !e.proveAt(site.DelayNode, true, g) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) sitesCalling(procIdx int) []*cfg.CallSite {
+	var out []*cfg.CallSite
+	for _, s := range e.g.Sites {
+		if s.Callee == procIdx {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// maxFormulaSize bounds per-point formulas during back-substitution.
+const maxFormulaSize = 20000
+
+// region identifies a back-substitution region: a whole procedure body
+// (loop == nil) or one natural loop.
+type region struct {
+	proc *cfg.Proc
+	loop *cfg.Loop
+}
+
+func (r region) contains(g *cfg.Graph, id int) bool {
+	if g.Nodes[id].Proc != r.proc.Index {
+		return false
+	}
+	if r.loop != nil {
+		return r.loop.Contains(id)
+	}
+	return true
+}
+
+// passRegion back-substitutes over one region in backwards topological
+// order, returning the formula required at the region's entry (the
+// procedure entry, or the loop header when entered from outside).
+//
+//   - targets: formulas required before given nodes;
+//   - loopEntryTargets: formulas required on entry to given child loops;
+//   - exitCont: continuation formulas for edges leaving the region (nil
+//     means no requirement, i.e. true) — used when the region is an
+//     inner loop crossed during an enclosing pass;
+//   - back: the contribution of the region's back edges (loops only).
+func (e *Engine) passRegion(
+	r region,
+	targets map[int]expr.Formula,
+	loopEntryTargets map[*cfg.Loop]expr.Formula,
+	exitCont func(to int) expr.Formula,
+	back expr.Formula,
+) expr.Formula {
+	A := map[int]expr.Formula{}
+	entryOf := map[*cfg.Loop]expr.Formula{}
+
+	// contFor yields the formula required at the point just before y,
+	// as seen from an edge x->y inside the region.
+	var contFor func(y int) expr.Formula
+	contFor = func(y int) expr.Formula {
+		if r.loop != nil && y == r.loop.Header {
+			return back
+		}
+		if !r.contains(e.g, y) {
+			if exitCont != nil {
+				return exitCont(y)
+			}
+			return expr.T()
+		}
+		// Child loop?
+		inner := e.g.InnermostLoop(y)
+		if inner != nil && inner != r.loop {
+			c := e.childLoopOf(r, inner)
+			if c != nil {
+				if f, ok := entryOf[c]; ok {
+					return f
+				}
+				f := e.crossLoopEntry(r, c, targets, loopEntryTargets, exitCont, back, contFor)
+				entryOf[c] = f
+				return f
+			}
+		}
+		if f, ok := A[y]; ok {
+			return f
+		}
+		return expr.T()
+	}
+
+	// Process the procedure's RPO in reverse; skip nodes outside the
+	// region or inside child loops (they are crossed as a unit).
+	rpo := r.proc.RPO
+	var entryFormula expr.Formula = expr.T()
+	for i := len(rpo) - 1; i >= 0; i-- {
+		x := rpo[i]
+		if !r.contains(e.g, x) {
+			continue
+		}
+		if inner := e.g.InnermostLoop(x); inner != nil && inner != r.loop {
+			continue // member of a child loop
+		}
+		after := e.succFormula(x, contFor)
+		f := e.wlpInsn(x, after)
+		if t, ok := targets[x]; ok {
+			f = expr.Conj(t, f)
+		}
+		f = e.simplify(f)
+		if expr.Size(f) > maxFormulaSize {
+			// Conservative safety valve against formula blow-up: a
+			// stronger (false) requirement can only make the proof
+			// fail, never accept an unsafe program.
+			f = expr.F()
+		}
+		A[x] = f
+	}
+
+	if r.loop != nil {
+		// The header is always a direct member of its own loop.
+		if f, ok := A[r.loop.Header]; ok {
+			return f
+		}
+		return expr.T()
+	}
+	// The procedure entry may itself sit inside a loop (a loop starting
+	// at the first instruction); contFor handles both cases.
+	entryFormula = contFor(r.proc.Entry)
+	return entryFormula
+}
+
+// succFormula combines the successor contributions of node x into the
+// formula required just after x executes. When both legs of a
+// conditional branch require the same formula, the guard is dropped —
+// the junction-point simplification that keeps formulas from doubling
+// at every branch (Section 5.2.1, fifth enhancement).
+func (e *Engine) succFormula(x int, contFor func(int) expr.Formula) expr.Formula {
+	node := e.g.Nodes[x]
+	type leg struct {
+		guard, cont expr.Formula
+	}
+	var legs []leg
+	for _, edge := range e.g.IntraSuccs(x) {
+		var cont expr.Formula
+		if edge.Kind == cfg.EdgeSummary {
+			site := e.g.Sites[edge.Site]
+			retCont := contFor(edge.To)
+			if site.TrustedName != "" {
+				cont = e.crossTrusted(site, retCont)
+			} else {
+				cont = e.crossCallee(site, retCont)
+			}
+		} else {
+			cont = contFor(edge.To)
+		}
+		legs = append(legs, leg{guard: e.edgeGuard(node, edge), cont: cont})
+	}
+	if len(legs) == 2 {
+		if _, g0True := legs[0].guard.(expr.TrueF); !g0True {
+			if legs[0].cont.String() == legs[1].cont.String() {
+				return legs[0].cont
+			}
+		}
+	}
+	terms := make([]expr.Formula, len(legs))
+	for i, l := range legs {
+		terms[i] = expr.Implies(l.guard, l.cont)
+	}
+	return expr.Conj(terms...)
+}
+
+// childLoopOf walks up from an innermost loop to the direct child of the
+// region.
+func (e *Engine) childLoopOf(r region, inner *cfg.Loop) *cfg.Loop {
+	c := inner
+	for c != nil && c.Parent != r.loop {
+		c = c.Parent
+	}
+	return c
+}
+
+// crossLoopEntry computes the formula required on entry to child loop c:
+// either an explicit loop-entry target, or the invariant synthesized to
+// carry the continuation formulas across the loop (the inner-loop
+// treatment of Section 5.2.1).
+func (e *Engine) crossLoopEntry(
+	r region,
+	c *cfg.Loop,
+	targets map[int]expr.Formula,
+	loopEntryTargets map[*cfg.Loop]expr.Formula,
+	exitCont func(int) expr.Formula,
+	back expr.Formula,
+	outerCont func(int) expr.Formula,
+) expr.Formula {
+	if f, ok := loopEntryTargets[c]; ok {
+		// Entering c is itself the target; requirements beyond do not
+		// constrain this query.
+		return f
+	}
+	// Are there any targets inside c? (They would have been the
+	// proveInLoop case; during crossing we only carry continuations.)
+	e.Stats.InductionRuns++
+	inner := region{proc: r.proc, loop: c}
+	// Materialize the exit continuations so the crossing can be cached:
+	// identical continuations (common across chain iterations of the
+	// enclosing synthesis) reuse the synthesized invariant.
+	exitVals := map[int]expr.Formula{}
+	for _, x := range c.Exits {
+		if _, ok := exitVals[x.To]; !ok {
+			exitVals[x.To] = outerCont(x.To)
+		}
+	}
+	key := fmt.Sprintf("cross|%d", c.Header)
+	{
+		ids := make([]int, 0, len(exitVals))
+		for id := range exitVals {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			key += fmt.Sprintf("|%d=%s", id, exitVals[id])
+		}
+		tids := make([]int, 0, len(targets))
+		for n := range targets {
+			tids = append(tids, n)
+		}
+		sort.Ints(tids)
+		for _, n := range tids {
+			key += fmt.Sprintf("|t%d=%s", n, targets[n])
+		}
+		lids := make([]int, 0, len(loopEntryTargets))
+		byHeader := map[int]expr.Formula{}
+		for l2, f := range loopEntryTargets {
+			lids = append(lids, l2.Header)
+			byHeader[l2.Header] = f
+		}
+		sort.Ints(lids)
+		for _, h := range lids {
+			key += fmt.Sprintf("|l%d=%s", h, byHeader[h])
+		}
+	}
+	if inv, ok := e.crossCache[key]; ok {
+		return inv
+	}
+	exitFn := func(to int) expr.Formula {
+		if f, ok := exitVals[to]; ok {
+			return f
+		}
+		// An exit of c lands back in the outer region (or beyond).
+		return outerCont(to)
+	}
+	hooks := induction.Hooks{
+		First: func(b expr.Formula) expr.Formula {
+			return e.passRegion(inner, targets, loopEntryTargets, exitFn, b)
+		},
+		Next: func(b expr.Formula) expr.Formula {
+			return e.passRegion(inner, targets, loopEntryTargets, exitFn, b)
+		},
+		ModifiedVars: e.modifiedVars(c),
+	}
+	res, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	inv := expr.F()
+	if ok {
+		inv = res.Invariant
+	}
+	e.crossCache[key] = inv
+	return inv
+}

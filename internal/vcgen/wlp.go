@@ -1,0 +1,534 @@
+package vcgen
+
+import (
+	"fmt"
+	"sort"
+
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+)
+
+// freshVar mints a havoc variable: a value the analysis knows nothing
+// about.
+func (e *Engine) freshVar(hint string) expr.Var {
+	e.fresh++
+	return expr.Var(fmt.Sprintf("$h%d.%s", e.fresh, hint))
+}
+
+// havoc replaces a variable by a universally quantified fresh one:
+// wlp(x := unknown, Q) = ∀v. Q[x ← v]. The universal closure matters when
+// the resulting formula is used as a hypothesis (e.g. W(i) chains in
+// induction iteration over values loaded from summary locations).
+func (e *Engine) havoc(f expr.Formula, v expr.Var, hint string) expr.Formula {
+	free := map[expr.Var]bool{}
+	f.FreeVars(free)
+	if !free[v] {
+		return f
+	}
+	nv := e.freshVar(hint)
+	return expr.Forall{V: nv, F: f.Subst(v, expr.V(nv))}
+}
+
+// havocAll applies havoc over a set of variables.
+func (e *Engine) havocAll(f expr.Formula, vars []expr.Var, hint string) expr.Formula {
+	for _, v := range vars {
+		f = e.havoc(f, v, hint)
+	}
+	return f
+}
+
+// closeFresh universally closes f over the given fresh variables (those
+// actually occurring free). Used after a parallel SubstAll that mapped
+// clobbered variables to fresh ones.
+func closeFresh(f expr.Formula, vars []expr.Var) expr.Formula {
+	free := map[expr.Var]bool{}
+	f.FreeVars(free)
+	for _, v := range vars {
+		if free[v] {
+			f = expr.Forall{V: v, F: f}
+		}
+	}
+	return f
+}
+
+// regLin is the linear expression for a register's value at a window
+// depth (%g0 reads as the constant 0).
+func regLin(r sparc.Reg, depth int) expr.LinExpr {
+	if r == sparc.G0 {
+		return expr.Constant(0)
+	}
+	return expr.V(policy.RegVar(r, depth))
+}
+
+// opndLin is the linear expression of a format-3 second operand.
+func opndLin(insn sparc.Insn, depth int) expr.LinExpr {
+	if insn.Imm {
+		return expr.Constant(int64(insn.SImm))
+	}
+	return regLin(insn.Rs2, depth)
+}
+
+// linearResult computes the destination value of an arithmetic
+// instruction as a linear expression, when it is one.
+func linearResult(insn sparc.Insn, depth int) (expr.LinExpr, bool) {
+	a := regLin(insn.Rs1, depth)
+	b := opndLin(insn, depth)
+	aConst, aIsConst := a.IsConst()
+	bConst, bIsConst := b.IsConst()
+	switch insn.Op {
+	case sparc.OpAdd, sparc.OpAddcc, sparc.OpSave, sparc.OpRestore:
+		return a.Add(b), true
+	case sparc.OpSub, sparc.OpSubcc:
+		return a.Sub(b), true
+	case sparc.OpOr, sparc.OpOrcc, sparc.OpXor, sparc.OpXorcc:
+		// Identity cases only: x|0 = x^0 = x.
+		if aIsConst && aConst == 0 {
+			return b, true
+		}
+		if bIsConst && bConst == 0 {
+			return a, true
+		}
+		if aIsConst && bIsConst {
+			if insn.Op == sparc.OpOr || insn.Op == sparc.OpOrcc {
+				return expr.Constant(aConst | bConst), true
+			}
+			return expr.Constant(aConst ^ bConst), true
+		}
+		return expr.LinExpr{}, false
+	case sparc.OpAnd, sparc.OpAndcc:
+		if (aIsConst && aConst == 0) || (bIsConst && bConst == 0) {
+			return expr.Constant(0), true
+		}
+		if aIsConst && bIsConst {
+			return expr.Constant(aConst & bConst), true
+		}
+		return expr.LinExpr{}, false
+	case sparc.OpSll:
+		if bIsConst && bConst >= 0 && bConst < 31 {
+			return a.Scale(1 << uint(bConst)), true
+		}
+		return expr.LinExpr{}, false
+	case sparc.OpSMul, sparc.OpUMul:
+		if bIsConst {
+			return a.Scale(bConst), true
+		}
+		if aIsConst {
+			return b.Scale(aConst), true
+		}
+		return expr.LinExpr{}, false
+	case sparc.OpSethi:
+		return expr.Constant(int64(insn.SImm)), true
+	}
+	return expr.LinExpr{}, false
+}
+
+// wlpInsn computes wlp(insn, f): the weakest liberal precondition of one
+// instruction occurrence with respect to a postcondition (Section 5.2.1;
+// loads and stores follow Morris's general axiom of assignment, resolved
+// through the abstract locations computed by typestate propagation).
+func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
+	node := e.g.Nodes[id]
+	insn := node.Insn
+	d := node.Depth
+
+	switch {
+	case insn.Op == sparc.OpBranch:
+		return f // guards are applied on edges
+
+	case insn.Op == sparc.OpCall:
+		// The call writes the return address into %o7.
+		return e.havoc(f, policy.RegVar(sparc.O7, d), "o7")
+
+	case insn.Op == sparc.OpJmpl:
+		return f
+
+	case insn.Op == sparc.OpSave:
+		// New-window variables become functions of the old window:
+		// %i[k]@d+1 = %o[k]@d, the new %sp is computed, and the new
+		// locals/outs are unconstrained.
+		sub := map[expr.Var]expr.LinExpr{}
+		var fresh []expr.Var
+		mkFresh := func(hint string) expr.LinExpr {
+			v := e.freshVar(hint)
+			fresh = append(fresh, v)
+			return expr.V(v)
+		}
+		for k := sparc.Reg(0); k < 8; k++ {
+			sub[policy.RegVar(24+k, d+1)] = regLin(8+k, d)
+			sub[policy.RegVar(16+k, d+1)] = mkFresh("l")
+			if 8+k != insn.Rd {
+				sub[policy.RegVar(8+k, d+1)] = mkFresh("o")
+			}
+		}
+		if res, ok := linearResult(insn, d); ok {
+			sub[policy.RegVar(insn.Rd, d+1)] = res
+		} else {
+			sub[policy.RegVar(insn.Rd, d+1)] = mkFresh("sp")
+		}
+		return closeFresh(expr.SubstAll(f, sub), fresh)
+
+	case insn.Op == sparc.OpRestore:
+		if insn.Rd == sparc.G0 {
+			return f
+		}
+		if res, ok := linearResult(insn, d); ok {
+			return f.Subst(policy.RegVar(insn.Rd, d-1), res)
+		}
+		return e.havoc(f, policy.RegVar(insn.Rd, d-1), "r")
+
+	case insn.IsLoad():
+		return e.wlpLoad(id, f)
+
+	case insn.IsStore():
+		return e.wlpStore(id, f)
+	}
+
+	// Arithmetic (including cc-setting and sethi).
+	sub := map[expr.Var]expr.LinExpr{}
+	var fresh []expr.Var
+	mkFresh := func(hint string) expr.LinExpr {
+		v := e.freshVar(hint)
+		fresh = append(fresh, v)
+		return expr.V(v)
+	}
+	if insn.Rd != sparc.G0 {
+		if res, ok := linearResult(insn, d); ok {
+			sub[policy.RegVar(insn.Rd, d)] = res
+		} else {
+			sub[policy.RegVar(insn.Rd, d)] = mkFresh("v")
+		}
+	}
+	if insn.SetsCC() {
+		switch insn.Op {
+		case sparc.OpSubcc:
+			// cmp a,b: branches compare a against b.
+			sub[policy.ICCA] = regLin(insn.Rs1, d)
+			sub[policy.ICCB] = opndLin(insn, d)
+		case sparc.OpAddcc:
+			sub[policy.ICCA] = regLin(insn.Rs1, d).Add(opndLin(insn, d))
+			sub[policy.ICCB] = expr.Constant(0)
+		case sparc.OpOrcc:
+			// tst: orcc %g0,rs,%g0 compares rs against 0.
+			if res, ok := linearResult(insn, d); ok {
+				sub[policy.ICCA] = res
+				sub[policy.ICCB] = expr.Constant(0)
+			} else {
+				sub[policy.ICCA] = mkFresh("icc")
+				sub[policy.ICCB] = mkFresh("icc")
+			}
+		case sparc.OpAndcc:
+			// andcc rs,mask,%g0 with mask = 2^k - 1 tests divisibility
+			// of rs by 2^k; rewrite equality tests on the ghosts into
+			// divisibility atoms before substituting.
+			if insn.Imm && insn.SImm > 0 && (insn.SImm&(insn.SImm+1)) == 0 {
+				f = e.rewriteICCMask(f, int64(insn.SImm)+1, regLin(insn.Rs1, d))
+				// Any remaining icc occurrences were havocked by the
+				// rewrite; nothing further to substitute.
+			} else {
+				sub[policy.ICCA] = mkFresh("icc")
+				sub[policy.ICCB] = mkFresh("icc")
+			}
+		default:
+			sub[policy.ICCA] = mkFresh("icc")
+			sub[policy.ICCB] = mkFresh("icc")
+		}
+	}
+	if len(sub) == 0 {
+		return f
+	}
+	return closeFresh(expr.SubstAll(f, sub), fresh)
+}
+
+// rewriteICCMask rewrites atoms over the icc ghosts produced by branch
+// guards after an andcc rs,2^k-1 test: (iccA - iccB = 0) becomes
+// (2^k | rs); any other icc-mentioning atom is havocked.
+func (e *Engine) rewriteICCMask(f expr.Formula, m int64, rs expr.LinExpr) expr.Formula {
+	var walk func(g expr.Formula) expr.Formula
+	hA := e.freshVar("icc")
+	hB := e.freshVar("icc")
+	havocA := expr.V(hA)
+	havocB := expr.V(hB)
+	walk = func(g expr.Formula) expr.Formula {
+		switch h := g.(type) {
+		case expr.AtomF:
+			ca := h.A.E.CoefOf(policy.ICCA)
+			cb := h.A.E.CoefOf(policy.ICCB)
+			if ca == 0 && cb == 0 {
+				return g
+			}
+			rest := h.A.E.Sub(expr.Term(ca, policy.ICCA)).Sub(expr.Term(cb, policy.ICCB))
+			if restC, isConst := rest.IsConst(); isConst && restC == 0 &&
+				h.A.Kind == expr.EQ && ca == -cb && (ca == 1 || ca == -1) {
+				return expr.Divides(m, rs)
+			}
+			return expr.AtomF{A: expr.Atom{Kind: h.A.Kind, M: h.A.M,
+				E: h.A.E.Subst(policy.ICCA, havocA).Subst(policy.ICCB, havocB)}}
+		case expr.Not:
+			return expr.Negate(walk(h.F))
+		case expr.And:
+			fs := make([]expr.Formula, len(h.Fs))
+			for i, sf := range h.Fs {
+				fs[i] = walk(sf)
+			}
+			return expr.Conj(fs...)
+		case expr.Or:
+			fs := make([]expr.Formula, len(h.Fs))
+			for i, sf := range h.Fs {
+				fs[i] = walk(sf)
+			}
+			return expr.Disj(fs...)
+		case expr.Impl:
+			return expr.Implies(walk(h.A), walk(h.B))
+		case expr.Forall:
+			return expr.Forall{V: h.V, F: walk(h.F)}
+		case expr.Exists:
+			return expr.Exists{V: h.V, F: walk(h.F)}
+		}
+		return g
+	}
+	return closeFresh(walk(f), []expr.Var{hA, hB})
+}
+
+// wlpLoad: rd receives the value of one of the target locations; the
+// postcondition must hold for every possibility. Summary locations have
+// no single value and havoc the destination.
+func (e *Engine) wlpLoad(id int, f expr.Formula) expr.Formula {
+	node := e.g.Nodes[id]
+	acc := e.Res.Mem[id]
+	rd := policy.RegVar(node.Insn.Rd, node.Depth)
+	if node.Insn.Rd == sparc.G0 {
+		return f
+	}
+	if acc == nil || len(acc.Targets) == 0 {
+		return e.havoc(f, rd, "ld")
+	}
+	var terms []expr.Formula
+	for _, t := range acc.Targets {
+		if t.Summary {
+			terms = append(terms, e.havoc(f, rd, "elt"))
+		} else {
+			terms = append(terms, f.Subst(rd, expr.V(policy.ValVar(t.Loc))))
+		}
+	}
+	return expr.Conj(terms...)
+}
+
+// wlpStore: Morris's general axiom of assignment over the abstract
+// target set: the postcondition must hold whichever target the store
+// actually updates; stores to summary locations havoc the location.
+func (e *Engine) wlpStore(id int, f expr.Formula) expr.Formula {
+	node := e.g.Nodes[id]
+	acc := e.Res.Mem[id]
+	if acc == nil || len(acc.Targets) == 0 {
+		return f
+	}
+	src := regLin(node.Insn.Rd, node.Depth)
+	var terms []expr.Formula
+	for _, t := range acc.Targets {
+		v := policy.ValVar(t.Loc)
+		if t.Summary {
+			terms = append(terms, e.havoc(f, v, "sum"))
+		} else {
+			terms = append(terms, f.Subst(v, src))
+		}
+	}
+	return expr.Conj(terms...)
+}
+
+// edgeGuard is the branch condition contributed by a CFG edge, expressed
+// over the icc ghost pair. Unsigned conditions contribute no information
+// (the sound direction); the evaluation programs use signed comparisons,
+// as gcc emits for int arithmetic.
+func (e *Engine) edgeGuard(node *cfg.Node, edge cfg.Edge) expr.Formula {
+	if node.Insn.Op != sparc.OpBranch {
+		return expr.T()
+	}
+	cond := condFormula(node.Insn.Cond)
+	if cond == nil {
+		return expr.T()
+	}
+	switch edge.Kind {
+	case cfg.EdgeTaken:
+		return cond
+	case cfg.EdgeFall:
+		return expr.Negate(cond)
+	}
+	return expr.T()
+}
+
+// condFormula maps a branch condition to a constraint over (iccA, iccB),
+// the comparands recorded by the last cc-setting instruction. It returns
+// nil for conditions that carry no linear information.
+func condFormula(c sparc.Cond) expr.Formula {
+	a := expr.V(policy.ICCA)
+	b := expr.V(policy.ICCB)
+	switch c {
+	case sparc.CondA, sparc.CondN:
+		return nil
+	case sparc.CondE:
+		return expr.EqExpr(a, b)
+	case sparc.CondNE:
+		return expr.NeExpr(a, b)
+	case sparc.CondL, sparc.CondNEG:
+		return expr.LtExpr(a, b)
+	case sparc.CondLE:
+		return expr.LeExpr(a, b)
+	case sparc.CondG:
+		return expr.GtExpr(a, b)
+	case sparc.CondGE, sparc.CondPOS:
+		return expr.GeExpr(a, b)
+	}
+	return nil
+}
+
+// crossTrusted models a trusted host call during back-substitution: the
+// caller-saved registers are clobbered, and the function's declared
+// postcondition may be assumed about the clobbered state.
+func (e *Engine) crossTrusted(site *cfg.CallSite, retCont expr.Formula) expr.Formula {
+	depth := e.g.Nodes[site.DelayNode].Depth
+	sub := map[expr.Var]expr.LinExpr{}
+	var fresh []expr.Var
+	mkFresh := func(hint string) expr.LinExpr {
+		v := e.freshVar(hint)
+		fresh = append(fresh, v)
+		return expr.V(v)
+	}
+	for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13} { // %o0-%o5
+		sub[policy.RegVar(r, depth)] = mkFresh("call")
+	}
+	for _, r := range []sparc.Reg{1, 2, 3, 4, 5} { // %g1-%g5
+		sub[policy.RegVar(r, depth)] = mkFresh("call")
+	}
+	sub[policy.ICCA] = mkFresh("icc")
+	sub[policy.ICCB] = mkFresh("icc")
+
+	cont := expr.SubstAll(retCont, sub)
+	tf := e.Res.Ini.Spec.Trusted[site.TrustedName]
+	if tf == nil {
+		return closeFresh(cont, fresh)
+	}
+	if _, isTrue := tf.Post.(expr.TrueF); !isTrue {
+		// The postcondition speaks about the post-call registers:
+		// rename to the same fresh variables.
+		post := expr.SubstAll(renameRegsToDepth(tf.Post, depth), sub)
+		cont = expr.Implies(post, cont)
+	}
+	return closeFresh(cont, fresh)
+}
+
+// renameRegsToDepth rewrites entry-window register variables in a policy
+// formula to a window depth.
+func renameRegsToDepth(f expr.Formula, depth int) expr.Formula {
+	if depth == 0 {
+		return f
+	}
+	sub := map[expr.Var]expr.LinExpr{}
+	for _, v := range expr.FreeVarsOf(f) {
+		if len(v) >= 2 && v[0] == '%' {
+			r, err := sparc.ParseReg(string(v))
+			if err == nil && !r.IsGlobal() {
+				sub[v] = expr.V(policy.RegVar(r, depth))
+			}
+		}
+	}
+	return expr.SubstAll(f, sub)
+}
+
+// crossCallee walks through the body of an internal callee as though it
+// were inlined at the call site (Section 5.2.1), returning the formula
+// required just before the callee's entry for retCont to hold at the
+// call site's return point.
+func (e *Engine) crossCallee(site *cfg.CallSite, retCont expr.Formula) expr.Formula {
+	callee := e.g.Procs[site.Callee]
+	// The callee's return nodes are the delay slots of its returning
+	// jmpl instructions. retCont must hold after each of them, on the
+	// exit that returns to this site.
+	retCont = expr.Simplify(retCont)
+	targets := map[int]expr.Formula{}
+	for _, ret := range callee.Returns {
+		targets[ret] = e.wlpInsn(ret, retCont)
+	}
+	// Requirements at the return-delay nodes are "before node" targets
+	// after taking the node's own wlp; passRegion conjoins targets
+	// before applying wlp again, so instead pass a wrapper: mark the
+	// requirement after the node by pre-applying its wlp and attaching
+	// it before the node would double-apply. To keep the pass uniform
+	// we attach the post-wlp formula as a target at the node and make
+	// the node's own contribution vacuous by relying on the fact that a
+	// return delay slot has no intraprocedural successors (its only
+	// edges are return edges, which IntraSuccs drops).
+	return e.passRegion(region{proc: callee}, targets, nil, nil, expr.T())
+}
+
+// modifiedVars collects the variables assigned anywhere in a loop body —
+// the targets the generalization heuristic may eliminate.
+func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
+	seen := map[expr.Var]bool{}
+	var out []expr.Var
+	add := func(v expr.Var) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	ids := make([]int, 0, len(l.Body))
+	for id := range l.Body {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		node := e.g.Nodes[id]
+		insn := node.Insn
+		d := node.Depth
+		if insn.SetsCC() {
+			add(policy.ICCA)
+			add(policy.ICCB)
+		}
+		switch {
+		case insn.Op == sparc.OpCall:
+			add(policy.RegVar(sparc.O7, d))
+			if site := e.siteByCall(id); site != nil && site.TrustedName != "" {
+				for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5} {
+					add(policy.RegVar(r, d))
+				}
+				add(policy.ICCA)
+				add(policy.ICCB)
+			}
+		case insn.Op == sparc.OpSave:
+			for k := sparc.Reg(8); k < 32; k++ {
+				add(policy.RegVar(k, d+1))
+			}
+		case insn.Op == sparc.OpRestore:
+			if insn.Rd != sparc.G0 {
+				add(policy.RegVar(insn.Rd, d-1))
+			}
+		case insn.IsStore():
+			if acc := e.Res.Mem[id]; acc != nil {
+				for _, t := range acc.Targets {
+					add(policy.ValVar(t.Loc))
+				}
+			}
+		case insn.IsLoad():
+			if insn.Rd != sparc.G0 {
+				add(policy.RegVar(insn.Rd, d))
+			}
+		case insn.Op == sparc.OpBranch || insn.Op == sparc.OpJmpl:
+		default:
+			if insn.Rd != sparc.G0 {
+				add(policy.RegVar(insn.Rd, d))
+			}
+		}
+	}
+	return out
+}
+
+func (e *Engine) siteByCall(id int) *cfg.CallSite {
+	for _, s := range e.g.Sites {
+		if s.CallNode == id {
+			return s
+		}
+	}
+	return nil
+}

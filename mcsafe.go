@@ -1,0 +1,188 @@
+// Package mcsafe is the public API of the machine-code safety checker: a
+// reproduction of "Safety Checking of Machine Code" (Xu, Miller, Reps;
+// PLDI 2000). It statically determines whether untrusted SPARC machine
+// code is safe to load into a trusted host, given typestate annotations
+// and linear constraints on the initial inputs and a host-specified
+// access policy.
+//
+// The typical flow:
+//
+//	spec, err := mcsafe.ParseSpec(specText)
+//	prog, err := mcsafe.Assemble(asmText, spec, "entry")
+//	res, err := mcsafe.Check(prog, spec)
+//	if res.Safe { ... } else { for _, v := range res.Violations { ... } }
+//
+// Programs may also be supplied as raw machine words plus a loader
+// symbol table via FromWords — the checker itself consumes only the
+// decoded binary.
+package mcsafe
+
+import (
+	"fmt"
+
+	"mcsafe/internal/core"
+	"mcsafe/internal/induction"
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+)
+
+// Spec is a parsed host specification: the host-typestate specification
+// (data and control aspects), the invocation specification, and the
+// safety policy (Section 2 of the paper).
+type Spec struct {
+	spec *policy.Spec
+}
+
+// ParseSpec parses the policy/specification language. See the README for
+// the grammar and internal/progs for thirteen worked examples.
+func ParseSpec(src string) (*Spec, error) {
+	s, err := policy.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{spec: s}, nil
+}
+
+// Program is untrusted machine code: SPARC machine words plus the side
+// tables a loader supplies (symbols and data-symbol addresses).
+type Program struct {
+	prog *sparc.Program
+}
+
+// Assemble builds a Program from SPARC assembly text. The spec supplies
+// data-symbol addresses for "set sym,%reg" address formation; it may be
+// nil. The entry label may be empty (execution starts at the first
+// instruction).
+func Assemble(src string, spec *Spec, entry string) (*Program, error) {
+	var dataSyms map[string]uint32
+	var externs map[string]bool
+	if spec != nil {
+		dataSyms = spec.spec.DataSyms()
+		externs = spec.spec.TrustedNames()
+	}
+	p, err := sparc.Assemble(src, sparc.AsmOptions{DataSyms: dataSyms, Entry: entry, Externs: externs})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// FromWords builds a Program from raw machine words, a base address, and
+// optional loader tables: symbols maps labels to instruction indexes,
+// dataSyms maps data-symbol names to virtual addresses.
+func FromWords(words []uint32, base uint32, symbols map[string]int, dataSyms map[string]uint32) (*Program, error) {
+	p, err := sparc.FromWords(words, base, symbols, dataSyms)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// Words returns the program's machine words.
+func (p *Program) Words() []uint32 { return p.prog.Words }
+
+// Disassemble renders the decoded program.
+func (p *Program) Disassemble() string { return p.prog.Disassemble() }
+
+// Violation is one place where a safety condition is violated or cannot
+// be proved.
+type Violation = core.Violation
+
+// Stats are the program characteristics and analysis-effort counters
+// (the rows of the paper's Figure 9).
+type Stats = core.Stats
+
+// PhaseTimes are the per-phase analysis times (Figure 9's timing rows).
+type PhaseTimes = core.PhaseTimes
+
+// Result is the outcome of checking a program.
+type Result struct {
+	// Safe reports whether every safety condition was established.
+	Safe bool
+	// Violations lists the conditions that failed, with instruction
+	// indexes and source lines when available.
+	Violations []Violation
+	Stats      Stats
+	Times      PhaseTimes
+
+	inner *core.Result
+}
+
+// Options tunes the checker.
+type Options struct {
+	// MaxInductionIterations bounds the induction-iteration chains used
+	// to synthesize loop invariants (the paper finds 3 sufficient).
+	MaxInductionIterations int
+	// DisableGeneralization and DisableDNF turn off the corresponding
+	// induction-iteration enhancements (Section 5.2.1) — exposed for
+	// the ablation benchmarks.
+	DisableGeneralization bool
+	DisableDNF            bool
+}
+
+// Check runs the five-phase safety-checking analysis.
+func Check(prog *Program, spec *Spec) (*Result, error) {
+	return CheckWithOptions(prog, spec, Options{})
+}
+
+// CheckWithOptions runs the analysis with explicit tuning.
+func CheckWithOptions(prog *Program, spec *Spec, opts Options) (*Result, error) {
+	if prog == nil || spec == nil {
+		return nil, fmt.Errorf("mcsafe: nil program or spec")
+	}
+	res, err := core.Check(prog.prog, spec.spec, core.Options{
+		Induction: induction.Options{
+			MaxIter:               opts.MaxInductionIterations,
+			DisableGeneralization: opts.DisableGeneralization,
+			DisableDNF:            opts.DisableDNF,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Safe:       res.Safe,
+		Violations: res.Violations,
+		Stats:      res.Stats,
+		Times:      res.Times,
+		inner:      res,
+	}, nil
+}
+
+// DumpTypestate renders the typestate-propagation results per
+// instruction, in the style of the paper's Figure 6.
+func (r *Result) DumpTypestate() string {
+	if r.inner == nil {
+		return ""
+	}
+	out := ""
+	g := r.inner.G
+	for _, node := range g.Nodes {
+		if node.Replica {
+			continue
+		}
+		in := r.inner.Prop.In[node.ID]
+		if in.Top {
+			continue
+		}
+		out += fmt.Sprintf("%4d: %-28s | %s\n", node.Index, node.Insn.String(), in.String())
+	}
+	return out
+}
+
+// Conditions renders the global safety conditions and their verdicts.
+func (r *Result) Conditions() string {
+	if r.inner == nil {
+		return ""
+	}
+	out := ""
+	for _, cr := range r.inner.Conds {
+		verdict := "proved"
+		if !cr.Proved {
+			verdict = "VIOLATION"
+		}
+		idx := r.inner.G.Nodes[cr.Cond.Node].Index
+		out += fmt.Sprintf("insn %4d: %-24s %s: %v\n", idx, cr.Cond.Desc, verdict, cr.Cond.F)
+	}
+	return out
+}
