@@ -1,0 +1,70 @@
+package mcsafe
+
+import (
+	"mcsafe/internal/core"
+	"mcsafe/internal/induction"
+)
+
+// BatchItem is one program+policy pair submitted to CheckAll.
+type BatchItem struct {
+	Prog *Program
+	Spec *Spec
+	Opts Options
+}
+
+// BatchResult is the outcome of one item of a CheckAll batch; exactly
+// one of Result and Err is non-nil.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// coreOptions lowers the public Options to the internal driver's.
+func coreOptions(opts Options) core.Options {
+	return core.Options{
+		Induction: induction.Options{
+			MaxIter:               opts.MaxInductionIterations,
+			DisableGeneralization: opts.DisableGeneralization,
+			DisableDNF:            opts.DisableDNF,
+		},
+		Parallelism: opts.Parallelism,
+	}
+}
+
+// CheckAll checks many program+policy pairs concurrently with a bounded
+// worker pool — the entry point for serving many independent check
+// requests. parallelism bounds the number of in-flight checks (0 means
+// GOMAXPROCS); results are indexed like items. Items whose Options
+// leave Parallelism at 0 run their Phase 5 sequentially when the batch
+// itself is parallel (the batch already saturates the cores); an
+// explicit per-item Parallelism is honored.
+func CheckAll(items []BatchItem, parallelism int) []BatchResult {
+	inner := make([]core.CheckItem, len(items))
+	for i, it := range items {
+		var ci core.CheckItem
+		if it.Prog != nil {
+			ci.Prog = it.Prog.prog
+		}
+		if it.Spec != nil {
+			ci.Spec = it.Spec.spec
+		}
+		ci.Opts = coreOptions(it.Opts)
+		inner[i] = ci
+	}
+	outcomes := core.CheckAll(inner, parallelism)
+	out := make([]BatchResult, len(items))
+	for i, oc := range outcomes {
+		if oc.Err != nil {
+			out[i] = BatchResult{Err: oc.Err}
+			continue
+		}
+		out[i] = BatchResult{Result: &Result{
+			Safe:       oc.Result.Safe,
+			Violations: oc.Result.Violations,
+			Stats:      oc.Result.Stats,
+			Times:      oc.Result.Times,
+			inner:      oc.Result,
+		}}
+	}
+	return out
+}

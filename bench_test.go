@@ -10,9 +10,15 @@ package mcsafe
 import (
 	"testing"
 
+	"mcsafe/internal/annotate"
+	"mcsafe/internal/cfg"
 	"mcsafe/internal/core"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/policy"
 	"mcsafe/internal/progs"
+	"mcsafe/internal/propagate"
+	"mcsafe/internal/solver"
+	"mcsafe/internal/vcgen"
 )
 
 // benchProgram checks one Figure 9 program repeatedly and reports
@@ -127,21 +133,87 @@ func BenchmarkAblationMaxIter(b *testing.B) {
 	}
 }
 
-// BenchmarkPhases isolates the earlier phases (decode+CFG+typestate)
-// from global verification on the largest program, mirroring the
-// paper's observation that MD5's time splits roughly evenly between
-// typestate propagation and global verification.
+// BenchmarkPhases isolates each phase of the checker on a loop-heavy
+// program, mirroring the paper's observation that checking time splits
+// between typestate propagation and global verification, and compares
+// the sequential global-verification path against the worker pool.
+// BubbleSort keeps single iterations fast enough to get stable numbers;
+// BenchmarkFig9 covers the larger programs end to end.
 func BenchmarkPhases(b *testing.B) {
-	bench := progs.Get("MD5")
+	bench := progs.Get("BubbleSort")
 	prog, spec, err := bench.Build()
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("full", func(b *testing.B) {
+
+	b.Run("prepare", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Check(prog, spec, core.Options{}); err != nil {
+			if _, err := policy.Prepare(spec); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cfg.Build(prog, cfg.Options{TrustedFuncs: spec.TrustedNames()}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+
+	// The later phases consume (but do not mutate) the earlier phases'
+	// outputs, so those are built once outside the timed loops.
+	ini, err := policy.Prepare(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cfg.Build(prog, cfg.Options{TrustedFuncs: spec.TrustedNames()})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("typestate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			propagate.Run(g, ini)
+		}
+	})
+
+	prop := propagate.Run(g, ini)
+	b.Run("annot+local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			annotate.Run(prop)
+		}
+	})
+
+	ann := annotate.Run(prop)
+	globalBench := func(par int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh prover and engine per iteration: global
+				// verification is measured cold, not from warm caches.
+				var prover *solver.Prover
+				if par == 1 {
+					prover = solver.New()
+				} else {
+					prover = solver.NewShared(solver.NewShardedCache())
+				}
+				eng := vcgen.New(prop, prover, vcgen.Options{Parallelism: par})
+				eng.Prove(ann.Conds)
+			}
+		}
+	}
+	b.Run("global/sequential", globalBench(1))
+	b.Run("global/parallel", globalBench(0))
+
+	fullBench := func(par int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Check(prog, spec, core.Options{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Safe != bench.WantSafe {
+					b.Fatalf("verdict %v, want %v", res.Safe, bench.WantSafe)
+				}
+			}
+		}
+	}
+	b.Run("full/sequential", fullBench(1))
+	b.Run("full/parallel", fullBench(0))
 }

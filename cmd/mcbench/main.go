@@ -6,9 +6,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mcsafe/internal/core"
@@ -16,12 +18,37 @@ import (
 	"mcsafe/internal/progs"
 )
 
+// jsonReport is the machine-readable form of a run, written by -json so
+// successive PRs can track the performance trajectory (BENCH_*.json).
+type jsonReport struct {
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Parallelism int           `json:"parallelism"`
+	Ablation    string        `json:"ablation,omitempty"`
+	Programs    []jsonProgram `json:"programs"`
+}
+
+type jsonProgram struct {
+	Name         string `json:"name"`
+	Safe         bool   `json:"safe"`
+	ExpectedSafe bool   `json:"expected_safe"`
+	Violations   int    `json:"violations"`
+	Instructions int    `json:"instructions"`
+	GlobalConds  int    `json:"global_conds"`
+	TypestateNs  int64  `json:"typestate_ns"`
+	AnnotLocalNs int64  `json:"annot_local_ns"`
+	GlobalNs     int64  `json:"global_ns"`
+	TotalNs      int64  `json:"total_ns"`
+	Error        string `json:"error,omitempty"`
+}
+
 func main() {
 	ablate := flag.String("ablate", "", "run an ablation: nogen (no generalization), nodnf (no DNF disjuncts), maxiter=N")
 	only := flag.String("only", "", "comma-separated program names (default: all)")
+	parallel := flag.Int("parallel", 0, "global-verification workers: 0 = GOMAXPROCS, 1 = sequential")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON of per-phase times instead of the table")
 	flag.Parse()
 
-	opts := core.Options{}
+	opts := core.Options{Parallelism: *parallel}
 	switch {
 	case *ablate == "nogen":
 		opts.Induction = induction.Options{DisableGeneralization: true}
@@ -41,6 +68,41 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			wanted[strings.TrimSpace(name)] = true
 		}
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Parallelism: *parallel,
+			Ablation:    *ablate,
+		}
+		for _, b := range progs.All() {
+			if len(wanted) > 0 && !wanted[b.Name] {
+				continue
+			}
+			row := jsonProgram{Name: b.Name, ExpectedSafe: b.WantSafe}
+			res, err := b.Check(opts)
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Safe = res.Safe
+				row.Violations = len(res.Violations)
+				row.Instructions = res.Stats.Instructions
+				row.GlobalConds = res.Stats.GlobalConds
+				row.TypestateNs = res.Times.Typestate.Nanoseconds()
+				row.AnnotLocalNs = res.Times.AnnotLocal.Nanoseconds()
+				row.GlobalNs = res.Times.Global.Nanoseconds()
+				row.TotalNs = res.Times.Total.Nanoseconds()
+			}
+			report.Programs = append(report.Programs, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Println("Figure 9: characteristics of the examples and performance results")

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	mcsafe -spec policy.spec [-entry label] [-dump-typestate] [-dump-conds] prog.s
+//	mcsafe -spec policy.spec prog1.s prog2.s ...  # batch-check concurrently
 //	mcsafe -list                       # list the built-in Figure 9 programs
 //	mcsafe -prog Sum [-dump-typestate] # check a built-in program
+//
+// -parallel N sets the worker count for global verification (0 =
+// GOMAXPROCS, 1 = sequential); with several program files it also bounds
+// the number of programs checked concurrently.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	dumpTS := flag.Bool("dump-typestate", false, "print per-instruction typestates (Figure 6 style)")
 	dumpConds := flag.Bool("dump-conds", false, "print every global safety condition and its verdict")
 	dumpAsm := flag.Bool("dump-asm", false, "print the decoded program")
+	parallel := flag.Int("parallel", 0, "global-verification workers: 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
 	if *list {
@@ -40,15 +46,13 @@ func main() {
 		return
 	}
 
-	var res *mcsafe.Result
-	var err error
 	switch {
 	case *builtin != "":
 		b := progs.Get(*builtin)
 		if b == nil {
 			fatal(fmt.Errorf("unknown built-in program %q (use -list)", *builtin))
 		}
-		inner, cerr := b.Check(core.Options{})
+		inner, cerr := b.Check(core.Options{Parallelism: *parallel})
 		if cerr != nil {
 			fatal(cerr)
 		}
@@ -61,15 +65,11 @@ func main() {
 		os.Exit(1)
 
 	default:
-		if *specPath == "" || flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: mcsafe -spec policy.spec [-entry label] prog.s")
+		if *specPath == "" || flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: mcsafe -spec policy.spec [-entry label] prog.s [prog2.s ...]")
 			os.Exit(2)
 		}
 		specText, rerr := os.ReadFile(*specPath)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		asmText, rerr := os.ReadFile(flag.Arg(0))
 		if rerr != nil {
 			fatal(rerr)
 		}
@@ -77,28 +77,76 @@ func main() {
 		if perr != nil {
 			fatal(perr)
 		}
-		prog, aerr := mcsafe.Assemble(string(asmText), spec, *entry)
-		if aerr != nil {
-			fatal(aerr)
+		opts := mcsafe.Options{Parallelism: *parallel}
+		if flag.NArg() == 1 {
+			res, err := checkOne(spec, flag.Arg(0), *entry, opts, *dumpAsm)
+			if err != nil {
+				fatal(err)
+			}
+			if *dumpTS {
+				fmt.Print(res.DumpTypestate())
+			}
+			if *dumpConds {
+				fmt.Print(res.Conditions())
+			}
+			printResult(res)
+			if !res.Safe {
+				os.Exit(1)
+			}
+			return
 		}
-		if *dumpAsm {
-			fmt.Print(prog.Disassemble())
+		// Several programs against one policy: assemble all, then check
+		// them concurrently through the batch API.
+		items := make([]mcsafe.BatchItem, flag.NArg())
+		for i, path := range flag.Args() {
+			asmText, rerr := os.ReadFile(path)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			prog, aerr := mcsafe.Assemble(string(asmText), spec, *entry)
+			if aerr != nil {
+				fatal(fmt.Errorf("%s: %v", path, aerr))
+			}
+			items[i] = mcsafe.BatchItem{Prog: prog, Spec: spec, Opts: opts}
 		}
-		res, err = mcsafe.Check(prog, spec)
-		if err != nil {
-			fatal(err)
+		anyBad := false
+		for i, br := range mcsafe.CheckAll(items, *parallel) {
+			path := flag.Arg(i)
+			switch {
+			case br.Err != nil:
+				fmt.Printf("%s: ERROR: %v\n", path, br.Err)
+				anyBad = true
+			case br.Result.Safe:
+				fmt.Printf("%s: safe (%d conditions, %v)\n",
+					path, br.Result.Stats.GlobalConds, br.Result.Times.Total)
+			default:
+				fmt.Printf("%s: UNSAFE (%d violations, %v)\n",
+					path, len(br.Result.Violations), br.Result.Times.Total)
+				for _, v := range br.Result.Violations {
+					fmt.Println("   ", v)
+				}
+				anyBad = true
+			}
 		}
-		if *dumpTS {
-			fmt.Print(res.DumpTypestate())
-		}
-		if *dumpConds {
-			fmt.Print(res.Conditions())
-		}
-		printResult(res)
-		if !res.Safe {
+		if anyBad {
 			os.Exit(1)
 		}
 	}
+}
+
+func checkOne(spec *mcsafe.Spec, path, entry string, opts mcsafe.Options, dumpAsm bool) (*mcsafe.Result, error) {
+	asmText, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := mcsafe.Assemble(string(asmText), spec, entry)
+	if err != nil {
+		return nil, err
+	}
+	if dumpAsm {
+		fmt.Print(prog.Disassemble())
+	}
+	return mcsafe.CheckWithOptions(prog, spec, opts)
 }
 
 func printResult(res *mcsafe.Result) {

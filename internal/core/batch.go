@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcsafe/internal/policy"
+	"mcsafe/internal/sparc"
+)
+
+// CheckItem is one program+policy pair for batch checking.
+type CheckItem struct {
+	Prog *sparc.Program
+	Spec *policy.Spec
+	Opts Options
+}
+
+// CheckOutcome pairs a check's Result with its error; exactly one of the
+// two is non-nil.
+type CheckOutcome struct {
+	Result *Result
+	Err    error
+}
+
+// CheckAll checks many program+policy pairs concurrently with a bounded
+// worker pool — the serving shape for many-user traffic, where whole
+// checks rather than condition groups are the natural unit of
+// parallelism. parallelism bounds the number of in-flight checks
+// (0 means GOMAXPROCS). Outcomes are indexed like items.
+//
+// When the batch itself runs in parallel, items that leave
+// Opts.Parallelism at the default 0 are checked with the sequential
+// Phase 5 path: the batch is already saturating the cores, and one
+// check per core beats every check contending for every core. An
+// explicit per-item Parallelism is honored as given.
+func CheckAll(items []CheckItem, parallelism int) []CheckOutcome {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(items) {
+		parallelism = len(items)
+	}
+	out := make([]CheckOutcome, len(items))
+	if len(items) == 0 {
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := items[i]
+				opts := it.Opts
+				if parallelism > 1 && opts.Parallelism == 0 {
+					opts.Parallelism = 1
+				}
+				r, err := Check(it.Prog, it.Spec, opts)
+				out[i] = CheckOutcome{Result: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

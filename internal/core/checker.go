@@ -74,6 +74,11 @@ func (v Violation) String() string {
 type Options struct {
 	// Induction configures the invariant synthesizer (ablations).
 	Induction induction.Options
+	// Parallelism is the worker count for Phase 5 (global
+	// verification): 0 means GOMAXPROCS, 1 the exact sequential legacy
+	// path. Verdicts, violation lists, and their ordering are identical
+	// at every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // Result is the outcome of checking one program against one policy.
@@ -97,6 +102,9 @@ type Result struct {
 // Check runs the five-phase safety-checking analysis on a program
 // against a host specification.
 func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
+	if prog == nil || spec == nil {
+		return nil, fmt.Errorf("core: nil program or spec")
+	}
 	t0 := time.Now()
 
 	// Phase 1: preparation.
@@ -123,10 +131,20 @@ func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error
 	res.Ann = ann
 	res.Times.AnnotLocal = time.Since(t2)
 
-	// Phase 5: global verification.
+	// Phase 5: global verification. The sequential legacy path keeps
+	// the prover's private single-owner cache; any parallel setting
+	// gets a striped cache the pool's worker provers share.
 	t3 := time.Now()
-	prover := solver.New()
-	eng := vcgen.New(prop, prover, vcgen.Options{Induction: opts.Induction})
+	var prover *solver.Prover
+	if opts.Parallelism == 1 {
+		prover = solver.New()
+	} else {
+		prover = solver.NewShared(solver.NewShardedCache())
+	}
+	eng := vcgen.New(prop, prover, vcgen.Options{
+		Induction:   opts.Induction,
+		Parallelism: opts.Parallelism,
+	})
 	res.Conds = eng.Prove(ann.Conds)
 	res.Times.Global = time.Since(t3)
 	res.Times.Total = time.Since(t0)

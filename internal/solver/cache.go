@@ -1,0 +1,105 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the stripe count of a ShardedCache. A power of two so
+// the shard index is a mask of the key hash; 64 stripes keep contention
+// negligible for the worker-pool sizes the checker uses (GOMAXPROCS).
+const cacheShards = 64
+
+// ShardedCache is a concurrency-safe canonical-formula result cache: a
+// striped (sharded-mutex) map from a formula's canonical string to the
+// prover's verdict for it. One ShardedCache may back any number of
+// Provers running on concurrent goroutines, so parallel verification
+// workers reuse each other's results instead of re-eliminating the same
+// formulas.
+//
+// Sharing is sound and deterministic because Prover.valid is a pure
+// function of the canonical formula (and the limits): every prover
+// would store the same verdict for a given key, so a hit can never flip
+// an answer — in particular it can never turn "not proved" into
+// "proved".
+type ShardedCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// NewShardedCache returns an empty cache ready for concurrent use.
+func NewShardedCache() *ShardedCache {
+	c := &ShardedCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]bool)
+	}
+	return c
+}
+
+// shardOf picks the stripe for a key (FNV-1a over the key bytes).
+func (c *ShardedCache) shardOf(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// Get returns the cached verdict for key and whether one is present.
+func (c *ShardedCache) Get(key string) (verdict, ok bool) {
+	s := c.shardOf(key)
+	s.mu.RLock()
+	verdict, ok = s.m[key]
+	s.mu.RUnlock()
+	return verdict, ok
+}
+
+// Put records the verdict for key.
+func (c *ShardedCache) Put(key string, verdict bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	s.m[key] = verdict
+	s.mu.Unlock()
+}
+
+// Len reports the number of cached formulas.
+func (c *ShardedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// AtomicStats accumulates Stats from provers running on concurrent
+// goroutines. Workers Add their prover's Stats as they finish; the
+// coordinator reads the merged totals with Snapshot.
+type AtomicStats struct {
+	validQueries atomic.Int64
+	cacheHits    atomic.Int64
+	eliminations atomic.Int64
+}
+
+// Add merges one prover's counters into the totals.
+func (a *AtomicStats) Add(s Stats) {
+	a.validQueries.Add(int64(s.ValidQueries))
+	a.cacheHits.Add(int64(s.CacheHits))
+	a.eliminations.Add(int64(s.Eliminations))
+}
+
+// Snapshot returns the merged totals.
+func (a *AtomicStats) Snapshot() Stats {
+	return Stats{
+		ValidQueries: int(a.validQueries.Load()),
+		CacheHits:    int(a.cacheHits.Load()),
+		Eliminations: int(a.eliminations.Load()),
+	}
+}

@@ -42,18 +42,34 @@ type Stats struct {
 }
 
 // Prover decides validity of formulas. A Prover caches results by
-// canonical formula string (the caching enhancement of Section 5.2.3) and
-// is not safe for concurrent use.
+// canonical formula string (the caching enhancement of Section 5.2.3).
+// A Prover itself is not safe for concurrent use — its Stats and scratch
+// state have a single owner — but many provers on concurrent goroutines
+// may share one ShardedCache (see NewShared), because a verdict is a
+// pure function of the canonical formula.
 type Prover struct {
-	Lim   Limits
-	Stats Stats
-	cache map[string]bool
+	Lim    Limits
+	Stats  Stats
+	cache  map[string]bool // private cache; nil when shared is set
+	shared *ShardedCache   // concurrency-safe cache shared across provers
 }
 
-// New returns a prover with default limits.
+// New returns a prover with default limits and a private (single-owner)
+// result cache.
 func New() *Prover {
 	return &Prover{Lim: DefaultLimits, cache: make(map[string]bool)}
 }
+
+// NewShared returns a prover with default limits backed by a
+// concurrency-safe formula cache that may be shared with other provers
+// running on other goroutines.
+func NewShared(c *ShardedCache) *Prover {
+	return &Prover{Lim: DefaultLimits, shared: c}
+}
+
+// SharedCache returns the cache this prover shares with others, or nil
+// when the prover uses a private cache.
+func (p *Prover) SharedCache() *ShardedCache { return p.shared }
 
 // Valid reports whether f is valid (true under every integer assignment
 // of its free variables). A false answer means "not proved": the formula
@@ -62,6 +78,15 @@ func New() *Prover {
 func (p *Prover) Valid(f expr.Formula) bool {
 	p.Stats.ValidQueries++
 	key := f.String()
+	if p.shared != nil {
+		if r, ok := p.shared.Get(key); ok {
+			p.Stats.CacheHits++
+			return r
+		}
+		r := p.valid(f)
+		p.shared.Put(key, r)
+		return r
+	}
 	if r, ok := p.cache[key]; ok {
 		p.Stats.CacheHits++
 		return r

@@ -13,6 +13,7 @@ package vcgen
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -27,6 +28,12 @@ import (
 // Options configures the engine.
 type Options struct {
 	Induction induction.Options
+	// Parallelism is the number of workers Prove uses to discharge
+	// condition groups: 0 means GOMAXPROCS, 1 the exact sequential
+	// legacy path. Work items are independent, results are written by
+	// index, and per-item engines start from identical scratch state,
+	// so verdicts and ordering do not depend on the worker count.
+	Parallelism int
 }
 
 // Stats reports verification effort.
@@ -59,6 +66,22 @@ type Engine struct {
 	// entryActive breaks recursion cycles between loop crossings and
 	// their entry checks (a cycle answers false: conservative).
 	entryActive map[string]bool
+	// shared, when non-nil, replaces the bool-valued caches with
+	// concurrency-safe variants shared across a worker pool's engines.
+	// Only the bool caches are shareable: their keys embed the complete
+	// formula text, and a verdict about a formula is a fact about that
+	// text alone, whichever engine computes it. The formula-valued
+	// crossCache stays per-engine — a cached invariant carries the
+	// minting engine's fresh-variable names, which another engine could
+	// independently re-mint with a different meaning (capture).
+	shared *sharedCaches
+}
+
+// sharedCaches backs a pool of engines with concurrency-safe variants of
+// the bool-valued proof caches.
+type sharedCaches struct {
+	query *solver.ShardedCache // provedCached results
+	entry *solver.ShardedCache // loop-entry proof results
 }
 
 // New builds an engine over propagation results.
@@ -70,78 +93,128 @@ func New(res *propagate.Result, p *solver.Prover, opts Options) *Engine {
 		entryActive: make(map[string]bool)}
 }
 
-// Prove verifies every global condition, returning per-condition
-// verdicts. Conditions are partitioned into groups of comparable
-// constituents — the bounds checks of one memory access — and each group
-// is first attempted as a single conjunction (the formula-grouping
-// enhancement of Section 5.2.1: the lower bound's invariant protects the
-// upper bound's impossible paths and vice versa), falling back to
-// individual proofs so that a single violation does not mask the rest.
-func (e *Engine) Prove(conds []*annotate.GlobalCond) []CondResult {
-	verdicts := make(map[*annotate.GlobalCond]bool, len(conds))
+// newShared builds a worker engine whose bool-valued caches are the
+// pool's shared ones.
+func newShared(res *propagate.Result, p *solver.Prover, opts Options, sc *sharedCaches) *Engine {
+	e := New(res, p, opts)
+	e.shared = sc
+	return e
+}
 
-	// Group bounds conditions per (node, position).
+// Prove verifies every global condition, returning per-condition
+// verdicts in the order the conditions were given. Conditions are
+// partitioned into groups of comparable constituents — the bounds checks
+// of one memory access — and each group is first attempted as a single
+// conjunction (the formula-grouping enhancement of Section 5.2.1: the
+// lower bound's invariant protects the upper bound's impossible paths
+// and vice versa), falling back to individual proofs so that a single
+// violation does not mask the rest.
+//
+// With Opts.Parallelism != 1, independent condition groups are
+// discharged by a worker pool (see pool.go); with Parallelism 1 the
+// original sequential path runs unchanged.
+func (e *Engine) Prove(conds []*annotate.GlobalCond) []CondResult {
+	par := e.Opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par == 1 || len(conds) <= 1 {
+		return e.proveSequential(conds)
+	}
+	return e.proveParallel(conds, par)
+}
+
+// condGroup is one bounds group: the indexes (into the conds slice) of
+// the comparable conditions at a (node, position) pair, in input order.
+type condGroup struct {
+	node    int
+	after   bool
+	members []int
+}
+
+// boundsGroups partitions the bounds conditions per (node, position) and
+// returns the groups with at least two members, ordered by node and
+// before/after position. The result is a deterministic function of the
+// input; both the sequential and the parallel path consume it.
+func boundsGroups(conds []*annotate.GlobalCond) []condGroup {
 	type groupKey struct {
 		node  int
 		after bool
 	}
-	groups := map[groupKey][]*annotate.GlobalCond{}
-	for _, c := range conds {
+	byKey := map[groupKey][]int{}
+	for i, c := range conds {
 		if strings.Contains(c.Desc, "bound") {
 			k := groupKey{c.Node, c.AfterNode}
-			groups[k] = append(groups[k], c)
+			byKey[k] = append(byKey[k], i)
 		}
 	}
-	var groupKeys []groupKey
-	for k := range groups {
-		groupKeys = append(groupKeys, k)
-	}
-	sort.Slice(groupKeys, func(i, j int) bool {
-		if groupKeys[i].node != groupKeys[j].node {
-			return groupKeys[i].node < groupKeys[j].node
-		}
-		return !groupKeys[i].after && groupKeys[j].after
-	})
-	for _, k := range groupKeys {
-		group := groups[k]
-		if len(group) < 2 {
+	var out []condGroup
+	for k, members := range byKey {
+		if len(members) < 2 {
 			continue
 		}
-		fs := make([]expr.Formula, len(group))
-		for i, c := range group {
-			fs[i] = c.F
+		out = append(out, condGroup{node: k.node, after: k.after, members: members})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node != out[j].node {
+			return out[i].node < out[j].node
 		}
-		conj := expr.Simplify(expr.Conj(fs...))
-		if e.provedCached(k.node, k.after, conj) {
-			for _, c := range group {
-				verdicts[c] = true
+		return !out[i].after && out[j].after
+	})
+	return out
+}
+
+// proveGroup attempts a bounds group as a single conjunction.
+func (e *Engine) proveGroup(conds []*annotate.GlobalCond, g condGroup) bool {
+	fs := make([]expr.Formula, len(g.members))
+	for i, idx := range g.members {
+		fs[i] = conds[idx].F
+	}
+	conj := expr.Simplify(expr.Conj(fs...))
+	return e.provedCached(g.node, g.after, conj)
+}
+
+// proveCond discharges one condition. groupProved short-circuits the
+// proof when the condition's bounds group already succeeded as a
+// conjunction.
+func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult {
+	proved := groupProved
+	if !proved {
+		// Bare predicate first: fact-free formulas keep the
+		// invariant chains clean; fall back to assuming the
+		// typestate assertions.
+		proved = e.provedCached(c.Node, c.AfterNode, expr.Simplify(c.F))
+		if !proved {
+			if _, noFacts := c.Facts.(expr.TrueF); !noFacts {
+				proved = e.provedCached(c.Node, c.AfterNode,
+					expr.Simplify(expr.Implies(c.Facts, c.F)))
 			}
 		}
 	}
+	e.Stats.Conditions++
+	detail := ""
+	if proved {
+		e.Stats.Proved++
+	} else {
+		detail = "cannot establish " + c.F.String()
+	}
+	return CondResult{Cond: c, Proved: proved, Detail: detail}
+}
 
-	out := make([]CondResult, 0, len(conds))
-	for _, c := range conds {
-		proved, done := verdicts[c]
-		if !done || !proved {
-			// Bare predicate first: fact-free formulas keep the
-			// invariant chains clean; fall back to assuming the
-			// typestate assertions.
-			proved = e.provedCached(c.Node, c.AfterNode, expr.Simplify(c.F))
-			if !proved {
-				if _, noFacts := c.Facts.(expr.TrueF); !noFacts {
-					proved = e.provedCached(c.Node, c.AfterNode,
-						expr.Simplify(expr.Implies(c.Facts, c.F)))
-				}
+// proveSequential is the legacy single-threaded path: one engine, one
+// prover, caches shared across all conditions.
+func (e *Engine) proveSequential(conds []*annotate.GlobalCond) []CondResult {
+	groupProved := make([]bool, len(conds))
+	for _, g := range boundsGroups(conds) {
+		if e.proveGroup(conds, g) {
+			for _, idx := range g.members {
+				groupProved[idx] = true
 			}
 		}
-		e.Stats.Conditions++
-		detail := ""
-		if proved {
-			e.Stats.Proved++
-		} else {
-			detail = "cannot establish " + c.F.String()
-		}
-		out = append(out, CondResult{Cond: c, Proved: proved, Detail: detail})
+	}
+	out := make([]CondResult, 0, len(conds))
+	for i, c := range conds {
+		out = append(out, e.proveCond(c, groupProved[i]))
 	}
 	return out
 }
@@ -149,6 +222,15 @@ func (e *Engine) Prove(conds []*annotate.GlobalCond) []CondResult {
 // provedCached runs proveAt through the per-query cache.
 func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
 	key := fmt.Sprintf("%d|%v|%s", node, after, f)
+	if e.shared != nil {
+		if v, ok := e.shared.query.Get(key); ok {
+			e.Stats.CacheHits++
+			return v
+		}
+		v := e.proveAt(node, after, f)
+		e.shared.query.Put(key, v)
+		return v
+	}
 	if v, ok := e.cache[key]; ok {
 		e.Stats.CacheHits++
 		return v
@@ -213,7 +295,11 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 		return true
 	}
 	key := fmt.Sprintf("%d|%s", l.Header, w)
-	if v, ok := e.entryCache[key]; ok {
+	if e.shared != nil {
+		if v, ok := e.shared.entry.Get(key); ok {
+			return v
+		}
+	} else if v, ok := e.entryCache[key]; ok {
 		return v
 	}
 	if e.entryActive[key] {
@@ -222,7 +308,11 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 	e.entryActive[key] = true
 	v := e.proveAtLoopEntryUncached(l, w)
 	delete(e.entryActive, key)
-	e.entryCache[key] = v
+	if e.shared != nil {
+		e.shared.entry.Put(key, v)
+	} else {
+		e.entryCache[key] = v
+	}
 	return v
 }
 

@@ -1,0 +1,144 @@
+// Worker-pool path of Phase 5 (global verification). Condition groups —
+// the formula-grouping units of Section 5.2.1 — are independent work
+// items: nothing a group proves is an input to another group's proof,
+// only a shortcut for it. The pool therefore runs one engine per work
+// item, all backed by provers that share one concurrency-safe canonical-
+// formula cache, and writes verdicts by index so the output ordering,
+// verdicts, and violation lists are identical to the sequential run.
+//
+// Determinism argument: each work item is proved by a fresh Engine whose
+// scratch state (fresh-variable counter, per-query/entry/cross caches)
+// starts from the same initial values regardless of which worker picks
+// the item up or when, so an item's verdict is a pure function of the
+// item. The shared prover cache is keyed by canonical formula strings
+// and every prover would store the same verdict for a key, so hits can
+// change only *when* a verdict is computed, never *what* it is.
+package vcgen
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcsafe/internal/annotate"
+	"mcsafe/internal/solver"
+)
+
+// workItem is one atomic unit of global verification: a bounds group
+// together with its members' individual fallbacks (group != nil), or a
+// single ungrouped condition (group == nil, index single).
+type workItem struct {
+	group  *condGroup
+	single int
+}
+
+// chunkTarget is the number of conditions a work chunk aims to cover.
+// Neighboring conditions usually sit in the same loops, so letting one
+// engine (and its formula-valued crossing cache, which cannot be shared
+// across engines) process a few of them amortizes invariant synthesis,
+// while chunks stay small enough to load-balance across workers.
+const chunkTarget = 4
+
+// buildChunks partitions the conditions into chunks of work items, in
+// condition order. The partition depends only on the conditions — never
+// on the worker count — so every parallelism setting proves exactly the
+// same chunks and reaches the same verdicts.
+func buildChunks(conds []*annotate.GlobalCond) [][]workItem {
+	groupOf := map[int]*condGroup{} // first-member index -> group
+	inGroup := make([]bool, len(conds))
+	groups := boundsGroups(conds)
+	for i := range groups {
+		g := &groups[i]
+		groupOf[g.members[0]] = g
+		for _, idx := range g.members {
+			inGroup[idx] = true
+		}
+	}
+	var chunks [][]workItem
+	var cur []workItem
+	covered := 0
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, cur)
+			cur, covered = nil, 0
+		}
+	}
+	for i := range conds {
+		if g, ok := groupOf[i]; ok {
+			cur = append(cur, workItem{group: g, single: -1})
+			covered += len(g.members)
+		} else if !inGroup[i] {
+			cur = append(cur, workItem{single: i})
+			covered++
+		}
+		if covered >= chunkTarget {
+			flush()
+		}
+	}
+	flush()
+	return chunks
+}
+
+// proveParallel discharges the conditions with par workers pulling
+// chunks off a shared index. Results land in a slice indexed like conds;
+// engine stats are summed over the per-chunk engines and prover stats
+// merged with atomic counters into the coordinating engine's prover, so
+// callers observe the same Stats shape as on the sequential path.
+func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResult {
+	shared := e.P.SharedCache()
+	if shared == nil {
+		shared = solver.NewShardedCache()
+	}
+	sc := &sharedCaches{query: solver.NewShardedCache(), entry: solver.NewShardedCache()}
+	chunks := buildChunks(conds)
+	if par > len(chunks) {
+		par = len(chunks)
+	}
+	out := make([]CondResult, len(conds))
+
+	var next atomic.Int64
+	var proverStats solver.AtomicStats
+	var mu sync.Mutex // guards e.Stats merging
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prover := solver.NewShared(shared)
+			prover.Lim = e.P.Lim
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					break
+				}
+				// One engine per chunk: the chunk's verdicts are a pure
+				// function of the chunk, independent of which worker
+				// runs it or when.
+				we := newShared(e.Res, prover, e.Opts, sc)
+				for _, it := range chunks[i] {
+					if it.group != nil {
+						gp := we.proveGroup(conds, *it.group)
+						for _, idx := range it.group.members {
+							out[idx] = we.proveCond(conds[idx], gp)
+						}
+					} else {
+						out[it.single] = we.proveCond(conds[it.single], false)
+					}
+				}
+				mu.Lock()
+				e.Stats.Conditions += we.Stats.Conditions
+				e.Stats.Proved += we.Stats.Proved
+				e.Stats.InductionRuns += we.Stats.InductionRuns
+				e.Stats.CacheHits += we.Stats.CacheHits
+				mu.Unlock()
+			}
+			proverStats.Add(prover.Stats)
+		}()
+	}
+	wg.Wait()
+
+	merged := proverStats.Snapshot()
+	e.P.Stats.ValidQueries += merged.ValidQueries
+	e.P.Stats.CacheHits += merged.CacheHits
+	e.P.Stats.Eliminations += merged.Eliminations
+	return out
+}

@@ -1,0 +1,86 @@
+package vcgen
+
+import (
+	"reflect"
+	"testing"
+
+	"mcsafe/internal/solver"
+)
+
+// TestBuildChunksPartition checks the pool's work partition: every
+// condition index is covered exactly once, items appear in condition
+// order, and the partition is a pure function of the condition list
+// (the determinism precondition — it must not vary run to run).
+func TestBuildChunksPartition(t *testing.T) {
+	pl := build(t, fig1Asm, fig1Spec, "")
+	conds := pl.ann.Conds
+	chunks := buildChunks(conds)
+
+	seen := make([]int, len(conds))
+	last := -1
+	for _, chunk := range chunks {
+		if len(chunk) == 0 {
+			t.Fatal("empty chunk")
+		}
+		for _, it := range chunk {
+			if it.group != nil {
+				for _, idx := range it.group.members {
+					seen[idx]++
+				}
+				if first := it.group.members[0]; first <= last {
+					t.Fatalf("group at %d out of order (after %d)", first, last)
+				} else {
+					last = first
+				}
+			} else {
+				seen[it.single]++
+				if it.single <= last {
+					t.Fatalf("item %d out of order (after %d)", it.single, last)
+				}
+				last = it.single
+			}
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("condition %d covered %d times", i, n)
+		}
+	}
+
+	for rep := 0; rep < 5; rep++ {
+		if again := buildChunks(conds); !reflect.DeepEqual(again, chunks) {
+			t.Fatal("partition changed between calls")
+		}
+	}
+}
+
+// TestProveParallelMatchesSequential proves Figure 1's conditions on
+// the legacy sequential path and through the pool, and requires the
+// same verdicts in the same order plus the same condition counters.
+func TestProveParallelMatchesSequential(t *testing.T) {
+	seq := build(t, fig1Asm, fig1Spec, "")
+	seqOut := seq.e.Prove(seq.ann.Conds)
+
+	for _, par := range []int{2, 4, 8} {
+		pl := build(t, fig1Asm, fig1Spec, "")
+		pl.e.P = solver.NewShared(solver.NewShardedCache())
+		pl.e.Opts.Parallelism = par
+		out := pl.e.Prove(pl.ann.Conds)
+
+		if len(out) != len(seqOut) {
+			t.Fatalf("par %d: %d results, want %d", par, len(out), len(seqOut))
+		}
+		for i := range out {
+			if out[i].Proved != seqOut[i].Proved || out[i].Detail != seqOut[i].Detail {
+				t.Fatalf("par %d cond %d: (%v, %q), want (%v, %q)", par, i,
+					out[i].Proved, out[i].Detail, seqOut[i].Proved, seqOut[i].Detail)
+			}
+		}
+		if pl.e.Stats.Conditions != seq.e.Stats.Conditions ||
+			pl.e.Stats.Proved != seq.e.Stats.Proved {
+			t.Fatalf("par %d: stats (%d, %d), want (%d, %d)", par,
+				pl.e.Stats.Conditions, pl.e.Stats.Proved,
+				seq.e.Stats.Conditions, seq.e.Stats.Proved)
+		}
+	}
+}

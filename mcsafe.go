@@ -21,7 +21,6 @@ import (
 	"fmt"
 
 	"mcsafe/internal/core"
-	"mcsafe/internal/induction"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 )
@@ -118,6 +117,11 @@ type Options struct {
 	// the ablation benchmarks.
 	DisableGeneralization bool
 	DisableDNF            bool
+	// Parallelism is the worker count for global verification
+	// (Phase 5): 0 means GOMAXPROCS, 1 forces the exact sequential
+	// legacy path. The verdict, violations, and their ordering are
+	// identical at every setting.
+	Parallelism int
 }
 
 // Check runs the five-phase safety-checking analysis.
@@ -130,13 +134,7 @@ func CheckWithOptions(prog *Program, spec *Spec, opts Options) (*Result, error) 
 	if prog == nil || spec == nil {
 		return nil, fmt.Errorf("mcsafe: nil program or spec")
 	}
-	res, err := core.Check(prog.prog, spec.spec, core.Options{
-		Induction: induction.Options{
-			MaxIter:               opts.MaxInductionIterations,
-			DisableGeneralization: opts.DisableGeneralization,
-			DisableDNF:            opts.DisableDNF,
-		},
-	})
+	res, err := core.Check(prog.prog, spec.spec, coreOptions(opts))
 	if err != nil {
 		return nil, err
 	}

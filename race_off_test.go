@@ -1,0 +1,8 @@
+//go:build !race
+
+package mcsafe
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism tests use it to skip the slowest programs, which run
+// roughly an order of magnitude slower under -race.
+const raceEnabled = false
