@@ -46,6 +46,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated program names (default: all)")
 	parallel := flag.Int("parallel", 0, "global-verification workers: 0 = GOMAXPROCS, 1 = sequential")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON of per-phase times instead of the table")
+	baseline := flag.String("baseline", "", "compare a fresh run against a baseline JSON report (see -json); exit 1 on regression")
+	threshold := flag.Float64("threshold", 2.0, "slowdown factor versus -baseline that counts as a regression")
 	flag.Parse()
 
 	opts := core.Options{Parallelism: *parallel}
@@ -70,32 +72,12 @@ func main() {
 		}
 	}
 
+	if *baseline != "" {
+		os.Exit(compareBaseline(*baseline, *threshold, opts, wanted))
+	}
+
 	if *jsonOut {
-		report := jsonReport{
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			Parallelism: *parallel,
-			Ablation:    *ablate,
-		}
-		for _, b := range progs.All() {
-			if len(wanted) > 0 && !wanted[b.Name] {
-				continue
-			}
-			row := jsonProgram{Name: b.Name, ExpectedSafe: b.WantSafe}
-			res, err := b.Check(opts)
-			if err != nil {
-				row.Error = err.Error()
-			} else {
-				row.Safe = res.Safe
-				row.Violations = len(res.Violations)
-				row.Instructions = res.Stats.Instructions
-				row.GlobalConds = res.Stats.GlobalConds
-				row.TypestateNs = res.Times.Typestate.Nanoseconds()
-				row.AnnotLocalNs = res.Times.AnnotLocal.Nanoseconds()
-				row.GlobalNs = res.Times.Global.Nanoseconds()
-				row.TotalNs = res.Times.Total.Nanoseconds()
-			}
-			report.Programs = append(report.Programs, row)
-		}
+		report := collect(opts, wanted, *parallel, *ablate)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -143,4 +125,95 @@ func main() {
 			fmt.Sprintf("%.3fs(%.2f)", res.Times.Total.Seconds(), b.Paper.TotalSec),
 			verdict, expect)
 	}
+}
+
+// collect runs the selected benchmarks and gathers the JSON report rows.
+func collect(opts core.Options, wanted map[string]bool, parallel int, ablate string) jsonReport {
+	report := jsonReport{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: parallel,
+		Ablation:    ablate,
+	}
+	for _, b := range progs.All() {
+		if len(wanted) > 0 && !wanted[b.Name] {
+			continue
+		}
+		row := jsonProgram{Name: b.Name, ExpectedSafe: b.WantSafe}
+		res, err := b.Check(opts)
+		if err != nil {
+			row.Error = err.Error()
+		} else {
+			row.Safe = res.Safe
+			row.Violations = len(res.Violations)
+			row.Instructions = res.Stats.Instructions
+			row.GlobalConds = res.Stats.GlobalConds
+			row.TypestateNs = res.Times.Typestate.Nanoseconds()
+			row.AnnotLocalNs = res.Times.AnnotLocal.Nanoseconds()
+			row.GlobalNs = res.Times.Global.Nanoseconds()
+			row.TotalNs = res.Times.Total.Nanoseconds()
+		}
+		report.Programs = append(report.Programs, row)
+	}
+	return report
+}
+
+// regressionFloorNs keeps timing noise on sub-50ms programs from
+// tripping the ratio check: a program regresses only when it exceeds
+// both threshold x baseline and threshold x floor.
+const regressionFloorNs = 50_000_000
+
+// compareBaseline reruns the benchmarks and diffs them against a stored
+// -json report. Verdict changes and errors always fail; timing fails
+// only on gross slowdowns (the threshold is deliberately generous, CI
+// machines differ from the one that wrote the baseline). Returns the
+// process exit code.
+func compareBaseline(path string, threshold float64, opts core.Options, wanted map[string]bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 2
+	}
+	var base jsonReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", path, err)
+		return 2
+	}
+	baseByName := make(map[string]jsonProgram, len(base.Programs))
+	for _, p := range base.Programs {
+		baseByName[p.Name] = p
+	}
+
+	cur := collect(opts, wanted, 0, "")
+	failures := 0
+	for _, p := range cur.Programs {
+		b, ok := baseByName[p.Name]
+		if !ok {
+			fmt.Printf("new  %-15s total=%.3fs (no baseline entry)\n", p.Name, float64(p.TotalNs)/1e9)
+			continue
+		}
+		switch {
+		case p.Error != "":
+			failures++
+			fmt.Printf("FAIL %-15s error: %s\n", p.Name, p.Error)
+		case p.Safe != b.Safe:
+			failures++
+			fmt.Printf("FAIL %-15s verdict changed: safe=%v, baseline safe=%v\n", p.Name, p.Safe, b.Safe)
+		case p.Safe != p.ExpectedSafe:
+			failures++
+			fmt.Printf("FAIL %-15s verdict differs from expectation: safe=%v, want %v\n", p.Name, p.Safe, p.ExpectedSafe)
+		case float64(p.TotalNs) > threshold*float64(b.TotalNs) && float64(p.TotalNs) > threshold*regressionFloorNs:
+			failures++
+			fmt.Printf("FAIL %-15s total %.3fs vs baseline %.3fs (> %.1fx)\n",
+				p.Name, float64(p.TotalNs)/1e9, float64(b.TotalNs)/1e9, threshold)
+		default:
+			fmt.Printf("ok   %-15s total %.3fs vs baseline %.3fs\n",
+				p.Name, float64(p.TotalNs)/1e9, float64(b.TotalNs)/1e9)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d regressions against %s\n", failures, path)
+		return 1
+	}
+	fmt.Printf("no regressions against %s\n", path)
+	return 0
 }

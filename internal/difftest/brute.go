@@ -1,0 +1,64 @@
+package difftest
+
+import "mcsafe/internal/expr"
+
+// BoxDomain returns the quantifier evaluation domain [-dom, dom] used by
+// expr.Formula.Eval for quantified formulas.
+func BoxDomain(dom int64) []int64 {
+	d := make([]int64, 0, 2*dom+1)
+	for v := -dom; v <= dom; v++ {
+		d = append(d, v)
+	}
+	return d
+}
+
+// forEachEnv enumerates every assignment of vars over [-dom, dom],
+// calling fn with a reused map; it stops early (returning true) when fn
+// returns true.
+func forEachEnv(vars []expr.Var, dom int64, fn func(env map[expr.Var]int64) bool) bool {
+	env := make(map[expr.Var]int64, len(vars))
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == len(vars) {
+			return fn(env)
+		}
+		for v := -dom; v <= dom; v++ {
+			env[vars[i]] = v
+			if walk(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(0)
+}
+
+// cloneEnv copies an assignment (the enumerator reuses its map).
+func cloneEnv(env map[expr.Var]int64) map[expr.Var]int64 {
+	out := make(map[expr.Var]int64, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// SatWitness searches the box for an assignment satisfying f. Quantified
+// subformulas are evaluated over the box domain.
+func SatWitness(f expr.Formula, vars []expr.Var, dom int64) (map[expr.Var]int64, bool) {
+	domain := BoxDomain(dom)
+	var witness map[expr.Var]int64
+	found := forEachEnv(vars, dom, func(env map[expr.Var]int64) bool {
+		if f.Eval(env, domain) {
+			witness = cloneEnv(env)
+			return true
+		}
+		return false
+	})
+	return witness, found
+}
+
+// Counterexample searches the box for an assignment falsifying f.
+func Counterexample(f expr.Formula, vars []expr.Var, dom int64) (map[expr.Var]int64, bool) {
+	cex, found := SatWitness(expr.Not{F: f}, vars, dom)
+	return cex, found
+}

@@ -1,0 +1,30 @@
+// Package difftest is the differential-and-fuzz correctness harness of
+// the safety checker. It confronts the three executable subsystems the
+// checker is built from with one another:
+//
+//   - the binary encoder/decoder (internal/sparc): decode must be total
+//     (never panic on an arbitrary 32-bit word) and must round-trip with
+//     encode on every canonical instruction and on every word of the
+//     thirteen evaluation programs;
+//
+//   - the linear-constraint prover (internal/solver): on randomly
+//     generated systems whose variables are explicitly box-bounded,
+//     integer satisfiability is decidable by exhaustive enumeration, so
+//     every "certainly unsat" or "certainly valid" verdict the prover
+//     emits can be checked against a brute-force evaluator. The prover
+//     is allowed to be incomplete (answering "not proved"), but a
+//     verdict contradicted by an enumerated witness is a soundness bug;
+//
+//   - the checker against the concrete interpreter (the soundness
+//     oracle): the evaluation programs are mutated instruction by
+//     instruction, every mutant the checker still calls SAFE is executed
+//     on randomly generated host environments derived from its policy
+//     specification, and any run that traps (out-of-bounds access,
+//     misalignment, access-permission violation) is a counterexample to
+//     the paper's central soundness claim.
+//
+// All generators are driven by seeded PRNGs so every reported failure
+// replays from its seed. The same checks back three native Go fuzz
+// targets (FuzzDecode, FuzzAsmRoundTrip, FuzzSolver) and the local
+// campaign driver cmd/mcfuzz.
+package difftest

@@ -1,0 +1,163 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"mcsafe/internal/expr"
+)
+
+// SolverSystem is one generated differential test case for the prover: a
+// quantifier-free conjunction of linear atoms over a few variables, each
+// variable explicitly bounded to the box [-Dom, Dom]. Because the box
+// bounds are part of the system, satisfiability over the integers equals
+// satisfiability over the box, which the brute-force evaluator decides
+// exactly.
+type SolverSystem struct {
+	Vars []expr.Var
+	Dom  int64
+	// Core is the generated conjunction without the box bounds.
+	Core expr.Clause
+	// Clause is Core plus the bounds -Dom <= v <= Dom for every
+	// variable; this is what both the prover and the evaluator see.
+	Clause expr.Clause
+}
+
+// sysVars is the variable pool for generated systems.
+var sysVars = []expr.Var{"x", "y", "z"}
+
+// defaultDom is the box half-width. Small enough that a three-variable
+// system enumerates in ~2k evaluations, large enough to exercise
+// dark-shadow gaps (which need coefficients > 1 and room between bounds).
+const defaultDom = 6
+
+// moduli are the divisibility constants the checker emits (alignment is
+// always a power of two; 3 exercises the general residue path).
+var moduli = []int64{2, 3, 4, 8}
+
+// genAtom produces one random atom over the first nvars pool variables.
+// Coefficients are small so that dark-shadow and gcd corner cases are
+// reachable within the box.
+func genAtom(r *rand.Rand, nvars int) expr.Atom {
+	e := expr.Constant(int64(r.Intn(17) - 8))
+	for i := 0; i < nvars; i++ {
+		if r.Intn(2) == 0 {
+			continue
+		}
+		e = e.Add(expr.Term(int64(r.Intn(9)-4), sysVars[i]))
+	}
+	switch r.Intn(6) {
+	case 0:
+		return expr.Atom{Kind: expr.EQ, E: e}
+	case 1:
+		return expr.Atom{Kind: expr.DIV, M: moduli[r.Intn(len(moduli))], E: e}
+	default:
+		return expr.Atom{Kind: expr.GE, E: e}
+	}
+}
+
+// boxBounds returns the clause -dom <= v <= dom for each variable.
+func boxBounds(vars []expr.Var, dom int64) expr.Clause {
+	var c expr.Clause
+	for _, v := range vars {
+		// v + dom >= 0 and dom - v >= 0.
+		c = append(c,
+			expr.Atom{Kind: expr.GE, E: expr.V(v).AddConst(dom)},
+			expr.Atom{Kind: expr.GE, E: expr.V(v).Scale(-1).AddConst(dom)},
+		)
+	}
+	return c
+}
+
+// GenSystem draws one random box-bounded system.
+func GenSystem(r *rand.Rand) SolverSystem {
+	nvars := 1 + r.Intn(len(sysVars))
+	natoms := 1 + r.Intn(5)
+	s := SolverSystem{Vars: sysVars[:nvars], Dom: defaultDom}
+	for i := 0; i < natoms; i++ {
+		s.Core = append(s.Core, genAtom(r, nvars))
+	}
+	s.Clause = append(append(expr.Clause{}, s.Core...), boxBounds(s.Vars, s.Dom)...)
+	return s
+}
+
+// GenImplication draws a random implication hyp -> goal between two
+// box-bounded systems over the same variables, the shape of every proof
+// obligation the verification-condition generator emits.
+func GenImplication(r *rand.Rand) (hyp, goal expr.Formula, vars []expr.Var, dom int64) {
+	nvars := 1 + r.Intn(len(sysVars))
+	vars, dom = sysVars[:nvars], defaultDom
+	var h expr.Clause
+	h = append(h, boxBounds(vars, dom)...)
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		h = append(h, genAtom(r, nvars))
+	}
+	var g expr.Clause
+	for i, n := 0, 1+r.Intn(2); i < n; i++ {
+		g = append(g, genAtom(r, nvars))
+	}
+	return expr.ClauseFormula(h), expr.ClauseFormula(g), vars, dom
+}
+
+// GenQuantified draws a random formula in which every quantifier is a
+// universal in positive position over a box-bounded implication — the
+// shape PruneQuant rewrites during wlp generation. Because there are no
+// existentials in positive position (and none at all), falsity of the
+// formula under box-restricted quantifier evaluation implies falsity
+// over the integers, so a brute-force counterexample refutes any
+// validity claim soundly.
+func GenQuantified(r *rand.Rand) (f expr.Formula, vars []expr.Var, dom int64) {
+	nvars := 1 + r.Intn(len(sysVars))
+	vars, dom = sysVars[:nvars], defaultDom
+	qv := vars[r.Intn(nvars)]
+
+	var hyp expr.Clause
+	hyp = append(hyp, boxBounds(vars, dom)...)
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		hyp = append(hyp, genAtom(r, nvars))
+	}
+	var goal expr.Clause
+	for i, n := 0, 1+r.Intn(2); i < n; i++ {
+		goal = append(goal, genAtom(r, nvars))
+	}
+	body := expr.Implies(expr.ClauseFormula(hyp), expr.ClauseFormula(goal))
+	f = expr.Forall{V: qv, F: body}
+	if nvars > 1 && r.Intn(2) == 0 {
+		// A second nesting level, like the havoc of a two-register loop.
+		f = expr.Forall{V: vars[(int(qv[0])+1)%nvars], F: f}
+	}
+	return f, vars, dom
+}
+
+// SystemFromBytes derives a bounded system deterministically from fuzz
+// input. The byte string is consumed as a little instruction stream; any
+// input yields a valid (possibly empty) system, so the fuzzer explores
+// the full space without a rejection loop.
+func SystemFromBytes(data []byte) SolverSystem {
+	nvars := 1
+	if len(data) > 0 {
+		nvars = 1 + int(data[0])%len(sysVars)
+		data = data[1:]
+	}
+	s := SolverSystem{Vars: sysVars[:nvars], Dom: defaultDom}
+	// Each atom consumes 2 + nvars bytes: kind, constant, coefficients.
+	for len(data) >= 2+nvars && len(s.Core) < 6 {
+		kind, cst := data[0], data[1]
+		e := expr.Constant(int64(int8(cst)) % 9)
+		for i := 0; i < nvars; i++ {
+			e = e.Add(expr.Term(int64(int8(data[2+i]))%5, sysVars[i]))
+		}
+		var a expr.Atom
+		switch kind % 6 {
+		case 0:
+			a = expr.Atom{Kind: expr.EQ, E: e}
+		case 1:
+			a = expr.Atom{Kind: expr.DIV, M: moduli[int(kind/6)%len(moduli)], E: e}
+		default:
+			a = expr.Atom{Kind: expr.GE, E: e}
+		}
+		s.Core = append(s.Core, a)
+		data = data[2+nvars:]
+	}
+	s.Clause = append(append(expr.Clause{}, s.Core...), boxBounds(s.Vars, s.Dom)...)
+	return s
+}

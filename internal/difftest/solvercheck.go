@@ -1,0 +1,84 @@
+package difftest
+
+import (
+	"fmt"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/solver"
+)
+
+// CheckSystem cross-checks the prover's verdicts on one box-bounded
+// system against exhaustive enumeration. The prover may answer "not
+// proved" anywhere (incompleteness is allowed); an error is returned
+// only when a definite verdict is contradicted by an enumerated witness,
+// which is a prover soundness bug.
+func CheckSystem(p *solver.Prover, s SolverSystem) error {
+	f := expr.ClauseFormula(s.Clause)
+	// Unsat direction: the box bounds are part of f, so integer
+	// satisfiability equals box satisfiability and enumeration decides it.
+	witness, sat := SatWitness(f, s.Vars, s.Dom)
+	if p.Unsat(f) && sat {
+		return fmt.Errorf("prover claims unsat but %v satisfies it: %s", witness, f)
+	}
+	// Valid direction: validity is over all of ℤ, so it is checked on the
+	// unbounded core (the bounded clause contains box atoms no sound
+	// prover can call valid). Enumeration cannot confirm validity, but any
+	// enumerated counterexample is an integer point, so it soundly refutes
+	// a validity claim; searching slightly beyond the box also catches a
+	// prover that wrongly calls the box-bounded clause itself valid.
+	core := expr.ClauseFormula(s.Core)
+	if p.Valid(core) {
+		if cex, found := Counterexample(core, s.Vars, s.Dom+2); found {
+			return fmt.Errorf("prover claims valid but %v falsifies it: %s", cex, core)
+		}
+		if p.Unsat(core) {
+			return fmt.Errorf("prover claims a formula both valid and unsat: %s", core)
+		}
+	}
+	if p.Valid(f) {
+		if cex, found := Counterexample(f, s.Vars, s.Dom+2); found {
+			return fmt.Errorf("prover claims the bounded clause valid but %v falsifies it: %s", cex, f)
+		}
+	}
+	return nil
+}
+
+// CheckImplication cross-checks Valid(hyp -> goal). Because hyp carries
+// the box bounds, any integer counterexample to the implication lies
+// inside the box, so enumeration is a complete refuter: a "valid"
+// verdict with a box counterexample is a soundness bug. The returned
+// proved flag (when err == nil) feeds completeness statistics.
+func CheckImplication(p *solver.Prover, hyp, goal expr.Formula, vars []expr.Var, dom int64) (proved bool, err error) {
+	f := expr.Implies(hyp, goal)
+	proved = p.Valid(f)
+	if proved {
+		if cex, found := Counterexample(f, vars, dom); found {
+			return proved, fmt.Errorf("prover claims valid but %v falsifies it: %s", cex, f)
+		}
+	}
+	return proved, nil
+}
+
+// CheckQuantified cross-checks a universally-quantified formula and its
+// PruneQuant rewrite. The corpus contains only universals in positive
+// position, so evaluating quantifiers over the box under-approximates
+// truth: a box counterexample refutes validity over the integers.
+// PruneQuant documents that its result implies its input, hence a
+// "valid" verdict on the pruned formula with a counterexample to the
+// original is a pruning soundness bug.
+func CheckQuantified(p *solver.Prover, f expr.Formula, vars []expr.Var, dom int64) (validOrig, validPruned bool, err error) {
+	g := p.PruneQuant(f)
+	validOrig, validPruned = p.Valid(f), p.Valid(g)
+	if validOrig {
+		if cex, found := Counterexample(f, vars, dom); found {
+			return validOrig, validPruned, fmt.Errorf("prover claims valid but %v falsifies it: %s", cex, f)
+		}
+	}
+	if validPruned {
+		if cex, found := Counterexample(f, vars, dom); found {
+			return validOrig, validPruned,
+				fmt.Errorf("pruned formula proved but %v falsifies the original\noriginal: %s\npruned:   %s", cex, f, g)
+		}
+	}
+	return validOrig, validPruned, nil
+}

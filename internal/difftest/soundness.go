@@ -1,0 +1,174 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcsafe/internal/core"
+	"mcsafe/internal/progs"
+	"mcsafe/internal/sparc"
+)
+
+// OracleConfig parameterizes one soundness-oracle sweep.
+type OracleConfig struct {
+	Seed     int64
+	Programs []string // benchmark names; nil selects FastPrograms
+	Mutants  int      // mutants per program (after dedup/subsample)
+	Worlds   int      // concrete environments per checker-safe program
+	MaxSteps int      // interpreter step budget per run
+}
+
+// FastPrograms are the benchmarks that check in well under 100ms each,
+// the default sweep for the ordinary test tier. The remaining programs
+// (Btree, HeapSort, MD5, ...) take seconds to minutes per mutant and run
+// in the nightly full sweep (MCSAFE_DIFF=full).
+var FastPrograms = []string{
+	"Sum", "PagingPolicy", "StartTimer", "Hash", "StopTimer", "jPVM", "BubbleSort",
+}
+
+// DefaultOracleConfig returns the configuration the TestDiffSoundness
+// tier uses.
+func DefaultOracleConfig() OracleConfig {
+	return OracleConfig{Seed: 1, Mutants: 40, Worlds: 3, MaxSteps: 200000}
+}
+
+// A Finding is one soundness counterexample: a mutant the checker
+// approved that trapped under the concrete-execution oracle.
+type Finding struct {
+	Program string
+	Mutant  Mutant
+	World   int
+	Trap    *Trap
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: insn %d <- 0x%08x (%s), world %d: %s",
+		f.Program, f.Mutant.Index, f.Mutant.Word, f.Mutant.Desc, f.World, f.Trap)
+}
+
+// OracleStats summarizes one sweep.
+type OracleStats struct {
+	Programs      int
+	Mutants       int
+	Rejected      int // checker said unsafe (or failed) on the mutant
+	Approved      int // checker said safe; executed in concrete worlds
+	Executions    int
+	Inconclusive  int // runs ending in a non-trap interpreter fault
+	CheckerPanics int // core.Check panicked on a decodable mutant
+	BaselineRuns  int // executions of the unmutated WantSafe programs
+}
+
+// mutate returns a copy of p with instruction idx replaced. The symbol
+// table, procedure map, and entry point are shared: a single-word mutant
+// leaves program structure intact, which is exactly what both the
+// checker and the interpreter's external-call resolution assume.
+func mutate(p *sparc.Program, m Mutant) (*sparc.Program, error) {
+	insn, err := sparc.Decode(m.Word)
+	if err != nil {
+		return nil, err
+	}
+	q := *p
+	q.Words = append([]uint32(nil), p.Words...)
+	q.Insns = append([]sparc.Insn(nil), p.Insns...)
+	insn.Line = p.Insns[m.Index].Line
+	q.Words[m.Index] = m.Word
+	q.Insns[m.Index] = insn
+	return &q, nil
+}
+
+// checkSafe runs the static checker on a mutant, converting panics and
+// errors into rejection. A panic is additionally counted: the checker
+// should reject malformed programs gracefully, and the count lets the
+// test surface robustness regressions without failing soundness.
+func checkSafe(run func() (*core.Result, error)) (safe bool, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			safe, panicked = false, true
+		}
+	}()
+	res, err := run()
+	if err != nil || res == nil {
+		return false, false
+	}
+	return res.Safe, false
+}
+
+// RunSoundness executes one sweep: for every selected benchmark it
+// first replays the unmutated program in Worlds concrete environments
+// (the checker-approved originals must never trap — this validates the
+// oracle itself), then derives Mutants single-word mutants, checks each,
+// and concretely executes every checker-approved mutant. Any trap on an
+// approved program is returned as a Finding.
+func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
+	names := cfg.Programs
+	if names == nil {
+		names = FastPrograms
+	}
+	var findings []Finding
+	var stats OracleStats
+
+	for _, name := range names {
+		b := progs.Get(name)
+		if b == nil {
+			return nil, stats, fmt.Errorf("unknown benchmark %q", name)
+		}
+		prog, spec, err := b.Build()
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Programs++
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(len(name))*1000003 + int64(len(prog.Words))))
+
+		// Oracle self-check: the original of a WantSafe program must be
+		// trap-free in every world the spec admits.
+		if b.WantSafe {
+			for wi := 0; wi < cfg.Worlds; wi++ {
+				world, err := BuildWorld(spec, rng)
+				if err != nil {
+					return nil, stats, fmt.Errorf("%s: building world: %v", name, err)
+				}
+				stats.BaselineRuns++
+				if trap, _ := world.Exec(prog, cfg.MaxSteps); trap != nil {
+					return nil, stats, fmt.Errorf("%s: UNMUTATED program trapped (oracle or checker bug): %s", name, trap)
+				}
+			}
+		}
+
+		for _, m := range Mutants(prog, rng, cfg.Mutants) {
+			stats.Mutants++
+			mp, err := mutate(prog, m)
+			if err != nil {
+				continue
+			}
+			safe, panicked := checkSafe(func() (*core.Result, error) {
+				return core.Check(mp, spec, core.Options{})
+			})
+			if panicked {
+				stats.CheckerPanics++
+			}
+			if !safe {
+				stats.Rejected++
+				continue
+			}
+			stats.Approved++
+			// The checker calls the mutant safe: execution in any
+			// spec-conforming world must not trap.
+			for wi := 0; wi < cfg.Worlds; wi++ {
+				world, err := BuildWorld(spec, rng)
+				if err != nil {
+					return nil, stats, fmt.Errorf("%s: building world: %v", name, err)
+				}
+				stats.Executions++
+				trap, reason := world.Exec(mp, cfg.MaxSteps)
+				if trap != nil {
+					findings = append(findings, Finding{Program: name, Mutant: m, World: wi, Trap: trap})
+					break
+				}
+				if reason != "exit" && reason != "steps" {
+					stats.Inconclusive++
+				}
+			}
+		}
+	}
+	return findings, stats, nil
+}
