@@ -1,6 +1,8 @@
 package mcsafe
 
 import (
+	"context"
+
 	"mcsafe/internal/core"
 	"mcsafe/internal/induction"
 )
@@ -38,33 +40,9 @@ func coreOptions(opts Options) core.Options {
 // leave Parallelism at 0 run their Phase 5 sequentially when the batch
 // itself is parallel (the batch already saturates the cores); an
 // explicit per-item Parallelism is honored.
+//
+// CheckAll is a shim over the Checker API:
+// New().CheckAll(context.Background(), items, parallelism).
 func CheckAll(items []BatchItem, parallelism int) []BatchResult {
-	inner := make([]core.CheckItem, len(items))
-	for i, it := range items {
-		var ci core.CheckItem
-		if it.Prog != nil {
-			ci.Prog = it.Prog.prog
-		}
-		if it.Spec != nil {
-			ci.Spec = it.Spec.spec
-		}
-		ci.Opts = coreOptions(it.Opts)
-		inner[i] = ci
-	}
-	outcomes := core.CheckAll(inner, parallelism)
-	out := make([]BatchResult, len(items))
-	for i, oc := range outcomes {
-		if oc.Err != nil {
-			out[i] = BatchResult{Err: oc.Err}
-			continue
-		}
-		out[i] = BatchResult{Result: &Result{
-			Safe:       oc.Result.Safe,
-			Violations: oc.Result.Violations,
-			Stats:      oc.Result.Stats,
-			Times:      oc.Result.Times,
-			inner:      oc.Result,
-		}}
-	}
-	return out
+	return New().CheckAll(context.Background(), items, parallelism)
 }

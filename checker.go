@@ -1,0 +1,177 @@
+package mcsafe
+
+import (
+	"context"
+	"fmt"
+
+	"mcsafe/internal/core"
+	"mcsafe/internal/obs"
+)
+
+// Trace is the checker's observability sink: hierarchical spans (check →
+// phase → condition chunk → prover query) and named counters, rendered
+// as a JSON event stream (WriteJSON) or a Prometheus-style text snapshot
+// (WriteText). Pass one to a Checker with WithObserver. A single Trace
+// may observe many checks, including concurrent ones.
+type Trace = obs.Trace
+
+// NewTrace returns an empty observer whose clock starts now.
+func NewTrace() *Trace { return obs.New() }
+
+// PhaseError is the error CheckContext-style entry points return when
+// the context is cancelled: it names the phase that was interrupted and
+// unwraps to ctx.Err().
+type PhaseError = core.PhaseError
+
+// Violation codes: the stable machine-readable classification carried in
+// Violation.Code. Tools should match on these, never on description
+// text.
+const (
+	CodeOOB     = "oob"     // array/pointer access outside its object's bounds
+	CodeAlign   = "align"   // misaligned address
+	CodeUninit  = "uninit"  // use of an uninitialized or unusable value
+	CodeNullPtr = "nullptr" // possible null-pointer dereference
+	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
+	CodePolicy  = "policy"  // access the host policy does not grant
+	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+)
+
+// Checker is the configured, reusable entry point of the analysis. Zero
+// or more functional options fix its tuning once; Check may then be
+// called any number of times, from any number of goroutines.
+//
+//	tr := mcsafe.NewTrace()
+//	c := mcsafe.New(mcsafe.WithParallelism(4), mcsafe.WithObserver(tr))
+//	res, err := c.Check(ctx, prog, spec)
+type Checker struct {
+	opts Options
+	obs  *obs.Trace
+}
+
+// CheckerOption is one functional configuration option for New.
+type CheckerOption func(*Checker)
+
+// WithParallelism sets the worker count for global verification
+// (Phase 5): 0 means GOMAXPROCS, 1 forces the exact sequential legacy
+// path. The verdict, violations, and their ordering are identical at
+// every setting.
+func WithParallelism(n int) CheckerOption {
+	return func(c *Checker) { c.opts.Parallelism = n }
+}
+
+// WithObserver directs the checker's spans and counters into t. A nil t
+// restores the default no-op observer.
+func WithObserver(t *Trace) CheckerOption {
+	return func(c *Checker) { c.obs = t }
+}
+
+// WithMaxInductionIterations bounds the induction-iteration chains used
+// to synthesize loop invariants (the paper finds 3 sufficient).
+func WithMaxInductionIterations(k int) CheckerOption {
+	return func(c *Checker) { c.opts.MaxInductionIterations = k }
+}
+
+// WithoutGeneralization disables the Fourier-Motzkin generalization
+// enhancement of induction iteration (Section 5.2.1) — for ablations.
+func WithoutGeneralization() CheckerOption {
+	return func(c *Checker) { c.opts.DisableGeneralization = true }
+}
+
+// WithoutDNF disables the DNF-disjunct enhancement of induction
+// iteration (Section 5.2.1) — for ablations.
+func WithoutDNF() CheckerOption {
+	return func(c *Checker) { c.opts.DisableDNF = true }
+}
+
+// New builds a Checker from functional options.
+func New(options ...CheckerOption) *Checker {
+	c := &Checker{}
+	for _, o := range options {
+		o(c)
+	}
+	return c
+}
+
+// Check runs the five-phase safety-checking analysis on one program
+// against one host specification. The context is honored between phases
+// and between Phase 5 condition chunks; on cancellation the error is a
+// *PhaseError naming the interrupted phase and wrapping ctx.Err().
+func (c *Checker) Check(ctx context.Context, prog *Program, spec *Spec) (*Result, error) {
+	if prog == nil || spec == nil {
+		return nil, fmt.Errorf("mcsafe: nil program or spec")
+	}
+	co := coreOptions(c.opts)
+	co.Obs = c.obs
+	res, err := core.CheckContext(ctx, prog.prog, spec.spec, co)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// CheckAll checks many program+policy pairs concurrently with a bounded
+// worker pool (parallelism 0 means GOMAXPROCS), under the context. Each
+// item is checked with this Checker's configuration unless its
+// BatchItem.Opts override it (a zero Opts inherits the Checker's).
+// Outcomes are indexed like items.
+func (c *Checker) CheckAll(ctx context.Context, items []BatchItem, parallelism int) []BatchResult {
+	inner := make([]core.CheckItem, len(items))
+	for i, it := range items {
+		var ci core.CheckItem
+		if it.Prog != nil {
+			ci.Prog = it.Prog.prog
+		}
+		if it.Spec != nil {
+			ci.Spec = it.Spec.spec
+		}
+		opts := it.Opts
+		if opts == (Options{}) {
+			opts = c.opts
+		}
+		ci.Opts = coreOptions(opts)
+		ci.Opts.Obs = c.obs
+		inner[i] = ci
+	}
+	outcomes := core.CheckAllContext(ctx, inner, parallelism)
+	out := make([]BatchResult, len(items))
+	for i, oc := range outcomes {
+		if oc.Err != nil {
+			out[i] = BatchResult{Err: oc.Err}
+			continue
+		}
+		out[i] = BatchResult{Result: wrapResult(oc.Result)}
+	}
+	return out
+}
+
+// wrapResult lifts an internal check result into the public Result.
+func wrapResult(res *core.Result) *Result {
+	return &Result{
+		Safe:       res.Safe,
+		Violations: res.Violations,
+		Stats:      res.Stats,
+		Times:      res.Times,
+		inner:      res,
+	}
+}
+
+// Explain renders the verdict path of one of the result's violations:
+// its classification, the proof strategies the verifier tried with the
+// formulas they posed and the weakest preconditions they reduced to,
+// and — when the check was observed — the failed condition's span
+// timing.
+func (r *Result) Explain(v Violation) string {
+	if r.inner == nil {
+		return v.String() + "\n"
+	}
+	return r.inner.Explain(v)
+}
+
+// Trace returns the observer the check recorded into (nil when the
+// check ran without one).
+func (r *Result) Trace() *Trace {
+	if r.inner == nil {
+		return nil
+	}
+	return r.inner.Trace
+}

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"mcsafe/internal/core"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/obs"
 	"mcsafe/internal/progs"
 )
 
@@ -39,6 +41,11 @@ type jsonProgram struct {
 	GlobalNs     int64  `json:"global_ns"`
 	TotalNs      int64  `json:"total_ns"`
 	Error        string `json:"error,omitempty"`
+	// Counters are the observer's merged effort counters (solver
+	// queries, eliminations, induction iterations, ...), present only
+	// with -counters: observation costs a little, so baseline timing
+	// runs leave it off.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -48,6 +55,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON of per-phase times instead of the table")
 	baseline := flag.String("baseline", "", "compare a fresh run against a baseline JSON report (see -json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 2.0, "slowdown factor versus -baseline that counts as a regression")
+	counters := flag.Bool("counters", false, "observe each check and report its effort counters (solver queries, FM eliminations, induction iterations, ...)")
 	flag.Parse()
 
 	opts := core.Options{Parallelism: *parallel}
@@ -77,7 +85,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		report := collect(opts, wanted, *parallel, *ablate)
+		report := collect(opts, wanted, *parallel, *ablate, *counters)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -98,7 +106,11 @@ func main() {
 		if len(wanted) > 0 && !wanted[b.Name] {
 			continue
 		}
-		res, err := b.Check(opts)
+		bopts := opts
+		if *counters {
+			bopts.Obs = obs.New()
+		}
+		res, err := b.Check(bopts)
 		if err != nil {
 			fmt.Printf("%-15s ERROR: %v\n", b.Name, err)
 			continue
@@ -124,11 +136,26 @@ func main() {
 			fmt.Sprintf("%.3fs(%.2f)", res.Times.Global.Seconds(), b.Paper.GlobalSec),
 			fmt.Sprintf("%.3fs(%.2f)", res.Times.Total.Seconds(), b.Paper.TotalSec),
 			verdict, expect)
+		if *counters {
+			printCounters(bopts.Obs.Counters())
+		}
+	}
+}
+
+// printCounters renders one program's effort counters, sorted by name.
+func printCounters(c map[string]int64) {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("    %-28s %d\n", k, c[k])
 	}
 }
 
 // collect runs the selected benchmarks and gathers the JSON report rows.
-func collect(opts core.Options, wanted map[string]bool, parallel int, ablate string) jsonReport {
+func collect(opts core.Options, wanted map[string]bool, parallel int, ablate string, counters bool) jsonReport {
 	report := jsonReport{
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Parallelism: parallel,
@@ -139,10 +166,17 @@ func collect(opts core.Options, wanted map[string]bool, parallel int, ablate str
 			continue
 		}
 		row := jsonProgram{Name: b.Name, ExpectedSafe: b.WantSafe}
-		res, err := b.Check(opts)
+		bopts := opts
+		if counters {
+			bopts.Obs = obs.New()
+		}
+		res, err := b.Check(bopts)
 		if err != nil {
 			row.Error = err.Error()
 		} else {
+			if counters {
+				row.Counters = bopts.Obs.Counters()
+			}
 			row.Safe = res.Safe
 			row.Violations = len(res.Violations)
 			row.Instructions = res.Stats.Instructions
@@ -183,7 +217,7 @@ func compareBaseline(path string, threshold float64, opts core.Options, wanted m
 		baseByName[p.Name] = p
 	}
 
-	cur := collect(opts, wanted, 0, "")
+	cur := collect(opts, wanted, 0, "", false)
 	failures := 0
 	for _, p := range cur.Programs {
 		b, ok := baseByName[p.Name]

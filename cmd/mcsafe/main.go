@@ -12,17 +12,59 @@
 // -parallel N sets the worker count for global verification (0 =
 // GOMAXPROCS, 1 = sequential); with several program files it also bounds
 // the number of programs checked concurrently.
+//
+// Observability:
+//
+//	-json     emit the result as JSON (machine-readable violation codes)
+//	-trace    record phase/condition/solver spans and counters; with
+//	          -json the trace event stream is embedded in the output,
+//	          otherwise a Prometheus-style text snapshot follows the report
+//	-explain  print the verdict path of every violation: the proof
+//	          strategies tried, their formulas, and the WLP each reduced to
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mcsafe"
 	"mcsafe/internal/core"
+	"mcsafe/internal/obs"
 	"mcsafe/internal/progs"
 )
+
+// jsonReport is the -json output shape. The schema is stable: fields are
+// only ever added.
+type jsonReport struct {
+	Program    string           `json:"program,omitempty"`
+	Safe       bool             `json:"safe"`
+	Violations []core.Violation `json:"violations"`
+	Stats      core.Stats       `json:"stats"`
+	Times      core.PhaseTimes  `json:"times"`
+	Trace      *obs.Snapshot    `json:"trace,omitempty"`
+}
+
+func emitJSON(name string, safe bool, violations []core.Violation, stats core.Stats, times core.PhaseTimes, tr *obs.Trace) {
+	rep := jsonReport{
+		Program: name, Safe: safe, Violations: violations,
+		Stats: stats, Times: times,
+	}
+	if violations == nil {
+		rep.Violations = []core.Violation{}
+	}
+	if tr != nil {
+		snap := tr.Snapshot()
+		rep.Trace = &snap
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
 
 func main() {
 	specPath := flag.String("spec", "", "path to the policy/specification file")
@@ -33,6 +75,9 @@ func main() {
 	dumpConds := flag.Bool("dump-conds", false, "print every global safety condition and its verdict")
 	dumpAsm := flag.Bool("dump-asm", false, "print the decoded program")
 	parallel := flag.Int("parallel", 0, "global-verification workers: 0 = GOMAXPROCS, 1 = sequential")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	trace := flag.Bool("trace", false, "record spans and counters (see -json)")
+	explain := flag.Bool("explain", false, "print the verdict path of every violation")
 	flag.Parse()
 
 	if *list {
@@ -46,23 +91,44 @@ func main() {
 		return
 	}
 
+	var tr *mcsafe.Trace
+	if *trace {
+		tr = mcsafe.NewTrace()
+	}
+
 	switch {
 	case *builtin != "":
 		b := progs.Get(*builtin)
 		if b == nil {
 			fatal(fmt.Errorf("unknown built-in program %q (use -list)", *builtin))
 		}
-		inner, cerr := b.Check(core.Options{Parallelism: *parallel})
+		inner, cerr := b.Check(core.Options{Parallelism: *parallel, Obs: tr})
 		if cerr != nil {
 			fatal(cerr)
 		}
-		printCore(inner, *dumpConds)
-		if inner.Safe {
-			fmt.Println("VERDICT: safe")
-			return
+		if *jsonOut {
+			emitJSON(b.Name, inner.Safe, inner.Violations, inner.Stats, inner.Times, tr)
+		} else {
+			printCore(inner, *dumpConds)
+			if *explain {
+				for _, v := range inner.Violations {
+					fmt.Print(inner.Explain(v))
+				}
+			}
+			if tr != nil {
+				if err := tr.WriteText(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+			if inner.Safe {
+				fmt.Println("VERDICT: safe")
+			} else {
+				fmt.Println("VERDICT: UNSAFE")
+			}
 		}
-		fmt.Println("VERDICT: UNSAFE")
-		os.Exit(1)
+		if !inner.Safe {
+			os.Exit(1)
+		}
 
 	default:
 		if *specPath == "" || flag.NArg() < 1 {
@@ -77,19 +143,31 @@ func main() {
 		if perr != nil {
 			fatal(perr)
 		}
-		opts := mcsafe.Options{Parallelism: *parallel}
+		checker := mcsafe.New(
+			mcsafe.WithParallelism(*parallel),
+			mcsafe.WithObserver(tr),
+		)
 		if flag.NArg() == 1 {
-			res, err := checkOne(spec, flag.Arg(0), *entry, opts, *dumpAsm)
+			res, err := checkOne(checker, spec, flag.Arg(0), *entry, *dumpAsm)
 			if err != nil {
 				fatal(err)
 			}
-			if *dumpTS {
-				fmt.Print(res.DumpTypestate())
+			if *jsonOut {
+				emitJSON(flag.Arg(0), res.Safe, res.Violations, res.Stats, res.Times, tr)
+			} else {
+				if *dumpTS {
+					fmt.Print(res.DumpTypestate())
+				}
+				if *dumpConds {
+					fmt.Print(res.Conditions())
+				}
+				printResult(res, *explain)
+				if tr != nil {
+					if err := tr.WriteText(os.Stdout); err != nil {
+						fatal(err)
+					}
+				}
 			}
-			if *dumpConds {
-				fmt.Print(res.Conditions())
-			}
-			printResult(res)
 			if !res.Safe {
 				os.Exit(1)
 			}
@@ -107,10 +185,10 @@ func main() {
 			if aerr != nil {
 				fatal(fmt.Errorf("%s: %v", path, aerr))
 			}
-			items[i] = mcsafe.BatchItem{Prog: prog, Spec: spec, Opts: opts}
+			items[i] = mcsafe.BatchItem{Prog: prog, Spec: spec}
 		}
 		anyBad := false
-		for i, br := range mcsafe.CheckAll(items, *parallel) {
+		for i, br := range checker.CheckAll(context.Background(), items, *parallel) {
 			path := flag.Arg(i)
 			switch {
 			case br.Err != nil:
@@ -125,7 +203,17 @@ func main() {
 				for _, v := range br.Result.Violations {
 					fmt.Println("   ", v)
 				}
+				if *explain {
+					for _, v := range br.Result.Violations {
+						fmt.Print(br.Result.Explain(v))
+					}
+				}
 				anyBad = true
+			}
+		}
+		if tr != nil && !*jsonOut {
+			if err := tr.WriteText(os.Stdout); err != nil {
+				fatal(err)
 			}
 		}
 		if anyBad {
@@ -134,7 +222,7 @@ func main() {
 	}
 }
 
-func checkOne(spec *mcsafe.Spec, path, entry string, opts mcsafe.Options, dumpAsm bool) (*mcsafe.Result, error) {
+func checkOne(checker *mcsafe.Checker, spec *mcsafe.Spec, path, entry string, dumpAsm bool) (*mcsafe.Result, error) {
 	asmText, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -146,10 +234,10 @@ func checkOne(spec *mcsafe.Spec, path, entry string, opts mcsafe.Options, dumpAs
 	if dumpAsm {
 		fmt.Print(prog.Disassemble())
 	}
-	return mcsafe.CheckWithOptions(prog, spec, opts)
+	return checker.Check(context.Background(), prog, spec)
 }
 
-func printResult(res *mcsafe.Result) {
+func printResult(res *mcsafe.Result, explain bool) {
 	st := res.Stats
 	fmt.Printf("instructions=%d branches=%d loops=%d(%d inner) calls=%d global-conditions=%d\n",
 		st.Instructions, st.Branches, st.Loops, st.InnerLoops, st.Calls, st.GlobalConds)
@@ -157,6 +245,11 @@ func printResult(res *mcsafe.Result) {
 		res.Times.Typestate, res.Times.AnnotLocal, res.Times.Global, res.Times.Total)
 	for _, v := range res.Violations {
 		fmt.Println(" ", v)
+	}
+	if explain {
+		for _, v := range res.Violations {
+			fmt.Print(res.Explain(v))
+		}
 	}
 	if res.Safe {
 		fmt.Println("VERDICT: safe")

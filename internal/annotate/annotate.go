@@ -20,11 +20,27 @@ import (
 	"mcsafe/internal/typestate"
 )
 
+// Violation codes: the stable machine-readable classification of every
+// safety violation the checker reports. Tools match on these — never on
+// description text, which is free to change.
+const (
+	CodeOOB     = "oob"     // array/pointer access outside its object's bounds
+	CodeAlign   = "align"   // misaligned address
+	CodeUninit  = "uninit"  // use of an uninitialized or unusable value
+	CodeNullPtr = "nullptr" // possible null-pointer dereference
+	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
+	CodePolicy  = "policy"  // access the host policy does not grant
+	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+)
+
 // GlobalCond is one global safety precondition: a formula that must hold
 // whenever control reaches the node.
 type GlobalCond struct {
 	ID   int
 	Node int
+	// Code is the stable violation code charged when the condition
+	// cannot be proved (one of the Code* constants).
+	Code string
 	Desc string
 	// F is the safety predicate.
 	F expr.Formula
@@ -41,6 +57,8 @@ type GlobalCond struct {
 // problem found during annotation.
 type Violation struct {
 	Node int
+	// Code is the stable violation code (one of the Code* constants).
+	Code string
 	Desc string
 }
 
@@ -71,30 +89,30 @@ func Run(res *propagate.Result) *Annotations {
 	// Propagation-time issues are violations too.
 	for _, issue := range res.Issues {
 		a.out.LocalViolations = append(a.out.LocalViolations,
-			Violation{Node: issue.Node, Desc: issue.Msg})
+			Violation{Node: issue.Node, Code: issue.Code, Desc: issue.Msg})
 	}
 	return a.out
 }
 
-func (a *annotator) fail(node *cfg.Node, format string, args ...interface{}) {
+func (a *annotator) fail(node *cfg.Node, code, format string, args ...interface{}) {
 	a.out.LocalViolations = append(a.out.LocalViolations, Violation{
-		Node: node.ID, Desc: fmt.Sprintf(format, args...),
+		Node: node.ID, Code: code, Desc: fmt.Sprintf(format, args...),
 	})
 }
 
-func (a *annotator) check(node *cfg.Node, ok bool, format string, args ...interface{}) {
+func (a *annotator) check(node *cfg.Node, code string, ok bool, format string, args ...interface{}) {
 	a.out.LocalChecks++
 	if !ok {
-		a.fail(node, format, args...)
+		a.fail(node, code, format, args...)
 	}
 }
 
-func (a *annotator) cond(node *cfg.Node, desc string, f expr.Formula, facts expr.Formula, after bool) {
+func (a *annotator) cond(node *cfg.Node, code, desc string, f expr.Formula, facts expr.Formula, after bool) {
 	if _, isTrue := expr.Simplify(f).(expr.TrueF); isTrue {
 		return
 	}
 	gc := &GlobalCond{
-		ID: len(a.out.Conds), Node: node.ID, Desc: desc,
+		ID: len(a.out.Conds), Node: node.ID, Code: code, Desc: desc,
 		F: f, Facts: facts, AfterNode: after,
 	}
 	a.out.Conds = append(a.out.Conds, gc)
@@ -124,7 +142,7 @@ func (a *annotator) visit(node *cfg.Node) {
 		// requires the o permission (Section 2).
 		if insn.Op == sparc.OpOr && !insn.Imm && insn.Rs2 != sparc.G0 {
 			ts := a.regTS(node, insn.Rs2, in)
-			a.check(node, localcheck.Operable(ts),
+			a.check(node, CodeUninit, localcheck.Operable(ts),
 				"use of unusable value in %s (%v)", insn.Rs2, ts)
 		}
 
@@ -157,24 +175,24 @@ func (a *annotator) visit(node *cfg.Node) {
 			// Pointer arithmetic on an interior pointer cannot be
 			// bounds-checked against the (single) summary location; the
 			// paper's analysis has the same limitation (Section 8).
-			a.cond(node, "interior-pointer arithmetic", expr.F(), facts, false)
+			a.cond(node, CodeOOB, "interior-pointer arithmetic", expr.F(), facts, false)
 			return
 		}
 		if baseTS.State.MayNull {
-			a.cond(node, "null-pointer check", expr.NeExpr(expr.V(baseVar), expr.Constant(0)), facts, false)
+			a.cond(node, CodeNullPtr, "null-pointer check", expr.NeExpr(expr.V(baseVar), expr.Constant(0)), facts, false)
 		}
 		if insn.Op == sparc.OpSub || insn.Op == sparc.OpSubcc {
 			idxE = idxE.Scale(-1)
 		}
-		a.cond(node, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
-		a.cond(node, "array upper bound", expr.LtExpr(idxE, bound), facts, false)
-		a.cond(node, "address alignment",
+		a.cond(node, CodeOOB, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
+		a.cond(node, CodeOOB, "array upper bound", expr.LtExpr(idxE, bound), facts, false)
+		a.cond(node, CodeAlign, "address alignment",
 			expr.Divides(size, idxE), facts, false)
 
 	case propagate.KindPtrOffset:
 		ts := a.regTS(node, insn.Rs1, in)
 		if insn.Rs1 != sparc.FP && insn.Rs1 != sparc.SP {
-			a.check(node, localcheck.Operable(ts),
+			a.check(node, CodeUninit, localcheck.Operable(ts),
 				"pointer-offset on unusable value in %s (%v)", insn.Rs1, ts)
 		}
 
@@ -190,13 +208,13 @@ func (a *annotator) visit(node *cfg.Node) {
 		// space for the hidden parameter and outgoing arguments = 92,
 		// rounded to 96) and keep the stack 8-aligned.
 		if !insn.Imm {
-			a.fail(node, "save with register-sized frame is not checkable")
+			a.fail(node, CodeStack, "save with register-sized frame is not checkable")
 			return
 		}
-		a.check(node, insn.SImm <= -64, "save allocates too small a frame (%d)", insn.SImm)
-		a.check(node, insn.SImm%8 == 0, "save misaligns the stack (%d)", insn.SImm)
+		a.check(node, CodeStack, insn.SImm <= -64, "save allocates too small a frame (%d)", insn.SImm)
+		a.check(node, CodeStack, insn.SImm%8 == 0, "save misaligns the stack (%d)", insn.SImm)
 		if fr, ok := a.res.Ini.Spec.Frames[res.G.Procs[node.Proc].Name]; ok {
-			a.check(node, int(-insn.SImm) >= fr.Size,
+			a.check(node, CodeStack, int(-insn.SImm) >= fr.Size,
 				"save allocates %d bytes, frame annotation requires %d", -insn.SImm, fr.Size)
 		}
 	}
@@ -206,12 +224,12 @@ func (a *annotator) checkOperands(node *cfg.Node, in typestate.Store) {
 	insn := node.Insn
 	if insn.Rs1 != sparc.G0 {
 		ts := a.regTS(node, insn.Rs1, in)
-		a.check(node, localcheck.Operable(ts),
+		a.check(node, CodeUninit, localcheck.Operable(ts),
 			"use of uninitialized or unusable value in %s (%v)", insn.Rs1, ts)
 	}
 	if !insn.Imm && insn.Rs2 != sparc.G0 {
 		ts := a.regTS(node, insn.Rs2, in)
-		a.check(node, localcheck.Operable(ts),
+		a.check(node, CodeUninit, localcheck.Operable(ts),
 			"use of uninitialized or unusable value in %s (%v)", insn.Rs2, ts)
 	}
 }

@@ -24,7 +24,7 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	}
 	isStore := insn.IsStore()
 
-	a.check(node, len(acc.Targets) > 0, "memory access resolves to no abstract location")
+	a.check(node, CodePolicy, len(acc.Targets) > 0, "memory access resolves to no abstract location")
 	if len(acc.Targets) == 0 {
 		return
 	}
@@ -34,15 +34,15 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	var facts expr.Formula = expr.T()
 	if !acc.Frame {
 		baseTS := a.regTS(node, insn.Rs1, in)
-		a.check(node, localcheck.Followable(baseTS),
+		a.check(node, CodeUninit, localcheck.Followable(baseTS),
 			"base %s is not followable (%v)", insn.Rs1, baseTS)
-		a.check(node, localcheck.Operable(baseTS),
+		a.check(node, CodeUninit, localcheck.Operable(baseTS),
 			"base %s is not operable (%v)", insn.Rs1, baseTS)
 		facts = a.pointerFacts(expr.Var(acc.BaseVar), baseTS)
 	}
 	if acc.IndexReg != "" {
 		idxTS := in.Get(acc.IndexReg)
-		a.check(node, localcheck.Operable(idxTS),
+		a.check(node, CodeUninit, localcheck.Operable(idxTS),
 			"index %s is not usable (%v)", acc.IndexReg, idxTS)
 	}
 
@@ -53,14 +53,14 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 			if lt != nil && (lt.Kind == types.ArrayBase || lt.Kind == types.ArrayIn) {
 				lt = lt.Elem
 			}
-			a.check(node, localcheck.Operable(val),
+			a.check(node, CodeUninit, localcheck.Operable(val),
 				"storing unusable value from %s (%v)", insn.Rd, val)
-			a.check(node, localcheck.Assignable(res.Ini.World, val, t.Loc, lt),
+			a.check(node, CodePolicy, localcheck.Assignable(res.Ini.World, val, t.Loc, lt),
 				"value in %s (%v) is not assignable to %s", insn.Rd, val, t.Loc)
 		} else {
-			a.check(node, localcheck.Readable(res.Ini.World, t.Loc),
+			a.check(node, CodePolicy, localcheck.Readable(res.Ini.World, t.Loc),
 				"location %s is not readable", t.Loc)
-			a.check(node, localcheck.Initialized(in.Get(t.Loc)),
+			a.check(node, CodeUninit, localcheck.Initialized(in.Get(t.Loc)),
 				"read of possibly-uninitialized location %s", t.Loc)
 		}
 	}
@@ -72,9 +72,9 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 		if acc.Array {
 			size := int64(acc.ElemType.Size())
 			off := int64(acc.IndexImm)
-			a.check(node, off >= 0 && off < size*acc.Bound.Const,
+			a.check(node, CodeOOB, off >= 0 && off < size*acc.Bound.Const,
 				"stack array access at offset %d is out of bounds [0,%d)", off, size*acc.Bound.Const)
-			a.check(node, off%size == 0,
+			a.check(node, CodeAlign, off%size == 0,
 				"stack array access at offset %d is misaligned", off)
 		}
 		return
@@ -84,7 +84,7 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	mayNull := acc.MayNull
 	// Figure 3 condition 1: the base pointer is non-null. When the
 	// points-to set excludes null the fact base >= 1 discharges it.
-	a.cond(node, "null-pointer check", expr.NeExpr(baseV, expr.Constant(0)), facts, false)
+	a.cond(node, CodeNullPtr, "null-pointer check", expr.NeExpr(baseV, expr.Constant(0)), facts, false)
 	_ = mayNull
 
 	if acc.Array {
@@ -103,16 +103,16 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 		if acc.BaseInterior {
 			// Nonzero offset from an interior pointer: not checkable
 			// against a single summary location (Section 8).
-			a.cond(node, "interior-pointer offset", expr.F(), facts, false)
+			a.cond(node, CodeOOB, "interior-pointer offset", expr.F(), facts, false)
 			return
 		}
 		// Figure 3 conditions: %g2 >= 0, %g2 < 4n, and the address
 		// alignment (%o2 + %g2) mod 4 = 0 (which, with the base-
 		// alignment fact, also enforces %g2 mod 4 = 0).
-		a.cond(node, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
-		a.cond(node, "array upper bound", expr.LtExpr(idxE, boundExpr(acc.Bound, size)), facts, false)
+		a.cond(node, CodeOOB, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
+		a.cond(node, CodeOOB, "array upper bound", expr.LtExpr(idxE, boundExpr(acc.Bound, size)), facts, false)
 		if size > 1 {
-			a.cond(node, "address alignment",
+			a.cond(node, CodeAlign, "address alignment",
 				expr.Divides(size, baseV.Add(idxE)), facts, false)
 		}
 		return
@@ -121,7 +121,7 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	// Field access at a constant offset: alignment of base + offset.
 	align := int64(insn.MemSize())
 	if align > 1 {
-		a.cond(node, "address alignment",
+		a.cond(node, CodeAlign, "address alignment",
 			expr.Divides(align, baseV.AddConst(int64(acc.IndexImm))), facts, false)
 	}
 }
@@ -138,7 +138,7 @@ func (a *annotator) visitCall(node *cfg.Node) {
 	}
 	tf := res.Ini.Spec.Trusted[site.TrustedName]
 	if tf == nil {
-		a.fail(node, "call to undeclared trusted function %q", site.TrustedName)
+		a.fail(node, CodePrecond, "call to undeclared trusted function %q", site.TrustedName)
 		return
 	}
 	// Arguments are in %o0..%o5 once the delay slot has executed.
@@ -147,22 +147,22 @@ func (a *annotator) visitCall(node *cfg.Node) {
 	for _, as := range tf.Args {
 		reg := sparc.O0 + sparc.Reg(as.Index)
 		ts := argStore.Get(policy.RegLoc(reg, depth))
-		a.check(node, argTypeOK(ts, as),
+		a.check(node, CodePrecond, argTypeOK(ts, as),
 			"argument %d of %s: have %v, requires %v/%v", as.Index, tf.Name, ts, as.Type, as.State)
-		a.check(node, ts.Access.Has(as.Perm.ValuePerms()),
+		a.check(node, CodePrecond, ts.Access.Has(as.Perm.ValuePerms()),
 			"argument %d of %s lacks access %v", as.Index, tf.Name, as.Perm.ValuePerms())
 	}
 	// The precondition becomes a global safety condition after the
 	// delay slot.
 	pre := renameRegs(tf.Pre, depth)
 	if _, isTrue := pre.(expr.TrueF); !isTrue {
-		a.condAt(site.DelayNode, "precondition of "+tf.Name, pre, expr.T(), true)
+		a.condAt(site.DelayNode, CodePrecond, "precondition of "+tf.Name, pre, expr.T(), true)
 	}
 }
 
-func (a *annotator) condAt(nodeID int, desc string, f, facts expr.Formula, after bool) {
+func (a *annotator) condAt(nodeID int, code, desc string, f, facts expr.Formula, after bool) {
 	gc := &GlobalCond{
-		ID: len(a.out.Conds), Node: nodeID, Desc: desc,
+		ID: len(a.out.Conds), Node: nodeID, Code: code, Desc: desc,
 		F: f, Facts: facts, AfterNode: after,
 	}
 	a.out.Conds = append(a.out.Conds, gc)

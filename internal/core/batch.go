@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,13 @@ type CheckOutcome struct {
 // check per core beats every check contending for every core. An
 // explicit per-item Parallelism is honored as given.
 func CheckAll(items []CheckItem, parallelism int) []CheckOutcome {
+	return CheckAllContext(context.Background(), items, parallelism)
+}
+
+// CheckAllContext is CheckAll with cancellation: each item's check runs
+// under the context (CheckContext), and items not yet started when the
+// context is cancelled complete immediately with a *PhaseError.
+func CheckAllContext(ctx context.Context, items []CheckItem, parallelism int) []CheckOutcome {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -62,7 +70,7 @@ func CheckAll(items []CheckItem, parallelism int) []CheckOutcome {
 				if parallelism > 1 && opts.Parallelism == 0 {
 					opts.Parallelism = 1
 				}
-				r, err := Check(it.Prog, it.Spec, opts)
+				r, err := CheckContext(ctx, it.Prog, it.Spec, opts)
 				out[i] = CheckOutcome{Result: r, Err: err}
 			}
 		}()

@@ -7,13 +7,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"mcsafe/internal/annotate"
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/obs"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/solver"
@@ -24,29 +27,29 @@ import (
 // PhaseTimes mirrors the timing rows of Figure 9.
 type PhaseTimes struct {
 	// Typestate is Phase 2 (typestate propagation).
-	Typestate time.Duration
+	Typestate time.Duration `json:"typestate_ns"`
 	// AnnotLocal is Phases 3 and 4 (annotation + local verification),
 	// reported together as in Figure 9.
-	AnnotLocal time.Duration
+	AnnotLocal time.Duration `json:"annot_local_ns"`
 	// Global is Phase 5 (global verification).
-	Global time.Duration
+	Global time.Duration `json:"global_ns"`
 	// Total is the whole analysis, including Phase 1 (preparation).
-	Total time.Duration
+	Total time.Duration `json:"total_ns"`
 }
 
 // Stats mirrors the characteristics rows of Figure 9.
 type Stats struct {
-	Instructions int
-	Branches     int
-	Loops        int
-	InnerLoops   int
-	Calls        int
-	TrustedCalls int
-	GlobalConds  int
+	Instructions int `json:"instructions"`
+	Branches     int `json:"branches"`
+	Loops        int `json:"loops"`
+	InnerLoops   int `json:"inner_loops"`
+	Calls        int `json:"calls"`
+	TrustedCalls int `json:"trusted_calls"`
+	GlobalConds  int `json:"global_conds"`
 	// Extra effort counters (not in the paper's table).
-	PropagationSteps int
-	ProverQueries    int
-	InductionRuns    int
+	PropagationSteps int `json:"propagation_steps"`
+	ProverQueries    int `json:"prover_queries"`
+	InductionRuns    int `json:"induction_runs"`
 }
 
 // Violation is one place where a safety condition is violated (or cannot
@@ -54,12 +57,22 @@ type Stats struct {
 type Violation struct {
 	// Node is the CFG node; Index the instruction index; Line the
 	// source line when the program carries a source map.
-	Node  int
-	Index int
-	Line  int
+	Node  int `json:"node"`
+	Index int `json:"index"`
+	Line  int `json:"line,omitempty"`
 	// Phase is "local" or "global".
-	Phase string
-	Desc  string
+	Phase string `json:"phase"`
+	// Code is the stable machine-readable classification (one of the
+	// annotate.Code* constants: oob, align, uninit, nullptr, stack,
+	// policy, precond). Tools should match on Code, never on Desc.
+	Code string `json:"code"`
+	Desc string `json:"desc"`
+	// Cond indexes the failed condition in Result.Conds for global
+	// violations; -1 for local ones.
+	Cond int `json:"cond"`
+	// Span is the failed condition's span in the observer's trace
+	// (0 when the check ran unobserved or the violation is local).
+	Span obs.SpanID `json:"span,omitempty"`
 }
 
 func (v Violation) String() string {
@@ -67,7 +80,7 @@ func (v Violation) String() string {
 	if v.Line > 0 {
 		where = fmt.Sprintf("line %d", v.Line)
 	}
-	return fmt.Sprintf("%s: %s safety violation: %s", where, v.Phase, v.Desc)
+	return fmt.Sprintf("%s: %s safety violation [%s]: %s", where, v.Phase, v.Code, v.Desc)
 }
 
 // Options configures a check.
@@ -79,73 +92,138 @@ type Options struct {
 	// path. Verdicts, violation lists, and their ordering are identical
 	// at every setting; only wall-clock time changes.
 	Parallelism int
+	// Obs, when non-nil, receives the check's spans and counters. A nil
+	// observer costs one pointer compare per instrumentation point.
+	Obs *obs.Trace
 }
+
+// PhaseError wraps a context cancellation (or deadline) with the phase
+// it interrupted.
+type PhaseError struct {
+	Phase string
+	Err   error
+}
+
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("mcsafe: check interrupted during %s phase: %v", e.Phase, e.Err)
+}
+
+func (e *PhaseError) Unwrap() error { return e.Err }
 
 // Result is the outcome of checking one program against one policy.
 type Result struct {
 	// Safe is true when every safety condition was established.
-	Safe       bool
-	Violations []Violation
-	Stats      Stats
-	Times      PhaseTimes
+	Safe       bool        `json:"safe"`
+	Violations []Violation `json:"violations,omitempty"`
+	Stats      Stats       `json:"stats"`
+	Times      PhaseTimes  `json:"times"`
 
 	// Conds carries the per-condition verdicts of global verification.
-	Conds []vcgen.CondResult
+	Conds []vcgen.CondResult `json:"-"`
+	// Trace is the observer the check recorded into (nil when
+	// unobserved).
+	Trace *obs.Trace `json:"-"`
 	// Prop and Ann expose the intermediate results for inspection
 	// (dump tools, tests).
-	Prop *propagate.Result
-	Ann  *annotate.Annotations
-	Ini  *policy.Initial
-	G    *cfg.Graph
+	Prop *propagate.Result     `json:"-"`
+	Ann  *annotate.Annotations `json:"-"`
+	Ini  *policy.Initial       `json:"-"`
+	G    *cfg.Graph            `json:"-"`
 }
 
 // Check runs the five-phase safety-checking analysis on a program
 // against a host specification.
 func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
+	return CheckContext(context.Background(), prog, spec, opts)
+}
+
+// CheckContext is Check with cancellation: the context is consulted
+// between phases and, inside Phase 5, between condition chunks. On
+// cancellation it returns a *PhaseError naming the phase that was
+// interrupted, wrapping ctx.Err().
+func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
 	if prog == nil || spec == nil {
 		return nil, fmt.Errorf("core: nil program or spec")
 	}
 	t0 := time.Now()
+	w := opts.Obs.Worker(0)
+	w.Begin("check", "program")
+	// abort ends the open spans and flushes before an early error
+	// return, keeping the event stream balanced.
+	abort := func(phase string, err error) error {
+		w.End("aborted", phase)
+		w.Flush()
+		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			return &PhaseError{Phase: phase, Err: err}
+		}
+		return err
+	}
 
 	// Phase 1: preparation.
+	w.Begin("phase", "prepare")
 	ini, err := policy.Prepare(spec)
 	if err != nil {
-		return nil, err
+		w.End()
+		return nil, abort("prepare", err)
 	}
 	g, err := cfg.Build(prog, cfg.Options{TrustedFuncs: spec.TrustedNames()})
 	if err != nil {
-		return nil, err
+		w.End()
+		return nil, abort("prepare", err)
 	}
+	w.End()
 
-	res := &Result{Ini: ini, G: g}
+	res := &Result{Ini: ini, G: g, Trace: opts.Obs}
 
 	// Phase 2: typestate propagation.
+	if err := ctx.Err(); err != nil {
+		return nil, abort("typestate", err)
+	}
 	t1 := time.Now()
+	w.Begin("phase", "typestate")
 	prop := propagate.Run(g, ini)
+	w.End("steps", fmt.Sprint(prop.Steps))
 	res.Prop = prop
 	res.Times.Typestate = time.Since(t1)
 
 	// Phases 3 and 4: annotation + local verification.
+	if err := ctx.Err(); err != nil {
+		return nil, abort("annotate", err)
+	}
 	t2 := time.Now()
+	w.Begin("phase", "annotate")
 	ann := annotate.Run(prop)
+	w.End("conds", fmt.Sprint(len(ann.Conds)))
 	res.Ann = ann
 	res.Times.AnnotLocal = time.Since(t2)
 
 	// Phase 5: global verification. The sequential legacy path keeps
 	// the prover's private single-owner cache; any parallel setting
 	// gets a striped cache the pool's worker provers share.
+	if err := ctx.Err(); err != nil {
+		return nil, abort("global", err)
+	}
 	t3 := time.Now()
+	w.Begin("phase", "global")
 	var prover *solver.Prover
 	if opts.Parallelism == 1 {
 		prover = solver.New()
 	} else {
 		prover = solver.NewShared(solver.NewShardedCache())
 	}
+	prover.Obs = w
 	eng := vcgen.New(prop, prover, vcgen.Options{
 		Induction:   opts.Induction,
 		Parallelism: opts.Parallelism,
 	})
-	res.Conds = eng.Prove(ann.Conds)
+	eng.Obs = w
+	conds, err := eng.ProveContext(ctx, ann.Conds)
+	if err != nil {
+		w.End()
+		return nil, abort("global", err)
+	}
+	res.Conds = conds
+	w.End("conds", fmt.Sprint(len(conds)))
 	res.Times.Global = time.Since(t3)
 	res.Times.Total = time.Since(t0)
 
@@ -153,17 +231,20 @@ func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error
 	for _, v := range ann.LocalViolations {
 		res.Violations = append(res.Violations, Violation{
 			Node: v.Node, Index: g.Nodes[v.Node].Index,
-			Line: lineOf(prog, g, v.Node), Phase: "local", Desc: v.Desc,
+			Line: lineOf(prog, g, v.Node), Phase: "local",
+			Code: v.Code, Desc: v.Desc, Cond: -1,
 		})
 	}
-	for _, cr := range res.Conds {
+	for i, cr := range res.Conds {
 		if cr.Proved {
 			continue
 		}
 		res.Violations = append(res.Violations, Violation{
 			Node: cr.Cond.Node, Index: g.Nodes[cr.Cond.Node].Index,
 			Line: lineOf(prog, g, cr.Cond.Node), Phase: "global",
+			Code: cr.Cond.Code,
 			Desc: fmt.Sprintf("%s: %s", cr.Cond.Desc, cr.Detail),
+			Cond: i, Span: cr.Span,
 		})
 	}
 	sort.Slice(res.Violations, func(i, j int) bool {
@@ -183,7 +264,66 @@ func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error
 	res.Stats.PropagationSteps = prop.Steps
 	res.Stats.ProverQueries = prover.Stats.ValidQueries
 	res.Stats.InductionRuns = eng.Stats.InductionRuns
+
+	// Counters: emitted once from the merged stats, so the totals are
+	// race-free at any parallelism and exactly equal the Stats fields.
+	typestateFacts := 0
+	for _, s := range prop.In {
+		typestateFacts += s.Len()
+	}
+	w.Add("solver_valid_queries", int64(prover.Stats.ValidQueries))
+	w.Add("solver_cache_hits", int64(prover.Stats.CacheHits))
+	w.Add("solver_eliminations", int64(prover.Stats.Eliminations))
+	w.Add("solver_dnf_blowups", int64(prover.Stats.DNFBlowups))
+	w.Add("vcgen_conditions", int64(eng.Stats.Conditions))
+	w.Add("vcgen_proved", int64(eng.Stats.Proved))
+	w.Add("vcgen_query_cache_hits", int64(eng.Stats.CacheHits))
+	w.Add("induction_runs", int64(eng.Stats.InductionRuns))
+	w.Add("induction_iterations", int64(eng.Stats.InductionIters))
+	w.Add("induction_candidates", int64(eng.Stats.InductionCands))
+	w.Add("propagate_steps", int64(prop.Steps))
+	w.Add("typestate_facts", int64(typestateFacts))
+	w.Add("annotate_local_checks", int64(ann.LocalChecks))
+	w.Add("annotate_global_conds", int64(len(ann.Conds)))
+	w.End("safe", fmt.Sprint(res.Safe))
+	w.Flush()
 	return res, nil
+}
+
+// Explain renders the verdict path of one violation: where it is, how it
+// was classified, and — for global violations — every proof strategy the
+// verifier tried, with the formula posed and the weakest precondition it
+// reduced to. The span timing is included when the check was observed.
+func (r *Result) Explain(v Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", v.String())
+	if v.Cond < 0 || v.Cond >= len(r.Conds) {
+		b.WriteString("  decided locally from typestate information; no prover query involved\n")
+		return b.String()
+	}
+	cr := r.Conds[v.Cond]
+	fmt.Fprintf(&b, "  condition #%d (%s) at node %d\n", cr.Cond.ID, cr.Cond.Desc, cr.Cond.Node)
+	fmt.Fprintf(&b, "  predicate: %s\n", cr.Cond.F)
+	if fs := cr.Cond.Facts.String(); fs != "true" {
+		fmt.Fprintf(&b, "  typestate facts: %s\n", fs)
+	}
+	for i, a := range cr.Attempts {
+		verdict := "FAILED"
+		if a.Proved {
+			verdict = "proved"
+		}
+		fmt.Fprintf(&b, "  attempt %d (%s): %s\n", i+1, a.Kind, verdict)
+		if a.Formula != "" {
+			fmt.Fprintf(&b, "    formula: %s\n", obs.TruncateFormula(a.Formula))
+		}
+		if a.WLP != "" {
+			fmt.Fprintf(&b, "    wlp at entry: %s\n", obs.TruncateFormula(a.WLP))
+		}
+	}
+	if sp, ok := r.Trace.SpanByID(v.Span); ok {
+		fmt.Fprintf(&b, "  proof time: %s (span %d)\n", sp.Dur(), sp.ID)
+	}
+	return b.String()
 }
 
 func lineOf(prog *sparc.Program, g *cfg.Graph, node int) int {

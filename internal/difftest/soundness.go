@@ -42,8 +42,9 @@ type Finding struct {
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: insn %d <- 0x%08x (%s), world %d: %s",
-		f.Program, f.Mutant.Index, f.Mutant.Word, f.Mutant.Desc, f.World, f.Trap)
+	return fmt.Sprintf("%s: insn %d <- 0x%08x (%s), world %d: %s [%s]",
+		f.Program, f.Mutant.Index, f.Mutant.Word, f.Mutant.Desc, f.World,
+		f.Trap, TrapCode(f.Trap.Kind))
 }
 
 // OracleStats summarizes one sweep.
@@ -56,6 +57,28 @@ type OracleStats struct {
 	Inconclusive  int // runs ending in a non-trap interpreter fault
 	CheckerPanics int // core.Check panicked on a decodable mutant
 	BaselineRuns  int // executions of the unmutated WantSafe programs
+	// RejectedByCode tallies rejections by the stable violation code
+	// (annotate.Code* values) of the violations the checker reported, so
+	// a sweep shows WHY mutants were rejected, not just how many.
+	// Rejections without violations (build/check errors, panics) are
+	// charged to "error".
+	RejectedByCode map[string]int
+}
+
+// TrapCode maps an oracle trap kind to the checker's stable violation
+// code vocabulary, letting soundness reports compare the dynamic trap
+// against the static verdict class on equal terms.
+func TrapCode(kind string) string {
+	switch kind {
+	case "oob":
+		return "oob"
+	case "misalign":
+		return "align"
+	case "perm":
+		return "policy"
+	default:
+		return kind
+	}
 }
 
 // mutate returns a copy of p with instruction idx replaced. The symbol
@@ -79,18 +102,37 @@ func mutate(p *sparc.Program, m Mutant) (*sparc.Program, error) {
 // checkSafe runs the static checker on a mutant, converting panics and
 // errors into rejection. A panic is additionally counted: the checker
 // should reject malformed programs gracefully, and the count lets the
-// test surface robustness regressions without failing soundness.
-func checkSafe(run func() (*core.Result, error)) (safe bool, panicked bool) {
+// test surface robustness regressions without failing soundness. When
+// the checker rejects, codes carries the stable violation codes it
+// charged ("error" for rejections without a violation list).
+func checkSafe(run func() (*core.Result, error)) (safe bool, panicked bool, codes []string) {
 	defer func() {
 		if r := recover(); r != nil {
-			safe, panicked = false, true
+			safe, panicked, codes = false, true, []string{"error"}
 		}
 	}()
 	res, err := run()
 	if err != nil || res == nil {
-		return false, false
+		return false, false, []string{"error"}
 	}
-	return res.Safe, false
+	if res.Safe {
+		return true, false, nil
+	}
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		code := v.Code
+		if code == "" {
+			code = "error"
+		}
+		if !seen[code] {
+			seen[code] = true
+			codes = append(codes, code)
+		}
+	}
+	if len(codes) == 0 {
+		codes = []string{"error"}
+	}
+	return false, false, codes
 }
 
 // RunSoundness executes one sweep: for every selected benchmark it
@@ -106,6 +148,7 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 	}
 	var findings []Finding
 	var stats OracleStats
+	stats.RejectedByCode = map[string]int{}
 
 	for _, name := range names {
 		b := progs.Get(name)
@@ -140,7 +183,7 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 			if err != nil {
 				continue
 			}
-			safe, panicked := checkSafe(func() (*core.Result, error) {
+			safe, panicked, codes := checkSafe(func() (*core.Result, error) {
 				return core.Check(mp, spec, core.Options{})
 			})
 			if panicked {
@@ -148,6 +191,9 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 			}
 			if !safe {
 				stats.Rejected++
+				for _, code := range codes {
+					stats.RejectedByCode[code]++
+				}
 				continue
 			}
 			stats.Approved++

@@ -64,6 +64,14 @@ func TestDiffSoundness(t *testing.T) {
 	t.Logf("%d programs, %d mutants: %d rejected, %d approved, %d executions, %d inconclusive, %d checker panics",
 		stats.Programs, stats.Mutants, stats.Rejected, stats.Approved,
 		stats.Executions, stats.Inconclusive, stats.CheckerPanics)
+	t.Logf("rejections by code: %v", stats.RejectedByCode)
+	byCode := 0
+	for _, n := range stats.RejectedByCode {
+		byCode += n
+	}
+	if byCode < stats.Rejected {
+		t.Errorf("rejection code tally %d < rejections %d: some rejection carried no code", byCode, stats.Rejected)
+	}
 	for _, f := range findings {
 		t.Errorf("soundness violation: %s", f)
 	}

@@ -321,7 +321,11 @@ func candidates(p *solver.Prover, wNext expr.Formula, modified []expr.Var, broad
 	// weaken W(i) so much that it cannot become invariant; trying each
 	// disjunct in turn strengthens it (Section 5.2.1).
 	if !opts.DisableDNF {
-		if clauses, err := expr.DNF(wNext); err == nil && len(clauses) > 1 && len(clauses) <= 8 {
+		clauses, err := expr.DNF(wNext)
+		switch {
+		case err != nil:
+			p.Stats.DNFBlowups++
+		case len(clauses) > 1 && len(clauses) <= 8:
 			for _, cl := range clauses {
 				add(expr.ClauseFormula(cl))
 			}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// checkBalanced walks an event stream with a stack and fails on any
+// unmatched begin/end, improper nesting, or an end for an unopened
+// span.
+func checkBalanced(t *testing.T, events []Event) {
+	t.Helper()
+	var stack []SpanID
+	open := map[SpanID]bool{}
+	for i, e := range events {
+		switch e.Ev {
+		case "b":
+			if e.Parent != 0 && !open[e.Parent] {
+				// A span's parent may have been opened by another
+				// goroutine; it must at least already exist in the
+				// stream and still be open.
+				t.Fatalf("event %d: span %d begins under closed/unknown parent %d", i, e.Span, e.Parent)
+			}
+			stack = append(stack, e.Span)
+			open[e.Span] = true
+		case "e":
+			if !open[e.Span] {
+				t.Fatalf("event %d: end of unopened span %d", i, e.Span)
+			}
+			open[e.Span] = false
+			// Per-goroutine nesting means the ended span need not be
+			// the global stack top, but it must still be on the stack.
+			found := false
+			for j := len(stack) - 1; j >= 0; j-- {
+				if stack[j] == e.Span {
+					stack = append(stack[:j], stack[j+1:]...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("event %d: end of span %d not on stack", i, e.Span)
+			}
+		default:
+			t.Fatalf("event %d: unknown ev %q", i, e.Ev)
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("%d spans never ended: %v", len(stack), stack)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	w := tr.Worker(0)
+	if w != nil {
+		t.Fatal("nil trace produced a non-nil worker")
+	}
+	w.Begin("k", "n")
+	w.Add("c", 1)
+	w.End()
+	w.Flush()
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil trace has events: %v", got)
+	}
+	if tr.Counter("c") != 0 {
+		t.Fatal("nil trace has counters")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteText: err=%v out=%q", err, buf.String())
+	}
+	w2 := w.Fork()
+	if w2 != nil {
+		t.Fatal("nil worker forked a non-nil worker")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	w := tr.Worker(0)
+	root := w.Begin("check", "check")
+	w.Begin("phase", "typestate")
+	w.End()
+	w.Begin("phase", "global")
+	w.Begin("cond", "array upper bound")
+	w.Begin("query", "valid")
+	w.End("verdict", "true")
+	w.End()
+	w.End()
+	w.End()
+	w.Add("x", 3)
+	w.Add("x", 4)
+	w.Flush()
+
+	events := tr.Events()
+	checkBalanced(t, events)
+	if len(events) != 10 {
+		t.Fatalf("got %d events, want 10", len(events))
+	}
+	if tr.Counter("x") != 7 {
+		t.Fatalf("counter x = %d, want 7", tr.Counter("x"))
+	}
+	sp, ok := tr.SpanByID(root)
+	if !ok || sp.Kind != "check" {
+		t.Fatalf("SpanByID(root) = %+v, %v", sp, ok)
+	}
+	for _, s := range tr.Spans() {
+		if s.End < s.Start {
+			t.Fatalf("span %d ends before it starts", s.ID)
+		}
+	}
+	// The query span's end attrs survive into the event stream.
+	found := false
+	for _, e := range events {
+		if e.Ev == "e" && e.Attrs["verdict"] == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query verdict attribute lost")
+	}
+}
+
+// TestConcurrentWorkersBalanced exercises the pool shape: one parent
+// span, many forked workers recording concurrently, merged stream
+// still balanced.
+func TestConcurrentWorkersBalanced(t *testing.T) {
+	tr := New()
+	root := tr.Worker(0)
+	root.Begin("check", "check")
+	root.Begin("phase", "global")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		fw := root.Fork()
+		go func(w *Worker) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w.Begin("chunk", "chunk")
+				w.Begin("query", "valid")
+				w.Add("queries", 1)
+				w.End()
+				w.End()
+			}
+			w.Flush()
+		}(fw)
+	}
+	wg.Wait()
+	root.End()
+	root.End()
+	root.Flush()
+
+	checkBalanced(t, tr.Events())
+	if got := tr.Counter("queries"); got != 8*50 {
+		t.Fatalf("queries = %d, want %d", got, 8*50)
+	}
+}
+
+func TestJSONSnapshotShape(t *testing.T) {
+	tr := New()
+	w := tr.Worker(0)
+	w.Begin("check", "check")
+	w.End()
+	w.Add("solver_valid_queries", 5)
+	w.Flush()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON output does not round-trip: %v", err)
+	}
+	if len(snap.Events) != 2 || snap.Counters["solver_valid_queries"] != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestTextSnapshot(t *testing.T) {
+	tr := New()
+	w := tr.Worker(0)
+	w.Begin("phase", "global")
+	w.End()
+	w.Add("b_counter", 2)
+	w.Add("a_counter", 1)
+	w.Flush()
+
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, ib := strings.Index(out, "mcsafe_a_counter 1"), strings.Index(out, "mcsafe_b_counter 2")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("counters missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, `mcsafe_spans_total{kind="phase"} 1`) {
+		t.Fatalf("span aggregate missing:\n%s", out)
+	}
+}
+
+func TestTruncateFormula(t *testing.T) {
+	if got := TruncateFormula("short"); got != "short" {
+		t.Fatal(got)
+	}
+	long := strings.Repeat("x", 500)
+	if got := TruncateFormula(long); len(got) >= 500 {
+		t.Fatalf("not truncated: %d bytes", len(got))
+	}
+}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 
 	"mcsafe/internal/expr"
 	"mcsafe/internal/sparc"
@@ -93,11 +94,19 @@ func Prepare(spec *Spec) (*Initial, error) {
 		}
 	}
 
-	// Invocation bindings.
+	// Invocation bindings, in register order so the constraint
+	// conjunction (and everything rendered from it downstream) is
+	// deterministic across runs.
+	invokeRegs := make([]sparc.Reg, 0, len(spec.Invoke))
+	for reg := range spec.Invoke {
+		invokeRegs = append(invokeRegs, reg)
+	}
+	sort.Slice(invokeRegs, func(i, j int) bool { return invokeRegs[i] < invokeRegs[j] })
 	boundRegs := map[sparc.Reg]bool{}
 	var constraints []expr.Formula
 	constraints = append(constraints, spec.Constraints...)
-	for reg, name := range spec.Invoke {
+	for _, reg := range invokeRegs {
+		name := spec.Invoke[reg]
 		boundRegs[reg] = true
 		locName := RegLoc(reg, 0)
 		if ent := spec.Entity(name); ent != nil {

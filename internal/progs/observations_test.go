@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"mcsafe/internal/annotate"
 	"mcsafe/internal/core"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
@@ -92,12 +93,13 @@ end
 	}
 	found := false
 	for _, v := range res.Violations {
-		if strings.Contains(v.Desc, "uninitialized") || strings.Contains(v.Desc, "argument") {
+		if v.Code == annotate.CodeUninit || v.Code == annotate.CodePrecond {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("expected an initializedness complaint: %+v", res.Violations)
+		t.Errorf("expected an initializedness complaint (code %q or %q): %+v",
+			annotate.CodeUninit, annotate.CodePrecond, res.Violations)
 	}
 
 	// The same program against a NON-summary slot verifies: the store
@@ -291,11 +293,11 @@ allow V int[n] rfo
 	}
 	found := false
 	for _, v := range res.Violations {
-		if strings.Contains(v.Desc, "upper bound") {
+		if v.Code == annotate.CodeOOB && strings.Contains(v.Desc, "upper bound") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("expected an upper-bound violation: %+v", res.Violations)
+		t.Errorf("expected an upper-bound %q violation: %+v", annotate.CodeOOB, res.Violations)
 	}
 }

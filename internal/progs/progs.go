@@ -41,9 +41,12 @@ type Benchmark struct {
 	Spec   string
 	Entry  string
 	// WantSafe is the expected verdict; WantViolations lists substrings
-	// that must appear among the violations when unsafe.
+	// that must appear among the violations when unsafe. WantCodes lists
+	// stable violation codes (annotate.Code*) that must be charged — the
+	// machine-readable counterpart tools should prefer.
 	WantSafe       bool
 	WantViolations []string
+	WantCodes      []string
 	Paper          PaperRow
 }
 

@@ -41,6 +41,22 @@ func TestAllBenchmarks(t *testing.T) {
 					t.Errorf("%s: no violation matching %q in %+v", b.Name, want, res.Violations)
 				}
 			}
+			for _, want := range b.WantCodes {
+				found := false
+				for _, v := range res.Violations {
+					if v.Code == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: no violation with code %q in %+v", b.Name, want, res.Violations)
+				}
+			}
+			for _, v := range res.Violations {
+				if v.Code == "" {
+					t.Errorf("%s: violation without a code: %+v", b.Name, v)
+				}
+			}
 		})
 	}
 }

@@ -93,6 +93,7 @@ allow H ptr<frame> rfo
 `,
 		WantSafe:       false,
 		WantViolations: []string{"null"},
+		WantCodes:      []string{"nullptr"},
 		Paper: PaperRow{
 			Instructions: 20, Branches: 5, Loops: 2, InnerLoops: 1,
 			Calls: 0, GlobalConds: 9,

@@ -161,6 +161,7 @@ end
 `,
 		WantSafe:       false,
 		WantViolations: []string{"upper bound"},
+		WantCodes:      []string{"oob"},
 		Paper: PaperRow{
 			Instructions: 309, Branches: 89, Loops: 7, InnerLoops: 1,
 			Calls: 2, TrustedCalls: 1, GlobalConds: 162,

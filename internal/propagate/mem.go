@@ -59,13 +59,13 @@ func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int
 // transferMem implements the abstract semantics of loads and stores
 // (Table 1, row 3, and its load counterpart), including the strong/weak
 // update distinction and overload resolution of the addressing mode.
-func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(int, string, ...interface{})) typestate.Store {
+func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(int, string, string, ...interface{})) typestate.Store {
 	insn := node.Insn
 	d := node.Depth
 	size := insn.MemSize()
 	isStore := insn.IsStore()
 	if insn.Op == sparc.OpLdd || insn.Op == sparc.OpStd {
-		report(node.ID, "doubleword memory access not supported")
+		report(node.ID, "policy", "doubleword memory access not supported")
 		if !isStore {
 			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
 		}
@@ -133,12 +133,12 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		acc.Bound = a.Type.N
 		acc.BaseInterior = a.Type.Kind == types.ArrayIn
 		if a.State.Kind != typestate.StatePointsTo {
-			report(node.ID, "array access through %s whose state is %v", base, a.State)
+			report(node.ID, "uninit", "array access through %s whose state is %v", base, a.State)
 			break
 		}
 		acc.MayNull = a.State.MayNull
 		if acc.ElemType.Size() != size {
-			report(node.ID, "access width %d does not match array element %v", size, acc.ElemType)
+			report(node.ID, "policy", "access width %d does not match array element %v", size, acc.ElemType)
 		}
 		for _, ref := range a.State.Set {
 			addTarget(ref.Loc)
@@ -146,7 +146,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 
 	case a.Type.Kind == types.Ptr:
 		if a.State.Kind != typestate.StatePointsTo {
-			report(node.ID, "pointer dereference through %s whose state is %v", base, a.State)
+			report(node.ID, "uninit", "pointer dereference through %s whose state is %v", base, a.State)
 			break
 		}
 		acc.MayNull = a.State.MayNull
@@ -155,7 +155,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 			// be resolved to fields.
 			idx := r.regTS(insn.Rs2, d, s)
 			if !idx.Known {
-				report(node.ID, "register-indexed access into non-array object")
+				report(node.ID, "policy", "register-indexed access into non-array object")
 				break
 			}
 			immOff = int(idx.ConstVal)
@@ -163,14 +163,14 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		for _, ref := range a.State.Set {
 			declared := r.Ini.LocTypes[ref.Loc]
 			if declared == nil {
-				report(node.ID, "dereference of pointer to unknown location %q", ref.Loc)
+				report(node.ID, "policy", "dereference of pointer to unknown location %q", ref.Loc)
 				continue
 			}
 			off := ref.Off + immOff
 			if declared.Kind == types.Struct || declared.Kind == types.Union {
 				fields := types.LookUp(declared, off, size)
 				if len(fields) == 0 {
-					report(node.ID, "no field of %v at offset %d size %d", declared, off, size)
+					report(node.ID, "oob", "no field of %v at offset %d size %d", declared, off, size)
 					continue
 				}
 				for _, f := range fields {
@@ -178,7 +178,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 				}
 			} else {
 				if off != 0 || declared.Size() != size {
-					report(node.ID, "bad scalar access at offset %d size %d of %v", off, size, declared)
+					report(node.ID, "oob", "bad scalar access at offset %d size %d of %v", off, size, declared)
 					continue
 				}
 				addTarget(ref.Loc)
@@ -186,21 +186,21 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		}
 
 	default:
-		report(node.ID, "memory access through non-pointer %s of type %v", base, a.Type)
+		report(node.ID, "policy", "memory access through non-pointer %s of type %v", base, a.Type)
 	}
 
 	return r.finishMem(node, in, s, acc, report)
 }
 
 // finishMem applies the load/store effect once the target set F is known.
-func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, report func(int, string, ...interface{})) typestate.Store {
+func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, report func(int, string, string, ...interface{})) typestate.Store {
 	insn := node.Insn
 	d := node.Depth
 	if acc.MinAlign == 1<<30 {
 		acc.MinAlign = 1
 	}
 	if len(acc.Targets) == 0 {
-		report(node.ID, "memory access resolves to no abstract location")
+		report(node.ID, "policy", "memory access resolves to no abstract location")
 		if !insn.IsStore() {
 			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
 		}

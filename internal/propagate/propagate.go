@@ -100,6 +100,10 @@ type MemAccess struct {
 // violations in the checker's report.
 type Issue struct {
 	Node int
+	// Code is the stable violation code charged for the issue (one of
+	// the annotate.Code* values, held as a string to avoid an import
+	// cycle).
+	Code string
 	Msg  string
 }
 
@@ -148,12 +152,12 @@ func Run(g *cfg.Graph, ini *policy.Initial) *Result {
 	}
 
 	issueSeen := map[string]bool{}
-	report := func(node int, format string, args ...interface{}) {
+	report := func(node int, code, format string, args ...interface{}) {
 		msg := fmt.Sprintf(format, args...)
 		key := fmt.Sprintf("%d:%s", node, msg)
 		if !issueSeen[key] {
 			issueSeen[key] = true
-			r.Issues = append(r.Issues, Issue{Node: node, Msg: msg})
+			r.Issues = append(r.Issues, Issue{Node: node, Code: code, Msg: msg})
 		}
 	}
 
@@ -341,7 +345,7 @@ func (r *Result) setReg(reg sparc.Reg, depth int, s *typestate.Store, ts typesta
 }
 
 // transfer is the abstract operational semantics R: M -> M of Section 4.2.
-func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, string, ...interface{})) typestate.Store {
+func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, string, string, ...interface{})) typestate.Store {
 	insn := node.Insn
 	d := node.Depth
 	s := in.Clone()

@@ -86,6 +86,7 @@ type AtomicStats struct {
 	validQueries atomic.Int64
 	cacheHits    atomic.Int64
 	eliminations atomic.Int64
+	dnfBlowups   atomic.Int64
 }
 
 // Add merges one prover's counters into the totals.
@@ -93,6 +94,7 @@ func (a *AtomicStats) Add(s Stats) {
 	a.validQueries.Add(int64(s.ValidQueries))
 	a.cacheHits.Add(int64(s.CacheHits))
 	a.eliminations.Add(int64(s.Eliminations))
+	a.dnfBlowups.Add(int64(s.DNFBlowups))
 }
 
 // Snapshot returns the merged totals.
@@ -101,5 +103,6 @@ func (a *AtomicStats) Snapshot() Stats {
 		ValidQueries: int(a.validQueries.Load()),
 		CacheHits:    int(a.cacheHits.Load()),
 		Eliminations: int(a.eliminations.Load()),
+		DNFBlowups:   int(a.dnfBlowups.Load()),
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"mcsafe/internal/expr"
+	"mcsafe/internal/obs"
 )
 
 // Limits bound the work the prover will do before giving a conservative
@@ -34,11 +35,16 @@ var DefaultLimits = Limits{
 	MaxDNFClauses:    expr.MaxDNFClauses,
 }
 
-// Stats counts prover activity, reported by the benchmark harness.
+// Stats counts prover activity, reported by the benchmark harness and
+// the observability layer.
 type Stats struct {
 	ValidQueries int
 	CacheHits    int
 	Eliminations int
+	// DNFBlowups counts disjunctive-normal-form conversions abandoned
+	// at the clause cap — each one is a formula the prover had to
+	// answer conservatively.
+	DNFBlowups int
 }
 
 // Prover decides validity of formulas. A Prover caches results by
@@ -48,8 +54,12 @@ type Stats struct {
 // may share one ShardedCache (see NewShared), because a verdict is a
 // pure function of the canonical formula.
 type Prover struct {
-	Lim    Limits
-	Stats  Stats
+	Lim   Limits
+	Stats Stats
+	// Obs, when non-nil, records one span per solved (cache-missing)
+	// validity query. Like the prover itself it is single-owner: the
+	// worker must belong to the goroutine driving this prover.
+	Obs    *obs.Worker
 	cache  map[string]bool // private cache; nil when shared is set
 	shared *ShardedCache   // concurrency-safe cache shared across provers
 }
@@ -83,7 +93,7 @@ func (p *Prover) Valid(f expr.Formula) bool {
 			p.Stats.CacheHits++
 			return r
 		}
-		r := p.valid(f)
+		r := p.solve(f, key)
 		p.shared.Put(key, r)
 		return r
 	}
@@ -91,8 +101,22 @@ func (p *Prover) Valid(f expr.Formula) bool {
 		p.Stats.CacheHits++
 		return r
 	}
-	r := p.valid(f)
+	r := p.solve(f, key)
 	p.cache[key] = r
+	return r
+}
+
+// solve runs the decision procedure on a cache miss, wrapped in a
+// "query" span when an observer is attached. Cache hits get no span:
+// they cost no prover effort, and are tallied by the cache-hit counter
+// instead.
+func (p *Prover) solve(f expr.Formula, key string) bool {
+	if p.Obs == nil {
+		return p.valid(f)
+	}
+	p.Obs.Begin("query", "solver.Valid")
+	r := p.valid(f)
+	p.Obs.End("formula", obs.TruncateFormula(key), "valid", fmt.Sprint(r))
 	return r
 }
 
@@ -109,6 +133,7 @@ func (p *Prover) valid(f expr.Formula) bool {
 	}
 	clauses, err := expr.DNF(neg)
 	if err != nil {
+		p.Stats.DNFBlowups++
 		return false
 	}
 	for _, c := range clauses {
@@ -164,6 +189,7 @@ func (p *Prover) qe(f expr.Formula, overApprox bool) (expr.Formula, bool) {
 		}
 		clauses, err := expr.DNF(body)
 		if err != nil {
+			p.Stats.DNFBlowups++
 			return nil, false
 		}
 		var out []expr.Formula
@@ -184,6 +210,7 @@ func (p *Prover) qe(f expr.Formula, overApprox bool) (expr.Formula, bool) {
 		}
 		clauses, err := expr.DNF(inner)
 		if err != nil {
+			p.Stats.DNFBlowups++
 			return nil, false
 		}
 		var out []expr.Formula
@@ -538,6 +565,7 @@ func (p *Prover) Eliminate(f expr.Formula, vars []expr.Var) (expr.Formula, error
 	}
 	clauses, err := expr.DNF(qf)
 	if err != nil {
+		p.Stats.DNFBlowups++
 		return nil, err
 	}
 	var out []expr.Formula
@@ -574,7 +602,11 @@ func (p *Prover) GeneralizeClauses(f expr.Formula, vars []expr.Var) []expr.Formu
 		return nil
 	}
 	clauses, err := expr.DNF(qf)
-	if err != nil || len(clauses) > 64 {
+	if err != nil {
+		p.Stats.DNFBlowups++
+		return nil
+	}
+	if len(clauses) > 64 {
 		return nil
 	}
 	var out []expr.Formula

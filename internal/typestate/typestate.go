@@ -372,6 +372,11 @@ type Store struct {
 // TopStore returns the store that is ⊤ everywhere.
 func TopStore() Store { return Store{Top: true} }
 
+// Len reports the number of explicitly-tracked typestate facts — the
+// fact-size measure the observability layer aggregates per program
+// point. The top store tracks none.
+func (s Store) Len() int { return len(s.m) }
+
 // NewStore returns an empty (non-top) store; unmapped locations read as
 // the bottom typestate <⊥t, ⊥s, ∅>.
 func NewStore() Store { return Store{m: make(map[string]Typestate)} }

@@ -12,6 +12,7 @@
 package vcgen
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/obs"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/solver"
 )
@@ -42,6 +44,27 @@ type Stats struct {
 	Proved        int
 	InductionRuns int
 	CacheHits     int
+	// InductionIters and InductionCands total the candidate chains
+	// examined and candidate formulas generated across all invariant
+	// syntheses (induction.Stats, summed).
+	InductionIters int
+	InductionCands int
+}
+
+// Attempt records one proof attempt on a condition, for explainable
+// verdicts: the strategy tried, the formula it posed, the WLP the
+// back-substitution produced for it, and whether the prover succeeded.
+type Attempt struct {
+	// Kind is "group" (the bounds-group conjunction), "bare" (the
+	// predicate alone), or "with-facts" (assuming the typestate
+	// assertions).
+	Kind    string `json:"kind"`
+	Formula string `json:"formula,omitempty"`
+	// WLP is the weakest-precondition formula the attempt reduced to —
+	// at the enclosing loop's entry for loop conditions, at the
+	// procedure entry otherwise ("" when the verdict came from a cache).
+	WLP    string `json:"wlp,omitempty"`
+	Proved bool   `json:"proved"`
 }
 
 // CondResult is the verdict for one global safety condition.
@@ -49,6 +72,12 @@ type CondResult struct {
 	Cond   *annotate.GlobalCond
 	Proved bool
 	Detail string
+	// Span is the condition's span in the observer's trace (0 when not
+	// observing).
+	Span obs.SpanID
+	// Attempts is the verdict path: every proof strategy tried, in
+	// order, ending with the one that succeeded (or all failures).
+	Attempts []Attempt
 }
 
 // Engine proves global safety conditions.
@@ -57,6 +86,15 @@ type Engine struct {
 	P     *solver.Prover
 	Opts  Options
 	Stats Stats
+	// Obs, when non-nil, records condition/induction spans. Like the
+	// prover's observer it is single-owner: the goroutine running this
+	// engine. The pool gives each worker engine a forked Worker.
+	Obs *obs.Worker
+
+	// wlpCapture, when non-nil, receives the first back-substituted
+	// entry formula computed under the current proof attempt (the "WLP"
+	// of explainable verdicts).
+	wlpCapture *string
 
 	g          *cfg.Graph
 	fresh      int
@@ -114,14 +152,23 @@ func newShared(res *propagate.Result, p *solver.Prover, opts Options, sc *shared
 // discharged by a worker pool (see pool.go); with Parallelism 1 the
 // original sequential path runs unchanged.
 func (e *Engine) Prove(conds []*annotate.GlobalCond) []CondResult {
+	out, _ := e.ProveContext(context.Background(), conds)
+	return out
+}
+
+// ProveContext is Prove with cancellation: the context is consulted
+// between conditions (sequential path) and between condition chunks
+// (pool path). On cancellation it returns the verdicts computed so far
+// together with ctx.Err(); unreached entries are zero-valued.
+func (e *Engine) ProveContext(ctx context.Context, conds []*annotate.GlobalCond) ([]CondResult, error) {
 	par := e.Opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par == 1 || len(conds) <= 1 {
-		return e.proveSequential(conds)
+		return e.proveSequential(ctx, conds)
 	}
-	return e.proveParallel(conds, par)
+	return e.proveParallel(ctx, conds, par)
 }
 
 // condGroup is one bounds group: the indexes (into the conds slice) of
@@ -176,47 +223,69 @@ func (e *Engine) proveGroup(conds []*annotate.GlobalCond, g condGroup) bool {
 
 // proveCond discharges one condition. groupProved short-circuits the
 // proof when the condition's bounds group already succeeded as a
-// conjunction.
+// conjunction. Every strategy tried is recorded as an Attempt, and the
+// whole proof runs under a "cond" span when observing.
 func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult {
-	proved := groupProved
-	if !proved {
+	r := CondResult{Cond: c}
+	r.Span = e.Obs.Begin("cond", c.Desc)
+	attempt := func(kind string, f expr.Formula) bool {
+		f = expr.Simplify(f)
+		var wlp string
+		e.wlpCapture = &wlp
+		ok := e.provedCached(c.Node, c.AfterNode, f)
+		e.wlpCapture = nil
+		r.Attempts = append(r.Attempts, Attempt{
+			Kind: kind, Formula: f.String(), WLP: wlp, Proved: ok,
+		})
+		return ok
+	}
+	r.Proved = groupProved
+	if groupProved {
+		r.Attempts = append(r.Attempts, Attempt{Kind: "group", Proved: true})
+	} else {
 		// Bare predicate first: fact-free formulas keep the
 		// invariant chains clean; fall back to assuming the
 		// typestate assertions.
-		proved = e.provedCached(c.Node, c.AfterNode, expr.Simplify(c.F))
-		if !proved {
+		r.Proved = attempt("bare", c.F)
+		if !r.Proved {
 			if _, noFacts := c.Facts.(expr.TrueF); !noFacts {
-				proved = e.provedCached(c.Node, c.AfterNode,
-					expr.Simplify(expr.Implies(c.Facts, c.F)))
+				r.Proved = attempt("with-facts", expr.Implies(c.Facts, c.F))
 			}
 		}
 	}
 	e.Stats.Conditions++
-	detail := ""
-	if proved {
+	if r.Proved {
 		e.Stats.Proved++
 	} else {
-		detail = "cannot establish " + c.F.String()
+		r.Detail = "cannot establish " + c.F.String()
 	}
-	return CondResult{Cond: c, Proved: proved, Detail: detail}
+	e.Obs.End("code", c.Code, "proved", fmt.Sprint(r.Proved))
+	return r
 }
 
 // proveSequential is the legacy single-threaded path: one engine, one
-// prover, caches shared across all conditions.
-func (e *Engine) proveSequential(conds []*annotate.GlobalCond) []CondResult {
+// prover, caches shared across all conditions. The context is checked
+// before every group and every condition.
+func (e *Engine) proveSequential(ctx context.Context, conds []*annotate.GlobalCond) ([]CondResult, error) {
 	groupProved := make([]bool, len(conds))
 	for _, g := range boundsGroups(conds) {
+		if err := ctx.Err(); err != nil {
+			return make([]CondResult, len(conds)), err
+		}
 		if e.proveGroup(conds, g) {
 			for _, idx := range g.members {
 				groupProved[idx] = true
 			}
 		}
 	}
-	out := make([]CondResult, 0, len(conds))
+	out := make([]CondResult, len(conds))
 	for i, c := range conds {
-		out = append(out, e.proveCond(c, groupProved[i]))
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out[i] = e.proveCond(c, groupProved[i])
 	}
-	return out
+	return out, nil
 }
 
 // provedCached runs proveAt through the per-query cache.
@@ -248,6 +317,27 @@ func (e *Engine) simplify(f expr.Formula) expr.Formula {
 	return expr.Simplify(e.P.PruneQuant(expr.Simplify(f)))
 }
 
+// captureWLP hands the first back-substituted entry formula of the
+// current proof attempt to the explain machinery (first write wins: the
+// top-level query's formula, not a recursive call-site check's).
+func (e *Engine) captureWLP(g expr.Formula) {
+	if e.wlpCapture != nil && *e.wlpCapture == "" {
+		*e.wlpCapture = g.String()
+	}
+}
+
+// synthesize runs one invariant synthesis under an "induction" span,
+// folding the search-effort stats into the engine's totals.
+func (e *Engine) synthesize(hooks induction.Hooks, what string) (*induction.Result, bool) {
+	e.Stats.InductionRuns++
+	e.Obs.Begin("induction", what)
+	res, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	e.Stats.InductionIters += res.Stats.Iterations
+	e.Stats.InductionCands += res.Stats.Candidates
+	e.Obs.End("iters", fmt.Sprint(res.Stats.Iterations), "ok", fmt.Sprint(ok))
+	return res, ok
+}
+
 // proveAt proves that f holds before (or after) node in every execution.
 func (e *Engine) proveAt(node int, after bool, f expr.Formula) bool {
 	if after {
@@ -262,18 +352,20 @@ func (e *Engine) proveAt(node int, after bool, f expr.Formula) bool {
 	}
 	proc := e.g.ProcOf(node)
 	g := e.passRegion(region{proc: proc}, map[int]expr.Formula{node: f}, nil, nil, expr.T())
+	e.captureWLP(g)
 	return e.proveAtProcEntry(proc, g)
 }
 
 // proveInLoop runs induction iteration for a condition at a node inside a
 // natural loop (Section 5.2.2's worked example).
 func (e *Engine) proveInLoop(l *cfg.Loop, node int, f expr.Formula) bool {
-	e.Stats.InductionRuns++
 	proc := e.g.ProcOf(node)
 	reg := region{proc: proc, loop: l}
 	hooks := induction.Hooks{
 		First: func(back expr.Formula) expr.Formula {
-			return e.passRegion(reg, map[int]expr.Formula{node: f}, nil, nil, back)
+			g := e.passRegion(reg, map[int]expr.Formula{node: f}, nil, nil, back)
+			e.captureWLP(g)
+			return g
 		},
 		Next: func(back expr.Formula) expr.Formula {
 			return e.passRegion(reg, nil, nil, nil, back)
@@ -283,7 +375,7 @@ func (e *Engine) proveInLoop(l *cfg.Loop, node int, f expr.Formula) bool {
 		},
 		ModifiedVars: e.modifiedVars(l),
 	}
-	_, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	_, ok := e.synthesize(hooks, "in-loop")
 	return ok
 }
 
@@ -326,7 +418,6 @@ func (e *Engine) proveAtLoopEntryUncached(l *cfg.Loop, w expr.Formula) bool {
 	// The loop entry lies inside the parent loop: synthesize at the
 	// parent level (the nested-loop enhancement of Section 5.2.1).
 	parent := l.Parent
-	e.Stats.InductionRuns++
 	reg := region{proc: proc, loop: parent}
 	hooks := induction.Hooks{
 		First: func(back expr.Formula) expr.Formula {
@@ -340,7 +431,7 @@ func (e *Engine) proveAtLoopEntryUncached(l *cfg.Loop, w expr.Formula) bool {
 		},
 		ModifiedVars: e.modifiedVars(parent),
 	}
-	_, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	_, ok := e.synthesize(hooks, "loop-entry")
 	return ok
 }
 
@@ -562,7 +653,6 @@ func (e *Engine) crossLoopEntry(
 	}
 	// Are there any targets inside c? (They would have been the
 	// proveInLoop case; during crossing we only carry continuations.)
-	e.Stats.InductionRuns++
 	inner := region{proc: r.proc, loop: c}
 	// Materialize the exit continuations so the crossing can be cached:
 	// identical continuations (common across chain iterations of the
@@ -621,7 +711,7 @@ func (e *Engine) crossLoopEntry(
 		},
 		ModifiedVars: e.modifiedVars(c),
 	}
-	res, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
+	res, ok := e.synthesize(hooks, "cross")
 	inv := expr.F()
 	if ok {
 		inv = res.Invariant

@@ -16,6 +16,8 @@
 package vcgen
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -83,7 +85,13 @@ func buildChunks(conds []*annotate.GlobalCond) [][]workItem {
 // engine stats are summed over the per-chunk engines and prover stats
 // merged with atomic counters into the coordinating engine's prover, so
 // callers observe the same Stats shape as on the sequential path.
-func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResult {
+//
+// When observing, each worker goroutine records through its own forked
+// obs.Worker (chunks run under "chunk" spans) and flushes it before
+// joining — the same single-owner discipline as the prover stats. The
+// context is consulted once per chunk; on cancellation the remaining
+// chunks are abandoned and their result slots stay zero-valued.
+func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond, par int) ([]CondResult, error) {
 	shared := e.P.SharedCache()
 	if shared == nil {
 		shared = solver.NewShardedCache()
@@ -101,11 +109,13 @@ func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResu
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
+		wkObs := e.Obs.Fork()
 		go func() {
 			defer wg.Done()
 			prover := solver.NewShared(shared)
 			prover.Lim = e.P.Lim
-			for {
+			prover.Obs = wkObs
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(chunks) {
 					break
@@ -114,6 +124,8 @@ func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResu
 				// function of the chunk, independent of which worker
 				// runs it or when.
 				we := newShared(e.Res, prover, e.Opts, sc)
+				we.Obs = wkObs
+				wkObs.Begin("chunk", fmt.Sprintf("chunk-%d", i))
 				for _, it := range chunks[i] {
 					if it.group != nil {
 						gp := we.proveGroup(conds, *it.group)
@@ -124,14 +136,18 @@ func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResu
 						out[it.single] = we.proveCond(conds[it.single], false)
 					}
 				}
+				wkObs.End("conds", fmt.Sprint(len(chunks[i])))
 				mu.Lock()
 				e.Stats.Conditions += we.Stats.Conditions
 				e.Stats.Proved += we.Stats.Proved
 				e.Stats.InductionRuns += we.Stats.InductionRuns
 				e.Stats.CacheHits += we.Stats.CacheHits
+				e.Stats.InductionIters += we.Stats.InductionIters
+				e.Stats.InductionCands += we.Stats.InductionCands
 				mu.Unlock()
 			}
 			proverStats.Add(prover.Stats)
+			wkObs.Flush()
 		}()
 	}
 	wg.Wait()
@@ -140,5 +156,6 @@ func (e *Engine) proveParallel(conds []*annotate.GlobalCond, par int) []CondResu
 	e.P.Stats.ValidQueries += merged.ValidQueries
 	e.P.Stats.CacheHits += merged.CacheHits
 	e.P.Stats.Eliminations += merged.Eliminations
-	return out
+	e.P.Stats.DNFBlowups += merged.DNFBlowups
+	return out, ctx.Err()
 }

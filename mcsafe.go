@@ -18,6 +18,7 @@
 package mcsafe
 
 import (
+	"context"
 	"fmt"
 
 	"mcsafe/internal/core"
@@ -124,27 +125,19 @@ type Options struct {
 	Parallelism int
 }
 
-// Check runs the five-phase safety-checking analysis.
+// Check runs the five-phase safety-checking analysis. It is a shim over
+// the Checker API: New().Check(context.Background(), prog, spec).
 func Check(prog *Program, spec *Spec) (*Result, error) {
-	return CheckWithOptions(prog, spec, Options{})
+	return New().Check(context.Background(), prog, spec)
 }
 
-// CheckWithOptions runs the analysis with explicit tuning.
+// CheckWithOptions runs the analysis with explicit tuning. It is a shim
+// over the Checker API; new code should build a Checker with functional
+// options instead.
 func CheckWithOptions(prog *Program, spec *Spec, opts Options) (*Result, error) {
-	if prog == nil || spec == nil {
-		return nil, fmt.Errorf("mcsafe: nil program or spec")
-	}
-	res, err := core.Check(prog.prog, spec.spec, coreOptions(opts))
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Safe:       res.Safe,
-		Violations: res.Violations,
-		Stats:      res.Stats,
-		Times:      res.Times,
-		inner:      res,
-	}, nil
+	c := New()
+	c.opts = opts
+	return c.Check(context.Background(), prog, spec)
 }
 
 // DumpTypestate renders the typestate-propagation results per
