@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 )
 
@@ -63,6 +64,10 @@ type Node struct {
 	ID    int
 	Insn  sparc.Insn
 	Index int // original instruction index in the program
+	// RTL is the instruction's lifted effect sequence (shared between a
+	// primary node and its delay-slot replicas). All analyses consume
+	// the semantics through this field, never from Insn directly.
+	RTL []rtl.Effect
 	// Replica marks a delay-slot copy placed on a taken path.
 	Replica bool
 	// Proc is the procedure this node belongs to.
@@ -242,6 +247,16 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 		}
 	}
 
+	// Lift each instruction once; primaries and replicas share the
+	// canonical effect sequence.
+	lifted := make([][]rtl.Effect, n)
+	for idx := 0; idx < n; idx++ {
+		lifted[idx] = sparc.Lift(prog.Insns[idx])
+		if lifted[idx] == nil {
+			return nil, fmt.Errorf("cfg: instruction %d has no RTL lifting (%v)", idx, prog.Insns[idx].Op)
+		}
+	}
+
 	// One primary node per instruction.
 	primary := make([]int, n)
 	for idx := 0; idx < n; idx++ {
@@ -249,6 +264,7 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 			ID:          len(g.Nodes),
 			Insn:        prog.Insns[idx],
 			Index:       idx,
+			RTL:         lifted[idx],
 			Proc:        procOfIndex[idx],
 			BranchOwner: -1,
 		}
@@ -261,6 +277,7 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 			ID:          len(g.Nodes),
 			Insn:        prog.Insns[idx],
 			Index:       idx,
+			RTL:         lifted[idx],
 			Replica:     true,
 			Proc:        procOfIndex[idx],
 			BranchOwner: owner,
@@ -331,10 +348,19 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 					addEdge(rep, primary[tgt], EdgeFall, -1)
 				}
 			} else if insn.Cond == sparc.CondN {
-				// bn: never taken; acts like a nop pair.
-				addEdge(id, primary[slot], EdgeFall, -1)
-				if slot+1 < n {
-					addEdge(primary[slot], primary[slot+1], EdgeFall, -1)
+				if insn.Annul {
+					// bn,a: never taken with the annul bit set, so the
+					// delay slot never executes (matching the
+					// interpreter's untaken-annulled semantics).
+					if slot+1 < n {
+						addEdge(id, primary[slot+1], EdgeFall, -1)
+					}
+				} else {
+					// bn: never taken; acts like a nop pair.
+					addEdge(id, primary[slot], EdgeFall, -1)
+					if slot+1 < n {
+						addEdge(primary[slot], primary[slot+1], EdgeFall, -1)
+					}
 				}
 			} else {
 				// Conditional: taken path via replica, fall-through

@@ -271,6 +271,12 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	for _, s := range prop.In {
 		typestateFacts += s.Len()
 	}
+	rtlEffects := 0
+	for _, nd := range g.Nodes {
+		if !nd.Replica {
+			rtlEffects += len(nd.RTL)
+		}
+	}
 	w.Add("solver_valid_queries", int64(prover.Stats.ValidQueries))
 	w.Add("solver_cache_hits", int64(prover.Stats.CacheHits))
 	w.Add("solver_eliminations", int64(prover.Stats.Eliminations))
@@ -283,6 +289,7 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	w.Add("induction_candidates", int64(eng.Stats.InductionCands))
 	w.Add("propagate_steps", int64(prop.Steps))
 	w.Add("typestate_facts", int64(typestateFacts))
+	w.Add("rtl_effects", int64(rtlEffects))
 	w.Add("annotate_local_checks", int64(ann.LocalChecks))
 	w.Add("annotate_global_conds", int64(len(ann.Conds)))
 	w.End("safe", fmt.Sprint(res.Safe))

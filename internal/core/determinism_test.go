@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainDeterministic: repeated checks of the same program must
+// produce byte-identical violation lists and Explain renderings. The
+// analysis feeds maps into formulas in several places; any unsorted
+// iteration shows up here as run-to-run drift in the rendered proofs.
+func TestExplainDeterministic(t *testing.T) {
+	asm := `
+	mov %o0,%o2
+	clr %g3
+loop:
+	sll %g3,2,%g2
+	ld [%o2+%g2],%g1
+	inc %g3
+	cmp %g3,%o1
+	ble loop          ! <= instead of <: reads element n
+	nop
+	retl
+	nop
+`
+	render := func() string {
+		res := check(t, asm, fig1Spec, "")
+		if res.Safe {
+			t.Fatal("off-by-one loop must be rejected")
+		}
+		var b strings.Builder
+		for _, v := range res.Violations {
+			b.WriteString(v.String())
+			b.WriteString("\n")
+			b.WriteString(res.Explain(v))
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+
+	first := render()
+	for run := 1; run < 4; run++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d diverged from run 0:\n--- run 0 ---\n%s\n--- run %d ---\n%s",
+				run, first, run, got)
+		}
+	}
+}

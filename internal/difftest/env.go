@@ -3,6 +3,7 @@ package difftest
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"mcsafe/internal/expr"
 	"mcsafe/internal/policy"
@@ -124,6 +125,9 @@ func (w *World) chooseSymbols() error {
 	for s := range w.spec.Symbols {
 		names = append(names, s)
 	}
+	// Sorted, so the rng draw order (and thus every generated world) is
+	// independent of map iteration order.
+	sort.Strings(names)
 	// Gather the constraints decidable from symbols alone; constraints
 	// over entity contents (e.g. val(tmr.count) >= 0) are honoured by
 	// construction: all generated contents are small non-negative ints.

@@ -1,20 +1,27 @@
 package propagate
 
 import (
+	"sort"
+
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/policy"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
 
-// frameDelta returns the effective immediate offset of an add/sub from a
-// frame register.
-func frameDelta(insn sparc.Insn) int {
-	if insn.Op == sparc.OpSub {
-		return -int(insn.SImm)
+// frameDelta returns the effective immediate offset of an add/sub of a
+// constant (the lifted form of `add/sub %fp, imm, rd`).
+func frameDelta(bin rtl.Bin) int {
+	c, ok := bin.B.(rtl.Const)
+	if !ok {
+		return 0
 	}
-	return int(insn.SImm)
+	if bin.Op == rtl.Sub {
+		return -int(c.V)
+	}
+	return int(c.V)
 }
 
 // frameSlotAt looks up a stack-frame annotation slot for the node's
@@ -34,6 +41,8 @@ func (r *Result) frameSlotAt(node *cfg.Node, base sparc.Reg, off int) *policy.Fr
 
 // frameSlotCovering finds the slot whose extent covers the given offset
 // (for direct [fp+imm] accesses into scalar slots or array slots).
+// Offsets are scanned in sorted order so overlapping annotations resolve
+// deterministically.
 func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int) (*policy.FrameSlot, int) {
 	proc := r.G.Procs[node.Proc]
 	frames, ok := r.Ini.FrameSlots[proc.Name]
@@ -44,7 +53,13 @@ func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int
 	if base == sparc.SP {
 		key = "sp"
 	}
-	for slotOff, slot := range frames[key] {
+	offs := make([]int, 0, len(frames[key]))
+	for slotOff := range frames[key] {
+		offs = append(offs, slotOff)
+	}
+	sort.Ints(offs)
+	for _, slotOff := range offs {
+		slot := frames[key][slotOff]
 		extent := slot.Type.Size()
 		if slot.Count > 0 {
 			extent = slot.Type.Size() * slot.Count
@@ -59,17 +74,31 @@ func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int
 // transferMem implements the abstract semantics of loads and stores
 // (Table 1, row 3, and its load counterpart), including the strong/weak
 // update distinction and overload resolution of the addressing mode.
+// The access shape — width, direction, addressing mode — comes from the
+// node's lifted memory effect.
 func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(int, string, string, ...interface{})) typestate.Store {
-	insn := node.Insn
 	d := node.Depth
-	size := insn.MemSize()
-	isStore := insn.IsStore()
-	if insn.Op == sparc.OpLdd || insn.Op == sparc.OpStd {
-		report(node.ID, "policy", "doubleword memory access not supported")
-		if !isStore {
-			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
+
+	// Pull the memory effect out of the RTL sequence.
+	var addr rtl.Expr
+	var size int
+	var isStore, signed bool
+	var rd sparc.Reg
+	for _, eff := range node.RTL {
+		switch x := eff.(type) {
+		case rtl.Unsupported:
+			report(node.ID, x.Code, "%s", x.Msg)
+			r.setReg(sparc.Reg(x.Dst), d, &s, typestate.BottomTS)
+			return s
+		case rtl.Load:
+			addr, size, signed = x.Addr, x.Size, x.Signed
+			rd = sparc.Reg(x.Dst)
+		case rtl.Store:
+			addr, size, isStore = x.Addr, x.Size, true
+			if src, ok := x.Src.(rtl.RegX); ok {
+				rd = sparc.Reg(src.R)
+			}
 		}
-		return s
 	}
 	if isStore {
 		r.Kind[node.ID] = KindStore
@@ -80,13 +109,19 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 	acc := &MemAccess{MinAlign: 1 << 30}
 	r.Mem[node.ID] = acc
 
-	base := insn.Rs1
+	// The lifted effective address is always base + operand2.
+	bin := addr.(rtl.Bin)
+	base := sparc.Reg(bin.A.(rtl.RegX).R)
 	var immOff int
-	if insn.Imm {
-		immOff = int(insn.SImm)
-		acc.IndexImm = insn.SImm
+	var idxReg sparc.Reg
+	imm := false
+	if c, ok := bin.B.(rtl.Const); ok {
+		imm = true
+		immOff = int(c.V)
+		acc.IndexImm = int32(c.V)
 	} else {
-		acc.IndexReg = string(policy.RegVar(insn.Rs2, d))
+		idxReg = sparc.Reg(bin.B.(rtl.RegX).R)
+		acc.IndexReg = string(policy.RegVar(idxReg, d))
 	}
 
 	addTarget := func(locName string) {
@@ -109,7 +144,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 	}
 
 	// Frame-relative accesses resolved through stack annotations.
-	if (base == sparc.FP || base == sparc.SP) && insn.Imm {
+	if (base == sparc.FP || base == sparc.SP) && imm {
 		if slot, rel := r.frameSlotCovering(node, base, immOff, size); slot != nil {
 			acc.Frame = true
 			acc.IndexImm = int32(rel)
@@ -119,7 +154,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 				acc.Bound = types.ConstBound(int64(slot.Count))
 			}
 			addTarget(slot.Name)
-			return r.finishMem(node, in, s, acc, report)
+			return r.finishMem(node, in, s, acc, isStore, rd, size, signed, report)
 		}
 	}
 
@@ -150,10 +185,10 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 			break
 		}
 		acc.MayNull = a.State.MayNull
-		if !insn.Imm {
+		if !imm {
 			// A register-indexed access into a non-array object cannot
 			// be resolved to fields.
-			idx := r.regTS(insn.Rs2, d, s)
+			idx := r.regTS(idxReg, d, s)
 			if !idx.Known {
 				report(node.ID, "policy", "register-indexed access into non-array object")
 				break
@@ -189,26 +224,25 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		report(node.ID, "policy", "memory access through non-pointer %s of type %v", base, a.Type)
 	}
 
-	return r.finishMem(node, in, s, acc, report)
+	return r.finishMem(node, in, s, acc, isStore, rd, size, signed, report)
 }
 
 // finishMem applies the load/store effect once the target set F is known.
-func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, report func(int, string, string, ...interface{})) typestate.Store {
-	insn := node.Insn
+func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, isStore bool, rd sparc.Reg, size int, signed bool, report func(int, string, string, ...interface{})) typestate.Store {
 	d := node.Depth
 	if acc.MinAlign == 1<<30 {
 		acc.MinAlign = 1
 	}
 	if len(acc.Targets) == 0 {
 		report(node.ID, "policy", "memory access resolves to no abstract location")
-		if !insn.IsStore() {
-			r.setReg(insn.Rd, d, &s, typestate.BottomTS)
+		if !isStore {
+			r.setReg(rd, d, &s, typestate.BottomTS)
 		}
 		return s
 	}
 
-	if insn.IsStore() {
-		val := r.regTS(insn.Rd, d, in)
+	if isStore {
+		val := r.regTS(rd, d, in)
 		strong := len(acc.Targets) == 1 && !acc.Targets[0].Summary
 		for _, t := range acc.Targets {
 			if strong {
@@ -226,17 +260,17 @@ func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess
 		loaded = loaded.Meet(s.Get(t.Loc))
 	}
 	// Sub-word loads refine the ground type (footnote 2's subtyping).
-	switch insn.Op {
-	case sparc.OpLdub:
+	switch {
+	case size == 1 && !signed:
 		loaded.Type = types.Meet(loaded.Type, types.UInt8Type)
-	case sparc.OpLdsb:
+	case size == 1 && signed:
 		loaded.Type = types.Meet(loaded.Type, types.Int8Type)
-	case sparc.OpLduh:
+	case size == 2 && !signed:
 		loaded.Type = types.Meet(loaded.Type, types.UInt16Type)
-	case sparc.OpLdsh:
+	case size == 2 && signed:
 		loaded.Type = types.Meet(loaded.Type, types.Int16Type)
 	}
 	loaded.Known = false
-	r.setReg(insn.Rd, d, &s, loaded)
+	r.setReg(rd, d, &s, loaded)
 	return s
 }

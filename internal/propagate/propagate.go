@@ -14,6 +14,7 @@ import (
 
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/policy"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
@@ -321,13 +322,24 @@ func (r *Result) resolveAddr(ts typestate.Typestate) typestate.Typestate {
 	}
 }
 
-// operand returns the typestate of the second operand (register or
-// immediate) at the node's depth.
-func (r *Result) operandTS(node *cfg.Node, s typestate.Store) typestate.Typestate {
-	if node.Insn.Imm {
-		return r.resolveAddr(constTS(int64(node.Insn.SImm)))
+// exprTS abstracts an RTL operand expression: constants are resolved
+// against the data-symbol table (an immediate that matches a symbol
+// address becomes that symbol's pointer typestate), register reads go
+// through the abstract store.
+func (r *Result) exprTS(e rtl.Expr, d int, s typestate.Store) typestate.Typestate {
+	switch x := e.(type) {
+	case rtl.Const:
+		return r.resolveAddr(constTS(x.V))
+	case rtl.RegX:
+		return r.regTS(sparc.Reg(x.R), d, s)
 	}
-	return r.regTS(node.Insn.Rs2, node.Depth, s)
+	return typestate.BottomTS
+}
+
+// isZeroReg reports a read of the hardwired zero register.
+func isZeroReg(e rtl.Expr) bool {
+	x, ok := e.(rtl.RegX)
+	return ok && x.R == rtl.ZeroReg
 }
 
 func (r *Result) regTS(reg sparc.Reg, depth int, s typestate.Store) typestate.Typestate {
@@ -344,45 +356,68 @@ func (r *Result) setReg(reg sparc.Reg, depth int, s *typestate.Store, ts typesta
 	s.SetInPlace(policy.RegLoc(reg, depth), ts)
 }
 
-// transfer is the abstract operational semantics R: M -> M of Section 4.2.
+// transfer is the abstract operational semantics R: M -> M of Section
+// 4.2, driven by the instruction's lifted RTL effects: control and
+// window effects classify the occurrence, memory effects resolve
+// through transferMem, and plain assignments go through the overload
+// resolution of Table 1.
 func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, string, string, ...interface{})) typestate.Store {
-	insn := node.Insn
 	d := node.Depth
 	s := in.Clone()
 
-	switch insn.Op {
-	case sparc.OpSethi:
-		if insn.IsNop() {
-			r.Kind[node.ID] = KindNop
-			return s
+	// Shape of the effect sequence.
+	var assign *rtl.Assign
+	var ctl rtl.Effect
+	var win rtl.Effect
+	hasCC := false
+	hasMem := false
+	for _, eff := range node.RTL {
+		switch x := eff.(type) {
+		case rtl.Assign:
+			a := x
+			assign = &a
+		case rtl.SetCC:
+			hasCC = true
+		case rtl.Load, rtl.Store, rtl.Unsupported:
+			hasMem = true
+		case rtl.Branch, rtl.Call, rtl.Jump:
+			ctl = eff
+		case rtl.SaveWindow, rtl.RestoreWindow:
+			win = eff
 		}
-		r.Kind[node.ID] = KindCopy
-		r.setReg(insn.Rd, d, &s, r.resolveAddr(constTS(int64(insn.SImm))))
-		return s
+	}
 
-	case sparc.OpBranch:
+	switch ctl.(type) {
+	case rtl.Branch:
 		r.Kind[node.ID] = KindBranch
 		return s
-
-	case sparc.OpCall:
-		r.Kind[node.ID] = KindCall
-		// The call writes the return address into %o7.
-		r.setReg(sparc.O7, d, &s, typestate.Typestate{
-			Type: types.UInt32Type, State: typestate.InitState, Access: typestate.PermO,
-		})
+	case rtl.Call, rtl.Jump:
+		if _, isCall := ctl.(rtl.Call); isCall {
+			r.Kind[node.ID] = KindCall
+		} else {
+			r.Kind[node.ID] = KindRet
+		}
+		// The link write materializes the return address: a code
+		// address the policy treats as an operable 32-bit value.
+		if assign != nil {
+			if _, isPC := assign.Src.(rtl.PC); isPC {
+				r.setReg(sparc.Reg(assign.Dst), d, &s, typestate.Typestate{
+					Type: types.UInt32Type, State: typestate.InitState, Access: typestate.PermO,
+				})
+			}
+		}
 		return s
+	}
 
-	case sparc.OpJmpl:
-		r.Kind[node.ID] = KindRet
-		return s
-
-	case sparc.OpSave:
+	switch win.(type) {
+	case rtl.SaveWindow:
 		r.Kind[node.ID] = KindSave
 		// New window: %i[k] <- old %o[k]; locals and outs become
 		// undefined; the new %sp is computed from the old one.
-		spVal := r.regTS(insn.Rs1, d, s)
-		opnd := r.operandTS(node, s)
-		newSP := scalarOp(spVal, opnd, insn, true)
+		var newSP typestate.Typestate
+		if bin, ok := assign.Src.(rtl.Bin); ok {
+			newSP = scalarOp(r.exprTS(bin.A, d, s), r.exprTS(bin.B, d, s), bin.Op, true)
+		}
 		for k := sparc.Reg(0); k < 8; k++ {
 			r.setReg(24+k, d+1, &s, r.regTS(8+k, d, in))
 		}
@@ -392,37 +427,61 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 				r.setReg(8+k, d+1, &s, typestate.BottomTS)
 			}
 		}
-		r.setReg(insn.Rd, d+1, &s, newSP)
+		r.setReg(sparc.Reg(assign.Dst), d+1, &s, newSP)
 		return s
 
-	case sparc.OpRestore:
+	case rtl.RestoreWindow:
 		r.Kind[node.ID] = KindRestore
-		val := scalarOp(r.regTS(insn.Rs1, d, s), r.operandTS(node, s), insn, true)
-		r.setReg(insn.Rd, d-1, &s, val)
+		var val typestate.Typestate
+		if bin, ok := assign.Src.(rtl.Bin); ok {
+			val = scalarOp(r.exprTS(bin.A, d, s), r.exprTS(bin.B, d, s), bin.Op, true)
+		}
+		r.setReg(sparc.Reg(assign.Dst), d-1, &s, val)
 		return s
 	}
 
-	if insn.IsLoad() || insn.IsStore() {
+	if hasMem {
 		return r.transferMem(node, in, s, report)
+	}
+	if assign == nil {
+		return s
+	}
+
+	// Constant materialization (sethi): a copy, unless it is the
+	// canonical nop (a zero write to the zero register).
+	if c, ok := assign.Src.(rtl.Const); ok {
+		if assign.Dst == rtl.ZeroReg && c.V == 0 {
+			r.Kind[node.ID] = KindNop
+			return s
+		}
+		r.Kind[node.ID] = KindCopy
+		r.setReg(sparc.Reg(assign.Dst), d, &s, r.resolveAddr(constTS(c.V)))
+		return s
 	}
 
 	// Arithmetic and logical operations.
-	a := r.regTS(insn.Rs1, d, s)
-	b := r.operandTS(node, s)
-	cc := insn.SetsCC()
-	if cc && insn.Rd == sparc.G0 {
+	bin, ok := assign.Src.(rtl.Bin)
+	if !ok {
+		r.Kind[node.ID] = KindScalarOp
+		r.setReg(sparc.Reg(assign.Dst), d, &s, typestate.BottomTS)
+		return s
+	}
+	a := r.exprTS(bin.A, d, s)
+	b := r.exprTS(bin.B, d, s)
+	if hasCC && assign.Dst == rtl.ZeroReg {
 		r.Kind[node.ID] = KindCompare
 		return s
 	}
 
+	_, immB := bin.B.(rtl.Const)
 	var out typestate.Typestate
 	switch {
-	case insn.Op == sparc.OpOr && insn.Rs1 == sparc.G0:
+	case bin.Op == rtl.Or && isZeroReg(bin.A):
 		// mov X,rd (synthetic): a pure copy.
 		r.Kind[node.ID] = KindCopy
 		out = b
 
-	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpAddcc || insn.Op == sparc.OpSub || insn.Op == sparc.OpSubcc) &&
+	case (bin.Op == rtl.Add || bin.Op == rtl.Sub) &&
 		(a.Type.Kind == types.ArrayBase || a.Type.Kind == types.ArrayIn) && b.Type.IsScalar():
 		// Array-index calculation (Table 1, row 2): rd becomes t(n].
 		r.Kind[node.ID] = KindArrayIndex
@@ -432,7 +491,7 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 			Access: a.Access,
 		}
 
-	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpAddcc) &&
+	case bin.Op == rtl.Add &&
 		(b.Type.Kind == types.ArrayBase || b.Type.Kind == types.ArrayIn) && a.Type.IsScalar():
 		// Commuted array-index calculation.
 		r.Kind[node.ID] = KindArrayIndex
@@ -442,12 +501,12 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 			Access: b.Access,
 		}
 
-	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpSub) &&
+	case (bin.Op == rtl.Add || bin.Op == rtl.Sub) && !hasCC &&
 		a.Type.Kind == types.Ptr && b.Known:
 		// Field-address calculation: shift the points-to offsets.
 		r.Kind[node.ID] = KindPtrOffset
 		delta := int(b.ConstVal)
-		if insn.Op == sparc.OpSub {
+		if bin.Op == rtl.Sub {
 			delta = -delta
 		}
 		out = typestate.Typestate{
@@ -456,12 +515,12 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 			Access: a.Access,
 		}
 
-	case (insn.Op == sparc.OpAdd || insn.Op == sparc.OpSub) && insn.Imm &&
-		(insn.Rs1 == sparc.FP || insn.Rs1 == sparc.SP) &&
-		r.frameSlotAt(node, insn.Rs1, frameDelta(insn)) != nil:
+	case (bin.Op == rtl.Add || bin.Op == rtl.Sub) && !hasCC && immB &&
+		frameBase(bin.A) != 0 &&
+		r.frameSlotAt(node, frameBase(bin.A), frameDelta(bin)) != nil:
 		// Address of an annotated stack slot (local-array bases;
 		// Section 6's stack-frame annotations).
-		slot := r.frameSlotAt(node, insn.Rs1, frameDelta(insn))
+		slot := r.frameSlotAt(node, frameBase(bin.A), frameDelta(bin))
 		r.Kind[node.ID] = KindPtrOffset
 		if slot.Count > 0 {
 			out = typestate.Typestate{
@@ -484,16 +543,31 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 
 	default:
 		r.Kind[node.ID] = KindScalarOp
-		out = scalarOp(a, b, insn, false)
+		out = scalarOp(a, b, bin.Op, false)
 	}
-	r.setReg(insn.Rd, d, &s, out)
+	r.setReg(sparc.Reg(assign.Dst), d, &s, out)
 	return s
+}
+
+// frameBase returns %fp or %sp when the expression reads one of the
+// frame registers (0 otherwise).
+func frameBase(e rtl.Expr) sparc.Reg {
+	x, ok := e.(rtl.RegX)
+	if !ok {
+		return 0
+	}
+	reg := sparc.Reg(x.R)
+	if reg == sparc.FP || reg == sparc.SP {
+		return reg
+	}
+	return 0
 }
 
 // scalarOp computes the typestate of a scalar arithmetic result
 // (Table 1, row 1): the meet of the operand typestates, with the constant
-// refinement folded when both operands are known.
-func scalarOp(a, b typestate.Typestate, insn sparc.Insn, keepType bool) typestate.Typestate {
+// refinement folded through the RTL operator semantics when both
+// operands are known.
+func scalarOp(a, b typestate.Typestate, op rtl.BinOp, keepType bool) typestate.Typestate {
 	out := typestate.Typestate{
 		Type:   types.Meet(a.Type, b.Type),
 		State:  a.State.Meet(b.State),
@@ -514,32 +588,9 @@ func scalarOp(a, b typestate.Typestate, insn sparc.Insn, keepType bool) typestat
 		}
 	}
 	if a.Known && b.Known {
-		out.Known = true
-		switch insn.Op {
-		case sparc.OpAdd, sparc.OpAddcc, sparc.OpSave, sparc.OpRestore:
-			out.ConstVal = a.ConstVal + b.ConstVal
-		case sparc.OpSub, sparc.OpSubcc:
-			out.ConstVal = a.ConstVal - b.ConstVal
-		case sparc.OpOr, sparc.OpOrcc:
-			out.ConstVal = a.ConstVal | b.ConstVal
-		case sparc.OpAnd, sparc.OpAndcc:
-			out.ConstVal = a.ConstVal & b.ConstVal
-		case sparc.OpAndn:
-			out.ConstVal = a.ConstVal &^ b.ConstVal
-		case sparc.OpXor, sparc.OpXorcc:
-			out.ConstVal = a.ConstVal ^ b.ConstVal
-		case sparc.OpXnor:
-			out.ConstVal = ^(a.ConstVal ^ b.ConstVal)
-		case sparc.OpSll:
-			out.ConstVal = a.ConstVal << uint(b.ConstVal&31)
-		case sparc.OpSrl:
-			out.ConstVal = int64(uint32(a.ConstVal) >> uint(b.ConstVal&31))
-		case sparc.OpSra:
-			out.ConstVal = int64(int32(a.ConstVal) >> uint(b.ConstVal&31))
-		case sparc.OpSMul, sparc.OpUMul:
-			out.ConstVal = a.ConstVal * b.ConstVal
-		default:
-			out.Known = false
+		if v, ok := rtl.FoldBin(op, a.ConstVal, b.ConstVal); ok {
+			out.Known = true
+			out.ConstVal = v
 		}
 	}
 	return out

@@ -1,0 +1,67 @@
+package rtl
+
+import "mcsafe/internal/expr"
+
+// Linearize maps an operand expression into the Presburger fragment
+// when it is linear: additions, subtractions, scaling by a constant,
+// and the identity cases of the bitwise operations. regVar supplies
+// the LinExpr for a register read (including the ZeroReg convention);
+// the second result is false when the expression is not linear.
+func Linearize(e Expr, regVar func(Reg) expr.LinExpr) (expr.LinExpr, bool) {
+	switch x := e.(type) {
+	case Const:
+		return expr.Constant(x.V), true
+	case RegX:
+		return regVar(x.R), true
+	case PC:
+		return expr.LinExpr{}, false
+	case Bin:
+		a, aok := Linearize(x.A, regVar)
+		b, bok := Linearize(x.B, regVar)
+		if !aok || !bok {
+			return expr.LinExpr{}, false
+		}
+		aConst, aIsConst := a.IsConst()
+		bConst, bIsConst := b.IsConst()
+		switch x.Op {
+		case Add:
+			return a.Add(b), true
+		case Sub:
+			return a.Sub(b), true
+		case Or, Xor:
+			// Identity cases only: x|0 = x^0 = x.
+			if aIsConst && aConst == 0 {
+				return b, true
+			}
+			if bIsConst && bConst == 0 {
+				return a, true
+			}
+			if aIsConst && bIsConst {
+				if x.Op == Or {
+					return expr.Constant(aConst | bConst), true
+				}
+				return expr.Constant(aConst ^ bConst), true
+			}
+		case And:
+			if (aIsConst && aConst == 0) || (bIsConst && bConst == 0) {
+				return expr.Constant(0), true
+			}
+			if aIsConst && bIsConst {
+				return expr.Constant(aConst & bConst), true
+			}
+		case ShL:
+			if bIsConst && bConst >= 0 && bConst < 31 {
+				return a.Scale(1 << uint(bConst)), true
+			}
+		case MulS, MulU:
+			if bIsConst {
+				return a.Scale(bConst), true
+			}
+			if aIsConst {
+				return b.Scale(aConst), true
+			}
+		}
+		return expr.LinExpr{}, false
+	}
+	return expr.LinExpr{}, false
+}

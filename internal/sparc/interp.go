@@ -1,11 +1,22 @@
 package sparc
 
-import "fmt"
+import (
+	"fmt"
+
+	"mcsafe/internal/rtl"
+)
 
 // Machine is a concrete SPARC V8 interpreter over the decoded
 // instruction stream. It exists for differential testing: the abstract
 // operational semantics of the checker (typestate propagation, wlp) are
 // validated against real executions on random inputs.
+//
+// The instruction semantics are not written here: Step executes the
+// lifted RTL effect sequence of each instruction (see lift.go), so the
+// interpreter, typestate propagation, and WLP generation all consume
+// the same per-opcode definition. Only the machine-state plumbing —
+// register windows, sparse memory, delayed control transfer, external
+// calls — lives in this file.
 //
 // The model is deliberately small: 32-bit integer registers with eight
 // register windows, a word-addressed sparse memory, and the integer
@@ -18,6 +29,9 @@ type Machine struct {
 	globals [8]uint32
 	windows [][16]uint32 // %o0-%o7 then %l0-%l7 per window
 	cwp     int
+
+	// lifted caches the RTL effect sequence per instruction index.
+	lifted [][]rtl.Effect
 
 	// Mem is sparse byte memory.
 	Mem map[uint32]byte
@@ -105,70 +119,51 @@ func (m *Machine) Load32(addr uint32) uint32 {
 		uint32(m.Mem[addr+2])<<8 | uint32(m.Mem[addr+3])
 }
 
+// loadRaw reads size bytes big-endian (unextended).
+func (m *Machine) loadRaw(addr uint32, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(m.Mem[addr])
+	case 2:
+		return uint32(m.Mem[addr])<<8 | uint32(m.Mem[addr+1])
+	}
+	return m.Load32(addr)
+}
+
+// storeRaw writes the low size bytes of v big-endian.
+func (m *Machine) storeRaw(addr uint32, size int, v uint32) {
+	switch size {
+	case 1:
+		m.Mem[addr] = byte(v)
+	case 2:
+		m.Mem[addr] = byte(v >> 8)
+		m.Mem[addr+1] = byte(v)
+	default:
+		m.Store32(addr, v)
+	}
+}
+
 // ErrExit is returned by Run when the program returns from its entry
 // procedure (a return with no caller).
 var ErrExit = fmt.Errorf("sparc: program exited")
 
-// operand2 evaluates the second operand.
-func (m *Machine) operand2(i Insn) uint32 {
-	if i.Imm {
-		return uint32(i.SImm)
-	}
-	return m.get(i.Rs2)
-}
-
-func (m *Machine) setCC(res uint32, v, c bool) {
-	m.N = res&0x80000000 != 0
-	m.Z = res == 0
-	m.V = v
-	m.C = c
-}
-
-// cond evaluates a branch condition against the current codes.
-func (m *Machine) cond(c Cond) bool {
-	switch c {
-	case CondA:
-		return true
-	case CondN:
-		return false
-	case CondE:
-		return m.Z
-	case CondNE:
-		return !m.Z
-	case CondL:
-		return m.N != m.V
-	case CondGE:
-		return m.N == m.V
-	case CondLE:
-		return m.Z || m.N != m.V
-	case CondG:
-		return !m.Z && m.N == m.V
-	case CondCS:
-		return m.C
-	case CondCC:
-		return !m.C
-	case CondLEU:
-		return m.C || m.Z
-	case CondGU:
-		return !m.C && !m.Z
-	case CondNEG:
-		return m.N
-	case CondPOS:
-		return !m.N
-	case CondVS:
-		return m.V
-	case CondVC:
-		return !m.V
-	}
-	return false
-}
-
 // exitPC is the sentinel "return address" of the entry frame.
 const exitPC = -1
 
-// Step executes one instruction. It returns ErrExit on a return past the
-// entry frame, or an error for faults (out-of-range PC, window
-// underflow).
+// liftedAt returns the cached RTL for the instruction at index idx.
+func (m *Machine) liftedAt(idx int) []rtl.Effect {
+	if m.lifted == nil {
+		m.lifted = make([][]rtl.Effect, len(m.prog.Insns))
+	}
+	if m.lifted[idx] == nil {
+		m.lifted[idx] = Lift(m.prog.Insns[idx])
+	}
+	return m.lifted[idx]
+}
+
+// Step executes one instruction by interpreting its RTL effects. It
+// returns ErrExit on a return past the entry frame, or an error for
+// faults (out-of-range PC, window underflow, division by zero).
 func (m *Machine) Step() error {
 	if m.pc == exitPC {
 		return ErrExit
@@ -178,185 +173,178 @@ func (m *Machine) Step() error {
 	}
 	m.Steps++
 	i := m.prog.Insns[m.pc]
+	effs := m.liftedAt(m.pc)
+	if effs == nil {
+		return fmt.Errorf("sparc: unsupported op %v", i.Op)
+	}
 	pc, npc := m.npc, m.npc+1
+	pcAddr := m.prog.AddrOf(m.pc)
+	eval := func(e rtl.Expr) (uint32, error) {
+		v, err := rtl.EvalExpr(e, func(r rtl.Reg) uint32 { return m.get(Reg(r)) }, pcAddr)
+		if err != nil {
+			return 0, fmt.Errorf("sparc: %v", err)
+		}
+		return v, nil
+	}
 
-	switch {
-	case i.Op == OpSethi:
-		m.set(i.Rd, uint32(i.SImm))
+	// Phase 1: evaluate all sources in the pre-state, record the
+	// pending writes, and resolve control. No machine state changes
+	// until every effect has evaluated without fault.
+	type regWrite struct {
+		dst Reg
+		val uint32
+	}
+	var writes []regWrite
+	var stores []struct {
+		addr uint32
+		size int
+		val  uint32
+	}
+	var ccSet bool
+	var ccN, ccZ, ccV, ccC bool
+	winShift := 0
+	isCall := false
+	pendingHost := ""
 
-	case i.Op == OpBranch:
-		taken := m.cond(i.Cond)
-		target := m.pc + int(i.Disp)
-		if taken {
-			npc = target
-			if i.Cond == CondA && i.Annul {
-				pc, npc = target, target+1
+	for _, eff := range effs {
+		switch x := eff.(type) {
+		case rtl.Assign:
+			v, err := eval(x.Src)
+			if err != nil {
+				return err
 			}
-		} else if i.Annul {
-			pc, npc = m.npc+1, m.npc+2
-		}
+			writes = append(writes, regWrite{Reg(x.Dst), v})
 
-	case i.Op == OpCall:
-		m.set(O7, m.prog.AddrOf(m.pc))
-		tgt := m.pc + int(i.Disp)
-		if tgt >= len(m.prog.Insns) || tgt < 0 {
-			// External (trusted host) call: the delay slot executes,
-			// the host function runs, and control resumes after it.
-			name := m.prog.LabelAt(tgt)
-			m.pendingHost = name
-			npc = m.pc + 2
-		} else {
-			npc = tgt
-		}
+		case rtl.Load:
+			addr, err := eval(x.Addr)
+			if err != nil {
+				return err
+			}
+			if m.OnMem != nil {
+				m.OnMem(addr, x.Size, false)
+			}
+			raw := m.loadRaw(addr, x.Size)
+			writes = append(writes, regWrite{Reg(x.Dst), rtl.Extend(raw, x.Size, x.Signed)})
 
-	case i.Op == OpJmpl:
-		ret := m.get(i.Rs1) + m.operand2(i)
-		m.set(i.Rd, m.prog.AddrOf(m.pc))
-		idx, ok := m.prog.IndexOf(ret)
-		switch {
-		case ok:
-			npc = idx
-		case ret == 8 || ret == 0:
-			// Return past the entry frame: the delay slot still
-			// executes, then the program exits.
-			npc = exitPC
+		case rtl.Store:
+			addr, err := eval(x.Addr)
+			if err != nil {
+				return err
+			}
+			v, err := eval(x.Src)
+			if err != nil {
+				return err
+			}
+			if m.OnMem != nil {
+				m.OnMem(addr, x.Size, true)
+			}
+			stores = append(stores, struct {
+				addr uint32
+				size int
+				val  uint32
+			}{addr, x.Size, v})
+
+		case rtl.SetCC:
+			a, err := eval(x.A)
+			if err != nil {
+				return err
+			}
+			b, err := eval(x.B)
+			if err != nil {
+				return err
+			}
+			n, z, v, c, err := rtl.EvalCC(x.Op, a, b)
+			if err != nil {
+				return fmt.Errorf("sparc: %v", err)
+			}
+			ccSet, ccN, ccZ, ccV, ccC = true, n, z, v, c
+
+		case rtl.SaveWindow:
+			if m.cwp == 0 {
+				return fmt.Errorf("sparc: window overflow")
+			}
+			winShift = -1
+
+		case rtl.RestoreWindow:
+			if m.cwp+2 >= len(m.windows) {
+				return fmt.Errorf("sparc: window underflow")
+			}
+			winShift = +1
+
+		case rtl.Branch:
+			taken := rtl.EvalCond(x.Cond, m.N, m.Z, m.V, m.C)
+			target := m.pc + int(x.Disp)
+			if taken {
+				npc = target
+				if x.Cond == rtl.CondAlways && x.Annul {
+					pc, npc = target, target+1
+				}
+			} else if x.Annul {
+				pc, npc = m.npc+1, m.npc+2
+			}
+
+		case rtl.Call:
+			isCall = true
+			tgt := m.pc + int(x.Disp)
+			if tgt >= len(m.prog.Insns) || tgt < 0 {
+				// External (trusted host) call: the delay slot executes,
+				// the host function runs, and control resumes after it.
+				pendingHost = m.prog.LabelAt(tgt)
+				npc = m.pc + 2
+			} else {
+				npc = tgt
+			}
+
+		case rtl.Jump:
+			ret, err := eval(x.Target)
+			if err != nil {
+				return err
+			}
+			idx, ok := m.prog.IndexOf(ret)
+			switch {
+			case ok:
+				npc = idx
+			case ret == 8 || ret == 0:
+				// Return past the entry frame: the delay slot still
+				// executes, then the program exits.
+				npc = exitPC
+			default:
+				return fmt.Errorf("sparc: jmpl to unmapped address 0x%x", ret)
+			}
+
+		case rtl.Unsupported:
+			return fmt.Errorf("sparc: %s", x.Msg)
+
 		default:
-			return fmt.Errorf("sparc: jmpl to unmapped address 0x%x", ret)
+			return fmt.Errorf("sparc: unknown rtl effect %T", eff)
 		}
+	}
 
-	case i.Op == OpSave:
-		// save decrements CWP: the new window's %i registers overlap
-		// the caller's %o registers (windows[cwp+1] after decrement).
-		v := m.get(i.Rs1) + m.operand2(i)
-		if m.cwp == 0 {
-			return fmt.Errorf("sparc: window overflow")
-		}
-		m.cwp--
-		m.set(i.Rd, v)
-
-	case i.Op == OpRestore:
-		v := m.get(i.Rs1) + m.operand2(i)
-		if m.cwp+2 >= len(m.windows) {
-			return fmt.Errorf("sparc: window underflow")
-		}
-		m.cwp++
-		m.set(i.Rd, v)
-
-	case i.IsLoad():
-		addr := m.get(i.Rs1) + m.operand2(i)
-		if m.OnMem != nil {
-			m.OnMem(addr, i.MemSize(), false)
-		}
-		switch i.Op {
-		case OpLd:
-			m.set(i.Rd, m.Load32(addr))
-		case OpLdub:
-			m.set(i.Rd, uint32(m.Mem[addr]))
-		case OpLdsb:
-			m.set(i.Rd, uint32(int32(int8(m.Mem[addr]))))
-		case OpLduh:
-			m.set(i.Rd, uint32(m.Mem[addr])<<8|uint32(m.Mem[addr+1]))
-		case OpLdsh:
-			m.set(i.Rd, uint32(int32(int16(uint16(m.Mem[addr])<<8|uint16(m.Mem[addr+1])))))
-		default:
-			return fmt.Errorf("sparc: unsupported load %v", i.Op)
-		}
-
-	case i.IsStore():
-		addr := m.get(i.Rs1) + m.operand2(i)
-		if m.OnMem != nil {
-			m.OnMem(addr, i.MemSize(), true)
-		}
-		v := m.get(i.Rd)
-		switch i.Op {
-		case OpSt:
-			m.Store32(addr, v)
-		case OpStb:
-			m.Mem[addr] = byte(v)
-		case OpSth:
-			m.Mem[addr] = byte(v >> 8)
-			m.Mem[addr+1] = byte(v)
-		default:
-			return fmt.Errorf("sparc: unsupported store %v", i.Op)
-		}
-
-	default:
-		a := m.get(i.Rs1)
-		b := m.operand2(i)
-		var res uint32
-		switch i.Op {
-		case OpAdd, OpAddcc:
-			res = a + b
-			if i.Op == OpAddcc {
-				v := (a&0x80000000 == b&0x80000000) && (res&0x80000000 != a&0x80000000)
-				c := uint64(a)+uint64(b) > 0xffffffff
-				m.setCC(res, v, c)
-			}
-		case OpSub, OpSubcc:
-			res = a - b
-			if i.Op == OpSubcc {
-				v := (a&0x80000000 != b&0x80000000) && (res&0x80000000 == b&0x80000000)
-				c := uint64(a) < uint64(b)
-				m.setCC(res, v, c)
-			}
-		case OpAnd, OpAndcc:
-			res = a & b
-			if i.Op == OpAndcc {
-				m.setCC(res, false, false)
-			}
-		case OpAndn:
-			res = a &^ b
-		case OpOr, OpOrcc:
-			res = a | b
-			if i.Op == OpOrcc {
-				m.setCC(res, false, false)
-			}
-		case OpOrn:
-			res = a | ^b
-		case OpXor, OpXorcc:
-			res = a ^ b
-			if i.Op == OpXorcc {
-				m.setCC(res, false, false)
-			}
-		case OpXnor:
-			res = ^(a ^ b)
-		case OpSll:
-			res = a << (b & 31)
-		case OpSrl:
-			res = a >> (b & 31)
-		case OpSra:
-			res = uint32(int32(a) >> (b & 31))
-		case OpUMul, OpSMul:
-			res = a * b
-		case OpUDiv:
-			if b == 0 {
-				return fmt.Errorf("sparc: division by zero")
-			}
-			res = a / b
-		case OpSDiv:
-			if b == 0 {
-				return fmt.Errorf("sparc: division by zero")
-			}
-			res = uint32(int32(a) / int32(b))
-		default:
-			return fmt.Errorf("sparc: unsupported op %v", i.Op)
-		}
-		m.set(i.Rd, res)
+	// Phase 2: commit. The window shifts first, so an Assign with
+	// Win = ±1 lands in the window the instruction entered.
+	m.cwp += winShift
+	for _, w := range writes {
+		m.set(w.dst, w.val)
+	}
+	for _, s := range stores {
+		m.storeRaw(s.addr, s.size, s.val)
+	}
+	if ccSet {
+		m.N, m.Z, m.V, m.C = ccN, ccZ, ccV, ccC
+	}
+	if pendingHost != "" {
+		m.pendingHost = pendingHost
 	}
 
 	m.pc, m.npc = pc, npc
-	if m.pendingHost != "" && m.pc != exitPC {
+	if m.pendingHost != "" && m.pc != exitPC && !isCall {
 		// We just executed the delay slot of an external call.
 		name := m.pendingHost
 		m.pendingHost = ""
-		if i.Op != OpCall { // fires on the instruction AFTER the call
-			if m.HostCall != nil {
-				m.HostCall(name, m)
-			} else {
-				m.set(O0, 0)
-			}
+		if m.HostCall != nil {
+			m.HostCall(name, m)
 		} else {
-			m.pendingHost = name // delay slot not yet executed
+			m.set(O0, 0)
 		}
 	}
 	return nil

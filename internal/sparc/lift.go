@@ -1,0 +1,167 @@
+package sparc
+
+import "mcsafe/internal/rtl"
+
+// Lift translates one decoded instruction into its canonical RTL
+// effect sequence — the single source of instruction semantics shared
+// by typestate propagation, WLP generation, and the concrete
+// interpreter. It returns nil for instructions the checker does not
+// understand (OpInvalid); every opcode the decoder can produce has
+// exactly one rule here, enforced by TestLiftExhaustive.
+//
+// Conventions: %g0 reads and writes are emitted faithfully (rtl.ZeroReg
+// carries the hardwired-zero convention); immediates become rtl.Const
+// and register operands rtl.RegX, so consumers can distinguish the two
+// addressing modes. Source expressions always evaluate in the entry
+// window; save/restore destinations carry Win = ±1.
+func Lift(i Insn) []rtl.Effect {
+	rd := rtl.Reg(i.Rd)
+	rs1 := rtl.RegX{R: rtl.Reg(i.Rs1)}
+	switch i.Op {
+	case OpSethi:
+		return []rtl.Effect{rtl.Assign{Dst: rd, Src: rtl.Const{V: int64(i.SImm)}}}
+
+	case OpBranch:
+		return []rtl.Effect{rtl.Branch{Cond: liftCond(i.Cond), Disp: i.Disp, Annul: i.Annul}}
+
+	case OpCall:
+		return []rtl.Effect{
+			rtl.Assign{Dst: rtl.Reg(O7), Src: rtl.PC{}},
+			rtl.Call{Disp: i.Disp},
+		}
+
+	case OpJmpl:
+		return []rtl.Effect{
+			rtl.Assign{Dst: rd, Src: rtl.PC{}},
+			rtl.Jump{Target: rtl.Bin{Op: rtl.Add, A: rs1, B: liftOperand2(i)}},
+		}
+
+	case OpSave:
+		return []rtl.Effect{
+			rtl.SaveWindow{},
+			rtl.Assign{Dst: rd, Win: +1, Src: rtl.Bin{Op: rtl.Add, A: rs1, B: liftOperand2(i)}},
+		}
+
+	case OpRestore:
+		return []rtl.Effect{
+			rtl.RestoreWindow{},
+			rtl.Assign{Dst: rd, Win: -1, Src: rtl.Bin{Op: rtl.Add, A: rs1, B: liftOperand2(i)}},
+		}
+
+	case OpLd, OpLdub, OpLduh, OpLdsb, OpLdsh:
+		signed := i.Op == OpLdsb || i.Op == OpLdsh
+		return []rtl.Effect{rtl.Load{Dst: rd, Addr: liftAddr(i), Size: i.MemSize(), Signed: signed}}
+
+	case OpSt, OpStb, OpSth:
+		return []rtl.Effect{rtl.Store{Src: rtl.RegX{R: rd}, Addr: liftAddr(i), Size: i.MemSize()}}
+
+	case OpLdd:
+		return []rtl.Effect{rtl.Unsupported{Code: "policy",
+			Msg: "doubleword memory access not supported", Dst: rd}}
+
+	case OpStd:
+		return []rtl.Effect{rtl.Unsupported{Code: "policy",
+			Msg: "doubleword memory access not supported", Dst: rtl.ZeroReg}}
+	}
+
+	op, ok := liftALUOp(i.Op)
+	if !ok {
+		return nil
+	}
+	effs := []rtl.Effect{
+		rtl.Assign{Dst: rd, Src: rtl.Bin{Op: op, A: rs1, B: liftOperand2(i)}},
+	}
+	if i.SetsCC() {
+		effs = append(effs, rtl.SetCC{Op: op, A: rs1, B: liftOperand2(i)})
+	}
+	return effs
+}
+
+// liftOperand2 maps a format-3 second operand.
+func liftOperand2(i Insn) rtl.Expr {
+	if i.Imm {
+		return rtl.Const{V: int64(i.SImm)}
+	}
+	return rtl.RegX{R: rtl.Reg(i.Rs2)}
+}
+
+// liftAddr is the effective address of a load or store.
+func liftAddr(i Insn) rtl.Expr {
+	return rtl.Bin{Op: rtl.Add, A: rtl.RegX{R: rtl.Reg(i.Rs1)}, B: liftOperand2(i)}
+}
+
+// liftALUOp maps the arithmetic/logical/shift opcodes onto rtl.BinOp.
+func liftALUOp(op Op) (rtl.BinOp, bool) {
+	switch op {
+	case OpAdd, OpAddcc:
+		return rtl.Add, true
+	case OpSub, OpSubcc:
+		return rtl.Sub, true
+	case OpAnd, OpAndcc:
+		return rtl.And, true
+	case OpAndn:
+		return rtl.AndNot, true
+	case OpOr, OpOrcc:
+		return rtl.Or, true
+	case OpOrn:
+		return rtl.OrNot, true
+	case OpXor, OpXorcc:
+		return rtl.Xor, true
+	case OpXnor:
+		return rtl.XorNot, true
+	case OpSll:
+		return rtl.ShL, true
+	case OpSrl:
+		return rtl.ShRL, true
+	case OpSra:
+		return rtl.ShRA, true
+	case OpUMul:
+		return rtl.MulU, true
+	case OpSMul:
+		return rtl.MulS, true
+	case OpUDiv:
+		return rtl.DivU, true
+	case OpSDiv:
+		return rtl.DivS, true
+	}
+	return 0, false
+}
+
+// liftCond maps a SPARC branch condition onto the neutral rtl.Cond.
+func liftCond(c Cond) rtl.Cond {
+	switch c {
+	case CondN:
+		return rtl.CondNever
+	case CondA:
+		return rtl.CondAlways
+	case CondE:
+		return rtl.CondEq
+	case CondNE:
+		return rtl.CondNe
+	case CondL:
+		return rtl.CondLt
+	case CondLE:
+		return rtl.CondLe
+	case CondG:
+		return rtl.CondGt
+	case CondGE:
+		return rtl.CondGe
+	case CondCS:
+		return rtl.CondLtU
+	case CondLEU:
+		return rtl.CondLeU
+	case CondGU:
+		return rtl.CondGtU
+	case CondCC:
+		return rtl.CondGeU
+	case CondNEG:
+		return rtl.CondNeg
+	case CondPOS:
+		return rtl.CondPos
+	case CondVS:
+		return rtl.CondOverflow
+	case CondVC:
+		return rtl.CondNoOverflow
+	}
+	return rtl.CondNever
+}

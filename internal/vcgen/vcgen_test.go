@@ -10,6 +10,7 @@ import (
 	"mcsafe/internal/induction"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/solver"
 	"mcsafe/internal/sparc"
 )
@@ -216,20 +217,20 @@ func TestWlpLoadSummaryHavocs(t *testing.T) {
 // TestEdgeGuards: the branch guards map conditions to icc constraints,
 // and unsigned conditions contribute nothing.
 func TestEdgeGuards(t *testing.T) {
-	if condFormula(sparc.CondL) == nil || condFormula(sparc.CondE) == nil {
+	if condFormula(rtl.CondLt) == nil || condFormula(rtl.CondEq) == nil {
 		t.Error("signed conditions must produce formulas")
 	}
-	if condFormula(sparc.CondGU) != nil || condFormula(sparc.CondCC) != nil {
+	if condFormula(rtl.CondGtU) != nil || condFormula(rtl.CondGeU) != nil {
 		t.Error("unsigned conditions must be conservative (nil)")
 	}
-	if condFormula(sparc.CondA) != nil {
+	if condFormula(rtl.CondAlways) != nil {
 		t.Error("always-taken has no guard")
 	}
 	env := map[expr.Var]int64{policy.ICCA: 3, policy.ICCB: 5}
-	if !condFormula(sparc.CondL).Eval(env, nil) {
+	if !condFormula(rtl.CondLt).Eval(env, nil) {
 		t.Error("bl guard should hold for 3 < 5")
 	}
-	if condFormula(sparc.CondGE).Eval(env, nil) {
+	if condFormula(rtl.CondGe).Eval(env, nil) {
 		t.Error("bge guard should fail for 3 < 5")
 	}
 }

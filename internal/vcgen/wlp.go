@@ -7,6 +7,7 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
 	"mcsafe/internal/policy"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 )
 
@@ -53,101 +54,92 @@ func closeFresh(f expr.Formula, vars []expr.Var) expr.Formula {
 	return f
 }
 
-// regLin is the linear expression for a register's value at a window
-// depth (%g0 reads as the constant 0).
-func regLin(r sparc.Reg, depth int) expr.LinExpr {
-	if r == sparc.G0 {
-		return expr.Constant(0)
+// regVarAt supplies the linear expression for an RTL register read at a
+// window depth (the zero register reads as the constant 0); it is the
+// bridge rtl.Linearize uses to name registers in the policy's variable
+// space.
+func regVarAt(depth int) func(rtl.Reg) expr.LinExpr {
+	return func(r rtl.Reg) expr.LinExpr {
+		if r == rtl.ZeroReg {
+			return expr.Constant(0)
+		}
+		return expr.V(policy.RegVar(sparc.Reg(r), depth))
 	}
-	return expr.V(policy.RegVar(r, depth))
 }
 
-// opndLin is the linear expression of a format-3 second operand.
-func opndLin(insn sparc.Insn, depth int) expr.LinExpr {
-	if insn.Imm {
-		return expr.Constant(int64(insn.SImm))
-	}
-	return regLin(insn.Rs2, depth)
+// linAt linearizes an RTL operand expression at a window depth.
+func linAt(x rtl.Expr, depth int) (expr.LinExpr, bool) {
+	return rtl.Linearize(x, regVarAt(depth))
 }
 
-// linearResult computes the destination value of an arithmetic
-// instruction as a linear expression, when it is one.
-func linearResult(insn sparc.Insn, depth int) (expr.LinExpr, bool) {
-	a := regLin(insn.Rs1, depth)
-	b := opndLin(insn, depth)
-	aConst, aIsConst := a.IsConst()
-	bConst, bIsConst := b.IsConst()
-	switch insn.Op {
-	case sparc.OpAdd, sparc.OpAddcc, sparc.OpSave, sparc.OpRestore:
-		return a.Add(b), true
-	case sparc.OpSub, sparc.OpSubcc:
-		return a.Sub(b), true
-	case sparc.OpOr, sparc.OpOrcc, sparc.OpXor, sparc.OpXorcc:
-		// Identity cases only: x|0 = x^0 = x.
-		if aIsConst && aConst == 0 {
-			return b, true
-		}
-		if bIsConst && bConst == 0 {
-			return a, true
-		}
-		if aIsConst && bIsConst {
-			if insn.Op == sparc.OpOr || insn.Op == sparc.OpOrcc {
-				return expr.Constant(aConst | bConst), true
-			}
-			return expr.Constant(aConst ^ bConst), true
-		}
-		return expr.LinExpr{}, false
-	case sparc.OpAnd, sparc.OpAndcc:
-		if (aIsConst && aConst == 0) || (bIsConst && bConst == 0) {
-			return expr.Constant(0), true
-		}
-		if aIsConst && bIsConst {
-			return expr.Constant(aConst & bConst), true
-		}
-		return expr.LinExpr{}, false
-	case sparc.OpSll:
-		if bIsConst && bConst >= 0 && bConst < 31 {
-			return a.Scale(1 << uint(bConst)), true
-		}
-		return expr.LinExpr{}, false
-	case sparc.OpSMul, sparc.OpUMul:
-		if bIsConst {
-			return a.Scale(bConst), true
-		}
-		if aIsConst {
-			return b.Scale(aConst), true
-		}
-		return expr.LinExpr{}, false
-	case sparc.OpSethi:
-		return expr.Constant(int64(insn.SImm)), true
-	}
-	return expr.LinExpr{}, false
+// mustLin linearizes an expression known to be linear (register reads
+// and immediates).
+func mustLin(x rtl.Expr, depth int) expr.LinExpr {
+	le, _ := rtl.Linearize(x, regVarAt(depth))
+	return le
 }
 
 // wlpInsn computes wlp(insn, f): the weakest liberal precondition of one
 // instruction occurrence with respect to a postcondition (Section 5.2.1;
 // loads and stores follow Morris's general axiom of assignment, resolved
-// through the abstract locations computed by typestate propagation).
+// through the abstract locations computed by typestate propagation). The
+// instruction's semantics come entirely from its lifted RTL effects.
 func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 	node := e.g.Nodes[id]
-	insn := node.Insn
 	d := node.Depth
 
-	switch {
-	case insn.Op == sparc.OpBranch:
+	// Shape of the effect sequence.
+	var assign *rtl.Assign
+	var cc *rtl.SetCC
+	var ctl rtl.Effect
+	var win rtl.Effect
+	var load *rtl.Load
+	var store *rtl.Store
+	var unsup *rtl.Unsupported
+	for _, eff := range node.RTL {
+		switch x := eff.(type) {
+		case rtl.Assign:
+			a := x
+			assign = &a
+		case rtl.SetCC:
+			c := x
+			cc = &c
+		case rtl.Branch, rtl.Call, rtl.Jump:
+			ctl = eff
+		case rtl.SaveWindow, rtl.RestoreWindow:
+			win = eff
+		case rtl.Load:
+			l := x
+			load = &l
+		case rtl.Store:
+			st := x
+			store = &st
+		case rtl.Unsupported:
+			u := x
+			unsup = &u
+		}
+	}
+
+	switch ctl.(type) {
+	case rtl.Branch:
 		return f // guards are applied on edges
 
-	case insn.Op == sparc.OpCall:
+	case rtl.Call:
 		// The call writes the return address into %o7.
-		return e.havoc(f, policy.RegVar(sparc.O7, d), "o7")
+		return e.havoc(f, policy.RegVar(sparc.Reg(assign.Dst), d), "o7")
 
-	case insn.Op == sparc.OpJmpl:
+	case rtl.Jump:
+		// The returning jmpl idiom links through %g0; the link write
+		// carries no constraint.
 		return f
+	}
 
-	case insn.Op == sparc.OpSave:
+	switch win.(type) {
+	case rtl.SaveWindow:
 		// New-window variables become functions of the old window:
 		// %i[k]@d+1 = %o[k]@d, the new %sp is computed, and the new
 		// locals/outs are unconstrained.
+		rd := sparc.Reg(assign.Dst)
 		sub := map[expr.Var]expr.LinExpr{}
 		var fresh []expr.Var
 		mkFresh := func(hint string) expr.LinExpr {
@@ -156,36 +148,49 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 			return expr.V(v)
 		}
 		for k := sparc.Reg(0); k < 8; k++ {
-			sub[policy.RegVar(24+k, d+1)] = regLin(8+k, d)
+			sub[policy.RegVar(24+k, d+1)] = regVarAt(d)(rtl.Reg(8 + k))
 			sub[policy.RegVar(16+k, d+1)] = mkFresh("l")
-			if 8+k != insn.Rd {
+			if 8+k != rd {
 				sub[policy.RegVar(8+k, d+1)] = mkFresh("o")
 			}
 		}
-		if res, ok := linearResult(insn, d); ok {
-			sub[policy.RegVar(insn.Rd, d+1)] = res
+		if res, ok := linAt(assign.Src, d); ok {
+			sub[policy.RegVar(rd, d+1)] = res
 		} else {
-			sub[policy.RegVar(insn.Rd, d+1)] = mkFresh("sp")
+			sub[policy.RegVar(rd, d+1)] = mkFresh("sp")
 		}
 		return closeFresh(expr.SubstAll(f, sub), fresh)
 
-	case insn.Op == sparc.OpRestore:
-		if insn.Rd == sparc.G0 {
+	case rtl.RestoreWindow:
+		rd := sparc.Reg(assign.Dst)
+		if rd == sparc.G0 {
 			return f
 		}
-		if res, ok := linearResult(insn, d); ok {
-			return f.Subst(policy.RegVar(insn.Rd, d-1), res)
+		if res, ok := linAt(assign.Src, d); ok {
+			return f.Subst(policy.RegVar(rd, d-1), res)
 		}
-		return e.havoc(f, policy.RegVar(insn.Rd, d-1), "r")
+		return e.havoc(f, policy.RegVar(rd, d-1), "r")
+	}
 
-	case insn.IsLoad():
-		return e.wlpLoad(id, f)
-
-	case insn.IsStore():
-		return e.wlpStore(id, f)
+	if unsup != nil {
+		// An access the checker rejected (e.g. doubleword memory ops):
+		// the destination, if any, is unconstrained.
+		if unsup.Dst == rtl.ZeroReg {
+			return f
+		}
+		return e.havoc(f, policy.RegVar(sparc.Reg(unsup.Dst), d), "ld")
+	}
+	if load != nil {
+		return e.wlpLoad(id, sparc.Reg(load.Dst), f)
+	}
+	if store != nil {
+		return e.wlpStore(id, store.Src, f)
 	}
 
 	// Arithmetic (including cc-setting and sethi).
+	if assign == nil {
+		return f
+	}
 	sub := map[expr.Var]expr.LinExpr{}
 	var fresh []expr.Var
 	mkFresh := func(hint string) expr.LinExpr {
@@ -193,37 +198,37 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 		fresh = append(fresh, v)
 		return expr.V(v)
 	}
-	if insn.Rd != sparc.G0 {
-		if res, ok := linearResult(insn, d); ok {
-			sub[policy.RegVar(insn.Rd, d)] = res
+	if assign.Dst != rtl.ZeroReg {
+		if res, ok := linAt(assign.Src, d); ok {
+			sub[policy.RegVar(sparc.Reg(assign.Dst), d)] = res
 		} else {
-			sub[policy.RegVar(insn.Rd, d)] = mkFresh("v")
+			sub[policy.RegVar(sparc.Reg(assign.Dst), d)] = mkFresh("v")
 		}
 	}
-	if insn.SetsCC() {
-		switch insn.Op {
-		case sparc.OpSubcc:
+	if cc != nil {
+		switch cc.Op {
+		case rtl.Sub:
 			// cmp a,b: branches compare a against b.
-			sub[policy.ICCA] = regLin(insn.Rs1, d)
-			sub[policy.ICCB] = opndLin(insn, d)
-		case sparc.OpAddcc:
-			sub[policy.ICCA] = regLin(insn.Rs1, d).Add(opndLin(insn, d))
+			sub[policy.ICCA] = mustLin(cc.A, d)
+			sub[policy.ICCB] = mustLin(cc.B, d)
+		case rtl.Add:
+			sub[policy.ICCA] = mustLin(cc.A, d).Add(mustLin(cc.B, d))
 			sub[policy.ICCB] = expr.Constant(0)
-		case sparc.OpOrcc:
+		case rtl.Or:
 			// tst: orcc %g0,rs,%g0 compares rs against 0.
-			if res, ok := linearResult(insn, d); ok {
+			if res, ok := linAt(assign.Src, d); ok {
 				sub[policy.ICCA] = res
 				sub[policy.ICCB] = expr.Constant(0)
 			} else {
 				sub[policy.ICCA] = mkFresh("icc")
 				sub[policy.ICCB] = mkFresh("icc")
 			}
-		case sparc.OpAndcc:
+		case rtl.And:
 			// andcc rs,mask,%g0 with mask = 2^k - 1 tests divisibility
 			// of rs by 2^k; rewrite equality tests on the ghosts into
 			// divisibility atoms before substituting.
-			if insn.Imm && insn.SImm > 0 && (insn.SImm&(insn.SImm+1)) == 0 {
-				f = e.rewriteICCMask(f, int64(insn.SImm)+1, regLin(insn.Rs1, d))
+			if c, isImm := cc.B.(rtl.Const); isImm && c.V > 0 && (c.V&(c.V+1)) == 0 {
+				f = e.rewriteICCMask(f, c.V+1, mustLin(cc.A, d))
 				// Any remaining icc occurrences were havocked by the
 				// rewrite; nothing further to substitute.
 			} else {
@@ -294,11 +299,11 @@ func (e *Engine) rewriteICCMask(f expr.Formula, m int64, rs expr.LinExpr) expr.F
 // wlpLoad: rd receives the value of one of the target locations; the
 // postcondition must hold for every possibility. Summary locations have
 // no single value and havoc the destination.
-func (e *Engine) wlpLoad(id int, f expr.Formula) expr.Formula {
+func (e *Engine) wlpLoad(id int, dst sparc.Reg, f expr.Formula) expr.Formula {
 	node := e.g.Nodes[id]
 	acc := e.Res.Mem[id]
-	rd := policy.RegVar(node.Insn.Rd, node.Depth)
-	if node.Insn.Rd == sparc.G0 {
+	rd := policy.RegVar(dst, node.Depth)
+	if dst == sparc.G0 {
 		return f
 	}
 	if acc == nil || len(acc.Targets) == 0 {
@@ -318,13 +323,13 @@ func (e *Engine) wlpLoad(id int, f expr.Formula) expr.Formula {
 // wlpStore: Morris's general axiom of assignment over the abstract
 // target set: the postcondition must hold whichever target the store
 // actually updates; stores to summary locations havoc the location.
-func (e *Engine) wlpStore(id int, f expr.Formula) expr.Formula {
+func (e *Engine) wlpStore(id int, srcExpr rtl.Expr, f expr.Formula) expr.Formula {
 	node := e.g.Nodes[id]
 	acc := e.Res.Mem[id]
 	if acc == nil || len(acc.Targets) == 0 {
 		return f
 	}
-	src := regLin(node.Insn.Rd, node.Depth)
+	src := mustLin(srcExpr, node.Depth)
 	var terms []expr.Formula
 	for _, t := range acc.Targets {
 		v := policy.ValVar(t.Loc)
@@ -342,10 +347,17 @@ func (e *Engine) wlpStore(id int, f expr.Formula) expr.Formula {
 // (the sound direction); the evaluation programs use signed comparisons,
 // as gcc emits for int arithmetic.
 func (e *Engine) edgeGuard(node *cfg.Node, edge cfg.Edge) expr.Formula {
-	if node.Insn.Op != sparc.OpBranch {
+	var br *rtl.Branch
+	for _, eff := range node.RTL {
+		if b, ok := eff.(rtl.Branch); ok {
+			b := b
+			br = &b
+		}
+	}
+	if br == nil {
 		return expr.T()
 	}
-	cond := condFormula(node.Insn.Cond)
+	cond := condFormula(br.Cond)
 	if cond == nil {
 		return expr.T()
 	}
@@ -361,23 +373,21 @@ func (e *Engine) edgeGuard(node *cfg.Node, edge cfg.Edge) expr.Formula {
 // condFormula maps a branch condition to a constraint over (iccA, iccB),
 // the comparands recorded by the last cc-setting instruction. It returns
 // nil for conditions that carry no linear information.
-func condFormula(c sparc.Cond) expr.Formula {
+func condFormula(c rtl.Cond) expr.Formula {
 	a := expr.V(policy.ICCA)
 	b := expr.V(policy.ICCB)
 	switch c {
-	case sparc.CondA, sparc.CondN:
-		return nil
-	case sparc.CondE:
+	case rtl.CondEq:
 		return expr.EqExpr(a, b)
-	case sparc.CondNE:
+	case rtl.CondNe:
 		return expr.NeExpr(a, b)
-	case sparc.CondL, sparc.CondNEG:
+	case rtl.CondLt, rtl.CondNeg:
 		return expr.LtExpr(a, b)
-	case sparc.CondLE:
+	case rtl.CondLe:
 		return expr.LeExpr(a, b)
-	case sparc.CondG:
+	case rtl.CondGt:
 		return expr.GtExpr(a, b)
-	case sparc.CondGE, sparc.CondPOS:
+	case rtl.CondGe, rtl.CondPos:
 		return expr.GeExpr(a, b)
 	}
 	return nil
@@ -463,7 +473,10 @@ func (e *Engine) crossCallee(site *cfg.CallSite, retCont expr.Formula) expr.Form
 }
 
 // modifiedVars collects the variables assigned anywhere in a loop body —
-// the targets the generalization heuristic may eliminate.
+// the targets the generalization heuristic may eliminate. The write set
+// of each occurrence is read off its RTL effects; the order of discovery
+// (condition-code ghosts first, then the effect-specific destinations)
+// is part of the generalization heuristic's search order.
 func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
 	seen := map[expr.Var]bool{}
 	var out []expr.Var
@@ -480,15 +493,54 @@ func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
 	sort.Ints(ids)
 	for _, id := range ids {
 		node := e.g.Nodes[id]
-		insn := node.Insn
 		d := node.Depth
-		if insn.SetsCC() {
+
+		var assign *rtl.Assign
+		var ctl rtl.Effect
+		var win rtl.Effect
+		var load *rtl.Load
+		var unsup *rtl.Unsupported
+		hasCC := false
+		hasStore := false
+		for _, eff := range node.RTL {
+			switch x := eff.(type) {
+			case rtl.Assign:
+				a := x
+				assign = &a
+			case rtl.SetCC:
+				hasCC = true
+			case rtl.Branch, rtl.Call, rtl.Jump:
+				ctl = eff
+			case rtl.SaveWindow, rtl.RestoreWindow:
+				win = eff
+			case rtl.Load:
+				ld := x
+				load = &ld
+			case rtl.Store:
+				hasStore = true
+			case rtl.Unsupported:
+				u := x
+				unsup = &u
+			}
+		}
+
+		if hasCC {
 			add(policy.ICCA)
 			add(policy.ICCB)
 		}
+		_, isCall := ctl.(rtl.Call)
+		isSave := false
+		isRestore := false
+		switch win.(type) {
+		case rtl.SaveWindow:
+			isSave = true
+		case rtl.RestoreWindow:
+			isRestore = true
+		}
+
 		switch {
-		case insn.Op == sparc.OpCall:
-			add(policy.RegVar(sparc.O7, d))
+		case isCall:
+			add(policy.RegVar(sparc.Reg(assign.Dst), d))
 			if site := e.siteByCall(id); site != nil && site.TrustedName != "" {
 				for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5} {
 					add(policy.RegVar(r, d))
@@ -496,28 +548,33 @@ func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
 				add(policy.ICCA)
 				add(policy.ICCB)
 			}
-		case insn.Op == sparc.OpSave:
+		case isSave:
 			for k := sparc.Reg(8); k < 32; k++ {
 				add(policy.RegVar(k, d+1))
 			}
-		case insn.Op == sparc.OpRestore:
-			if insn.Rd != sparc.G0 {
-				add(policy.RegVar(insn.Rd, d-1))
+		case isRestore:
+			if assign.Dst != rtl.ZeroReg {
+				add(policy.RegVar(sparc.Reg(assign.Dst), d-1))
 			}
-		case insn.IsStore():
+		case hasStore:
 			if acc := e.Res.Mem[id]; acc != nil {
 				for _, t := range acc.Targets {
 					add(policy.ValVar(t.Loc))
 				}
 			}
-		case insn.IsLoad():
-			if insn.Rd != sparc.G0 {
-				add(policy.RegVar(insn.Rd, d))
+		case load != nil:
+			if load.Dst != rtl.ZeroReg {
+				add(policy.RegVar(sparc.Reg(load.Dst), d))
 			}
-		case insn.Op == sparc.OpBranch || insn.Op == sparc.OpJmpl:
+		case unsup != nil:
+			if unsup.Dst != rtl.ZeroReg {
+				add(policy.RegVar(sparc.Reg(unsup.Dst), d))
+			}
+		case ctl != nil:
+			// Branches and returning jumps write no tracked variable.
 		default:
-			if insn.Rd != sparc.G0 {
-				add(policy.RegVar(insn.Rd, d))
+			if assign != nil && assign.Dst != rtl.ZeroReg {
+				add(policy.RegVar(sparc.Reg(assign.Dst), d))
 			}
 		}
 	}
