@@ -30,6 +30,7 @@ func coreOptions(opts Options) core.Options {
 			DisableDNF:            opts.DisableDNF,
 		},
 		Parallelism: opts.Parallelism,
+		Budget:      opts.Budget,
 	}
 }
 

@@ -18,10 +18,25 @@ type Trace = obs.Trace
 // NewTrace returns an empty observer whose clock starts now.
 func NewTrace() *Trace { return obs.New() }
 
-// PhaseError is the error CheckContext-style entry points return when
-// the context is cancelled: it names the phase that was interrupted and
-// unwraps to ctx.Err().
+// PhaseError is the error CheckContext-style entry points return when a
+// check is interrupted: it names the phase that was interrupted and
+// unwraps to the cause — ctx.Err() on cancellation, or an
+// *InternalError when a contained fault rejected the program.
 type PhaseError = core.PhaseError
+
+// InternalError is a panic contained at a checking boundary (a driver
+// phase, a proving-pool worker, or a batch item), converted into a
+// structured error that rejects the one program it hit. It carries the
+// phase, a fingerprint of the program, and the condition being proved.
+type InternalError = core.InternalError
+
+// Budget is the resource envelope of one check: a wall-clock deadline,
+// a solver step budget, and a per-condition proof timeout. The zero
+// Budget disables governance with verdicts bit-identical to an
+// ungoverned run. Exhaustion is fail-closed: affected conditions are
+// reported as unproven violations carrying CodeResource, never
+// accepted. Pass one with WithBudget.
+type Budget = core.Budget
 
 // Violation codes: the stable machine-readable classification carried in
 // Violation.Code. Tools should match on these, never on description
@@ -34,6 +49,10 @@ const (
 	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
 	CodePolicy  = "policy"  // access the host policy does not grant
 	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+	// CodeResource marks a condition left unproven because the check's
+	// resource envelope (Budget) was exhausted — a conservative
+	// rejection, never an acceptance.
+	CodeResource = "resource"
 )
 
 // Checker is the configured, reusable entry point of the analysis. Zero
@@ -63,6 +82,13 @@ func WithParallelism(n int) CheckerOption {
 // restores the default no-op observer.
 func WithObserver(t *Trace) CheckerOption {
 	return func(c *Checker) { c.obs = t }
+}
+
+// WithBudget sets the checker's resource envelope. Conditions whose
+// proofs the envelope cuts short are reported as unproven violations
+// with CodeResource (fail closed); a zero Budget disables governance.
+func WithBudget(b Budget) CheckerOption {
+	return func(c *Checker) { c.opts.Budget = b }
 }
 
 // WithMaxInductionIterations bounds the induction-iteration chains used

@@ -40,6 +40,7 @@ func main() {
 		progSet = flag.String("progs", "", "soundness programs: comma-separated names, \"all\", or empty for the fast set")
 		mutants = flag.Int("mutants", 40, "mutants per program in the soundness campaign")
 		worlds  = flag.Int("worlds", 3, "concrete environments per checker-approved mutant")
+		inputTO = flag.Duration("input-timeout", 10*time.Minute, "per-mutant check watchdog in the soundness campaign (0 = none)")
 	)
 	flag.Parse()
 	mutantsSet := false
@@ -72,7 +73,7 @@ func main() {
 		if *mode == "all" && !mutantsSet {
 			m = 15 // keep -mode all interactive
 		}
-		run("soundness", func() error { return soundnessCampaign(*seed, *progSet, m, *worlds) })
+		run("soundness", func() error { return soundnessCampaign(*seed, *progSet, m, *worlds, *inputTO) })
 	}
 	if failed {
 		os.Exit(1)
@@ -125,8 +126,11 @@ func solverCampaign(seed int64, n int) error {
 	return nil
 }
 
-func soundnessCampaign(seed int64, progSet string, mutants, worlds int) error {
-	cfg := difftest.OracleConfig{Seed: seed, Mutants: mutants, Worlds: worlds, MaxSteps: 200000}
+func soundnessCampaign(seed int64, progSet string, mutants, worlds int, inputTimeout time.Duration) error {
+	cfg := difftest.OracleConfig{
+		Seed: seed, Mutants: mutants, Worlds: worlds, MaxSteps: 200000,
+		InputTimeout: inputTimeout,
+	}
 	switch progSet {
 	case "":
 		// fast set (the OracleConfig default)
@@ -141,8 +145,8 @@ func soundnessCampaign(seed int64, progSet string, mutants, worlds int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("     soundness: %d programs, %d mutants, %d rejected, %d approved, %d executions, %d checker panics\n",
-		stats.Programs, stats.Mutants, stats.Rejected, stats.Approved, stats.Executions, stats.CheckerPanics)
+	fmt.Printf("     soundness: %d programs, %d mutants, %d rejected, %d approved, %d executions, %d checker panics, %d hangs\n",
+		stats.Programs, stats.Mutants, stats.Rejected, stats.Approved, stats.Executions, stats.CheckerPanics, stats.Hangs)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintf(os.Stderr, "     %s\n", f)
@@ -151,6 +155,9 @@ func soundnessCampaign(seed int64, progSet string, mutants, worlds int) error {
 	}
 	if stats.CheckerPanics > 0 {
 		return fmt.Errorf("checker panicked on %d mutants", stats.CheckerPanics)
+	}
+	if stats.Hangs > 0 {
+		return fmt.Errorf("checker hung past the watchdog on %d mutants", stats.Hangs)
 	}
 	return nil
 }

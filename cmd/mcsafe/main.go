@@ -78,7 +78,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	trace := flag.Bool("trace", false, "record spans and counters (see -json)")
 	explain := flag.Bool("explain", false, "print the verdict path of every violation")
+	deadline := flag.Duration("deadline", 0, "wall-clock bound per check (0 = none); exceeding it degrades unproven conditions to 'resource' violations")
+	budget := flag.Int64("budget", 0, "solver step budget per check (0 = unlimited); exhaustion degrades to 'resource' violations")
+	condTimeout := flag.Duration("cond-timeout", 0, "wall-clock bound per condition proof (0 = none)")
 	flag.Parse()
+
+	bud := core.Budget{Deadline: *deadline, SolverSteps: *budget, CondTimeout: *condTimeout}
 
 	if *list {
 		for _, b := range progs.All() {
@@ -102,7 +107,7 @@ func main() {
 		if b == nil {
 			fatal(fmt.Errorf("unknown built-in program %q (use -list)", *builtin))
 		}
-		inner, cerr := b.Check(core.Options{Parallelism: *parallel, Obs: tr})
+		inner, cerr := b.Check(core.Options{Parallelism: *parallel, Obs: tr, Budget: bud})
 		if cerr != nil {
 			fatal(cerr)
 		}
@@ -146,6 +151,7 @@ func main() {
 		checker := mcsafe.New(
 			mcsafe.WithParallelism(*parallel),
 			mcsafe.WithObserver(tr),
+			mcsafe.WithBudget(bud),
 		)
 		if flag.NArg() == 1 {
 			res, err := checkOne(checker, spec, flag.Arg(0), *entry, *dumpAsm)

@@ -31,6 +31,11 @@ const (
 	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
 	CodePolicy  = "policy"  // access the host policy does not grant
 	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+	// CodeResource marks a condition left unproven because the check's
+	// resource envelope (deadline, solver step budget, or per-condition
+	// timeout) was exhausted — a conservative rejection, never an
+	// acceptance.
+	CodeResource = "resource"
 )
 
 // GlobalCond is one global safety precondition: a formula that must hold

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +56,24 @@ func CheckAllContext(ctx context.Context, items []CheckItem, parallelism int) []
 		return out
 	}
 
+	// checkOne runs one item under its own panic boundary: CheckContext
+	// already contains faults inside the phases, but a panic on the
+	// driver's own seams (option plumbing, outcome assembly) must still
+	// charge only this item, never kill the batch worker — a worker
+	// goroutine dying would silently drop every item it had yet to pull.
+	checkOne := func(ctx context.Context, it CheckItem, opts Options) (oc CheckOutcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				oc = CheckOutcome{Err: &PhaseError{Phase: "batch", Err: &InternalError{
+					Phase: "batch", ProgramHash: ProgramHash(it.Prog), Cond: -1,
+					Panic: fmt.Sprint(r), Stack: debug.Stack(),
+				}}}
+			}
+		}()
+		r, err := CheckContext(ctx, it.Prog, it.Spec, opts)
+		return CheckOutcome{Result: r, Err: err}
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
@@ -70,8 +90,7 @@ func CheckAllContext(ctx context.Context, items []CheckItem, parallelism int) []
 				if parallelism > 1 && opts.Parallelism == 0 {
 					opts.Parallelism = 1
 				}
-				r, err := CheckContext(ctx, it.Prog, it.Spec, opts)
-				out[i] = CheckOutcome{Result: r, Err: err}
+				out[i] = checkOne(ctx, it, opts)
 			}
 		}()
 	}

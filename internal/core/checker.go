@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -92,13 +93,18 @@ type Options struct {
 	// path. Verdicts, violation lists, and their ordering are identical
 	// at every setting; only wall-clock time changes.
 	Parallelism int
+	// Budget is the check's resource envelope (deadline, solver step
+	// budget, per-condition timeout). The zero Budget disables
+	// governance; see the Budget type for the fail-closed semantics.
+	Budget Budget
 	// Obs, when non-nil, receives the check's spans and counters. A nil
 	// observer costs one pointer compare per instrumentation point.
 	Obs *obs.Trace
 }
 
-// PhaseError wraps a context cancellation (or deadline) with the phase
-// it interrupted.
+// PhaseError wraps a check-interrupting error — a context cancellation
+// or a contained internal fault (*InternalError) — with the phase it
+// interrupted.
 type PhaseError struct {
 	Phase string
 	Err   error
@@ -141,19 +147,37 @@ func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error
 // between phases and, inside Phase 5, between condition chunks. On
 // cancellation it returns a *PhaseError naming the phase that was
 // interrupted, wrapping ctx.Err().
-func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
+func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, opts Options) (res *Result, err error) {
 	if prog == nil || spec == nil {
 		return nil, fmt.Errorf("core: nil program or spec")
 	}
 	t0 := time.Now()
 	w := opts.Obs.Worker(0)
 	w.Begin("check", "program")
+	// Panic containment: a fault anywhere in the five phases rejects
+	// this one program with a structured error instead of killing the
+	// process (and, through CheckAll, the rest of the batch). phase
+	// tracks the driver's position for the report.
+	phase := "prepare"
+	defer func() {
+		if r := recover(); r != nil {
+			w.EndAll("aborted", phase)
+			w.Flush()
+			res, err = nil, &PhaseError{Phase: phase, Err: &InternalError{
+				Phase: phase, ProgramHash: ProgramHash(prog), Cond: -1,
+				Panic: fmt.Sprint(r), Stack: debug.Stack(),
+			}}
+		}
+	}()
 	// abort ends the open spans and flushes before an early error
 	// return, keeping the event stream balanced.
 	abort := func(phase string, err error) error {
 		w.End("aborted", phase)
 		w.Flush()
 		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			return &PhaseError{Phase: phase, Err: err}
+		}
+		if _, ok := err.(*InternalError); ok {
 			return &PhaseError{Phase: phase, Err: err}
 		}
 		return err
@@ -173,9 +197,10 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	}
 	w.End()
 
-	res := &Result{Ini: ini, G: g, Trace: opts.Obs}
+	res = &Result{Ini: ini, G: g, Trace: opts.Obs}
 
 	// Phase 2: typestate propagation.
+	phase = "typestate"
 	if err := ctx.Err(); err != nil {
 		return nil, abort("typestate", err)
 	}
@@ -187,6 +212,7 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	res.Times.Typestate = time.Since(t1)
 
 	// Phases 3 and 4: annotation + local verification.
+	phase = "annotate"
 	if err := ctx.Err(); err != nil {
 		return nil, abort("annotate", err)
 	}
@@ -200,6 +226,7 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	// Phase 5: global verification. The sequential legacy path keeps
 	// the prover's private single-owner cache; any parallel setting
 	// gets a striped cache the pool's worker provers share.
+	phase = "global"
 	if err := ctx.Err(); err != nil {
 		return nil, abort("global", err)
 	}
@@ -212,13 +239,32 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 		prover = solver.NewShared(solver.NewShardedCache())
 	}
 	prover.Obs = w
+	// The resource governor: built only when a budget is set or the
+	// context is cancellable, so an ungoverned check keeps a nil Ctl
+	// and the solver's hot loops their zero-cost fast path.
+	var ctl *solver.Ctl
+	if opts.Budget.Enabled() || ctx.Done() != nil {
+		var deadline time.Time
+		if opts.Budget.Deadline > 0 {
+			deadline = t0.Add(opts.Budget.Deadline)
+		}
+		ctl = solver.NewCtl(ctx, deadline, opts.Budget.SolverSteps)
+	}
+	prover.Ctl = ctl
 	eng := vcgen.New(prop, prover, vcgen.Options{
 		Induction:   opts.Induction,
 		Parallelism: opts.Parallelism,
+		CondTimeout: opts.Budget.CondTimeout,
 	})
 	eng.Obs = w
 	conds, err := eng.ProveContext(ctx, ann.Conds)
 	if err != nil {
+		if pe, ok := err.(*vcgen.PanicError); ok {
+			err = &InternalError{
+				Phase: "global", ProgramHash: ProgramHash(prog),
+				Cond: pe.Cond, Panic: fmt.Sprint(pe.Value), Stack: pe.Stack,
+			}
+		}
 		w.End()
 		return nil, abort("global", err)
 	}
@@ -239,10 +285,17 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 		if cr.Proved {
 			continue
 		}
+		code := cr.Cond.Code
+		if cr.Resource {
+			// Unproven for lack of budget, not on the merits: charged
+			// the stable "resource" code so callers can tell the two
+			// rejections apart.
+			code = annotate.CodeResource
+		}
 		res.Violations = append(res.Violations, Violation{
 			Node: cr.Cond.Node, Index: g.Nodes[cr.Cond.Node].Index,
 			Line: lineOf(prog, g, cr.Cond.Node), Phase: "global",
-			Code: cr.Cond.Code,
+			Code: code,
 			Desc: fmt.Sprintf("%s: %s", cr.Cond.Desc, cr.Detail),
 			Cond: i, Span: cr.Span,
 		})
@@ -292,6 +345,19 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	w.Add("rtl_effects", int64(rtlEffects))
 	w.Add("annotate_local_checks", int64(ann.LocalChecks))
 	w.Add("annotate_global_conds", int64(len(ann.Conds)))
+	// Resource-governance counters: all zero (and therefore absent, by
+	// Worker.Add's contract) on an ungoverned or unexhausted check, so
+	// existing golden traces are unchanged.
+	w.Add("budget_exhausted", ctl.BudgetHits())
+	w.Add("deadline_hits", ctl.DeadlineHits())
+	w.Add("cond_timeouts", ctl.CondTimeouts())
+	resourceConds := 0
+	for _, cr := range res.Conds {
+		if cr.Resource {
+			resourceConds++
+		}
+	}
+	w.Add("resource_conds", int64(resourceConds))
 	w.End("safe", fmt.Sprint(res.Safe))
 	w.Flush()
 	return res, nil
@@ -313,6 +379,9 @@ func (r *Result) Explain(v Violation) string {
 	fmt.Fprintf(&b, "  predicate: %s\n", cr.Cond.F)
 	if fs := cr.Cond.Facts.String(); fs != "true" {
 		fmt.Fprintf(&b, "  typestate facts: %s\n", fs)
+	}
+	if cr.Resource {
+		fmt.Fprintf(&b, "  resource-limited: %s (re-run with a larger budget to decide on the merits)\n", cr.Detail)
 	}
 	for i, a := range cr.Attempts {
 		verdict := "FAILED"

@@ -14,6 +14,24 @@ type Mutant struct {
 	Desc  string // human-readable description of the tweak
 }
 
+// Apply returns a copy of p with the mutant's instruction replaced. The
+// symbol table, procedure map, and entry point are shared: a single-word
+// mutant leaves program structure intact, which is exactly what both the
+// checker and the interpreter's external-call resolution assume.
+func (m Mutant) Apply(p *sparc.Program) (*sparc.Program, error) {
+	insn, err := sparc.Decode(m.Word)
+	if err != nil {
+		return nil, err
+	}
+	q := *p
+	q.Words = append([]uint32(nil), p.Words...)
+	q.Insns = append([]sparc.Insn(nil), p.Insns...)
+	insn.Line = p.Insns[m.Index].Line
+	q.Words[m.Index] = m.Word
+	q.Insns[m.Index] = insn
+	return &q, nil
+}
+
 // flipBits are the fixed bit positions flipped in every instruction
 // word: immediate low bits (offset/alignment), register fields, the
 // i-bit, the op3 low bit, a cond bit, and the annul bit.

@@ -3,10 +3,10 @@ package difftest
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mcsafe/internal/core"
 	"mcsafe/internal/progs"
-	"mcsafe/internal/sparc"
 )
 
 // OracleConfig parameterizes one soundness-oracle sweep.
@@ -16,6 +16,12 @@ type OracleConfig struct {
 	Mutants  int      // mutants per program (after dedup/subsample)
 	Worlds   int      // concrete environments per checker-safe program
 	MaxSteps int      // interpreter step budget per run
+	// InputTimeout is the per-mutant watchdog (0 = none). Each static
+	// check runs under a Budget deadline of this length, so a
+	// pathological mutant degrades gracefully to a resource-coded
+	// rejection; a hard backstop of twice this length catches a checker
+	// that ignores its deadline entirely and charges OracleStats.Hangs.
+	InputTimeout time.Duration
 }
 
 // FastPrograms are the benchmarks that check in well under 100ms each,
@@ -56,6 +62,7 @@ type OracleStats struct {
 	Executions    int
 	Inconclusive  int // runs ending in a non-trap interpreter fault
 	CheckerPanics int // core.Check panicked on a decodable mutant
+	Hangs         int // checks that blew past the hard watchdog backstop
 	BaselineRuns  int // executions of the unmutated WantSafe programs
 	// RejectedByCode tallies rejections by the stable violation code
 	// (annotate.Code* values) of the violations the checker reported, so
@@ -79,24 +86,6 @@ func TrapCode(kind string) string {
 	default:
 		return kind
 	}
-}
-
-// mutate returns a copy of p with instruction idx replaced. The symbol
-// table, procedure map, and entry point are shared: a single-word mutant
-// leaves program structure intact, which is exactly what both the
-// checker and the interpreter's external-call resolution assume.
-func mutate(p *sparc.Program, m Mutant) (*sparc.Program, error) {
-	insn, err := sparc.Decode(m.Word)
-	if err != nil {
-		return nil, err
-	}
-	q := *p
-	q.Words = append([]uint32(nil), p.Words...)
-	q.Insns = append([]sparc.Insn(nil), p.Insns...)
-	insn.Line = p.Insns[m.Index].Line
-	q.Words[m.Index] = m.Word
-	q.Insns[m.Index] = insn
-	return &q, nil
 }
 
 // checkSafe runs the static checker on a mutant, converting panics and
@@ -133,6 +122,34 @@ func checkSafe(run func() (*core.Result, error)) (safe bool, panicked bool, code
 		codes = []string{"error"}
 	}
 	return false, false, codes
+}
+
+// checkSafeTimed is checkSafe under the per-input watchdog. The Budget
+// deadline inside run is the graceful, in-band bound; the backstop here
+// (twice the timeout) exists only for a checker that ignores its
+// deadline — a genuine hang. A hung check is charged as a rejection and
+// its goroutine is abandoned (it cannot be killed), which the hang
+// count surfaces.
+func checkSafeTimed(timeout time.Duration, run func() (*core.Result, error)) (safe, panicked, hung bool, codes []string) {
+	if timeout <= 0 {
+		safe, panicked, codes = checkSafe(run)
+		return safe, panicked, false, codes
+	}
+	type outcome struct {
+		safe, panicked bool
+		codes          []string
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		s, p, c := checkSafe(run)
+		ch <- outcome{s, p, c}
+	}()
+	select {
+	case o := <-ch:
+		return o.safe, o.panicked, false, o.codes
+	case <-time.After(2 * timeout):
+		return false, false, true, []string{"error"}
+	}
 }
 
 // RunSoundness executes one sweep: for every selected benchmark it
@@ -179,15 +196,20 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 
 		for _, m := range Mutants(prog, rng, cfg.Mutants) {
 			stats.Mutants++
-			mp, err := mutate(prog, m)
+			mp, err := m.Apply(prog)
 			if err != nil {
 				continue
 			}
-			safe, panicked, codes := checkSafe(func() (*core.Result, error) {
-				return core.Check(mp, spec, core.Options{})
+			safe, panicked, hung, codes := checkSafeTimed(cfg.InputTimeout, func() (*core.Result, error) {
+				return core.Check(mp, spec, core.Options{
+					Budget: core.Budget{Deadline: cfg.InputTimeout},
+				})
 			})
 			if panicked {
 				stats.CheckerPanics++
+			}
+			if hung {
+				stats.Hangs++
 			}
 			if !safe {
 				stats.Rejected++

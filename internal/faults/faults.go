@@ -1,0 +1,185 @@
+// Package faults is the checker's deterministic fault-injection
+// harness. The pipeline's robustness-critical boundaries — the solver's
+// step loop, the formula-cache lookup, the proving pool's worker start,
+// and the instruction lifter — each call Fire at a named Point; a test
+// arms a Plan describing which points misbehave and how (panic, delay,
+// forced cancellation), drives a real check, and asserts the checker
+// still terminates with a well-formed Result or structured error.
+//
+// Injection is deterministic and seed-addressable: a Fault fires on an
+// exact hit count (After) at an exact point, so a failing combination
+// replays from its (point, kind, after) triple alone, and PlanFromSeed
+// derives such triples from a single integer for sweep-style tests.
+//
+// When no plan is armed — the production state — Fire costs one atomic
+// pointer load and a nil compare. Arming is process-global: tests that
+// inject faults must not run in parallel with tests that expect a clean
+// checker (the Go test runner's default sequential execution within a
+// package satisfies this).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the pipeline.
+type Point string
+
+const (
+	// SolverStep fires on every unit of prover work (the same tick the
+	// step budget counts): eliminations, residue-enumeration leaves,
+	// quantifier-elimination nodes.
+	SolverStep Point = "solver-step"
+	// CacheLookup fires on every shared formula-cache lookup.
+	CacheLookup Point = "cache-lookup"
+	// WorkerStart fires when a Phase 5 proving-pool worker goroutine
+	// starts.
+	WorkerStart Point = "worker-start"
+	// Lift fires on every instruction lifted to RTL (Phase 1).
+	Lift Point = "lift"
+)
+
+// Points lists every injection site, for sweep-style tests.
+var Points = []Point{SolverStep, CacheLookup, WorkerStart, Lift}
+
+// Kind is what an armed fault does when it fires.
+type Kind int
+
+const (
+	// Panic raises a runtime panic at the point — the containment
+	// boundaries must convert it into a structured error.
+	Panic Kind = iota
+	// Delay sleeps at the point — deadlines and watchdogs must still
+	// bound the check's wall clock.
+	Delay
+	// Cancel invokes the fault's Cancel func (typically a
+	// context.CancelFunc) — the check must unwind promptly.
+	Cancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists every fault kind, for sweep-style tests.
+var Kinds = []Kind{Panic, Delay, Cancel}
+
+// InjectedPanic is the value a Panic fault panics with, so containment
+// tests can tell an injected panic from a genuine checker bug.
+type InjectedPanic struct {
+	Point Point
+	Hit   int64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (hit %d)", p.Point, p.Hit)
+}
+
+// Fault arms one injection: at Point, on the After-th hit (1-based),
+// do Kind. A Repeat fault keeps firing on every hit from After on —
+// useful for Delay faults that must stretch a whole query.
+type Fault struct {
+	Point  Point
+	Kind   Kind
+	After  int64         // fire on this hit (1-based); <=1 means the first
+	Repeat bool          // keep firing on every later hit too
+	Sleep  time.Duration // Delay kind: how long to sleep per firing
+	Cancel func()        // Cancel kind: invoked once when the fault fires
+}
+
+// armed is one fault plus its live hit counter.
+type armed struct {
+	Fault
+	hits      atomic.Int64
+	cancelled atomic.Bool
+}
+
+// Plan is a set of armed faults, at most one per point.
+type Plan struct {
+	byPoint map[Point]*armed
+}
+
+// NewPlan arms the given faults into a plan (not yet activated).
+func NewPlan(fs ...Fault) *Plan {
+	p := &Plan{byPoint: make(map[Point]*armed, len(fs))}
+	for _, f := range fs {
+		if f.After < 1 {
+			f.After = 1
+		}
+		p.byPoint[f.Point] = &armed{Fault: f}
+	}
+	return p
+}
+
+// PlanFromSeed derives a single deterministic fault from an integer
+// seed: the point, kind, and hit count are a pure function of the seed,
+// so a sweep over seeds covers the (point, kind, after) space and any
+// failure replays from its seed. Cancel faults invoke cancel (which may
+// be nil for a no-op).
+func PlanFromSeed(seed int64, cancel func()) (*Plan, Fault) {
+	r := rand.New(rand.NewSource(seed))
+	f := Fault{
+		Point: Points[r.Intn(len(Points))],
+		Kind:  Kinds[r.Intn(len(Kinds))],
+		After: 1 + r.Int63n(50),
+	}
+	switch f.Kind {
+	case Delay:
+		f.Sleep = time.Duration(1+r.Intn(3)) * time.Millisecond
+		f.Repeat = r.Intn(2) == 0
+	case Cancel:
+		f.Cancel = cancel
+	}
+	return NewPlan(f), f
+}
+
+// active is the process-global armed plan; nil means injection is off.
+var active atomic.Pointer[Plan]
+
+// Activate installs the plan and returns a restore func that disarms
+// it. Tests should defer the restore immediately.
+func Activate(p *Plan) (restore func()) {
+	prev := active.Swap(p)
+	return func() { active.Store(prev) }
+}
+
+// Active reports whether a plan is currently armed.
+func Active() bool { return active.Load() != nil }
+
+// Fire triggers the armed fault at point p, if any. The no-plan fast
+// path is one atomic load.
+func Fire(p Point) {
+	plan := active.Load()
+	if plan == nil {
+		return
+	}
+	a := plan.byPoint[p]
+	if a == nil {
+		return
+	}
+	hit := a.hits.Add(1)
+	if hit < a.After || (hit > a.After && !a.Repeat) {
+		return
+	}
+	switch a.Kind {
+	case Panic:
+		panic(InjectedPanic{Point: p, Hit: hit})
+	case Delay:
+		time.Sleep(a.Sleep)
+	case Cancel:
+		if a.Cancel != nil && a.cancelled.CompareAndSwap(false, true) {
+			a.Cancel()
+		}
+	}
+}

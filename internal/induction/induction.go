@@ -119,6 +119,11 @@ func Synthesize(p *solver.Prover, h Hooks, opts Options) (*Result, bool) {
 	const maxCollected = 3
 
 	for len(queue) > 0 {
+		if p.Stopped() {
+			// Resource envelope exhausted (or cancelled) mid-search:
+			// abandon the synthesis conservatively.
+			break
+		}
 		c := queue[0]
 		queue = queue[1:]
 		res.Stats.Iterations++

@@ -1,0 +1,75 @@
+// Package leakcheck is a dependency-free goroutine-leak assertion for
+// tests: snapshot the goroutine count before the work under test, and
+// verify the count returns to (at most) the baseline afterwards,
+// allowing a grace period for normal teardown. The proving pool, the
+// batch checker, and cancelled checks must all join every goroutine
+// they start; a leak here compounds under serving traffic.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Verify waits for stragglers mid-teardown before
+// declaring a leak. Goroutines that are shutting down (a pool worker
+// between wg.Done and exit) need a few scheduler quanta to disappear.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutine count and returns a func that
+// asserts the count has returned to the baseline. Use as:
+//
+//	defer leakcheck.Check(t)()
+//
+// Tests using Check must not run in parallel with goroutine-spawning
+// tests in the same process (do not call t.Parallel()).
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		if err := verify(before); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// verify polls until the goroutine count drops to at most baseline, or
+// the grace period expires.
+func verify(baseline int) error {
+	deadline := time.Now().Add(grace)
+	var now int
+	for {
+		now = runtime.NumGoroutine()
+		if now <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return fmt.Errorf("leakcheck: %d goroutines leaked (%d before, %d after %v):\n%s",
+		now-baseline, baseline, now, grace, summarize(string(buf[:n])))
+}
+
+// summarize keeps the dump readable: one header line per goroutine.
+func summarize(dump string) string {
+	var b strings.Builder
+	for _, block := range strings.Split(dump, "\n\n") {
+		if i := strings.IndexByte(block, '\n'); i > 0 {
+			b.WriteString(block[:i])
+			if j := strings.IndexByte(block[i+1:], '\n'); j > 0 {
+				b.WriteString(" @ " + strings.TrimSpace(block[i+1:i+1+j]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -330,6 +330,19 @@ func (w *Worker) End(kv ...string) {
 	w.done = append(w.done, sp)
 }
 
+// EndAll closes every open span, innermost first, attaching the given
+// attributes to each end event. It is the panic-recovery balancer: a
+// proof attempt that panics mid-span would otherwise leave the event
+// stream unbalanced, so containment sites call EndAll before Flush.
+func (w *Worker) EndAll(kv ...string) {
+	if w == nil {
+		return
+	}
+	for len(w.stack) > 0 {
+		w.End(kv...)
+	}
+}
+
 // Add bumps a named counter in the worker's private tally.
 func (w *Worker) Add(name string, n int64) {
 	if w == nil || n == 0 {

@@ -3,6 +3,8 @@ package solver
 import (
 	"sync"
 	"sync/atomic"
+
+	"mcsafe/internal/faults"
 )
 
 // cacheShards is the stripe count of a ShardedCache. A power of two so
@@ -52,6 +54,7 @@ func (c *ShardedCache) shardOf(key string) *cacheShard {
 
 // Get returns the cached verdict for key and whether one is present.
 func (c *ShardedCache) Get(key string) (verdict, ok bool) {
+	faults.Fire(faults.CacheLookup)
 	s := c.shardOf(key)
 	s.mu.RLock()
 	verdict, ok = s.m[key]

@@ -14,6 +14,7 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mcsafe/internal/expr"
 	"mcsafe/internal/obs"
@@ -59,9 +60,21 @@ type Prover struct {
 	// Obs, when non-nil, records one span per solved (cache-missing)
 	// validity query. Like the prover itself it is single-owner: the
 	// worker must belong to the goroutine driving this prover.
-	Obs    *obs.Worker
+	Obs *obs.Worker
+	// Ctl, when non-nil, governs the prover's resource use: the hot
+	// loops consult it (see tick) so a single pathological query is
+	// interruptible mid-proof by cancellation, deadline, or step
+	// budget. Many provers of one check share one Ctl.
+	Ctl    *Ctl
 	cache  map[string]bool // private cache; nil when shared is set
 	shared *ShardedCache   // concurrency-safe cache shared across provers
+
+	// condDeadline bounds the current condition's proof (zero = none);
+	// see BeginCond. trip latches why the prover stopped ("" while
+	// running); ticks counts governance checks since construction.
+	condDeadline time.Time
+	trip         string
+	ticks        int64
 }
 
 // New returns a prover with default limits and a private (single-owner)
@@ -94,7 +107,11 @@ func (p *Prover) Valid(f expr.Formula) bool {
 			return r
 		}
 		r := p.solve(f, key)
-		p.shared.Put(key, r)
+		// A verdict reached under a resource trip is budget-dependent,
+		// not a fact about the formula: never cache it.
+		if p.trip == "" {
+			p.shared.Put(key, r)
+		}
 		return r
 	}
 	if r, ok := p.cache[key]; ok {
@@ -102,7 +119,9 @@ func (p *Prover) Valid(f expr.Formula) bool {
 		return r
 	}
 	r := p.solve(f, key)
-	p.cache[key] = r
+	if p.trip == "" {
+		p.cache[key] = r
+	}
 	return r
 }
 
@@ -126,6 +145,9 @@ func (p *Prover) Implied(hyp, goal expr.Formula) bool {
 }
 
 func (p *Prover) valid(f expr.Formula) bool {
+	if p.tick() {
+		return false // interrupted: conservatively "not proved"
+	}
 	// f valid  iff  ¬f unsatisfiable.
 	neg, exact := p.qe(expr.NNF(expr.Negate(f)), true)
 	if !exact {
@@ -238,6 +260,13 @@ func (p *Prover) qe(f expr.Formula, overApprox bool) (expr.Formula, bool) {
 // The second result is false when no approximation in the requested
 // direction could be produced.
 func (p *Prover) eliminateFromClause(c expr.Clause, v expr.Var, overApprox bool) (expr.Clause, bool) {
+	if p.tick() {
+		// Interrupted: report that no approximation could be produced.
+		// Every caller degrades conservatively (the query stays
+		// unproved); callers that ignore the flag receive an empty
+		// clause, a sound over-approximation.
+		return nil, false
+	}
 	p.Stats.Eliminations++
 
 	// First use an equality with a ±1 coefficient on v to substitute.
@@ -341,6 +370,9 @@ func (p *Prover) clauseUnsat(c expr.Clause) bool {
 	// Substitute equalities with unit coefficients; detect gcd failures.
 	changed := true
 	for changed {
+		if p.tick() {
+			return false // interrupted: not certainly unsat
+		}
 		changed = false
 		for i, a := range work {
 			if a.Kind != expr.EQ {
@@ -454,8 +486,16 @@ func (p *Prover) congruencesUnsat(divs expr.Clause) bool {
 		}
 	}
 	env := make(map[expr.Var]int64, len(vars))
+	tripped := false
 	var try func(i int) bool
 	try = func(i int) bool {
+		if p.tick() {
+			// Interrupted mid-enumeration: pretend a satisfying residue
+			// was found so the search unwinds immediately; tripped then
+			// forces the conservative "not certainly unsat" answer.
+			tripped = true
+			return true
+		}
 		if i == len(vars) {
 			for _, a := range divs {
 				m := a.M
@@ -479,7 +519,11 @@ func (p *Prover) congruencesUnsat(divs expr.Clause) bool {
 		}
 		return false
 	}
-	return !try(0)
+	sat := try(0)
+	if tripped {
+		return false
+	}
+	return !sat
 }
 
 // ineqsUnsat runs Fourier-Motzkin elimination over the rationals (real
@@ -488,6 +532,9 @@ func (p *Prover) congruencesUnsat(divs expr.Clause) bool {
 func (p *Prover) ineqsUnsat(ineqs expr.Clause) bool {
 	work := ineqs
 	for {
+		if p.tick() {
+			return false // interrupted: not certainly unsat
+		}
 		// Collect variables; pick the one with the fewest pairings.
 		varCount := make(map[expr.Var][2]int)
 		for _, a := range work {

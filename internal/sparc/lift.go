@@ -1,6 +1,9 @@
 package sparc
 
-import "mcsafe/internal/rtl"
+import (
+	"mcsafe/internal/faults"
+	"mcsafe/internal/rtl"
+)
 
 // Lift translates one decoded instruction into its canonical RTL
 // effect sequence — the single source of instruction semantics shared
@@ -15,6 +18,7 @@ import "mcsafe/internal/rtl"
 // addressing modes. Source expressions always evaluate in the entry
 // window; save/restore destinations carry Win = ±1.
 func Lift(i Insn) []rtl.Effect {
+	faults.Fire(faults.Lift)
 	rd := rtl.Reg(i.Rd)
 	rs1 := rtl.RegX{R: rtl.Reg(i.Rs1)}
 	switch i.Op {

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"mcsafe/internal/annotate"
 	"mcsafe/internal/cfg"
@@ -36,6 +37,11 @@ type Options struct {
 	// index, and per-item engines start from identical scratch state,
 	// so verdicts and ordering do not depend on the worker count.
 	Parallelism int
+	// CondTimeout bounds each condition's proof wall clock (0 = none).
+	// A condition whose proof exceeds it is abandoned with a
+	// resource-coded verdict; the rest of the check continues with a
+	// fresh timeout per condition.
+	CondTimeout time.Duration
 }
 
 // Stats reports verification effort.
@@ -72,6 +78,11 @@ type CondResult struct {
 	Cond   *annotate.GlobalCond
 	Proved bool
 	Detail string
+	// Resource marks a condition left unproven because the resource
+	// envelope (deadline, step budget, per-condition timeout) was
+	// exhausted rather than because the proof failed on the merits. The
+	// core charges such violations the "resource" code.
+	Resource bool
 	// Span is the condition's span in the observer's trace (0 when not
 	// observing).
 	Span obs.SpanID
@@ -228,6 +239,12 @@ func (e *Engine) proveGroup(conds []*annotate.GlobalCond, g condGroup) bool {
 func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult {
 	r := CondResult{Cond: c}
 	r.Span = e.Obs.Begin("cond", c.Desc)
+	if e.Opts.CondTimeout > 0 {
+		// A fresh per-condition deadline; a previous condition's timeout
+		// trip is cleared so one pathological condition does not poison
+		// the rest.
+		e.P.BeginCond(time.Now().Add(e.Opts.CondTimeout))
+	}
 	attempt := func(kind string, f expr.Formula) bool {
 		f = expr.Simplify(f)
 		var wlp string
@@ -242,6 +259,12 @@ func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult 
 	r.Proved = groupProved
 	if groupProved {
 		r.Attempts = append(r.Attempts, Attempt{Kind: "group", Proved: true})
+	} else if reason := e.P.ResourceStop(); reason != "" {
+		// The check-wide envelope (deadline or step budget) is already
+		// exhausted: record a conservative resource verdict without
+		// spending further work, so the whole check drains promptly.
+		r.Resource = true
+		r.Detail = "not attempted: " + reason
 	} else {
 		// Bare predicate first: fact-free formulas keep the
 		// invariant chains clean; fall back to assuming the
@@ -252,11 +275,19 @@ func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult 
 				r.Proved = attempt("with-facts", expr.Implies(c.Facts, c.F))
 			}
 		}
+		if !r.Proved {
+			if reason := e.P.ResourceStop(); reason != "" {
+				// The proof was interrupted mid-attempt: the verdict is
+				// "unproven for lack of budget", not a refutation.
+				r.Resource = true
+				r.Detail = "unproven: " + reason
+			}
+		}
 	}
 	e.Stats.Conditions++
 	if r.Proved {
 		e.Stats.Proved++
-	} else {
+	} else if r.Detail == "" {
 		r.Detail = "cannot establish " + c.F.String()
 	}
 	e.Obs.End("code", c.Code, "proved", fmt.Sprint(r.Proved))
@@ -288,8 +319,19 @@ func (e *Engine) proveSequential(ctx context.Context, conds []*annotate.GlobalCo
 	return out, nil
 }
 
-// provedCached runs proveAt through the per-query cache.
+// stopped reports whether the prover has tripped (resource exhaustion
+// or cancellation): further proof work is pointless and would only
+// delay draining the check.
+func (e *Engine) stopped() bool { return e.P.Stopped() }
+
+// provedCached runs proveAt through the per-query cache. Verdicts
+// reached after the prover tripped are conservative but
+// budget-dependent — not facts about the formula — so they are never
+// cached (the cache must hold only merits verdicts).
 func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
+	if e.stopped() {
+		return false
+	}
 	key := fmt.Sprintf("%d|%v|%s", node, after, f)
 	if e.shared != nil {
 		if v, ok := e.shared.query.Get(key); ok {
@@ -297,7 +339,9 @@ func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
 			return v
 		}
 		v := e.proveAt(node, after, f)
-		e.shared.query.Put(key, v)
+		if !e.stopped() {
+			e.shared.query.Put(key, v)
+		}
 		return v
 	}
 	if v, ok := e.cache[key]; ok {
@@ -305,7 +349,9 @@ func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
 		return v
 	}
 	v := e.proveAt(node, after, f)
-	e.cache[key] = v
+	if !e.stopped() {
+		e.cache[key] = v
+	}
 	return v
 }
 
@@ -329,6 +375,11 @@ func (e *Engine) captureWLP(g expr.Formula) {
 // synthesize runs one invariant synthesis under an "induction" span,
 // folding the search-effort stats into the engine's totals.
 func (e *Engine) synthesize(hooks induction.Hooks, what string) (*induction.Result, bool) {
+	if e.stopped() {
+		// The envelope is gone: skip the search entirely (the caller
+		// degrades to "not proved", which is conservative).
+		return &induction.Result{}, false
+	}
 	e.Stats.InductionRuns++
 	e.Obs.Begin("induction", what)
 	res, ok := induction.Synthesize(e.P, hooks, e.Opts.Induction)
@@ -386,6 +437,9 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 	if _, isTrue := w.(expr.TrueF); isTrue {
 		return true
 	}
+	if e.stopped() {
+		return false
+	}
 	key := fmt.Sprintf("%d|%s", l.Header, w)
 	if e.shared != nil {
 		if v, ok := e.shared.entry.Get(key); ok {
@@ -400,6 +454,11 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 	e.entryActive[key] = true
 	v := e.proveAtLoopEntryUncached(l, w)
 	delete(e.entryActive, key)
+	if e.stopped() {
+		// A verdict reached under a trip is budget-dependent: never
+		// cache it.
+		return v
+	}
 	if e.shared != nil {
 		e.shared.entry.Put(key, v)
 	} else {

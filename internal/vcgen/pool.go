@@ -18,12 +18,32 @@ package vcgen
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"mcsafe/internal/annotate"
+	"mcsafe/internal/faults"
 	"mcsafe/internal/solver"
 )
+
+// PanicError is a panic recovered at a pool boundary (a worker
+// goroutine or one of its chunks), carried back to the coordinator so a
+// poisoned proof cannot kill the process or leak the pool's goroutines.
+// The core wraps it into its structured internal-error type.
+type PanicError struct {
+	// Cond is the ID of the condition being proved when the panic
+	// fired, or -1 when it fired outside any condition.
+	Cond int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("proof worker panicked: %v", e.Value)
+}
 
 // workItem is one atomic unit of global verification: a bounds group
 // together with its members' individual fallbacks (group != nil), or a
@@ -107,6 +127,9 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 	var proverStats solver.AtomicStats
 	var mu sync.Mutex // guards e.Stats merging
 	var wg sync.WaitGroup
+	// failure holds the first contained panic (first writer wins); once
+	// set, workers stop pulling chunks and the pool drains.
+	var failure atomic.Pointer[PanicError]
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		wkObs := e.Obs.Fork()
@@ -115,7 +138,82 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 			prover := solver.NewShared(shared)
 			prover.Lim = e.P.Lim
 			prover.Obs = wkObs
-			for ctx.Err() == nil {
+			prover.Ctl = e.P.Ctl
+			// Last line of defense: a panic escaping the per-chunk
+			// containment (or fired before any chunk starts) must not
+			// kill the process or strand wg.Wait. Stats and the
+			// observer flush in the same defer so the worker's
+			// bookkeeping survives every exit path.
+			defer func() {
+				if r := recover(); r != nil {
+					failure.CompareAndSwap(nil, &PanicError{
+						Cond: -1, Value: r, Stack: debug.Stack(),
+					})
+					wkObs.EndAll()
+				}
+				proverStats.Add(prover.Stats)
+				wkObs.Flush()
+			}()
+			faults.Fire(faults.WorkerStart)
+
+			// runChunk proves one chunk under its own panic boundary:
+			// a poisoned condition fails closed (its chunk-mates get
+			// conservative verdicts), the panic is latched in failure,
+			// and the worker goroutine itself survives to drain.
+			runChunk := func(i int) {
+				we := newShared(e.Res, prover, e.Opts, sc)
+				we.Obs = wkObs
+				cond := -1
+				defer func() {
+					if r := recover(); r != nil {
+						failure.CompareAndSwap(nil, &PanicError{
+							Cond: cond, Value: r, Stack: debug.Stack(),
+						})
+						// Fail closed: every condition of the chunk
+						// without a verdict is left unproved.
+						for _, it := range chunks[i] {
+							idxs := []int{it.single}
+							if it.group != nil {
+								idxs = it.group.members
+							}
+							for _, idx := range idxs {
+								if out[idx].Cond == nil {
+									out[idx] = CondResult{
+										Cond:   conds[idx],
+										Detail: "internal error: proof attempt panicked",
+									}
+								}
+							}
+						}
+						wkObs.EndAll()
+					}
+					mu.Lock()
+					e.Stats.Conditions += we.Stats.Conditions
+					e.Stats.Proved += we.Stats.Proved
+					e.Stats.InductionRuns += we.Stats.InductionRuns
+					e.Stats.CacheHits += we.Stats.CacheHits
+					e.Stats.InductionIters += we.Stats.InductionIters
+					e.Stats.InductionCands += we.Stats.InductionCands
+					mu.Unlock()
+				}()
+				wkObs.Begin("chunk", fmt.Sprintf("chunk-%d", i))
+				for _, it := range chunks[i] {
+					if it.group != nil {
+						cond = conds[it.group.members[0]].ID
+						gp := we.proveGroup(conds, *it.group)
+						for _, idx := range it.group.members {
+							cond = conds[idx].ID
+							out[idx] = we.proveCond(conds[idx], gp)
+						}
+					} else {
+						cond = conds[it.single].ID
+						out[it.single] = we.proveCond(conds[it.single], false)
+					}
+				}
+				wkObs.End("conds", fmt.Sprint(len(chunks[i])))
+			}
+
+			for ctx.Err() == nil && failure.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(chunks) {
 					break
@@ -123,31 +221,8 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 				// One engine per chunk: the chunk's verdicts are a pure
 				// function of the chunk, independent of which worker
 				// runs it or when.
-				we := newShared(e.Res, prover, e.Opts, sc)
-				we.Obs = wkObs
-				wkObs.Begin("chunk", fmt.Sprintf("chunk-%d", i))
-				for _, it := range chunks[i] {
-					if it.group != nil {
-						gp := we.proveGroup(conds, *it.group)
-						for _, idx := range it.group.members {
-							out[idx] = we.proveCond(conds[idx], gp)
-						}
-					} else {
-						out[it.single] = we.proveCond(conds[it.single], false)
-					}
-				}
-				wkObs.End("conds", fmt.Sprint(len(chunks[i])))
-				mu.Lock()
-				e.Stats.Conditions += we.Stats.Conditions
-				e.Stats.Proved += we.Stats.Proved
-				e.Stats.InductionRuns += we.Stats.InductionRuns
-				e.Stats.CacheHits += we.Stats.CacheHits
-				e.Stats.InductionIters += we.Stats.InductionIters
-				e.Stats.InductionCands += we.Stats.InductionCands
-				mu.Unlock()
+				runChunk(i)
 			}
-			proverStats.Add(prover.Stats)
-			wkObs.Flush()
 		}()
 	}
 	wg.Wait()
@@ -157,5 +232,8 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 	e.P.Stats.CacheHits += merged.CacheHits
 	e.P.Stats.Eliminations += merged.Eliminations
 	e.P.Stats.DNFBlowups += merged.DNFBlowups
+	if pe := failure.Load(); pe != nil {
+		return out, pe
+	}
 	return out, ctx.Err()
 }

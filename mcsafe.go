@@ -123,6 +123,11 @@ type Options struct {
 	// legacy path. The verdict, violations, and their ordering are
 	// identical at every setting.
 	Parallelism int
+	// Budget is the check's resource envelope (wall-clock deadline,
+	// solver step budget, per-condition timeout). The zero Budget
+	// disables governance; exhaustion degrades affected conditions to
+	// conservative CodeResource violations, never acceptances.
+	Budget Budget
 }
 
 // Check runs the five-phase safety-checking analysis. It is a shim over
