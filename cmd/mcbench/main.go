@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -48,7 +49,11 @@ type jsonProgram struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code instead of calling
+// os.Exit so the profile-flushing defers always execute.
+func run() int {
 	ablate := flag.String("ablate", "", "run an ablation: nogen (no generalization), nodnf (no DNF disjuncts), maxiter=N")
 	only := flag.String("only", "", "comma-separated program names (default: all)")
 	parallel := flag.Int("parallel", 0, "global-verification workers: 0 = GOMAXPROCS, 1 = sequential")
@@ -56,7 +61,46 @@ func main() {
 	baseline := flag.String("baseline", "", "compare a fresh run against a baseline JSON report (see -json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 2.0, "slowdown factor versus -baseline that counts as a regression")
 	counters := flag.Bool("counters", false, "observe each check and report its effort counters (solver queries, FM eliminations, induction iterations, ...)")
+	requireCounters := flag.String("require-counters", "", "comma-separated counter names (e.g. intern_hits,early_unsat_prunes) that must be nonzero summed over the checked programs; forces counter collection and exits 1 otherwise")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the checking runs to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after all runs) to this file")
 	flag.Parse()
+
+	var gated []string
+	if *requireCounters != "" {
+		for _, name := range strings.Split(*requireCounters, ",") {
+			gated = append(gated, strings.TrimSpace(name))
+		}
+		*counters = true // the gate needs the observer's counters
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench:", err)
+			}
+		}()
+	}
 
 	opts := core.Options{Parallelism: *parallel}
 	switch {
@@ -70,7 +114,7 @@ func main() {
 		opts.Induction = induction.Options{MaxIter: n}
 	case *ablate != "":
 		fmt.Fprintln(os.Stderr, "unknown ablation:", *ablate)
-		os.Exit(2)
+		return 2
 	}
 
 	wanted := map[string]bool{}
@@ -81,19 +125,28 @@ func main() {
 	}
 
 	if *baseline != "" {
-		os.Exit(compareBaseline(*baseline, *threshold, opts, wanted))
+		return compareBaseline(*baseline, *threshold, opts, wanted, gated)
 	}
 
 	if *jsonOut {
 		report := collect(opts, wanted, *parallel, *ablate, *counters)
+		if err := validateReport(report); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench: refusing to write inconsistent baseline:", err)
+			return 1
+		}
+		if counterGate(gated, sumCounters(report.Programs)) > 0 {
+			return 1
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
+
+	gateTotals := map[string]int64{}
 
 	fmt.Println("Figure 9: characteristics of the examples and performance results")
 	fmt.Println("(paper numbers in parentheses; paper times from a 440 MHz Sun Ultra 10)")
@@ -137,9 +190,62 @@ func main() {
 			fmt.Sprintf("%.3fs(%.2f)", res.Times.Total.Seconds(), b.Paper.TotalSec),
 			verdict, expect)
 		if *counters {
-			printCounters(bopts.Obs.Counters())
+			c := bopts.Obs.Counters()
+			printCounters(c)
+			for k, v := range c {
+				gateTotals[k] += v
+			}
 		}
 	}
+	if counterGate(gated, gateTotals) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// sumCounters totals each effort counter across the report rows.
+func sumCounters(programs []jsonProgram) map[string]int64 {
+	totals := map[string]int64{}
+	for _, p := range programs {
+		for k, v := range p.Counters {
+			totals[k] += v
+		}
+	}
+	return totals
+}
+
+// counterGate enforces -require-counters: each named counter must be
+// nonzero summed across the checked programs. A zero total means an
+// optimization (formula interning, early-unsat pruning, ...) silently
+// stopped engaging, which pure timing thresholds — noisy, and generous
+// by design — would miss. Returns the number of failed counters.
+func counterGate(names []string, totals map[string]int64) int {
+	failures := 0
+	for _, name := range names {
+		if totals[name] == 0 {
+			failures++
+			fmt.Fprintf(os.Stderr, "mcbench: required counter %q is zero across the checked programs\n", name)
+		} else {
+			fmt.Printf("counter-gate ok: %-24s %d\n", name, totals[name])
+		}
+	}
+	return failures
+}
+
+// validateReport sanity-checks a report before it can be stored as a
+// baseline: each program's phase times must sum to no more than its
+// total (a violated invariant means the row was hand-edited or garbled,
+// and ratio checks against it would be meaningless).
+func validateReport(r jsonReport) error {
+	for _, p := range r.Programs {
+		if p.Error != "" {
+			continue
+		}
+		if sum := p.TypestateNs + p.AnnotLocalNs + p.GlobalNs; sum > p.TotalNs {
+			return fmt.Errorf("%s: phase times sum to %dns > total %dns", p.Name, sum, p.TotalNs)
+		}
+	}
+	return nil
 }
 
 // printCounters renders one program's effort counters, sorted by name.
@@ -199,9 +305,10 @@ const regressionFloorNs = 50_000_000
 // compareBaseline reruns the benchmarks and diffs them against a stored
 // -json report. Verdict changes and errors always fail; timing fails
 // only on gross slowdowns (the threshold is deliberately generous, CI
-// machines differ from the one that wrote the baseline). Returns the
-// process exit code.
-func compareBaseline(path string, threshold float64, opts core.Options, wanted map[string]bool) int {
+// machines differ from the one that wrote the baseline). When gated
+// counters are given, the rerun also collects effort counters and fails
+// if any gated counter sums to zero. Returns the process exit code.
+func compareBaseline(path string, threshold float64, opts core.Options, wanted map[string]bool, gated []string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcbench:", err)
@@ -217,8 +324,8 @@ func compareBaseline(path string, threshold float64, opts core.Options, wanted m
 		baseByName[p.Name] = p
 	}
 
-	cur := collect(opts, wanted, 0, "", false)
-	failures := 0
+	cur := collect(opts, wanted, 0, "", len(gated) > 0)
+	failures := counterGate(gated, sumCounters(cur.Programs))
 	for _, p := range cur.Programs {
 		b, ok := baseByName[p.Name]
 		if !ok {

@@ -16,6 +16,7 @@ import (
 
 	"mcsafe/internal/annotate"
 	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
 	"mcsafe/internal/induction"
 	"mcsafe/internal/obs"
 	"mcsafe/internal/policy"
@@ -239,6 +240,11 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 		prover = solver.NewShared(solver.NewShardedCache())
 	}
 	prover.Obs = w
+	// One intern table per check: every diagnostic stringification
+	// (observer span attributes, Explain attempts) of a formula is
+	// rendered once per unique term. The pool hands it to each worker.
+	intern := expr.NewInterner()
+	prover.Intern = intern
 	// The resource governor: built only when a budget is set or the
 	// context is cancellable, so an ungoverned check keeps a nil Ctl
 	// and the solver's hot loops their zero-cost fast path.
@@ -334,6 +340,10 @@ func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, o
 	w.Add("solver_cache_hits", int64(prover.Stats.CacheHits))
 	w.Add("solver_eliminations", int64(prover.Stats.Eliminations))
 	w.Add("solver_dnf_blowups", int64(prover.Stats.DNFBlowups))
+	w.Add("fm_prefix_reuses", int64(prover.Stats.FMPrefixReuses))
+	w.Add("early_unsat_prunes", int64(prover.Stats.EarlyUnsatPrunes))
+	w.Add("interned_terms", intern.Terms())
+	w.Add("intern_hits", intern.Hits())
 	w.Add("vcgen_conditions", int64(eng.Stats.Conditions))
 	w.Add("vcgen_proved", int64(eng.Stats.Proved))
 	w.Add("vcgen_query_cache_hits", int64(eng.Stats.CacheHits))

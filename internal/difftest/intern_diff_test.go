@@ -1,0 +1,122 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/obs"
+	"mcsafe/internal/rtl"
+	"mcsafe/internal/solver"
+)
+
+// corpusFormulas draws a mixed corpus from all three generators — the
+// same formula shapes the checker's proof obligations take.
+func corpusFormulas(r *rand.Rand, n int) []expr.Formula {
+	var fs []expr.Formula
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			s := GenSystem(r)
+			fs = append(fs, expr.ClauseFormula(s.Clause))
+		case 1:
+			hyp, goal, _, _ := GenImplication(r)
+			fs = append(fs, expr.Implies(hyp, goal))
+		default:
+			f, _, _ := GenQuantified(r)
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// TestDiffInternPreservesStrings checks on the random-program corpus
+// that interning is invisible to stringification: the interned render of
+// every generated proof obligation is byte-identical to f.String(), on
+// the miss and on the hit.
+func TestDiffInternPreservesStrings(t *testing.T) {
+	in := expr.NewInterner()
+	for round := 0; round < 2; round++ {
+		rr := rand.New(rand.NewSource(31)) // same corpus both rounds
+		for i, f := range corpusFormulas(rr, 600) {
+			if got, want := in.StringOf(f), f.String(); got != want {
+				t.Fatalf("round %d formula %d: interned %q != plain %q", round, i, got, want)
+			}
+		}
+	}
+	if in.Hits() == 0 {
+		t.Fatal("second round never hit the intern table")
+	}
+}
+
+// TestDiffInternedProverMatchesUninterned runs the interned, observed
+// prover configuration (what the parallel checker pool wires up) against
+// a plain prover over the corpus and requires identical verdicts on
+// every query.
+func TestDiffInternedProverMatchesUninterned(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	fs := corpusFormulas(r, 400)
+
+	var valid, invalid int
+	for i, f := range fs {
+		plain := solver.New()
+		fancy := solver.New()
+		fancy.Intern = expr.NewInterner()
+		fancy.Obs = obs.New().Worker(0)
+
+		want := plain.Valid(f)
+		got := fancy.Valid(f)
+		if got != want {
+			t.Fatalf("formula %d: interned prover=%v plain prover=%v\n%s", i, got, want, f)
+		}
+		if want {
+			valid++
+		} else {
+			invalid++
+		}
+	}
+	t.Logf("%d valid, %d not proved", valid, invalid)
+	if valid == 0 || invalid == 0 {
+		t.Fatal("corpus degenerated: need both verdicts represented")
+	}
+}
+
+// TestDiffFoldBinMatchesEvalBin pins the abstract int64 constant folding
+// to the concrete 32-bit ALU: wherever both are defined, the folded
+// value truncates to exactly the machine result.
+func TestDiffFoldBinMatchesEvalBin(t *testing.T) {
+	ops := []rtl.BinOp{
+		rtl.Add, rtl.Sub, rtl.And, rtl.AndNot, rtl.Or, rtl.OrNot,
+		rtl.Xor, rtl.XorNot, rtl.ShL, rtl.ShRL, rtl.ShRA,
+		rtl.MulU, rtl.MulS, rtl.DivU, rtl.DivS,
+	}
+	interesting := []uint32{0, 1, 2, 31, 32, 0x7fffffff, 0x80000000, 0xffffffff}
+	r := rand.New(rand.NewSource(33))
+	var checked int
+	for trial := 0; trial < 5000; trial++ {
+		var a, b uint32
+		if trial < len(interesting)*len(interesting) {
+			a = interesting[trial%len(interesting)]
+			b = interesting[trial/len(interesting)]
+		} else {
+			a, b = r.Uint32(), r.Uint32()
+		}
+		for _, op := range ops {
+			folded, ok := rtl.FoldBin(op, int64(a), int64(b))
+			if !ok {
+				continue // division and orn are outside the folded fragment
+			}
+			evaled, err := rtl.EvalBin(op, a, b)
+			if err != nil {
+				t.Fatalf("%v(%#x,%#x): FoldBin defined but EvalBin errs: %v", op, a, b, err)
+			}
+			if uint32(folded) != evaled {
+				t.Fatalf("%v(%#x,%#x): FoldBin=%#x EvalBin=%#x", op, a, b, uint32(folded), evaled)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no op/input pair was checked")
+	}
+}

@@ -17,11 +17,26 @@ import (
 // location ("val.e"), or a fresh havoc variable.
 type Var string
 
-// LinExpr is a linear expression sum(Coef[v] * v) + Const over Vars.
-// The zero value is the constant 0. LinExpr values are treated as
-// immutable; operations return new expressions.
+// VarTerm is one c*v term of a linear expression.
+type VarTerm struct {
+	V Var
+	C int64
+}
+
+// LinExpr is a linear expression sum(c_i * v_i) + Const. The terms are
+// kept sorted by variable with no zero coefficients, so the
+// representation is canonical: Equal is an elementwise scan and every
+// iteration is deterministic. The zero value is the constant 0.
+//
+// LinExpr values are immutable; operations return new expressions.
+// Because of that, expressions freely share term slices (AddConst and
+// Subst reuse their input's terms) — callers must never mutate the
+// slice returned by Terms. LinExpr used to be a map[Var]int64; the
+// checker allocates millions of short-lived expressions during WLP
+// back-substitution and Fourier–Motzkin elimination, and the map's
+// allocation, iteration, and GC-scan cost dominated every profile.
 type LinExpr struct {
-	Coef  map[Var]int64
+	terms []VarTerm
 	Const int64
 }
 
@@ -29,35 +44,53 @@ type LinExpr struct {
 func Constant(c int64) LinExpr { return LinExpr{Const: c} }
 
 // V returns the expression consisting of the single variable v.
-func V(v Var) LinExpr { return LinExpr{Coef: map[Var]int64{v: 1}} }
+func V(v Var) LinExpr { return LinExpr{terms: []VarTerm{{V: v, C: 1}}} }
 
 // Term returns c*v.
 func Term(c int64, v Var) LinExpr {
 	if c == 0 {
 		return LinExpr{}
 	}
-	return LinExpr{Coef: map[Var]int64{v: c}}
+	return LinExpr{terms: []VarTerm{{V: v, C: c}}}
 }
 
-func (e LinExpr) clone() LinExpr {
-	n := LinExpr{Const: e.Const, Coef: make(map[Var]int64, len(e.Coef))}
-	for k, v := range e.Coef {
-		n.Coef[k] = v
-	}
-	return n
-}
+// Terms returns e's terms, sorted by variable, with no zero
+// coefficients. The slice is shared with e and must not be mutated.
+func (e LinExpr) Terms() []VarTerm { return e.terms }
 
-// Add returns e + o.
+// NumTerms returns the number of variables with nonzero coefficient.
+func (e LinExpr) NumTerms() int { return len(e.terms) }
+
+// Add returns e + o, merging the two sorted term lists.
 func (e LinExpr) Add(o LinExpr) LinExpr {
-	n := e.clone()
-	n.Const += o.Const
-	for k, v := range o.Coef {
-		n.Coef[k] += v
-		if n.Coef[k] == 0 {
-			delete(n.Coef, k)
+	if len(o.terms) == 0 {
+		return LinExpr{terms: e.terms, Const: e.Const + o.Const}
+	}
+	if len(e.terms) == 0 {
+		return LinExpr{terms: o.terms, Const: e.Const + o.Const}
+	}
+	out := make([]VarTerm, 0, len(e.terms)+len(o.terms))
+	i, j := 0, 0
+	for i < len(e.terms) && j < len(o.terms) {
+		a, b := e.terms[i], o.terms[j]
+		switch {
+		case a.V < b.V:
+			out = append(out, a)
+			i++
+		case b.V < a.V:
+			out = append(out, b)
+			j++
+		default:
+			if c := a.C + b.C; c != 0 {
+				out = append(out, VarTerm{V: a.V, C: c})
+			}
+			i++
+			j++
 		}
 	}
-	return n
+	out = append(out, e.terms[i:]...)
+	out = append(out, o.terms[j:]...)
+	return LinExpr{terms: out, Const: e.Const + o.Const}
 }
 
 // Sub returns e - o.
@@ -68,26 +101,37 @@ func (e LinExpr) Scale(k int64) LinExpr {
 	if k == 0 {
 		return LinExpr{}
 	}
-	n := LinExpr{Const: e.Const * k, Coef: make(map[Var]int64, len(e.Coef))}
-	for v, c := range e.Coef {
-		n.Coef[v] = c * k
+	if k == 1 {
+		return e
 	}
-	return n
+	out := make([]VarTerm, len(e.terms))
+	for i, t := range e.terms {
+		out[i] = VarTerm{V: t.V, C: t.C * k}
+	}
+	return LinExpr{terms: out, Const: e.Const * k}
 }
 
 // AddConst returns e + c.
 func (e LinExpr) AddConst(c int64) LinExpr {
-	n := e.clone()
-	n.Const += c
-	return n
+	return LinExpr{terms: e.terms, Const: e.Const + c}
 }
 
 // CoefOf returns the coefficient of v in e.
-func (e LinExpr) CoefOf(v Var) int64 { return e.Coef[v] }
+func (e LinExpr) CoefOf(v Var) int64 {
+	for _, t := range e.terms {
+		if t.V >= v {
+			if t.V == v {
+				return t.C
+			}
+			return 0
+		}
+	}
+	return 0
+}
 
 // IsConst reports whether e has no variables, returning its value.
 func (e LinExpr) IsConst() (int64, bool) {
-	if len(e.Coef) == 0 {
+	if len(e.terms) == 0 {
 		return e.Const, true
 	}
 	return 0, false
@@ -95,32 +139,43 @@ func (e LinExpr) IsConst() (int64, bool) {
 
 // Vars returns the variables of e in sorted order.
 func (e LinExpr) Vars() []Var {
-	vs := make([]Var, 0, len(e.Coef))
-	for v := range e.Coef {
-		vs = append(vs, v)
+	vs := make([]Var, len(e.terms))
+	for i, t := range e.terms {
+		vs[i] = t.V
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 	return vs
 }
 
 // Subst returns e with every occurrence of v replaced by r.
 func (e LinExpr) Subst(v Var, r LinExpr) LinExpr {
-	c, ok := e.Coef[v]
-	if !ok {
+	idx := -1
+	for i, t := range e.terms {
+		if t.V == v {
+			idx = i
+			break
+		}
+		if t.V > v {
+			return e
+		}
+	}
+	if idx < 0 {
 		return e
 	}
-	n := e.clone()
-	delete(n.Coef, v)
-	return n.Add(r.Scale(c))
+	c := e.terms[idx].C
+	rest := make([]VarTerm, 0, len(e.terms)-1)
+	rest = append(rest, e.terms[:idx]...)
+	rest = append(rest, e.terms[idx+1:]...)
+	return LinExpr{terms: rest, Const: e.Const}.Add(r.Scale(c))
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality. The canonical sorted
+// representation makes this an elementwise comparison.
 func (e LinExpr) Equal(o LinExpr) bool {
-	if e.Const != o.Const || len(e.Coef) != len(o.Coef) {
+	if e.Const != o.Const || len(e.terms) != len(o.terms) {
 		return false
 	}
-	for v, c := range e.Coef {
-		if o.Coef[v] != c {
+	for i, t := range e.terms {
+		if o.terms[i] != t {
 			return false
 		}
 	}
@@ -130,8 +185,8 @@ func (e LinExpr) Equal(o LinExpr) bool {
 // Eval evaluates e under the given assignment (unassigned vars read 0).
 func (e LinExpr) Eval(env map[Var]int64) int64 {
 	r := e.Const
-	for v, c := range e.Coef {
-		r += c * env[v]
+	for _, t := range e.terms {
+		r += t.C * env[t.V]
 	}
 	return r
 }
@@ -139,8 +194,8 @@ func (e LinExpr) Eval(env map[Var]int64) int64 {
 func (e LinExpr) String() string {
 	var b strings.Builder
 	first := true
-	for _, v := range e.Vars() {
-		c := e.Coef[v]
+	for _, t := range e.terms {
+		v, c := t.V, t.C
 		switch {
 		case first && c == 1:
 			fmt.Fprintf(&b, "%s", v)
@@ -391,23 +446,88 @@ func (q Exists) Subst(v Var, r LinExpr) Formula {
 	return Exists{V: q.V, F: q.F.Subst(v, r)}
 }
 
-// SubstAll applies a set of parallel substitutions to f.
+// substMap applies a parallel substitution to e: every term whose
+// variable is mapped is replaced by its image, all images read from the
+// original e simultaneously. The second result reports whether any
+// term was substituted (false returns e itself, unchanged).
+func (e LinExpr) substMap(sub map[Var]LinExpr) (LinExpr, bool) {
+	hit := false
+	for _, t := range e.terms {
+		if _, ok := sub[t.V]; ok {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return e, false
+	}
+	kept := make([]VarTerm, 0, len(e.terms))
+	acc := LinExpr{Const: e.Const}
+	for _, t := range e.terms {
+		if r, ok := sub[t.V]; ok {
+			acc = acc.Add(r.Scale(t.C))
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	return LinExpr{terms: kept}.Add(acc), true
+}
+
+// SubstAll applies a set of parallel substitutions to f in one walk:
+// each atom's images are read from the unsubstituted atom, so
+// substitution targets may freely mention substituted variables. (This
+// used to be simulated with a rename-through-temporaries pass, costing
+// two full formula rebuilds per substituted variable.)
 func SubstAll(f Formula, sub map[Var]LinExpr) Formula {
-	// Parallel substitution: rename through temporaries to avoid capture
-	// when substitution targets mention substituted variables.
-	tmp := make(map[Var]Var, len(sub))
-	i := 0
-	for v := range sub {
-		tmp[v] = Var(fmt.Sprintf("$tmp%d.%s", i, v))
-		i++
+	if len(sub) == 0 {
+		return f
 	}
-	for v, t := range tmp {
-		f = f.Subst(v, V(t))
-	}
-	for v, t := range tmp {
-		f = f.Subst(t, sub[v])
+	switch g := f.(type) {
+	case TrueF, FalseF:
+		return f
+	case AtomF:
+		e, changed := g.A.E.substMap(sub)
+		if !changed {
+			return f
+		}
+		return AtomF{Atom{Kind: g.A.Kind, M: g.A.M, E: e}}
+	case Not:
+		return Not{SubstAll(g.F, sub)}
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			fs[i] = SubstAll(s, sub)
+		}
+		return And{fs}
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, s := range g.Fs {
+			fs[i] = SubstAll(s, sub)
+		}
+		return Or{fs}
+	case Impl:
+		return Impl{A: SubstAll(g.A, sub), B: SubstAll(g.B, sub)}
+	case Forall:
+		return Forall{V: g.V, F: SubstAll(g.F, substWithout(sub, g.V))}
+	case Exists:
+		return Exists{V: g.V, F: SubstAll(g.F, substWithout(sub, g.V))}
 	}
 	return f
+}
+
+// substWithout drops the binding for v (the bound variable shadows it),
+// copying the map only when v is actually mapped.
+func substWithout(sub map[Var]LinExpr, v Var) map[Var]LinExpr {
+	if _, ok := sub[v]; !ok {
+		return sub
+	}
+	out := make(map[Var]LinExpr, len(sub)-1)
+	for k, r := range sub {
+		if k != v {
+			out[k] = r
+		}
+	}
+	return out
 }
 
 // --- FreeVars ---
@@ -416,8 +536,8 @@ func (TrueF) FreeVars(map[Var]bool)  {}
 func (FalseF) FreeVars(map[Var]bool) {}
 
 func (a AtomF) FreeVars(set map[Var]bool) {
-	for v := range a.A.E.Coef {
-		set[v] = true
+	for _, t := range a.A.E.terms {
+		set[t.V] = true
 	}
 }
 func (n Not) FreeVars(set map[Var]bool) { n.F.FreeVars(set) }

@@ -2,7 +2,6 @@ package expr
 
 import (
 	"fmt"
-	"sort"
 )
 
 // ErrTooLarge is returned when normalization would blow up past the
@@ -21,7 +20,42 @@ const MaxDNFClauses = 32768
 //	¬(m | e)   =>  ∨_{r=1..m-1} m | (e - r)
 //
 // Implications are expanded. Quantifiers flip under negation.
-func NNF(f Formula) Formula { return nnf(f, false) }
+func NNF(f Formula) Formula {
+	// The prover re-normalizes formulas that are already in NNF (its
+	// quantifier elimination preserves the form); skip the rebuild with
+	// one read-only walk, like QuantFree does for qe itself.
+	if isNNF(f) {
+		return f
+	}
+	return nnf(f, false)
+}
+
+// isNNF reports whether f is already negation-free: nnf eliminates
+// every Not (negations fold into atoms) and every Impl, so their
+// absence means nnf would be the identity.
+func isNNF(f Formula) bool {
+	switch g := f.(type) {
+	case Not, Impl:
+		return false
+	case And:
+		for _, s := range g.Fs {
+			if !isNNF(s) {
+				return false
+			}
+		}
+	case Or:
+		for _, s := range g.Fs {
+			if !isNNF(s) {
+				return false
+			}
+		}
+	case Forall:
+		return isNNF(g.F)
+	case Exists:
+		return isNNF(g.F)
+	}
+	return true
+}
 
 func nnf(f Formula, neg bool) Formula {
 	switch g := f.(type) {
@@ -111,10 +145,19 @@ type Clause []Atom
 // the result would exceed MaxDNFClauses clauses. The formula "false" is
 // the empty disjunction; "true" is one empty clause.
 func DNF(f Formula) ([]Clause, error) {
-	return dnf(NNF(f))
+	return dnf(NNF(f), MaxDNFClauses)
 }
 
-func dnf(f Formula) ([]Clause, error) {
+// DNFUpTo is DNF with a caller-chosen clause cap. Callers that only
+// want the expansion when it is small (candidate generation keeps at
+// most a handful of disjuncts) pass a small cap so an oversized
+// expansion costs one early bail-out instead of a full materialization
+// it would then throw away.
+func DNFUpTo(f Formula, maxClauses int) ([]Clause, error) {
+	return dnf(NNF(f), maxClauses)
+}
+
+func dnf(f Formula, maxClauses int) ([]Clause, error) {
 	switch g := f.(type) {
 	case TrueF:
 		return []Clause{{}}, nil
@@ -125,12 +168,12 @@ func dnf(f Formula) ([]Clause, error) {
 	case Or:
 		var out []Clause
 		for _, sub := range g.Fs {
-			cs, err := dnf(sub)
+			cs, err := dnf(sub, maxClauses)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, cs...)
-			if len(out) > MaxDNFClauses {
+			if len(out) > maxClauses {
 				return nil, ErrTooLarge
 			}
 		}
@@ -138,7 +181,7 @@ func dnf(f Formula) ([]Clause, error) {
 	case And:
 		out := []Clause{{}}
 		for _, sub := range g.Fs {
-			cs, err := dnf(sub)
+			cs, err := dnf(sub, maxClauses)
 			if err != nil {
 				return nil, err
 			}
@@ -149,7 +192,7 @@ func dnf(f Formula) ([]Clause, error) {
 					merged = append(merged, a...)
 					merged = append(merged, b...)
 					next = append(next, merged)
-					if len(next) > MaxDNFClauses {
+					if len(next) > maxClauses {
 						return nil, ErrTooLarge
 					}
 				}
@@ -197,7 +240,7 @@ func Simplify(f Formula) Formula {
 		return simplifyOr(g.Fs)
 	case Impl:
 		a, b := Simplify(g.A), Simplify(g.B)
-		if a.String() == b.String() {
+		if Equal(a, b) {
 			return TrueF{}
 		}
 		return Implies(a, b)
@@ -275,28 +318,27 @@ func normalizeAtom(a Atom) Atom {
 	switch a.Kind {
 	case GE:
 		g := int64(0)
-		for _, c := range a.E.Coef {
-			g = gcd(g, c)
+		for _, t := range a.E.terms {
+			g = gcd(g, t.C)
 		}
 		if g > 1 {
-			n := LinExpr{Coef: make(map[Var]int64, len(a.E.Coef))}
-			for v, c := range a.E.Coef {
-				n.Coef[v] = c / g
+			ts := make([]VarTerm, len(a.E.terms))
+			for i, t := range a.E.terms {
+				ts[i] = VarTerm{V: t.V, C: t.C / g}
 			}
-			n.Const = floorDiv(a.E.Const, g)
-			return Atom{Kind: GE, E: n}
+			return Atom{Kind: GE, E: LinExpr{terms: ts, Const: floorDiv(a.E.Const, g)}}
 		}
 	case EQ:
 		g := int64(0)
-		for _, c := range a.E.Coef {
-			g = gcd(g, c)
+		for _, t := range a.E.terms {
+			g = gcd(g, t.C)
 		}
 		if g > 1 && a.E.Const%g == 0 {
-			n := LinExpr{Coef: make(map[Var]int64, len(a.E.Coef)), Const: a.E.Const / g}
-			for v, c := range a.E.Coef {
-				n.Coef[v] = c / g
+			ts := make([]VarTerm, len(a.E.terms))
+			for i, t := range a.E.terms {
+				ts[i] = VarTerm{V: t.V, C: t.C / g}
 			}
-			return Atom{Kind: EQ, E: n}
+			return Atom{Kind: EQ, E: LinExpr{terms: ts, Const: a.E.Const / g}}
 		}
 	case DIV:
 		m := a.M
@@ -306,13 +348,16 @@ func normalizeAtom(a Atom) Atom {
 		if m == 0 {
 			return Atom{Kind: EQ, E: a.E}
 		}
-		n := LinExpr{Coef: make(map[Var]int64), Const: mod(a.E.Const, m)}
-		for v, c := range a.E.Coef {
-			if r := mod(c, m); r != 0 {
-				n.Coef[v] = r
+		ts := make([]VarTerm, 0, len(a.E.terms))
+		for _, t := range a.E.terms {
+			if r := mod(t.C, m); r != 0 {
+				ts = append(ts, VarTerm{V: t.V, C: r})
 			}
 		}
-		return Atom{Kind: DIV, M: m, E: n}
+		if len(ts) == 0 {
+			ts = nil
+		}
+		return Atom{Kind: DIV, M: m, E: LinExpr{terms: ts, Const: mod(a.E.Const, m)}}
 	}
 	return a
 }
@@ -349,32 +394,43 @@ func simplifyAnd(fs []Formula) Formula {
 	}
 	// Subsume GE atoms with identical linear parts: keep the strongest
 	// (largest constant requirement means smallest Const since e+c>=0).
-	type geKey struct{ lin string }
-	best := make(map[string]int) // linear-part key -> index in out
+	// Linear parts are matched by commutative fingerprint; every match
+	// is verified against the actual coefficients, so a fingerprint
+	// collision degrades to "no subsumption", never to a wrong merge.
+	best := make(map[FP]int) // variable-part fingerprint -> index in out
 	var out []Formula
-	seen := make(map[string]bool)
+	seen := make(map[FP]Formula)
+	dedup := func(f Formula) {
+		key := Fingerprint(f)
+		if prev, ok := seen[key]; ok {
+			if Equal(prev, f) {
+				return
+			}
+		} else {
+			seen[key] = f
+		}
+		out = append(out, f)
+	}
 	for _, f := range flat {
 		if a, ok := f.(AtomF); ok && a.A.Kind == GE {
-			key := linKey(a.A.E)
+			key := VarPartFP(a.A.E, false)
 			if j, ok2 := best[key]; ok2 {
-				prev := out[j].(AtomF)
-				// Same linear part: e + c1 >= 0 and e + c2 >= 0; the
-				// conjunction is e + min(c1,c2) >= 0.
-				if a.A.E.Const < prev.A.E.Const {
-					out[j] = f
+				if prev, okA := out[j].(AtomF); okA && SameVarPart(prev.A.E, a.A.E, false) {
+					// Same linear part: e + c1 >= 0 and e + c2 >= 0; the
+					// conjunction is e + min(c1,c2) >= 0.
+					if a.A.E.Const < prev.A.E.Const {
+						out[j] = f
+					}
+					continue
 				}
+				out = append(out, f)
 				continue
 			}
 			best[key] = len(out)
 			out = append(out, f)
 			continue
 		}
-		s := f.String()
-		if seen[s] {
-			continue
-		}
-		seen[s] = true
-		out = append(out, f)
+		dedup(f)
 	}
 	// Detect e >= 0 ∧ -e >= 0 pairs => e = 0, and direct contradictions
 	// e + c >= 0 ∧ -e - c' >= 0 with c' > c.
@@ -383,9 +439,11 @@ func simplifyAnd(fs []Formula) Formula {
 		if !ok || a.A.Kind != GE {
 			continue
 		}
-		negKeyStr := linKey(a.A.E.Scale(-1))
-		if j, ok2 := best[negKeyStr]; ok2 && j != i {
-			b := out[j].(AtomF)
+		if j, ok2 := best[VarPartFP(a.A.E, true)]; ok2 && j != i {
+			b, okB := out[j].(AtomF)
+			if !okB || !SameVarPart(b.A.E, a.A.E, true) {
+				continue
+			}
 			// a: e + c >= 0 ; b: -e + d >= 0 i.e. e <= d
 			// contradiction if -c > d
 			if -a.A.E.Const > b.A.E.Const {
@@ -403,21 +461,20 @@ func simplifyAnd(fs []Formula) Formula {
 	return Conj(out...)
 }
 
-// linKey returns a canonical string for the variable part of e (ignoring
-// the constant), used to detect shared linear parts.
-func linKey(e LinExpr) string {
-	vs := e.Vars()
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	s := ""
-	for _, v := range vs {
-		s += fmt.Sprintf("%+d*%s;", e.Coef[v], v)
-	}
-	return s
-}
-
 func simplifyOr(fs []Formula) Formula {
 	var flat []Formula
-	seen := make(map[string]bool)
+	seen := make(map[FP]Formula)
+	add := func(f Formula) {
+		key := Fingerprint(f)
+		if prev, ok := seen[key]; ok {
+			if Equal(prev, f) {
+				return
+			}
+		} else {
+			seen[key] = f
+		}
+		flat = append(flat, f)
+	}
 	for _, f := range fs {
 		s := Simplify(f)
 		switch g := s.(type) {
@@ -426,16 +483,10 @@ func simplifyOr(fs []Formula) Formula {
 			return TrueF{}
 		case Or:
 			for _, sub := range g.Fs {
-				if key := sub.String(); !seen[key] {
-					seen[key] = true
-					flat = append(flat, sub)
-				}
+				add(sub)
 			}
 		default:
-			if key := s.String(); !seen[key] {
-				seen[key] = true
-				flat = append(flat, s)
-			}
+			add(s)
 		}
 	}
 	return Disj(flat...)

@@ -210,16 +210,28 @@ func Synthesize(p *solver.Prover, h Hooks, opts Options) (*Result, bool) {
 // an entry check (Inv.0) is available to prune over-strong junk.
 func candidates(p *solver.Prover, wNext expr.Formula, modified []expr.Var, broad bool, opts Options) []expr.Formula {
 	var out []expr.Formula
-	seen := map[string]bool{}
+	// Candidates are deduplicated by structural fingerprint (verified
+	// on match) instead of canonical string: candidate generation is a
+	// hot loop and the strings were built only to be map keys.
+	seen := map[expr.FP]expr.Formula{}
+	dedup := func(f expr.Formula) bool {
+		key := expr.Fingerprint(f)
+		if prev, ok := seen[key]; ok {
+			if expr.Equal(prev, f) {
+				return false
+			}
+		} else {
+			seen[key] = f
+		}
+		return true
+	}
 	add := func(f expr.Formula) {
 		f = expr.Simplify(f)
 		switch f.(type) {
 		case expr.TrueF, expr.FalseF:
 			return
 		}
-		key := f.String()
-		if !seen[key] {
-			seen[key] = true
+		if dedup(f) {
 			out = append(out, f)
 		}
 	}
@@ -230,9 +242,7 @@ func candidates(p *solver.Prover, wNext expr.Formula, modified []expr.Var, broad
 		case expr.TrueF, expr.FalseF:
 			return
 		}
-		key := f.String()
-		if !seen[key] {
-			seen[key] = true
+		if dedup(f) {
 			tier2 = append(tier2, f)
 		}
 	}
@@ -326,11 +336,14 @@ func candidates(p *solver.Prover, wNext expr.Formula, modified []expr.Var, broad
 	// weaken W(i) so much that it cannot become invariant; trying each
 	// disjunct in turn strengthens it (Section 5.2.1).
 	if !opts.DisableDNF {
-		clauses, err := expr.DNF(wNext)
-		switch {
-		case err != nil:
-			p.Stats.DNFBlowups++
-		case len(clauses) > 1 && len(clauses) <= 8:
+		// Only expansions of at most 8 clauses are usable, so cap the
+		// conversion there: a wider candidate would be discarded anyway,
+		// and this skips materializing (possibly enormous) expansions
+		// that exist only to be measured. An over-cap bail-out here is a
+		// deliberate search-policy cut, not a prover blowup, so it is
+		// not counted in DNFBlowups.
+		clauses, err := expr.DNFUpTo(wNext, 8)
+		if err == nil && len(clauses) > 1 {
 			for _, cl := range clauses {
 				add(expr.ClauseFormula(cl))
 			}
@@ -363,8 +376,8 @@ func collectDivVars(f expr.Formula, out map[expr.Var]bool) {
 	switch g := f.(type) {
 	case expr.AtomF:
 		if g.A.Kind == expr.DIV {
-			for v := range g.A.E.Coef {
-				out[v] = true
+			for _, t := range g.A.E.Terms() {
+				out[t.V] = true
 			}
 		}
 	case expr.Not:

@@ -200,8 +200,24 @@ func RegVar(r sparc.Reg, depth int) expr.Var {
 	if r.IsGlobal() || depth == 0 {
 		return expr.Var(r.String())
 	}
+	if r < 32 && depth > 0 && depth < len(regVarNames) {
+		return regVarNames[depth][r]
+	}
 	return expr.Var(fmt.Sprintf("w%d.%s", depth, r))
 }
+
+// regVarNames caches windowed register variable names for the call
+// depths that occur in practice; RegVar is called once per register
+// operand during wlp back-substitution, so formatting the same few
+// names millions of times showed up in profiles.
+var regVarNames = func() (names [9][32]expr.Var) {
+	for depth := 1; depth < len(names); depth++ {
+		for r := sparc.Reg(0); r < 32; r++ {
+			names[depth][r] = expr.Var(fmt.Sprintf("w%d.%s", depth, r))
+		}
+	}
+	return
+}()
 
 // RegLoc names the abstract location of a register at a window depth
 // (same naming scheme as RegVar).

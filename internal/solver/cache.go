@@ -4,69 +4,86 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcsafe/internal/expr"
 	"mcsafe/internal/faults"
 )
 
 // cacheShards is the stripe count of a ShardedCache. A power of two so
-// the shard index is a mask of the key hash; 64 stripes keep contention
-// negligible for the worker-pool sizes the checker uses (GOMAXPROCS).
+// the shard index is a mask of the key fingerprint; 64 stripes keep
+// contention negligible for the worker-pool sizes the checker uses
+// (GOMAXPROCS).
 const cacheShards = 64
 
-// ShardedCache is a concurrency-safe canonical-formula result cache: a
-// striped (sharded-mutex) map from a formula's canonical string to the
+// ShardedCache is a concurrency-safe formula-verdict cache: a striped
+// (sharded-mutex) map from a formula's structural fingerprint to the
 // prover's verdict for it. One ShardedCache may back any number of
 // Provers running on concurrent goroutines, so parallel verification
-// workers reuse each other's results instead of re-eliminating the same
-// formulas.
+// workers reuse each other's results instead of re-eliminating the
+// same formulas.
+//
+// Keys are 128-bit fingerprints (expr.FP) instead of the canonical
+// strings of earlier versions, so a probe costs one hash walk and no
+// allocation. Because a stale or colliding entry must never flip a
+// verdict, each entry also records the formula (and the caller's salt
+// word) it was stored under, and Get verifies structural equality
+// before reporting a hit: a fingerprint collision degrades to a cache
+// miss, never to a wrong answer.
 //
 // Sharing is sound and deterministic because Prover.valid is a pure
-// function of the canonical formula (and the limits): every prover
-// would store the same verdict for a given key, so a hit can never flip
-// an answer — in particular it can never turn "not proved" into
-// "proved".
+// function of the formula (and the limits): every prover would store
+// the same verdict for a given key, so a hit can never flip an answer
+// — in particular it can never turn "not proved" into "proved".
 type ShardedCache struct {
 	shards [cacheShards]cacheShard
 }
 
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string]bool
+	m  map[expr.FP]cacheEntry
+}
+
+// cacheEntry carries the verdict plus what it was computed for: the
+// formula and an integer salt (callers use it for non-formula key
+// context such as a CFG node). Both are checked on lookup.
+type cacheEntry struct {
+	f       expr.Formula
+	salt    uint64
+	verdict bool
 }
 
 // NewShardedCache returns an empty cache ready for concurrent use.
 func NewShardedCache() *ShardedCache {
 	c := &ShardedCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]bool)
+		c.shards[i].m = make(map[expr.FP]cacheEntry)
 	}
 	return c
 }
 
-// shardOf picks the stripe for a key (FNV-1a over the key bytes).
-func (c *ShardedCache) shardOf(key string) *cacheShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return &c.shards[h&(cacheShards-1)]
+func (c *ShardedCache) shardOf(key expr.FP) *cacheShard {
+	return &c.shards[key.Lo&(cacheShards-1)]
 }
 
-// Get returns the cached verdict for key and whether one is present.
-func (c *ShardedCache) Get(key string) (verdict, ok bool) {
+// Get returns the cached verdict for (key, salt, f) and whether one is
+// present. A fingerprint hit whose recorded salt or formula does not
+// match is reported as a miss.
+func (c *ShardedCache) Get(key expr.FP, salt uint64, f expr.Formula) (verdict, ok bool) {
 	faults.Fire(faults.CacheLookup)
 	s := c.shardOf(key)
 	s.mu.RLock()
-	verdict, ok = s.m[key]
+	e, present := s.m[key]
 	s.mu.RUnlock()
-	return verdict, ok
+	if !present || e.salt != salt || !expr.Equal(e.f, f) {
+		return false, false
+	}
+	return e.verdict, true
 }
 
-// Put records the verdict for key.
-func (c *ShardedCache) Put(key string, verdict bool) {
+// Put records the verdict for (key, salt, f).
+func (c *ShardedCache) Put(key expr.FP, salt uint64, f expr.Formula, verdict bool) {
 	s := c.shardOf(key)
 	s.mu.Lock()
-	s.m[key] = verdict
+	s.m[key] = cacheEntry{f: f, salt: salt, verdict: verdict}
 	s.mu.Unlock()
 }
 
@@ -86,10 +103,12 @@ func (c *ShardedCache) Len() int {
 // goroutines. Workers Add their prover's Stats as they finish; the
 // coordinator reads the merged totals with Snapshot.
 type AtomicStats struct {
-	validQueries atomic.Int64
-	cacheHits    atomic.Int64
-	eliminations atomic.Int64
-	dnfBlowups   atomic.Int64
+	validQueries     atomic.Int64
+	cacheHits        atomic.Int64
+	eliminations     atomic.Int64
+	dnfBlowups       atomic.Int64
+	fmPrefixReuses   atomic.Int64
+	earlyUnsatPrunes atomic.Int64
 }
 
 // Add merges one prover's counters into the totals.
@@ -98,14 +117,18 @@ func (a *AtomicStats) Add(s Stats) {
 	a.cacheHits.Add(int64(s.CacheHits))
 	a.eliminations.Add(int64(s.Eliminations))
 	a.dnfBlowups.Add(int64(s.DNFBlowups))
+	a.fmPrefixReuses.Add(int64(s.FMPrefixReuses))
+	a.earlyUnsatPrunes.Add(int64(s.EarlyUnsatPrunes))
 }
 
 // Snapshot returns the merged totals.
 func (a *AtomicStats) Snapshot() Stats {
 	return Stats{
-		ValidQueries: int(a.validQueries.Load()),
-		CacheHits:    int(a.cacheHits.Load()),
-		Eliminations: int(a.eliminations.Load()),
-		DNFBlowups:   int(a.dnfBlowups.Load()),
+		ValidQueries:     int(a.validQueries.Load()),
+		CacheHits:        int(a.cacheHits.Load()),
+		Eliminations:     int(a.eliminations.Load()),
+		DNFBlowups:       int(a.dnfBlowups.Load()),
+		FMPrefixReuses:   int(a.fmPrefixReuses.Load()),
+		EarlyUnsatPrunes: int(a.earlyUnsatPrunes.Load()),
 	}
 }

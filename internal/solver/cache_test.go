@@ -1,31 +1,46 @@
 package solver
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
 	"mcsafe/internal/expr"
 )
 
+// geConst returns the formula i >= 0 for a test-distinct constant i —
+// a family of structurally distinct formulas for exercising the cache.
+func geConst(i int) expr.Formula { return expr.Ge(expr.Constant(int64(i))) }
+
 // TestShardedCacheBasics checks the single-goroutine contract: absent
 // keys miss, stored verdicts (both true and false) come back verbatim,
-// overwrites win, and Len counts across shards.
+// overwrites win, salt and formula mismatches miss, and Len counts
+// across shards.
 func TestShardedCacheBasics(t *testing.T) {
 	c := NewShardedCache()
-	if _, ok := c.Get("absent"); ok {
+	yes, no := geConst(1), geConst(2)
+	yesKey, noKey := expr.Fingerprint(yes), expr.Fingerprint(no)
+	if _, ok := c.Get(yesKey, 0, yes); ok {
 		t.Fatal("hit on an empty cache")
 	}
-	c.Put("yes", true)
-	c.Put("no", false)
-	if v, ok := c.Get("yes"); !ok || !v {
+	c.Put(yesKey, 0, yes, true)
+	c.Put(noKey, 0, no, false)
+	if v, ok := c.Get(yesKey, 0, yes); !ok || !v {
 		t.Fatalf("Get(yes) = %v, %v", v, ok)
 	}
-	if v, ok := c.Get("no"); !ok || v {
+	if v, ok := c.Get(noKey, 0, no); !ok || v {
 		t.Fatalf("Get(no) = %v, %v", v, ok)
 	}
-	c.Put("yes", false)
-	if v, _ := c.Get("yes"); v {
+	// A fingerprint hit with the wrong salt or the wrong formula is a
+	// miss, not an answer: the verified-hit contract that makes hash
+	// collisions harmless.
+	if _, ok := c.Get(yesKey, 1, yes); ok {
+		t.Fatal("hit despite salt mismatch")
+	}
+	if _, ok := c.Get(yesKey, 0, no); ok {
+		t.Fatal("hit despite formula mismatch")
+	}
+	c.Put(yesKey, 0, yes, false)
+	if v, _ := c.Get(yesKey, 0, yes); v {
 		t.Fatal("overwrite did not win")
 	}
 	if c.Len() != 2 {
@@ -44,6 +59,12 @@ func TestShardedCacheConcurrent(t *testing.T) {
 	c := NewShardedCache()
 	const keys = 512
 	verdictOf := func(i int) bool { return i%3 == 0 }
+	fs := make([]expr.Formula, keys)
+	fps := make([]expr.FP, keys)
+	for i := range fs {
+		fs[i] = geConst(i)
+		fps[i] = expr.Fingerprint(fs[i])
+	}
 
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -52,12 +73,11 @@ func TestShardedCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 50; rep++ {
 				for i := 0; i < keys; i++ {
-					key := fmt.Sprintf("formula-%d", i)
-					if v, ok := c.Get(key); ok && v != verdictOf(i) {
-						t.Errorf("key %s: read %v, want %v", key, v, verdictOf(i))
+					if v, ok := c.Get(fps[i], 0, fs[i]); ok && v != verdictOf(i) {
+						t.Errorf("key %d: read %v, want %v", i, v, verdictOf(i))
 						return
 					}
-					c.Put(key, verdictOf(i))
+					c.Put(fps[i], 0, fs[i], verdictOf(i))
 				}
 			}
 		}(g)
@@ -67,9 +87,8 @@ func TestShardedCacheConcurrent(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", c.Len(), keys)
 	}
 	for i := 0; i < keys; i++ {
-		key := fmt.Sprintf("formula-%d", i)
-		if v, ok := c.Get(key); !ok || v != verdictOf(i) {
-			t.Fatalf("key %s: final verdict %v, %v", key, v, ok)
+		if v, ok := c.Get(fps[i], 0, fs[i]); !ok || v != verdictOf(i) {
+			t.Fatalf("key %d: final verdict %v, %v", i, v, ok)
 		}
 	}
 }
@@ -112,9 +131,9 @@ func TestSharedProverConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	distinct := map[string]bool{}
+	distinct := map[expr.FP]bool{}
 	for _, q := range queries {
-		distinct[q.f.String()] = true
+		distinct[expr.Fingerprint(q.f)] = true
 	}
 	if shared.Len() != len(distinct) {
 		t.Fatalf("cache holds %d formulas, want %d", shared.Len(), len(distinct))
@@ -133,8 +152,8 @@ func TestSharedCacheNeverFlipsVerdict(t *testing.T) {
 	invalid := expr.Ge(x)          // not provable, so a hit saying true is visible
 
 	shared := NewShardedCache()
-	shared.Put(tautology.String(), false)
-	shared.Put(invalid.String(), true)
+	shared.Put(expr.Fingerprint(tautology), 0, tautology, false)
+	shared.Put(expr.Fingerprint(invalid), 0, invalid, true)
 
 	p := NewShared(shared)
 	if p.Valid(tautology) {
@@ -173,16 +192,19 @@ func TestAtomicStatsMerge(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < reps; i++ {
-				a.Add(Stats{ValidQueries: 3, CacheHits: 2, Eliminations: 1})
+				a.Add(Stats{ValidQueries: 3, CacheHits: 2, Eliminations: 1,
+					FMPrefixReuses: 5, EarlyUnsatPrunes: 4})
 			}
 		}()
 	}
 	wg.Wait()
 	got := a.Snapshot()
 	want := Stats{
-		ValidQueries: 3 * workers * reps,
-		CacheHits:    2 * workers * reps,
-		Eliminations: 1 * workers * reps,
+		ValidQueries:     3 * workers * reps,
+		CacheHits:        2 * workers * reps,
+		Eliminations:     1 * workers * reps,
+		FMPrefixReuses:   5 * workers * reps,
+		EarlyUnsatPrunes: 4 * workers * reps,
 	}
 	if got != want {
 		t.Fatalf("Snapshot = %+v, want %+v", got, want)

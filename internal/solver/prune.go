@@ -14,6 +14,13 @@ import "mcsafe/internal/expr"
 // the result always implies the input: sound wherever the formula is
 // something to be proved or used as an inductive-chain member.
 func (p *Prover) PruneQuant(f expr.Formula) expr.Formula {
+	// Quantifier-free formulas (the common case once wlp substitution
+	// has not introduced a havoc quantifier) have nothing to prune; the
+	// recursive rebuild below would be the identity, so skip it with one
+	// read-only walk.
+	if expr.QuantFree(f) {
+		return f
+	}
 	switch g := f.(type) {
 	case expr.And:
 		fs := make([]expr.Formula, len(g.Fs))

@@ -40,18 +40,28 @@ func (r Reg) IsLocal() bool { return r >= 16 && r < 24 }
 // IsIn reports whether r is one of %i0-%i7.
 func (r Reg) IsIn() bool { return r >= 24 }
 
+// regNames caches the 32 valid register names: Reg.String sits on the
+// wlp hot path (register variable naming), where a formatter call per
+// lookup is measurable.
+var regNames = func() (names [32]string) {
+	for r := Reg(0); r < 32; r++ {
+		switch r {
+		case SP:
+			names[r] = "%sp"
+		case FP:
+			names[r] = "%fp"
+		default:
+			names[r] = fmt.Sprintf("%%%c%d", "goli"[r/8], r%8)
+		}
+	}
+	return
+}()
+
 func (r Reg) String() string {
 	if r > 31 {
 		return fmt.Sprintf("%%r%d?", uint8(r))
 	}
-	switch r {
-	case SP:
-		return "%sp"
-	case FP:
-		return "%fp"
-	}
-	bank := "goli"[r/8]
-	return fmt.Sprintf("%%%c%d", bank, r%8)
+	return regNames[r]
 }
 
 // ParseReg parses a register name such as "%o0", "%sp", or "%fp".

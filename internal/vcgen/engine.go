@@ -107,22 +107,27 @@ type Engine struct {
 	// of explainable verdicts).
 	wlpCapture *string
 
-	g          *cfg.Graph
-	fresh      int
-	cache      map[string]bool
-	entryCache map[string]bool
-	crossCache map[string]expr.Formula
+	g     *cfg.Graph
+	fresh int
+	// cache and entryCache are fingerprint-keyed verdict caches (the
+	// same verified-hit ShardedCache the pool shares, used privately
+	// here); crossCache maps a crossing's composite fingerprint to its
+	// synthesized invariant.
+	cache      *solver.ShardedCache
+	entryCache *solver.ShardedCache
+	crossCache map[expr.FP]expr.Formula
 	// entryActive breaks recursion cycles between loop crossings and
 	// their entry checks (a cycle answers false: conservative).
-	entryActive map[string]bool
-	// shared, when non-nil, replaces the bool-valued caches with
-	// concurrency-safe variants shared across a worker pool's engines.
-	// Only the bool caches are shareable: their keys embed the complete
-	// formula text, and a verdict about a formula is a fact about that
-	// text alone, whichever engine computes it. The formula-valued
-	// crossCache stays per-engine — a cached invariant carries the
-	// minting engine's fresh-variable names, which another engine could
-	// independently re-mint with a different meaning (capture).
+	entryActive map[expr.FP]bool
+	// shared, when non-nil, replaces the bool-valued caches with the
+	// pool's, shared across a worker pool's engines. Only the bool
+	// caches are shareable: their keys embed the complete formula (by
+	// fingerprint, verified structurally on hit) and its proof point,
+	// and a verdict about those is a fact whichever engine computes it.
+	// The formula-valued crossCache stays per-engine — a cached
+	// invariant carries the minting engine's fresh-variable names,
+	// which another engine could independently re-mint with a
+	// different meaning (capture).
 	shared *sharedCaches
 }
 
@@ -136,10 +141,10 @@ type sharedCaches struct {
 // New builds an engine over propagation results.
 func New(res *propagate.Result, p *solver.Prover, opts Options) *Engine {
 	return &Engine{Res: res, P: p, Opts: opts, g: res.G,
-		cache:       make(map[string]bool),
-		entryCache:  make(map[string]bool),
-		crossCache:  make(map[string]expr.Formula),
-		entryActive: make(map[string]bool)}
+		cache:       solver.NewShardedCache(),
+		entryCache:  solver.NewShardedCache(),
+		crossCache:  make(map[expr.FP]expr.Formula),
+		entryActive: make(map[expr.FP]bool)}
 }
 
 // newShared builds a worker engine whose bool-valued caches are the
@@ -252,7 +257,7 @@ func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult 
 		ok := e.provedCached(c.Node, c.AfterNode, f)
 		e.wlpCapture = nil
 		r.Attempts = append(r.Attempts, Attempt{
-			Kind: kind, Formula: f.String(), WLP: wlp, Proved: ok,
+			Kind: kind, Formula: e.P.Intern.StringOf(f), WLP: wlp, Proved: ok,
 		})
 		return ok
 	}
@@ -288,7 +293,7 @@ func (e *Engine) proveCond(c *annotate.GlobalCond, groupProved bool) CondResult 
 	if r.Proved {
 		e.Stats.Proved++
 	} else if r.Detail == "" {
-		r.Detail = "cannot establish " + c.F.String()
+		r.Detail = "cannot establish " + e.P.Intern.StringOf(c.F)
 	}
 	e.Obs.End("code", c.Code, "proved", fmt.Sprint(r.Proved))
 	return r
@@ -332,35 +337,45 @@ func (e *Engine) provedCached(node int, after bool, f expr.Formula) bool {
 	if e.stopped() {
 		return false
 	}
-	key := fmt.Sprintf("%d|%v|%s", node, after, f)
+	// The proof point (node, after) is the key's salt: mixed into the
+	// fingerprint for distribution, and stored alongside the formula so
+	// a hit is verified against both.
+	salt := uint64(node)<<1 | boolBit(after)
+	key := expr.Fingerprint(f).Mixed(salt)
+	cache := e.cache
 	if e.shared != nil {
-		if v, ok := e.shared.query.Get(key); ok {
-			e.Stats.CacheHits++
-			return v
-		}
-		v := e.proveAt(node, after, f)
-		if !e.stopped() {
-			e.shared.query.Put(key, v)
-		}
-		return v
+		cache = e.shared.query
 	}
-	if v, ok := e.cache[key]; ok {
+	if v, ok := cache.Get(key, salt, f); ok {
 		e.Stats.CacheHits++
 		return v
 	}
 	v := e.proveAt(node, after, f)
 	if !e.stopped() {
-		e.cache[key] = v
+		cache.Put(key, salt, f, v)
 	}
 	return v
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // point context: a formula required before a node, in all executions.
 
 // simplify applies syntactic simplification plus quantifier pruning (a
-// sound strengthening; see solver.PruneQuant).
+// sound strengthening; see solver.PruneQuant). Quantifier-free
+// formulas skip the pruning pass and the re-simplification of its
+// output — Simplify is idempotent, so both would be identities.
 func (e *Engine) simplify(f expr.Formula) expr.Formula {
-	return expr.Simplify(e.P.PruneQuant(expr.Simplify(f)))
+	s := expr.Simplify(f)
+	if expr.QuantFree(s) {
+		return s
+	}
+	return expr.Simplify(e.P.PruneQuant(s))
 }
 
 // captureWLP hands the first back-substituted entry formula of the
@@ -368,7 +383,7 @@ func (e *Engine) simplify(f expr.Formula) expr.Formula {
 // top-level query's formula, not a recursive call-site check's).
 func (e *Engine) captureWLP(g expr.Formula) {
 	if e.wlpCapture != nil && *e.wlpCapture == "" {
-		*e.wlpCapture = g.String()
+		*e.wlpCapture = e.P.Intern.StringOf(g)
 	}
 }
 
@@ -440,12 +455,13 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 	if e.stopped() {
 		return false
 	}
-	key := fmt.Sprintf("%d|%s", l.Header, w)
+	salt := uint64(l.Header)
+	key := expr.Fingerprint(w).Mixed(salt)
+	cache := e.entryCache
 	if e.shared != nil {
-		if v, ok := e.shared.entry.Get(key); ok {
-			return v
-		}
-	} else if v, ok := e.entryCache[key]; ok {
+		cache = e.shared.entry
+	}
+	if v, ok := cache.Get(key, salt, w); ok {
 		return v
 	}
 	if e.entryActive[key] {
@@ -459,11 +475,7 @@ func (e *Engine) proveAtLoopEntry(l *cfg.Loop, w expr.Formula) bool {
 		// cache it.
 		return v
 	}
-	if e.shared != nil {
-		e.shared.entry.Put(key, v)
-	} else {
-		e.entryCache[key] = v
-	}
+	cache.Put(key, salt, w, v)
 	return v
 }
 
@@ -670,7 +682,7 @@ func (e *Engine) succFormula(x int, contFor func(int) expr.Formula) expr.Formula
 	}
 	if len(legs) == 2 {
 		if _, g0True := legs[0].guard.(expr.TrueF); !g0True {
-			if legs[0].cont.String() == legs[1].cont.String() {
+			if expr.Equal(legs[0].cont, legs[1].cont) {
 				return legs[0].cont
 			}
 		}
@@ -722,23 +734,28 @@ func (e *Engine) crossLoopEntry(
 			exitVals[x.To] = outerCont(x.To)
 		}
 	}
-	key := fmt.Sprintf("cross|%d", c.Header)
+	// The key fingerprints the crossing's full context: the header plus
+	// each (sorted) id→formula section, with a tag and length word per
+	// section so the three lists cannot run into each other.
+	key := expr.SeedFP(0xc5055).Mixed(uint64(c.Header))
 	{
 		ids := make([]int, 0, len(exitVals))
 		for id := range exitVals {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
+		key = key.Mixed(1).Mixed(uint64(len(ids)))
 		for _, id := range ids {
-			key += fmt.Sprintf("|%d=%s", id, exitVals[id])
+			key = key.Mixed(uint64(id)).MixFP(expr.Fingerprint(exitVals[id]))
 		}
 		tids := make([]int, 0, len(targets))
 		for n := range targets {
 			tids = append(tids, n)
 		}
 		sort.Ints(tids)
+		key = key.Mixed(2).Mixed(uint64(len(tids)))
 		for _, n := range tids {
-			key += fmt.Sprintf("|t%d=%s", n, targets[n])
+			key = key.Mixed(uint64(n)).MixFP(expr.Fingerprint(targets[n]))
 		}
 		lids := make([]int, 0, len(loopEntryTargets))
 		byHeader := map[int]expr.Formula{}
@@ -747,8 +764,9 @@ func (e *Engine) crossLoopEntry(
 			byHeader[l2.Header] = f
 		}
 		sort.Ints(lids)
+		key = key.Mixed(3).Mixed(uint64(len(lids)))
 		for _, h := range lids {
-			key += fmt.Sprintf("|l%d=%s", h, byHeader[h])
+			key = key.Mixed(uint64(h)).MixFP(expr.Fingerprint(byHeader[h]))
 		}
 	}
 	if inv, ok := e.crossCache[key]; ok {

@@ -10,19 +10,26 @@
 // scratch state (fresh-variable counter, per-query/entry/cross caches)
 // starts from the same initial values regardless of which worker picks
 // the item up or when, so an item's verdict is a pure function of the
-// item. The shared prover cache is keyed by canonical formula strings
-// and every prover would store the same verdict for a key, so hits can
-// change only *when* a verdict is computed, never *what* it is.
+// item. The shared prover cache is keyed by structural formula
+// fingerprints (hits verified against the formula itself) and every
+// prover would store the same verdict for a key, so hits can change
+// only *when* a verdict is computed, never *what* it is. The same
+// argument makes the chunk schedule (cheap chunks first, so the shared
+// cache is warm before the expensive queries run) a pure latency
+// optimization: it permutes when verdicts are computed, never what
+// they are.
 package vcgen
 
 import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"mcsafe/internal/annotate"
+	"mcsafe/internal/expr"
 	"mcsafe/internal/faults"
 	"mcsafe/internal/solver"
 )
@@ -100,6 +107,40 @@ func buildChunks(conds []*annotate.GlobalCond) [][]workItem {
 	return chunks
 }
 
+// scheduleChunks returns the order in which workers should pull chunks:
+// cheapest first, estimating a chunk's cost as the summed formula size
+// of its conditions. Small conditions are the ones most likely to share
+// WLP prefixes with many others, so proving them first warms the shared
+// formula cache and clause memos before the expensive queries run. The
+// order is deterministic (ties break on chunk index) and, per the
+// determinism argument above, affects only scheduling — result slots
+// are indexed by condition, so output order and verdicts are untouched.
+func scheduleChunks(conds []*annotate.GlobalCond, chunks [][]workItem) []int {
+	cost := make([]int, len(chunks))
+	for i, chunk := range chunks {
+		for _, it := range chunk {
+			if it.group != nil {
+				for _, idx := range it.group.members {
+					cost[i] += expr.Size(conds[idx].F)
+				}
+			} else {
+				cost[i] += expr.Size(conds[it.single].F)
+			}
+		}
+	}
+	order := make([]int, len(chunks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if cost[order[a]] != cost[order[b]] {
+			return cost[order[a]] < cost[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
 // proveParallel discharges the conditions with par workers pulling
 // chunks off a shared index. Results land in a slice indexed like conds;
 // engine stats are summed over the per-chunk engines and prover stats
@@ -118,6 +159,7 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 	}
 	sc := &sharedCaches{query: solver.NewShardedCache(), entry: solver.NewShardedCache()}
 	chunks := buildChunks(conds)
+	order := scheduleChunks(conds, chunks)
 	if par > len(chunks) {
 		par = len(chunks)
 	}
@@ -138,6 +180,7 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 			prover := solver.NewShared(shared)
 			prover.Lim = e.P.Lim
 			prover.Obs = wkObs
+			prover.Intern = e.P.Intern
 			prover.Ctl = e.P.Ctl
 			// Last line of defense: a panic escaping the per-chunk
 			// containment (or fired before any chunk starts) must not
@@ -215,13 +258,14 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 
 			for ctx.Err() == nil && failure.Load() == nil {
 				i := int(next.Add(1)) - 1
-				if i >= len(chunks) {
+				if i >= len(order) {
 					break
 				}
 				// One engine per chunk: the chunk's verdicts are a pure
 				// function of the chunk, independent of which worker
-				// runs it or when.
-				runChunk(i)
+				// runs it or when. Chunks are pulled in scheduled
+				// (cheapest-first) order.
+				runChunk(order[i])
 			}
 		}()
 	}
@@ -232,6 +276,8 @@ func (e *Engine) proveParallel(ctx context.Context, conds []*annotate.GlobalCond
 	e.P.Stats.CacheHits += merged.CacheHits
 	e.P.Stats.Eliminations += merged.Eliminations
 	e.P.Stats.DNFBlowups += merged.DNFBlowups
+	e.P.Stats.FMPrefixReuses += merged.FMPrefixReuses
+	e.P.Stats.EarlyUnsatPrunes += merged.EarlyUnsatPrunes
 	if pe := failure.Load(); pe != nil {
 		return out, pe
 	}

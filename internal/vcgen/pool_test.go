@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mcsafe/internal/expr"
 	"mcsafe/internal/solver"
 )
 
@@ -50,6 +51,60 @@ func TestBuildChunksPartition(t *testing.T) {
 	for rep := 0; rep < 5; rep++ {
 		if again := buildChunks(conds); !reflect.DeepEqual(again, chunks) {
 			t.Fatal("partition changed between calls")
+		}
+	}
+}
+
+// TestScheduleChunksCheapestFirst checks the chunk schedule: a
+// permutation of all chunk indices, ordered by nondecreasing summed
+// formula size with ties broken by chunk index, and identical across
+// repeated calls.
+func TestScheduleChunksCheapestFirst(t *testing.T) {
+	pl := build(t, fig1Asm, fig1Spec, "")
+	conds := pl.ann.Conds
+	chunks := buildChunks(conds)
+	order := scheduleChunks(conds, chunks)
+
+	if len(order) != len(chunks) {
+		t.Fatalf("schedule has %d entries for %d chunks", len(order), len(chunks))
+	}
+	seen := make([]bool, len(chunks))
+	for _, i := range order {
+		if i < 0 || i >= len(chunks) || seen[i] {
+			t.Fatalf("schedule %v is not a permutation of chunk indices", order)
+		}
+		seen[i] = true
+	}
+
+	cost := func(chunk []workItem) int {
+		total := 0
+		for _, it := range chunk {
+			if it.group != nil {
+				for _, idx := range it.group.members {
+					total += expr.Size(conds[idx].F)
+				}
+			} else {
+				total += expr.Size(conds[it.single].F)
+			}
+		}
+		return total
+	}
+	for k := 1; k < len(order); k++ {
+		a, b := order[k-1], order[k]
+		ca, cb := cost(chunks[a]), cost(chunks[b])
+		if ca > cb {
+			t.Fatalf("schedule position %d: chunk %d (cost %d) before chunk %d (cost %d)",
+				k, a, ca, b, cb)
+		}
+		if ca == cb && a > b {
+			t.Fatalf("schedule position %d: tie between chunks %d and %d broken against index order",
+				k, a, b)
+		}
+	}
+
+	for rep := 0; rep < 5; rep++ {
+		if again := scheduleChunks(conds, chunks); !reflect.DeepEqual(again, order) {
+			t.Fatal("schedule changed between calls")
 		}
 	}
 }

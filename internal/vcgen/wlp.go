@@ -1,8 +1,8 @@
 package vcgen
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
@@ -15,7 +15,7 @@ import (
 // about.
 func (e *Engine) freshVar(hint string) expr.Var {
 	e.fresh++
-	return expr.Var(fmt.Sprintf("$h%d.%s", e.fresh, hint))
+	return expr.Var("$h" + strconv.Itoa(e.fresh) + "." + hint)
 }
 
 // havoc replaces a variable by a universally quantified fresh one:
