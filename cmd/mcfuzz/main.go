@@ -13,7 +13,11 @@
 //	           formulas differentially against exhaustive enumeration
 //	soundness  mutate the evaluation programs, check every mutant, and
 //	           concretely execute the checker-approved ones
-//	all        every campaign (soundness sized down to stay interactive)
+//	gen        sweep whole generated programs (internal/gen) against
+//	           their constructed ground truth, and concretely execute
+//	           every checker-approved one
+//	all        every campaign (soundness and gen sized down to stay
+//	           interactive)
 //
 // The exit status is 1 when any campaign finds a counterexample, making
 // the command directly usable as a CI gate.
@@ -34,13 +38,15 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "all", "campaign: encode, solver, soundness, or all")
+		mode    = flag.String("mode", "all", "campaign: encode, solver, soundness, gen, or all")
 		n       = flag.Int("n", 10000, "iterations for the encode and solver campaigns")
 		seed    = flag.Int64("seed", 1, "PRNG seed (campaigns are deterministic given a seed)")
 		progSet = flag.String("progs", "", "soundness programs: comma-separated names, \"all\", or empty for the fast set")
 		mutants = flag.Int("mutants", 40, "mutants per program in the soundness campaign")
 		worlds  = flag.Int("worlds", 3, "concrete environments per checker-approved mutant")
 		inputTO = flag.Duration("input-timeout", 10*time.Minute, "per-mutant check watchdog in the soundness campaign (0 = none)")
+		genN    = flag.Int("gen-n", 120, "generated programs in the gen campaign")
+		genSize = flag.Int("gen-size", 400, "size-band upper bound (instructions) in the gen campaign")
 	)
 	flag.Parse()
 	mutantsSet := false
@@ -75,9 +81,25 @@ func main() {
 		}
 		run("soundness", func() error { return soundnessCampaign(*seed, *progSet, m, *worlds, *inputTO) })
 	}
+	if *mode == "gen" || *mode == "all" {
+		n := *genN
+		if *mode == "all" {
+			n = min(n, 40) // keep -mode all interactive
+		}
+		run("gen", func() error { return genCampaign(*seed, n, *genSize, *worlds) })
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func genCampaign(seed int64, n, maxSize, worlds int) error {
+	stats, err := difftest.RunGenOracle(difftest.GenOracleConfig{
+		Seed: seed, Programs: n, MaxSize: maxSize, Worlds: worlds, MaxSteps: 200000,
+	})
+	fmt.Printf("     gen: %d programs (%d instructions), %d safe, %d planted, %d executions\n",
+		stats.Programs, stats.Instructions, stats.Safe, stats.Unsafe, stats.Executions)
+	return err
 }
 
 func encodeCampaign(seed int64, n int) error {
@@ -90,7 +112,7 @@ func encodeCampaign(seed int64, n int) error {
 			return fmt.Errorf("iteration %d (seed %d): %v", i, seed, err)
 		}
 	}
-	for _, b := range progs.All() {
+	for _, b := range progs.Sorted() {
 		prog, _, err := b.Build()
 		if err != nil {
 			return err
@@ -135,9 +157,7 @@ func soundnessCampaign(seed int64, progSet string, mutants, worlds int, inputTim
 	case "":
 		// fast set (the OracleConfig default)
 	case "all":
-		for _, b := range progs.All() {
-			cfg.Programs = append(cfg.Programs, b.Name)
-		}
+		cfg.Programs = progs.Names()
 	default:
 		cfg.Programs = strings.Split(progSet, ",")
 	}

@@ -1,0 +1,233 @@
+// Command mcgen works the generated conformance corpus: it emits
+// synthetic SPARC fixtures with constructed ground truth, verifies seed
+// ranges against the checker (and optionally the committed manifest),
+// and prints deterministic shard assignments for CI.
+//
+//	mcgen emit -seed 42 -size 1000 -kind oob -o /tmp/fixtures
+//	mcgen verify -seeds 0:200 -manifest internal/conform/testdata/manifest.json
+//	mcgen verify -seeds 0:200 -shard 1/4 -truth-only -v
+//	mcgen shard -seeds 0:200 -shard 3/4
+//
+// The exit status is 1 when verification finds any ground-truth
+// disagreement or manifest diff, making verify directly usable as a CI
+// gate. Everything is deterministic: a seed range fully determines the
+// fixture list, its order, and each shard's contents.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mcsafe"
+	"mcsafe/internal/conform"
+	"mcsafe/internal/gen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "emit":
+		err = emitCmd(os.Args[2:])
+	case "verify":
+		err = verifyCmd(os.Args[2:])
+	case "shard":
+		err = shardCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mcgen: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mcgen emit   -seed N [-size S] [-kind safe|oob|align|uninit|nullptr|stack] [-o dir]
+  mcgen verify [-seeds LO:HI] [-shard I/N] [-manifest path | -truth-only] [-parallel N]
+               [-deadline D] [-cond-timeout D] [-v]
+  mcgen shard  [-seeds LO:HI] -shard I/N
+`)
+}
+
+// parseSeeds parses "LO:HI" (half-open).
+func parseSeeds(s string) (lo, hi int64, err error) {
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil || hi <= lo {
+		return 0, 0, fmt.Errorf("bad -seeds %q (want LO:HI with HI > LO)", s)
+	}
+	return lo, hi, nil
+}
+
+// parseShard parses "I/N".
+func parseShard(s string) (index, total int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &total); err != nil || total < 1 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("bad -shard %q (want I/N with 0 <= I < N)", s)
+	}
+	return index, total, nil
+}
+
+func emitCmd(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "generator seed")
+	size := fs.Int("size", 0, "target instruction count (0 = the seed's corpus-plan size)")
+	kind := fs.String("kind", "", "safe or a planted violation code (empty = the seed's corpus-plan kind)")
+	out := fs.String("o", ".", "output directory")
+	fs.Parse(args)
+
+	cfg := conform.PlanSeed(*seed)
+	if *size != 0 {
+		cfg.Size = *size
+	}
+	if *kind != "" {
+		cfg.Kind = gen.Kind(*kind)
+		ok := false
+		for _, k := range gen.Kinds {
+			ok = ok || k == cfg.Kind
+		}
+		if !ok {
+			return fmt.Errorf("unknown -kind %q", *kind)
+		}
+	}
+	f := gen.Generate(cfg)
+	if _, _, err := f.Build(); err != nil {
+		return err
+	}
+	meta, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	for suffix, data := range map[string]string{
+		".s":    f.Asm,
+		".spec": f.Spec,
+		".json": string(meta) + "\n",
+	} {
+		path := filepath.Join(*out, f.Name+suffix)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d instructions, %d units, ground truth %s", f.Name, f.Insns, f.Units, f.Kind)
+	if !f.WantSafe {
+		fmt.Printf(" (planted in %s)", f.PlantUnit)
+	}
+	fmt.Printf("\n  %s\n", filepath.Join(*out, f.Name+".{s,spec,json}"))
+	return nil
+}
+
+func verifyCmd(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	seeds := fs.String("seeds", "0:200", "seed range LO:HI (half-open)")
+	shard := fs.String("shard", "", "run only shard I/N of the range")
+	manifest := fs.String("manifest", "", "diff outcomes against this manifest (in addition to ground truth)")
+	truthOnly := fs.Bool("truth-only", false, "ground-truth check only (no manifest)")
+	parallel := fs.Int("parallel", 0, "fixture-level workers (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 0, "per-fixture wall-clock budget (0 = none)")
+	condTO := fs.Duration("cond-timeout", 0, "per-condition proof timeout (0 = none)")
+	verbose := fs.Bool("v", false, "per-fixture timing and verdicts")
+	fs.Parse(args)
+
+	lo, hi, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+	index, total, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+	if *manifest == "" && !*truthOnly {
+		*manifest = "internal/conform/testdata/manifest.json"
+	}
+
+	fixtures := conform.Corpus(lo, hi)
+	part, err := conform.Shard(fixtures, index, total)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	outcomes := conform.Run(context.Background(), part, conform.Options{
+		Parallelism: *parallel,
+		Budget:      mcsafe.Budget{Deadline: *deadline, CondTimeout: *condTO},
+	})
+
+	insns, failures := 0, 0
+	for _, o := range outcomes {
+		insns += o.Fixture.Insns
+		if *verbose {
+			status := o.Norm.Verdict
+			if len(o.Norm.Codes) > 0 {
+				status += "[" + strings.Join(o.Norm.Codes, ",") + "]"
+			}
+			if o.Err != nil {
+				status = "error: " + o.Err.Error()
+			}
+			fmt.Printf("  %-28s %6d insns  %8.3fs  %s\n",
+				o.Fixture.Name, o.Fixture.Insns, o.Elapsed.Seconds(), status)
+		}
+		if err := o.GroundTruth(); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "ground truth: %v\n", err)
+		}
+	}
+
+	diffs := 0
+	if *manifest != "" {
+		m, err := conform.LoadManifest(*manifest)
+		if err != nil {
+			return err
+		}
+		ds := conform.Compare(m, outcomes)
+		diffs = len(ds)
+		if diffs > 0 {
+			fmt.Fprint(os.Stderr, conform.Report(ds))
+		}
+	}
+
+	fmt.Printf("verify: %d fixtures (%d instructions) in %v, %d ground-truth failures, %d manifest diffs\n",
+		len(part), insns, time.Since(start).Round(time.Millisecond), failures, diffs)
+	if failures > 0 || diffs > 0 {
+		return fmt.Errorf("%d failures, %d diffs", failures, diffs)
+	}
+	return nil
+}
+
+func shardCmd(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	seeds := fs.String("seeds", "0:200", "seed range LO:HI (half-open)")
+	shard := fs.String("shard", "", "shard I/N to list")
+	fs.Parse(args)
+
+	lo, hi, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+	index, total, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+	part, err := conform.Shard(conform.Corpus(lo, hi), index, total)
+	if err != nil {
+		return err
+	}
+	for _, f := range part {
+		fmt.Printf("%s %d\n", f.Name, f.Insns)
+	}
+	return nil
+}

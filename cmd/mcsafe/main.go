@@ -86,7 +86,7 @@ func main() {
 	bud := core.Budget{Deadline: *deadline, SolverSteps: *budget, CondTimeout: *condTimeout}
 
 	if *list {
-		for _, b := range progs.All() {
+		for _, b := range progs.Sorted() {
 			safe := "safe"
 			if !b.WantSafe {
 				safe = "UNSAFE"

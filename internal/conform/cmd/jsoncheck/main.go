@@ -1,0 +1,45 @@
+// Command jsoncheck validates JSON on stdin: exactly one well-formed
+// document, optionally a top-level object carrying required keys. It
+// replaces `python3 -m json.tool` in CI smoke steps so the workflow has
+// no dependencies beyond the Go toolchain.
+//
+//	go run ./cmd/mcsafe -prog Sum -json | go run ./internal/conform/cmd/jsoncheck -require program,safe,stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated keys the top-level object must carry")
+	flag.Parse()
+
+	dec := json.NewDecoder(os.Stdin)
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: invalid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	if err := dec.Decode(new(any)); err != io.EOF {
+		fmt.Fprintln(os.Stderr, "jsoncheck: trailing data after the JSON document")
+		os.Exit(1)
+	}
+	if *require != "" {
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "jsoncheck: top level is not an object")
+			os.Exit(1)
+		}
+		for _, key := range strings.Split(*require, ",") {
+			if _, ok := obj[key]; !ok {
+				fmt.Fprintf(os.Stderr, "jsoncheck: missing required key %q\n", key)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package conform
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcsafe/internal/gen"
+)
+
+const manifestPath = "testdata/manifest.json"
+
+// corpusUnderTest trims the sweep under -race (≈10x slower): a striped
+// sample of the default corpus, still mixing every kind and the 10^3
+// band. The full 200-fixture corpus is what the committed manifest
+// covers and what ordinary `go test ./internal/conform/` runs.
+func corpusUnderTest(t *testing.T) []*gen.Fixture {
+	fs := DefaultCorpus()
+	if raceEnabled || testing.Short() {
+		sample, err := Shard(fs, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sample
+	}
+	return fs
+}
+
+// TestConformCorpus is the conformance gate: every fixture's checked
+// outcome must agree with the constructed ground truth, and the
+// normalized outcomes must match the committed manifest exactly.
+// MCSAFE_REGEN=1 rewrites the manifest from the current outcomes
+// (full corpus runs only, so the manifest never loses fixtures).
+func TestConformCorpus(t *testing.T) {
+	fixtures := corpusUnderTest(t)
+	outcomes := Run(context.Background(), fixtures, Options{})
+
+	bad := 0
+	for _, o := range outcomes {
+		if err := o.GroundTruth(); err != nil {
+			t.Errorf("ground truth: %v", err)
+			bad++
+			if bad >= 10 {
+				t.Fatal("too many ground-truth disagreements; stopping")
+			}
+		}
+	}
+	if bad > 0 {
+		return
+	}
+
+	if os.Getenv("MCSAFE_REGEN") != "" {
+		if len(fixtures) != len(DefaultCorpus()) {
+			t.Fatal("refusing to regenerate the manifest from a trimmed corpus (drop -short / -race)")
+		}
+		if err := WriteManifest(manifestPath, "seeds 0:200", outcomes); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d fixtures)", manifestPath, len(outcomes))
+		return
+	}
+
+	m, err := LoadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("%v (generate it with MCSAFE_REGEN=1 go test ./internal/conform/)", err)
+	}
+	if diffs := Compare(m, outcomes); len(diffs) > 0 {
+		t.Fatalf("\n%s", Report(diffs))
+	}
+}
+
+// TestCorpusListingStable pins the properties shard assignment and diff
+// reports rely on: the corpus listing is sorted by name, regeneration
+// is byte-identical, and shards stripe it into a disjoint, complete,
+// order-preserving partition.
+func TestCorpusListingStable(t *testing.T) {
+	a, b := Corpus(0, 64), Corpus(0, 64)
+	if len(a) != 64 {
+		t.Fatalf("got %d fixtures", len(a))
+	}
+	seen := map[string]int{}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Asm != b[i].Asm || a[i].Spec != b[i].Spec {
+			t.Fatalf("position %d differs across regenerations", i)
+		}
+		if i > 0 && a[i-1].Name >= a[i].Name {
+			t.Fatalf("listing not sorted at %d: %s >= %s", i, a[i-1].Name, a[i].Name)
+		}
+		seen[a[i].Name] = -1
+	}
+	const shards = 4
+	total := 0
+	for s := 0; s < shards; s++ {
+		part, err := Shard(a, s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(part); i++ {
+			if part[i-1].Name >= part[i].Name {
+				t.Fatalf("shard %d not order-preserving", s)
+			}
+		}
+		for _, f := range part {
+			if seen[f.Name] != -1 {
+				t.Fatalf("%s assigned to shards %d and %d", f.Name, seen[f.Name], s)
+			}
+			seen[f.Name] = s
+			total++
+		}
+	}
+	if total != len(a) {
+		t.Fatalf("shards cover %d of %d fixtures", total, len(a))
+	}
+	if _, err := Shard(a, 4, 4); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+}
+
+// TestPlanMix pins the corpus composition: half safe, every planted
+// kind present, and the size schedule reaching both 10^3 and 10^4.
+func TestPlanMix(t *testing.T) {
+	kinds := map[gen.Kind]int{}
+	max := 0
+	for seed := int64(0); seed < 200; seed++ {
+		cfg := PlanSeed(seed)
+		kinds[cfg.Kind]++
+		if cfg.Size > max {
+			max = cfg.Size
+		}
+	}
+	if kinds[gen.Safe] != 100 {
+		t.Errorf("safe fixtures: %d of 200", kinds[gen.Safe])
+	}
+	for _, k := range gen.Kinds[1:] {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s absent from the default corpus", k)
+		}
+	}
+	if max != 10000 {
+		t.Errorf("largest planned size = %d, want 10000", max)
+	}
+}
+
+// TestCompareReportsSubsetAndFailures covers the diff paths the corpus
+// gate exercises only on regression: shard-subset comparison, a
+// manifest miss, and a failed check.
+func TestCompareReportsSubsetAndFailures(t *testing.T) {
+	m := &Manifest{Fixtures: []Normalized{
+		{Name: "a", Verdict: "safe", Insns: 10},
+		{Name: "b", Verdict: "unsafe", Codes: []string{"oob"}, Insns: 20},
+	}}
+	ok := Outcome{Fixture: &gen.Fixture{Name: "b"},
+		Norm: Normalized{Name: "b", Verdict: "unsafe", Codes: []string{"oob"}, Insns: 20}}
+	if diffs := Compare(m, []Outcome{ok}); len(diffs) != 0 {
+		t.Fatalf("subset compare: unexpected diffs %v", diffs)
+	}
+	drift := Outcome{Fixture: &gen.Fixture{Name: "b"},
+		Norm: Normalized{Name: "b", Verdict: "unsafe", Codes: []string{"align"}, Insns: 20}}
+	missing := Outcome{Fixture: &gen.Fixture{Name: "c"},
+		Norm: Normalized{Name: "c", Verdict: "safe"}}
+	failed := Outcome{Fixture: &gen.Fixture{Name: "a"}, Err: os.ErrDeadlineExceeded}
+	diffs := Compare(m, []Outcome{drift, missing, failed})
+	if len(diffs) != 3 {
+		t.Fatalf("want 3 diffs, got %v", diffs)
+	}
+	for i := 1; i < len(diffs); i++ {
+		if diffs[i-1].Name >= diffs[i].Name {
+			t.Fatal("diffs not sorted")
+		}
+	}
+	if Report(diffs) == "" || Report(nil) != "" {
+		t.Fatal("report rendering")
+	}
+}
+
+// TestManifestRoundTrip pins the manifest encoding: write, load, and
+// compare clean against the same outcomes.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	outcomes := []Outcome{
+		{Fixture: &gen.Fixture{Name: "x"}, Norm: Normalized{Name: "x", Verdict: "safe", Insns: 5}},
+		{Fixture: &gen.Fixture{Name: "y"}, Norm: Normalized{Name: "y", Verdict: "unsafe", Codes: []string{"stack"}}},
+	}
+	if err := WriteManifest(path, "test", outcomes); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Corpus != "test" || len(m.Fixtures) != 2 {
+		t.Fatalf("round trip: %+v", m)
+	}
+	if diffs := Compare(m, outcomes); len(diffs) != 0 {
+		t.Fatalf("round trip diffs: %v", diffs)
+	}
+	bad := []Outcome{{Fixture: &gen.Fixture{Name: "z"}, Err: os.ErrInvalid}}
+	if err := WriteManifest(path, "test", bad); err == nil {
+		t.Fatal("manifest written over a failed check")
+	}
+}

@@ -1,0 +1,109 @@
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Manifest is the committed expectation file: the normalized outcome of
+// every fixture in the default corpus, sorted by name.
+type Manifest struct {
+	// Corpus documents the seed range the manifest covers.
+	Corpus   string       `json:"corpus"`
+	Fixtures []Normalized `json:"fixtures"`
+}
+
+// LoadManifest reads a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// WriteManifest writes a manifest file (sorted by fixture name, one
+// stable formatting) — the MCSAFE_REGEN path.
+func WriteManifest(path, corpus string, outcomes []Outcome) error {
+	m := Manifest{Corpus: corpus}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("refusing to write manifest over failed check: %w", o.Err)
+		}
+		m.Fixtures = append(m.Fixtures, o.Norm)
+	}
+	sort.Slice(m.Fixtures, func(i, j int) bool { return m.Fixtures[i].Name < m.Fixtures[j].Name })
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff is one disagreement between the manifest and a fresh run.
+type Diff struct {
+	Name string
+	// Want/Got render the two normalized outcomes; either is "(absent)"
+	// for a fixture only one side has.
+	Want, Got string
+}
+
+func render(n Normalized) string {
+	s := n.Verdict
+	if len(n.Codes) > 0 {
+		s += "[" + strings.Join(n.Codes, ",") + "]"
+	}
+	return fmt.Sprintf("%s insns=%d branches=%d loops=%d calls=%d conds=%d",
+		s, n.Insns, n.Branches, n.Loops, n.Calls, n.Conds)
+}
+
+// Compare diffs a run's outcomes against the manifest. Outcomes may
+// cover a subset of the manifest (a shard): only fixtures present in
+// the run are compared, but a run fixture missing from the manifest is
+// always a diff. The result is sorted by fixture name.
+func Compare(m *Manifest, outcomes []Outcome) []Diff {
+	want := make(map[string]Normalized, len(m.Fixtures))
+	for _, n := range m.Fixtures {
+		want[n.Name] = n
+	}
+	var diffs []Diff
+	for _, o := range outcomes {
+		name := o.Fixture.Name
+		if o.Err != nil {
+			diffs = append(diffs, Diff{Name: name, Want: "completed check", Got: o.Err.Error()})
+			continue
+		}
+		w, ok := want[name]
+		if !ok {
+			diffs = append(diffs, Diff{Name: name, Want: "(absent)", Got: render(o.Norm)})
+			continue
+		}
+		if !w.equal(o.Norm) {
+			diffs = append(diffs, Diff{Name: name, Want: render(w), Got: render(o.Norm)})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Name < diffs[j].Name })
+	return diffs
+}
+
+// Report renders diffs for humans: one block per disagreeing fixture,
+// expectation above observation, with a regeneration hint.
+func Report(diffs []Diff) string {
+	if len(diffs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d fixture(s) disagree with the conformance manifest:\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "  %s\n    want: %s\n    got:  %s\n", d.Name, d.Want, d.Got)
+	}
+	b.WriteString("if the new behavior is intended, regenerate with MCSAFE_REGEN=1 go test ./internal/conform/\n")
+	return b.String()
+}

@@ -1,0 +1,75 @@
+// Package conform is the fixture-based conformance harness over the
+// generated corpus (internal/gen): it plans deterministic seed ranges,
+// runs the public mcsafe.Checker over every fixture, normalizes each
+// Result to its stable surface (verdict, violation-code set, structural
+// counters), and diffs the outcomes against a stored manifest with
+// readable reports. MCSAFE_REGEN=1 regenerates the manifest.
+//
+// Everything is deterministic end to end: the same seed range always
+// yields the same fixture list in the same (sorted) order, the same
+// shard assignment, and the same normalized outcomes — which is what
+// lets CI split the corpus across shards and still compare against one
+// committed manifest.
+package conform
+
+import (
+	"fmt"
+	"sort"
+
+	"mcsafe/internal/gen"
+)
+
+// PlanSeed maps one seed to its corpus Config: the size schedule cycles
+// through the 10^2 band with periodic excursions to 10^3 and (every
+// hundredth seed) 10^4, and kinds alternate safe / planted so the
+// corpus stays half safe, half unsafe with every violation kind
+// represented. The function is pure: the corpus is fully determined by
+// the seed range.
+func PlanSeed(seed int64) gen.Config {
+	sizes := [...]int{80, 150, 240, 420, 640, 900, 1400, 2200}
+	size := sizes[int(seed%int64(len(sizes)))]
+	switch {
+	case seed%100 == 75:
+		size = 10000
+	case seed%50 == 25:
+		size = 5000
+	}
+	kind := gen.Safe
+	if seed%2 == 1 {
+		kind = gen.Kinds[1+int(seed/2)%(len(gen.Kinds)-1)]
+	}
+	return gen.Config{Seed: seed, Size: size, Kind: kind}
+}
+
+// Corpus generates the fixtures for seeds in [lo, hi), sorted by name.
+// Names embed the zero-padded seed, so the sort is also the seed order;
+// sorting is still explicit because shard assignment and diff reports
+// key off listing positions and must never depend on construction
+// order.
+func Corpus(lo, hi int64) []*gen.Fixture {
+	fs := make([]*gen.Fixture, 0, hi-lo)
+	for seed := lo; seed < hi; seed++ {
+		fs = append(fs, gen.Generate(PlanSeed(seed)))
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	return fs
+}
+
+// DefaultCorpus is the corpus the committed manifest covers and the CI
+// scale tier runs: seeds 0..199 (200 fixtures, 10^2–10^4 instructions,
+// half safe, half planted).
+func DefaultCorpus() []*gen.Fixture { return Corpus(0, 200) }
+
+// Shard returns the index-th of total stride-slices of fs, preserving
+// order: fixture i goes to shard i mod total. Striding (rather than
+// chunking) spreads the large periodic fixtures evenly across shards.
+func Shard(fs []*gen.Fixture, index, total int) ([]*gen.Fixture, error) {
+	if total < 1 || index < 0 || index >= total {
+		return nil, fmt.Errorf("conform: bad shard %d/%d", index, total)
+	}
+	var out []*gen.Fixture
+	for i := index; i < len(fs); i += total {
+		out = append(out, fs[i])
+	}
+	return out, nil
+}

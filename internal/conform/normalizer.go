@@ -1,0 +1,67 @@
+package conform
+
+import (
+	"sort"
+
+	"mcsafe"
+)
+
+// Normalized is the stable surface of one checked fixture: everything
+// the conformance manifest pins and nothing that may legitimately drift
+// (timings, solver-effort counters, violation ordering). The structural
+// counters (instructions, branches, loops, calls, global conditions)
+// are facts about the program and its safety conditions, so they only
+// change when the generator or the condition generator changes — both
+// manifest-worthy events.
+type Normalized struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"` // "safe" or "unsafe"
+	// Codes is the sorted, deduplicated set of Violation.Code values.
+	Codes    []string `json:"codes,omitempty"`
+	Insns    int      `json:"insns"`
+	Branches int      `json:"branches"`
+	Loops    int      `json:"loops"`
+	Calls    int      `json:"calls"`
+	Conds    int      `json:"conds"`
+}
+
+// Normalize reduces a checker Result to its stable surface.
+func Normalize(name string, res *mcsafe.Result) Normalized {
+	n := Normalized{
+		Name:     name,
+		Verdict:  "safe",
+		Insns:    res.Stats.Instructions,
+		Branches: res.Stats.Branches,
+		Loops:    res.Stats.Loops,
+		Calls:    res.Stats.Calls,
+		Conds:    res.Stats.GlobalConds,
+	}
+	if !res.Safe {
+		n.Verdict = "unsafe"
+		seen := map[string]bool{}
+		for _, v := range res.Violations {
+			if !seen[v.Code] {
+				seen[v.Code] = true
+				n.Codes = append(n.Codes, v.Code)
+			}
+		}
+		sort.Strings(n.Codes)
+	}
+	return n
+}
+
+// equal reports whether two normalized outcomes agree exactly.
+func (n Normalized) equal(o Normalized) bool {
+	if n.Name != o.Name || n.Verdict != o.Verdict ||
+		n.Insns != o.Insns || n.Branches != o.Branches ||
+		n.Loops != o.Loops || n.Calls != o.Calls || n.Conds != o.Conds ||
+		len(n.Codes) != len(o.Codes) {
+		return false
+	}
+	for i := range n.Codes {
+		if n.Codes[i] != o.Codes[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package conform
+
+// raceEnabled mirrors the root package's race gate: the corpus sweep
+// runs a striped sample under the race detector.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package conform
+
+// raceEnabled reports whether the race detector is compiled in; the
+// corpus sweep runs a striped sample under -race.
+const raceEnabled = true

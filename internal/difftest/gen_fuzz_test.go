@@ -1,0 +1,41 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcsafe/internal/gen"
+)
+
+// FuzzGen drives the program generator itself: any (seed, size, kind)
+// triple must yield a fixture that generates deterministically,
+// assembles, checks in agreement with its constructed ground truth,
+// and — when checker-approved — survives concrete execution. This is
+// the full generated-program oracle (CheckGenFixture) under fuzzed
+// configurations instead of a fixed sweep.
+func FuzzGen(f *testing.F) {
+	f.Add(int64(0), 16, byte(0))
+	f.Add(int64(1), 64, byte(1))
+	f.Add(int64(7), 120, byte(2))
+	f.Add(int64(42), 200, byte(3))
+	f.Add(int64(99), 64, byte(4))
+	f.Add(int64(123), 80, byte(5))
+	f.Fuzz(func(t *testing.T, seed int64, size int, kindSel byte) {
+		// Bound the checking cost per input, not the generator's domain:
+		// the generator must handle any size, but fuzz throughput wants
+		// small programs.
+		size %= 256
+		if size < 0 {
+			size = -size
+		}
+		cfg := gen.Config{
+			Seed: seed,
+			Size: size,
+			Kind: gen.Kinds[int(kindSel)%len(gen.Kinds)],
+		}
+		r := rand.New(rand.NewSource(seed))
+		if _, err := CheckGenFixture(cfg, 1, 100000, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package gen_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcsafe"
+	"mcsafe/internal/gen"
+)
+
+// checkFixture runs the checker over a fixture and returns the result.
+func checkFixture(t *testing.T, f *gen.Fixture) *mcsafe.Result {
+	t.Helper()
+	spec, err := mcsafe.ParseSpec(f.Spec)
+	if err != nil {
+		t.Fatalf("%s: ParseSpec: %v", f.Name, err)
+	}
+	prog, err := mcsafe.Assemble(f.Asm, spec, f.Entry)
+	if err != nil {
+		t.Fatalf("%s: Assemble: %v\n%s", f.Name, err, f.Asm)
+	}
+	res, err := mcsafe.Check(prog, spec)
+	if err != nil {
+		t.Fatalf("%s: Check: %v", f.Name, err)
+	}
+	return res
+}
+
+// agree asserts the checker verdict matches the fixture's constructed
+// ground truth: safe fixtures check safe; planted fixtures are unsafe
+// with the planted code among the reported violation codes.
+func agree(t *testing.T, f *gen.Fixture, res *mcsafe.Result) {
+	t.Helper()
+	if f.WantSafe {
+		if !res.Safe {
+			t.Errorf("%s: want safe, got %d violations; first: %+v",
+				f.Name, len(res.Violations), res.Violations[0])
+		}
+		return
+	}
+	if res.Safe {
+		t.Errorf("%s: want unsafe (%s planted in %s), checker says safe",
+			f.Name, f.WantCode, f.PlantUnit)
+		return
+	}
+	for _, v := range res.Violations {
+		if v.Code == f.WantCode {
+			return
+		}
+	}
+	t.Errorf("%s: planted %s not reported; got %+v", f.Name, f.WantCode, res.Violations)
+}
+
+// TestKindsSmoke exercises every kind at two sizes and a few seeds —
+// the fast end-to-end gate on the generator's constructed ground truth.
+func TestKindsSmoke(t *testing.T) {
+	for _, kind := range gen.Kinds {
+		for _, size := range []int{64, 220} {
+			for seed := int64(0); seed < 3; seed++ {
+				f := gen.Generate(gen.Config{Seed: seed, Size: size, Kind: kind})
+				res := checkFixture(t, f)
+				agree(t, f, res)
+				if t.Failed() {
+					t.Logf("asm for %s:\n%s", f.Name, f.Asm)
+					t.FailNow()
+				}
+			}
+		}
+	}
+}
+
+// TestGroundTruthExhaustiveSmall is the property test behind the
+// generated corpus: exhaustively over seeds 0..500 at ≤64-instruction
+// programs, safe fixtures check safe and planted fixtures are reported
+// unsafe with the planted Violation.Code. Each seed checks its safe
+// fixture plus one planted kind (cycling through all five), so every
+// plant is exercised at ~100 distinct seeds. Seeds are striped across
+// parallel subtests; striping only changes scheduling, never the
+// fixtures.
+func TestGroundTruthExhaustiveSmall(t *testing.T) {
+	maxSeed := int64(500)
+	if raceEnabled || testing.Short() {
+		maxSeed = 60 // -race is ~10x slower; keep every plant covered
+	}
+	const stripes = 8
+	for s := 0; s < stripes; s++ {
+		t.Run(fmt.Sprintf("stripe%d", s), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(s); seed <= maxSeed; seed += stripes {
+				planted := gen.Kinds[1+int(seed)%(len(gen.Kinds)-1)]
+				for _, kind := range []gen.Kind{gen.Safe, planted} {
+					f := gen.Generate(gen.Config{Seed: seed, Size: 64, Kind: kind})
+					if f.Insns > 72 {
+						t.Fatalf("%s: %d instructions, want ≤72 for target 64", f.Name, f.Insns)
+					}
+					agree(t, f, checkFixture(t, f))
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism pins the generator's core contract: the same Config
+// yields a byte-identical fixture — assembly, spec, ground truth, and
+// counters — on every call. Shard assignment, the conformance manifest,
+// and fuzz replay all depend on this.
+func TestDeterminism(t *testing.T) {
+	for seed := int64(0); seed <= 500; seed++ {
+		for _, kind := range gen.Kinds {
+			cfg := gen.Config{Seed: seed, Size: 64 + int(seed%5)*97, Kind: kind}
+			a, b := gen.Generate(cfg), gen.Generate(cfg)
+			if *a != *b {
+				t.Fatalf("seed %d kind %s: two generations differ", seed, kind)
+			}
+			if kind != gen.Safe {
+				if a.WantSafe || a.WantCode != string(kind) || a.PlantUnit == "" {
+					t.Fatalf("%s: bad ground-truth labeling: %+v", a.Name, a)
+				}
+				if !strings.Contains(a.Asm, a.PlantUnit+":") {
+					t.Fatalf("%s: plant unit %s not in program", a.Name, a.PlantUnit)
+				}
+			} else if !a.WantSafe || a.WantCode != "" {
+				t.Fatalf("%s: safe fixture mislabeled: %+v", a.Name, a)
+			}
+		}
+	}
+}
+
+// TestEveryConfigBuilds sweeps a broad Config space — including
+// degenerate sizes — and requires every fixture to assemble and parse.
+func TestEveryConfigBuilds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, size := range []int{0, 1, gen.MinSize, 33, 100, 700} {
+			for _, kind := range gen.Kinds {
+				f := gen.Generate(gen.Config{Seed: seed, Size: size, Kind: kind})
+				if _, _, err := f.Build(); err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gen_test
+
+// raceEnabled mirrors the root package's race gate: the exhaustive
+// ground-truth sweep trims its seed range under the race detector.
+const raceEnabled = false

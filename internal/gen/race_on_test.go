@@ -1,0 +1,7 @@
+//go:build race
+
+package gen_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// exhaustive ground-truth sweep trims its seed range under -race.
+const raceEnabled = true

@@ -1,0 +1,213 @@
+package gen
+
+// The unit idioms. Every unit is a self-contained extension routine:
+// it starts at its dispatch label, touches host data only through the
+// guards the checker's invariant synthesis is known to discharge, and
+// returns with retl (or ret/restore for windowed units). Units use
+// %g1–%g5 and %o5 as scratch; %l registers are never written, reserving
+// them as the uninitialized source for the uninit plant.
+//
+// Planted variants are minimal perturbations of the safe idiom — one
+// opcode or immediate — so an unsafe fixture differs from its safe
+// sibling exactly at the violation site.
+
+var binops = []string{"add", "sub", "xor", "and", "or"}
+
+func (g *generator) binop() string { return binops[g.rng.Intn(len(binops))] }
+
+// loopRead is the Sum idiom: a counted loop reading arr[i] for
+// i in [0, n). The bounds proof needs the synthesized invariant
+// %g3 < n ∧ %o1 = n (paper §5.2.2).
+//
+// kind OOB flips the back-edge test bl→ble so the index reaches n and
+// the upper-bound condition 4i ≤ 4n−4 fails. kind Align halves the
+// element stride (sll 2→1) so the index 2i stays in bounds for n ≥ 1
+// but the word-alignment condition 4 | idx fails.
+func (g *generator) loopRead(i int, kind Kind) {
+	acc := g.rng.Intn(2) == 0
+	stride := 2
+	if kind == Align {
+		stride = 1
+	}
+	back := "bl"
+	if kind == OOB {
+		back = "ble"
+	}
+	g.label("u%d", i)
+	g.ins("clr %%g3")
+	g.ins("cmp %%g3,%%o1")
+	g.ins("bge d%d", i)
+	if acc {
+		g.ins("clr %%g4")
+	} else {
+		g.ins("nop")
+	}
+	g.label("l%d", i)
+	g.ins("sll %%g3,%d,%%g2", stride)
+	g.ins("ld [%%o2+%%g2],%%g2")
+	if acc {
+		g.ins("add %%g4,%%g2,%%g4")
+	}
+	g.ins("inc %%g3")
+	g.ins("cmp %%g3,%%o1")
+	g.ins("%s l%d", back, i)
+	g.ins("nop")
+	g.label("d%d", i)
+	g.ins("retl")
+	g.ins("nop")
+}
+
+// loopWrite is the store half of the BubbleSort idiom: a counted loop
+// writing a running value into arr[i] for i in [0, n).
+func (g *generator) loopWrite(i int) {
+	step := 1 + g.rng.Intn(9)
+	g.label("u%d", i)
+	g.ins("clr %%g3")
+	g.ins("cmp %%g3,%%o1")
+	g.ins("bge d%d", i)
+	g.ins("mov %%o0,%%g4")
+	g.label("l%d", i)
+	g.ins("sll %%g3,2,%%g2")
+	g.ins("st %%g4,[%%o2+%%g2]")
+	g.ins("inc %%g3")
+	g.ins("add %%g4,%d,%%g4", step)
+	g.ins("cmp %%g3,%%o1")
+	g.ins("bl l%d", i)
+	g.ins("nop")
+	g.label("d%d", i)
+	g.ins("retl")
+	g.ins("nop")
+}
+
+// structWalk is the StartTimer idiom: field reads and writes through
+// the non-null record pointer %o3 (srec: a+0, b+4, c+8, d+12).
+func (g *generator) structWalk(i int) {
+	g.label("u%d", i)
+	g.ins("ld [%%o3+0],%%g1")
+	g.ins("ld [%%o3+4],%%g2")
+	g.ins("%s %%g1,%%g2,%%g3", g.binop())
+	g.ins("st %%g3,[%%o3+8]")
+	g.ins("ld [%%o3+12],%%g4")
+	g.ins("%s %%g4,%%g1,%%g4", g.binop())
+	g.ins("st %%g4,[%%o3+12]")
+	g.ins("retl")
+	g.ins("nop")
+}
+
+// ptrChase walks the nullable list %o4, guarding each dereference with
+// a null test; the per-iteration null condition discharges against the
+// dominating be-not-taken path guard. kind NullPtr moves the
+// dereference ahead of the guard (the PagingPolicy bug), so the very
+// first load can fault on a null head.
+func (g *generator) ptrChase(i int, kind Kind) {
+	g.label("u%d", i)
+	g.ins("mov %%o4,%%g1")
+	g.ins("clr %%g2")
+	g.label("c%d", i)
+	if kind == NullPtr {
+		g.ins("ld [%%g1+0],%%g3") // no null guard: the planted bug
+		g.ins("%s %%g2,%%g3,%%g2", g.binop())
+		g.ins("ld [%%g1+4],%%g1")
+		g.ins("cmp %%g1,%%g0")
+		g.ins("bne c%d", i)
+		g.ins("nop")
+	} else {
+		g.ins("cmp %%g1,%%g0")
+		g.ins("be d%d", i)
+		g.ins("nop")
+		g.ins("ld [%%g1+0],%%g3")
+		g.ins("%s %%g2,%%g3,%%g2", g.binop())
+		g.ins("ld [%%g1+4],%%g1")
+		g.ins("ba c%d", i)
+		g.ins("nop")
+		g.label("d%d", i)
+	}
+	g.ins("retl")
+	g.ins("nop")
+}
+
+// callTree is the register-window idiom: the unit opens a frame,
+// calls a generated callee (which may itself open a frame and call a
+// leaf, for a depth-two window tree), and returns through restore.
+// kind Stack shrinks the unit's frame to -92 bytes — still past the
+// 64-byte register-save minimum but not doubleword-aligned, which the
+// save check rejects.
+func (g *generator) callTree(i int, kind Kind) {
+	frame := -96
+	if kind == Stack {
+		frame = -92
+	}
+	deep := g.rng.Intn(2) == 0
+	g.label("u%d", i)
+	g.ins("save %%sp,%d,%%sp", frame)
+	g.ins("mov %%i1,%%o0")
+	g.ins("call f%d", i)
+	g.ins("nop")
+	g.ins("mov %%o0,%%g1")
+	g.ins("ret")
+	g.ins("restore")
+	if deep {
+		g.plabel("f%d", i)
+		g.pins("save %%sp,-96,%%sp")
+		g.pins("mov %%i0,%%o0")
+		g.pins("call w%d", i)
+		g.pins("nop")
+		g.pins("mov %%o0,%%i0")
+		g.pins("ret")
+		g.pins("restore")
+		g.plabel("w%d", i)
+		g.pins("%s %%o0,%%o0,%%o0", g.binop())
+		g.pins("retl")
+		g.pins("nop")
+	} else {
+		g.plabel("f%d", i)
+		g.pins("%s %%o0,%%o0,%%o1", g.binop())
+		g.pins("sll %%o1,2,%%o1")
+		g.pins("retl")
+		g.pins("mov %%o1,%%o0")
+	}
+}
+
+// aluFill is straight-line register arithmetic: n scheduled binary ops
+// over scratch registers, every operand written before read. It doubles
+// as the size governor — the final unit of every program is an aluFill
+// sized to hit the Config target. With uninit set, the last op reads a
+// local register the entry procedure never writes, tripping the
+// uninitialized-operand local check at a known site.
+func (g *generator) aluFill(i, n int, uninit bool) {
+	if n < 3 {
+		n = 3
+	}
+	regs := []string{"%g1", "%g2", "%g3", "%g4", "%g5", "%o5"}
+	g.label("u%d", i)
+	g.ins("mov %d,%%g1", g.rng.Intn(1024))
+	g.ins("mov %d,%%g2", g.rng.Intn(1024))
+	inited := 2 // regs[0] and regs[1] are written; grow the set in order
+	for k := 0; k < n; k++ {
+		if uninit && k == n-1 {
+			g.ins("add %%l%d,1,%%o5", g.rng.Intn(8)) // %l* is never written
+			break
+		}
+		avail := inited // sources come from registers already written
+		dst := g.rng.Intn(len(regs))
+		if dst > avail {
+			dst = avail
+		}
+		if dst == avail {
+			inited++
+		}
+		src := regs[g.rng.Intn(avail)]
+		switch g.rng.Intn(4) {
+		case 0:
+			g.ins("sll %s,%d,%s", src, 1+g.rng.Intn(7), regs[dst])
+		case 1:
+			g.ins("srl %s,%d,%s", src, 1+g.rng.Intn(7), regs[dst])
+		case 2:
+			g.ins("%s %s,%d,%s", g.binop(), src, g.rng.Intn(512), regs[dst])
+		default:
+			g.ins("%s %s,%s,%s", g.binop(), src, regs[g.rng.Intn(avail)], regs[dst])
+		}
+	}
+	g.ins("retl")
+	g.ins("nop")
+}

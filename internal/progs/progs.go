@@ -8,6 +8,8 @@ package progs
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"mcsafe/internal/core"
 	"mcsafe/internal/policy"
@@ -76,7 +78,11 @@ func (b *Benchmark) Check(opts core.Options) (*core.Result, error) {
 	return core.Check(prog, spec, opts)
 }
 
-// All returns the thirteen Figure 9 programs in the paper's column order.
+// All returns the thirteen Figure 9 programs in the paper's column
+// order — the order of the paper's table, kept for the benchmark
+// harness's paper-vs-measured rows. Enumeration that must be stable
+// across runs and shards (listings, shard assignment, reports) should
+// use Names or Sorted instead.
 func All() []*Benchmark {
 	return []*Benchmark{
 		Sum(), PagingPolicy(), StartTimer(), Hash(), BubbleSort(),
@@ -85,12 +91,48 @@ func All() []*Benchmark {
 	}
 }
 
+// registry is the name index over All(), built once. Registration is
+// validated on first use: a duplicated benchmark name panics instead of
+// silently shadowing an entry.
+var registry struct {
+	once   sync.Once
+	byName map[string]*Benchmark
+	names  []string
+}
+
+func ensureRegistry() {
+	registry.once.Do(func() {
+		registry.byName = make(map[string]*Benchmark)
+		for _, b := range All() {
+			if _, dup := registry.byName[b.Name]; dup {
+				panic("progs: duplicate benchmark name " + b.Name)
+			}
+			registry.byName[b.Name] = b
+			registry.names = append(registry.names, b.Name)
+		}
+		sort.Strings(registry.names)
+	})
+}
+
+// Names returns the benchmark names in sorted order: the stable
+// iteration order for listings, shard assignment, and reports.
+func Names() []string {
+	ensureRegistry()
+	return append([]string(nil), registry.names...)
+}
+
+// Sorted returns the benchmarks in sorted-name order.
+func Sorted() []*Benchmark {
+	ensureRegistry()
+	out := make([]*Benchmark, 0, len(registry.names))
+	for _, name := range registry.names {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
 // Get returns a benchmark by name, or nil.
 func Get(name string) *Benchmark {
-	for _, b := range All() {
-		if b.Name == name {
-			return b
-		}
-	}
-	return nil
+	ensureRegistry()
+	return registry.byName[name]
 }

@@ -1,0 +1,45 @@
+package progs
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestRegistryStable pins the corpus-registration contracts: Names is
+// sorted and complete, Sorted aligns with it, Get resolves every
+// benchmark, and All keeps the paper's column order for the Figure 9
+// tables. Stable (sorted) iteration is what makes shard assignment and
+// diff reports deterministic across runs.
+func TestRegistryStable(t *testing.T) {
+	all := All()
+	names := Names()
+	if len(names) != len(all) {
+		t.Fatalf("Names has %d entries, All has %d", len(names), len(all))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	sorted := Sorted()
+	for i, b := range sorted {
+		if b.Name != names[i] {
+			t.Fatalf("Sorted[%d] = %s, want %s", i, b.Name, names[i])
+		}
+		if Get(b.Name) != b {
+			t.Fatalf("Get(%s) does not resolve to the registry entry", b.Name)
+		}
+	}
+	if Get("no-such-benchmark") != nil {
+		t.Fatal("Get on an unknown name must return nil")
+	}
+	if all[0].Name != "Sum" || all[len(all)-1].Name != "MD5" {
+		t.Fatalf("All order changed: %s .. %s (must stay the paper's column order)",
+			all[0].Name, all[len(all)-1].Name)
+	}
+	// Two calls agree element-wise (no hidden map iteration anywhere).
+	again := Names()
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatal("Names is not stable across calls")
+		}
+	}
+}

@@ -545,6 +545,42 @@ func (e *Engine) sitesCalling(procIdx int) []*cfg.CallSite {
 // maxFormulaSize bounds per-point formulas during back-substitution.
 const maxFormulaSize = 20000
 
+// liveSet computes, for a whole-procedure pass, the nodes from which a
+// requirement source is reachable in the intraprocedural view: the
+// target nodes themselves and the headers of child loops carrying
+// loop-entry targets. A node outside this set can only ever contribute
+// the trivial requirement true — every continuation it sees is true and
+// wlp preserves it — so the pass may skip it without changing the entry
+// formula. This is what keeps back-substitution demand-driven at scale:
+// the cost of a condition is the size of its backward slice, not of the
+// whole procedure (large generated programs are near-linear instead of
+// quadratic, and unrelated loops are no longer crossed — and their
+// invariants no longer synthesized — just to carry true around).
+func (e *Engine) liveSet(proc *cfg.Proc, targets map[int]expr.Formula, loopEntryTargets map[*cfg.Loop]expr.Formula) map[int]bool {
+	live := make(map[int]bool, len(targets)+8)
+	var queue []int
+	add := func(id int) {
+		if e.g.Nodes[id].Proc == proc.Index && !live[id] {
+			live[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for id := range targets {
+		add(id)
+	}
+	for l := range loopEntryTargets {
+		add(l.Header)
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, edge := range e.g.IntraPreds(id) {
+			add(edge.To)
+		}
+	}
+	return live
+}
+
 // region identifies a back-substitution region: a whole procedure body
 // (loop == nil) or one natural loop.
 type region struct {
@@ -581,6 +617,16 @@ func (e *Engine) passRegion(
 ) expr.Formula {
 	A := map[int]expr.Formula{}
 	entryOf := map[*cfg.Loop]expr.Formula{}
+
+	// Whole-procedure passes are pruned to the backward slice of the
+	// requirement sources; loop regions are left alone (a natural loop's
+	// body is strongly connected through its header, so nothing could be
+	// skipped), as are passes with exit continuations (any exit may carry
+	// a requirement).
+	var live map[int]bool
+	if r.loop == nil && exitCont == nil && (len(targets) > 0 || len(loopEntryTargets) > 0) {
+		live = e.liveSet(r.proc, targets, loopEntryTargets)
+	}
 
 	// contFor yields the formula required at the point just before y,
 	// as seen from an edge x->y inside the region.
@@ -625,6 +671,9 @@ func (e *Engine) passRegion(
 		}
 		if inner := e.g.InnermostLoop(x); inner != nil && inner != r.loop {
 			continue // member of a child loop
+		}
+		if live != nil && !live[x] {
+			continue // cannot reach a requirement source: contributes true
 		}
 		after := e.succFormula(x, contFor)
 		f := e.wlpInsn(x, after)
