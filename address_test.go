@@ -1,0 +1,141 @@
+package mcsafe
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenSpecText and goldenAsmText are frozen inputs whose content
+// addresses are pinned below. If either pinned value changes, the
+// canonical encoding changed: every persisted verdict-store record is
+// silently invalidated, which is allowed only together with a version
+// bump of the respective encoding magic (see internal/sparc/fingerprint.go
+// and internal/policy/hash.go).
+const goldenSpecText = `
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int ro
+allow V int[n] rfo
+`
+
+const goldenAsmText = `
+1:  mov %o0,%o2
+2:  clr %o0
+3:  retl
+4:  nop
+`
+
+const (
+	goldenProgFingerprint  = "e77a14e1f181eb4960454f4f1edea3cbbb4656749f8094cb6d51885aa0863d7d"
+	goldenSpecHash         = "194eceb549b7f1aedb0af4ef92b4d6773a4df524fbf799331bcb521b471b7c9b"
+	goldenWordsFingerprint = "77b80e5aa8b78184624cc5cd208cc7ffc5639051c9e6f3ab9e86d8787a910940"
+)
+
+func buildGolden(t *testing.T) (*Program, *Spec) {
+	t.Helper()
+	spec, err := ParseSpec(goldenSpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(goldenAsmText, spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, spec
+}
+
+// TestContentAddressStability pins the content addresses across
+// versions: the golden values must never drift without an explicit
+// encoding-version bump.
+func TestContentAddressStability(t *testing.T) {
+	prog, spec := buildGolden(t)
+	if got := prog.Fingerprint().String(); got != goldenProgFingerprint {
+		t.Errorf("program fingerprint drifted:\n got  %s\n want %s", got, goldenProgFingerprint)
+	}
+	if got := spec.Hash().String(); got != goldenSpecHash {
+		t.Errorf("spec hash drifted:\n got  %s\n want %s", got, goldenSpecHash)
+	}
+	w, err := FromWords([]uint32{0x01000000, 0x81c3e008}, 0x10000, map[string]int{"entry": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Fingerprint().String(); got != goldenWordsFingerprint {
+		t.Errorf("FromWords fingerprint drifted:\n got  %s\n want %s", got, goldenWordsFingerprint)
+	}
+}
+
+// TestSpecHashCanonical: the hash addresses the parsed structure, not
+// the source text — comments and whitespace do not perturb it, while a
+// semantic change does.
+func TestSpecHashCanonical(t *testing.T) {
+	_, spec := buildGolden(t)
+	reformatted := "# a leading comment\n" +
+		strings.ReplaceAll(goldenSpecText, "loc e  int ", "loc e int") +
+		"\n# a trailing comment\n"
+	spec2, err := ParseSpec(reformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Hash() != spec2.Hash() {
+		t.Error("reformatting the policy source changed its hash")
+	}
+	spec3, err := ParseSpec(strings.ReplaceAll(goldenSpecText, "n >= 1", "n >= 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Hash() == spec3.Hash() {
+		t.Error("changing a constraint did not change the spec hash")
+	}
+}
+
+// TestFingerprintSensitivity: any checker-visible program difference —
+// a word, the entry point, a symbol — yields a different address.
+func TestFingerprintSensitivity(t *testing.T) {
+	fp := func(words []uint32, syms map[string]int) Hash {
+		p, err := FromWords(words, 0x10000, syms, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Fingerprint()
+	}
+	words := []uint32{0x01000000, 0x01000000, 0x81c3e008}
+	h0 := fp(words, nil)
+	if h0 != fp(words, nil) {
+		t.Error("fingerprint is not deterministic")
+	}
+	if h0 == fp([]uint32{0x01000000, 0x81c3e008, 0x01000000}, nil) {
+		t.Error("reordered words share a fingerprint")
+	}
+	if h0 == fp(words, map[string]int{"l": 1}) {
+		t.Error("adding a symbol did not change the fingerprint")
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	_, spec := buildGolden(t)
+	h := spec.Hash()
+	back, err := ParseHash(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Error("ParseHash(String) round trip failed")
+	}
+	if h.IsZero() {
+		t.Error("non-trivial spec hashed to zero")
+	}
+	if _, err := ParseHash("abc"); err == nil {
+		t.Error("short hash accepted")
+	}
+	if _, err := ParseHash(strings.Repeat("zz", 32)); err == nil {
+		t.Error("non-hex hash accepted")
+	}
+	var zero Hash
+	if !zero.IsZero() {
+		t.Error("zero hash not IsZero")
+	}
+}

@@ -42,8 +42,10 @@ func coreOptions(opts Options) core.Options {
 // itself is parallel (the batch already saturates the cores); an
 // explicit per-item Parallelism is honored.
 //
-// CheckAll is a shim over the Checker API:
-// New().CheckAll(context.Background(), items, parallelism).
+// Deprecated: build a Checker instead — New().CheckAll(ctx, items,
+// parallelism) — which adds context cancellation and configuration
+// reuse. This shim is kept for source compatibility and delegates
+// unchanged.
 func CheckAll(items []BatchItem, parallelism int) []BatchResult {
 	return New().CheckAll(context.Background(), items, parallelism)
 }

@@ -64,6 +64,8 @@ func run() int {
 	requireCounters := flag.String("require-counters", "", "comma-separated counter names (e.g. intern_hits,early_unsat_prunes) that must be nonzero summed over the checked programs; forces counter collection and exits 1 otherwise")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the checking runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after all runs) to this file")
+	storebench := flag.Bool("storebench", false, "benchmark the verdict store: cold check vs warm in-memory and post-restart disk hits")
+	storeDir := flag.String("store", "", "with -storebench: store directory (default: a temp dir, removed afterwards)")
 	flag.Parse()
 
 	var gated []string
@@ -122,6 +124,10 @@ func run() int {
 		for _, name := range strings.Split(*only, ",") {
 			wanted[strings.TrimSpace(name)] = true
 		}
+	}
+
+	if *storebench {
+		return storeBench(*storeDir, wanted, *parallel)
 	}
 
 	if *baseline != "" {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"mcsafe"
+	"mcsafe/internal/progs"
+	"mcsafe/internal/vstore"
+)
+
+// storeBench measures the verdict store's three serving paths per
+// program: a cold check (analysis + store write), a warm hit from the
+// in-memory layer, and a warm hit from the disk layer after a simulated
+// restart (a fresh Open over the same directory, whose memory layer
+// starts empty). This is the mcsafed serving story in one table — the
+// warm columns are what a resubmission costs.
+func storeBench(dir string, wanted map[string]bool, parallelism int) int {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mcsafe-storebench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 2
+		}
+		defer os.RemoveAll(dir)
+	}
+	st, err := vstore.Open(dir, vstore.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 2
+	}
+	checker := mcsafe.New(mcsafe.WithParallelism(parallelism))
+	ctx := context.Background()
+
+	type row struct {
+		name                    string
+		bytes                   int
+		cold, warmMem, warmDisk time.Duration
+	}
+	var rows []row
+	for _, b := range progs.All() {
+		if len(wanted) > 0 && !wanted[b.Name] {
+			continue
+		}
+		spec, err := mcsafe.ParseSpec(b.Spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", b.Name, err)
+			return 2
+		}
+		prog, err := mcsafe.Assemble(b.Source, spec, b.Entry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", b.Name, err)
+			return 2
+		}
+		key := vstore.Key{
+			Program: prog.Fingerprint().String(),
+			Policy:  spec.Hash().String(),
+			Checker: mcsafe.CheckerVersion,
+		}
+
+		// Cold: the full serve path on a miss — check, encode, persist.
+		start := time.Now()
+		res, err := checker.Check(ctx, prog, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", b.Name, err)
+			return 2
+		}
+		wire, err := res.MarshalWire()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", b.Name, err)
+			return 2
+		}
+		if err := st.Put(key, wire); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", b.Name, err)
+			return 2
+		}
+		cold := time.Since(start)
+
+		// Warm memory hits: best of a small burst, the steady state.
+		warmMem := time.Duration(1<<62 - 1)
+		for i := 0; i < 32; i++ {
+			t0 := time.Now()
+			if _, ok := st.Get(key); !ok {
+				fmt.Fprintf(os.Stderr, "mcbench: %s: warm get missed\n", b.Name)
+				return 2
+			}
+			if d := time.Since(t0); d < warmMem {
+				warmMem = d
+			}
+		}
+		rows = append(rows, row{name: b.Name, bytes: len(wire), cold: cold, warmMem: warmMem})
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 2
+	}
+
+	// Restart: a fresh store over the same directory serves the first
+	// Get of each key from disk.
+	st2, err := vstore.Open(dir, vstore.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 2
+	}
+	defer st2.Close()
+	for i := range rows {
+		b := progs.Get(rows[i].name)
+		spec, _ := mcsafe.ParseSpec(b.Spec)
+		prog, _ := mcsafe.Assemble(b.Source, spec, b.Entry)
+		key := vstore.Key{
+			Program: prog.Fingerprint().String(),
+			Policy:  spec.Hash().String(),
+			Checker: mcsafe.CheckerVersion,
+		}
+		t0 := time.Now()
+		if _, ok := st2.Get(key); !ok {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: disk get missed after restart\n", rows[i].name)
+			return 2
+		}
+		rows[i].warmDisk = time.Since(t0)
+	}
+
+	fmt.Println("Verdict store: cold check vs warm resubmission (per program)")
+	fmt.Println("(warm-mem: in-memory LRU hit; warm-disk: first hit after restart)")
+	fmt.Println()
+	fmt.Printf("%-15s %8s %12s %12s %12s %10s\n",
+		"Program", "Bytes", "Cold", "Warm-mem", "Warm-disk", "Speedup")
+	var totCold, totMem time.Duration
+	for _, r := range rows {
+		speedup := float64(r.cold) / float64(r.warmMem)
+		fmt.Printf("%-15s %8d %12v %12v %12v %9.0fx\n",
+			r.name, r.bytes, r.cold.Round(time.Microsecond),
+			r.warmMem.Round(100*time.Nanosecond), r.warmDisk.Round(time.Microsecond), speedup)
+		totCold += r.cold
+		totMem += r.warmMem
+	}
+	if len(rows) > 0 && totMem > 0 {
+		fmt.Printf("\ntotal cold %v, total warm-mem %v (%.0fx)\n",
+			totCold.Round(time.Microsecond), totMem.Round(time.Microsecond),
+			float64(totCold)/float64(totMem))
+	}
+	return 0
+}

@@ -31,29 +31,35 @@ import (
 	"os"
 
 	"mcsafe"
-	"mcsafe/internal/core"
 	"mcsafe/internal/obs"
 	"mcsafe/internal/progs"
 )
 
-// jsonReport is the -json output shape. The schema is stable: fields are
-// only ever added.
+// jsonReport is the -json output envelope. The verdict itself is the
+// versioned Result wire encoding (mcsafe.WireResult, "result") — the
+// same bytes a verdict-store record and an mcsafed response carry — with
+// the submission's content addresses alongside. The envelope evolves
+// additively: fields are only ever added.
 type jsonReport struct {
-	Program    string           `json:"program,omitempty"`
-	Safe       bool             `json:"safe"`
-	Violations []core.Violation `json:"violations"`
-	Stats      core.Stats       `json:"stats"`
-	Times      core.PhaseTimes  `json:"times"`
-	Trace      *obs.Snapshot    `json:"trace,omitempty"`
+	Program     string          `json:"program,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Policy      string          `json:"policy,omitempty"`
+	Checker     string          `json:"checker"`
+	Result      json.RawMessage `json:"result"`
+	Trace       *obs.Snapshot   `json:"trace,omitempty"`
 }
 
-func emitJSON(name string, safe bool, violations []core.Violation, stats core.Stats, times core.PhaseTimes, tr *obs.Trace) {
-	rep := jsonReport{
-		Program: name, Safe: safe, Violations: violations,
-		Stats: stats, Times: times,
+func emitJSON(name string, prog *mcsafe.Program, spec *mcsafe.Spec, res *mcsafe.Result, tr *mcsafe.Trace) {
+	wire, err := res.MarshalWire()
+	if err != nil {
+		fatal(err)
 	}
-	if violations == nil {
-		rep.Violations = []core.Violation{}
+	rep := jsonReport{
+		Program:     name,
+		Fingerprint: prog.Fingerprint().String(),
+		Policy:      spec.Hash().String(),
+		Checker:     mcsafe.CheckerVersion,
+		Result:      json.RawMessage(wire),
 	}
 	if tr != nil {
 		snap := tr.Snapshot()
@@ -83,7 +89,7 @@ func main() {
 	condTimeout := flag.Duration("cond-timeout", 0, "wall-clock bound per condition proof (0 = none)")
 	flag.Parse()
 
-	bud := core.Budget{Deadline: *deadline, SolverSteps: *budget, CondTimeout: *condTimeout}
+	bud := mcsafe.Budget{Deadline: *deadline, SolverSteps: *budget, CondTimeout: *condTimeout}
 
 	if *list {
 		for _, b := range progs.Sorted() {
@@ -107,31 +113,43 @@ func main() {
 		if b == nil {
 			fatal(fmt.Errorf("unknown built-in program %q (use -list)", *builtin))
 		}
-		inner, cerr := b.Check(core.Options{Parallelism: *parallel, Obs: tr, Budget: bud})
+		spec, perr := mcsafe.ParseSpec(b.Spec)
+		if perr != nil {
+			fatal(perr)
+		}
+		prog, aerr := mcsafe.Assemble(b.Source, spec, b.Entry)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		if *dumpAsm {
+			fmt.Print(prog.Disassemble())
+		}
+		checker := mcsafe.New(
+			mcsafe.WithParallelism(*parallel),
+			mcsafe.WithObserver(tr),
+			mcsafe.WithBudget(bud),
+		)
+		res, cerr := checker.Check(context.Background(), prog, spec)
 		if cerr != nil {
 			fatal(cerr)
 		}
 		if *jsonOut {
-			emitJSON(b.Name, inner.Safe, inner.Violations, inner.Stats, inner.Times, tr)
+			emitJSON(b.Name, prog, spec, res, tr)
 		} else {
-			printCore(inner, *dumpConds)
-			if *explain {
-				for _, v := range inner.Violations {
-					fmt.Print(inner.Explain(v))
-				}
+			if *dumpTS {
+				fmt.Print(res.DumpTypestate())
 			}
+			if *dumpConds {
+				fmt.Print(res.Conditions())
+			}
+			printResult(res, *explain)
 			if tr != nil {
 				if err := tr.WriteText(os.Stdout); err != nil {
 					fatal(err)
 				}
 			}
-			if inner.Safe {
-				fmt.Println("VERDICT: safe")
-			} else {
-				fmt.Println("VERDICT: UNSAFE")
-			}
 		}
-		if !inner.Safe {
+		if !res.Safe {
 			os.Exit(1)
 		}
 
@@ -154,12 +172,12 @@ func main() {
 			mcsafe.WithBudget(bud),
 		)
 		if flag.NArg() == 1 {
-			res, err := checkOne(checker, spec, flag.Arg(0), *entry, *dumpAsm)
+			prog, res, err := checkOne(checker, spec, flag.Arg(0), *entry, *dumpAsm)
 			if err != nil {
 				fatal(err)
 			}
 			if *jsonOut {
-				emitJSON(flag.Arg(0), res.Safe, res.Violations, res.Stats, res.Times, tr)
+				emitJSON(flag.Arg(0), prog, spec, res, tr)
 			} else {
 				if *dumpTS {
 					fmt.Print(res.DumpTypestate())
@@ -228,19 +246,20 @@ func main() {
 	}
 }
 
-func checkOne(checker *mcsafe.Checker, spec *mcsafe.Spec, path, entry string, dumpAsm bool) (*mcsafe.Result, error) {
+func checkOne(checker *mcsafe.Checker, spec *mcsafe.Spec, path, entry string, dumpAsm bool) (*mcsafe.Program, *mcsafe.Result, error) {
 	asmText, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	prog, err := mcsafe.Assemble(string(asmText), spec, entry)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if dumpAsm {
 		fmt.Print(prog.Disassemble())
 	}
-	return checker.Check(context.Background(), prog, spec)
+	res, err := checker.Check(context.Background(), prog, spec)
+	return prog, res, err
 }
 
 func printResult(res *mcsafe.Result, explain bool) {
@@ -261,27 +280,6 @@ func printResult(res *mcsafe.Result, explain bool) {
 		fmt.Println("VERDICT: safe")
 	} else {
 		fmt.Println("VERDICT: UNSAFE")
-	}
-}
-
-func printCore(res *core.Result, dumpConds bool) {
-	st := res.Stats
-	fmt.Printf("instructions=%d branches=%d loops=%d(%d inner) calls=%d global-conditions=%d\n",
-		st.Instructions, st.Branches, st.Loops, st.InnerLoops, st.Calls, st.GlobalConds)
-	fmt.Printf("times: typestate=%v annot+local=%v global=%v total=%v\n",
-		res.Times.Typestate, res.Times.AnnotLocal, res.Times.Global, res.Times.Total)
-	if dumpConds {
-		for _, cr := range res.Conds {
-			verdict := "proved"
-			if !cr.Proved {
-				verdict = "VIOLATION"
-			}
-			fmt.Printf("  insn %4d: %-24s %s\n",
-				res.G.Nodes[cr.Cond.Node].Index, cr.Cond.Desc, verdict)
-		}
-	}
-	for _, v := range res.Violations {
-		fmt.Println(" ", v)
 	}
 }
 

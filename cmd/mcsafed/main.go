@@ -1,0 +1,216 @@
+// Command mcsafed serves the machine-code safety checker over HTTP:
+// checking-as-a-service with a persistent, content-addressed verdict
+// store, so repeat submissions — the common case under heavy traffic —
+// are answered in microseconds and survive restarts.
+//
+// Serve:
+//
+//	mcsafed -addr :8745 -store /var/lib/mcsafed
+//
+// The store directory holds the disk layer of the verdict store; omit
+// -store to serve without persistence. SIGINT/SIGTERM drain gracefully:
+// in-flight checks finish, then the store is closed.
+//
+// Client mode (used by the CI smoke and handy interactively):
+//
+//	mcsafed -check http://localhost:8745 -prog Sum        # built-in program
+//	mcsafed -check http://localhost:8745 -spec p.spec prog.s
+//	mcsafed -metrics http://localhost:8745                # dump /v1/metrics
+//
+// -check prints the server's CheckResponse and exits 0 when the program
+// is safe, 1 when unsafe, 2 on errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcsafe"
+	"mcsafe/internal/obs"
+	"mcsafe/internal/progs"
+	"mcsafe/internal/server"
+	"mcsafe/internal/vstore"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8745", "listen address")
+	storeDir := flag.String("store", "", "verdict-store directory (empty: no persistent store)")
+	memBytes := flag.Int64("store-mem", 64<<20, "in-memory verdict layer budget, bytes")
+	diskBytes := flag.Int64("store-disk", 1<<30, "disk verdict layer budget, bytes")
+	parallel := flag.Int("parallel", 1, "Phase 5 workers per check (0 = GOMAXPROCS; 1 maximizes throughput under concurrent load)")
+	maxInFlight := flag.Int("max-in-flight", 0, "concurrent checks admitted (0 = GOMAXPROCS)")
+	defDeadline := flag.Duration("deadline", 0, "default wall-clock budget per check (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "hard cap on any request's deadline (0 = uncapped)")
+	defBudget := flag.Int64("budget", 0, "default solver step budget per check (0 = unlimited)")
+	maxSteps := flag.Int64("max-budget", 0, "hard cap on any request's solver step budget (0 = uncapped)")
+	defCondTimeout := flag.Duration("cond-timeout", 0, "default per-condition proof timeout (0 = none)")
+	maxCondTimeout := flag.Duration("max-cond-timeout", 0, "hard cap on any request's per-condition timeout (0 = uncapped)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight checks")
+
+	checkURL := flag.String("check", "", "client mode: POST one check to this mcsafed base URL")
+	metricsURL := flag.String("metrics", "", "client mode: dump /v1/metrics from this base URL")
+	builtin := flag.String("prog", "", "client mode: submit a built-in Figure 9 program by name")
+	specPath := flag.String("spec", "", "client mode: policy file for a submitted assembly file")
+	entry := flag.String("entry", "", "client mode: entry label")
+	noCache := flag.Bool("no-cache", false, "client mode: ask the server to bypass its verdict store")
+	flag.Parse()
+
+	if *metricsURL != "" {
+		return clientMetrics(*metricsURL)
+	}
+	if *checkURL != "" {
+		return clientCheck(*checkURL, *builtin, *specPath, *entry, flag.Args(), *noCache)
+	}
+
+	var store *vstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = vstore.Open(*storeDir, vstore.Options{MemBytes: *memBytes, DiskBytes: *diskBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcsafed:", err)
+			return 2
+		}
+		fmt.Printf("mcsafed: verdict store at %s (%d records)\n", *storeDir, store.Len())
+	}
+	srv := server.New(server.Config{
+		Store:       store,
+		Parallelism: *parallel,
+		MaxInFlight: *maxInFlight,
+		DefaultBudget: mcsafe.Budget{
+			Deadline: *defDeadline, SolverSteps: *defBudget, CondTimeout: *defCondTimeout,
+		},
+		MaxBudget: mcsafe.Budget{
+			Deadline: *maxDeadline, SolverSteps: *maxSteps, CondTimeout: *maxCondTimeout,
+		},
+		Trace: obs.New(),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("mcsafed: serving %s (checker %s, schema v%d)\n", *addr, mcsafe.CheckerVersion, mcsafe.SchemaVersion)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		srv.Close()
+		return 2
+	case <-ctx.Done():
+	}
+	// Graceful drain: refuse new submissions, let in-flight checks
+	// finish (bounded), then close the store.
+	fmt.Println("mcsafed: draining")
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed: shutdown:", err)
+		srv.Close()
+		return 2
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	fmt.Println("mcsafed: stopped")
+	return 0
+}
+
+// clientCheck submits one program and prints the response.
+func clientCheck(base, builtin, specPath, entry string, args []string, noCache bool) int {
+	var req server.CheckRequest
+	switch {
+	case builtin != "":
+		b := progs.Get(builtin)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "mcsafed: unknown built-in program %q\n", builtin)
+			return 2
+		}
+		req = server.CheckRequest{Asm: b.Source, Spec: b.Spec, Entry: b.Entry}
+	case specPath != "" && len(args) == 1:
+		specText, err := os.ReadFile(specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcsafed:", err)
+			return 2
+		}
+		asmText, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcsafed:", err)
+			return 2
+		}
+		req = server.CheckRequest{Asm: string(asmText), Spec: string(specText), Entry: entry}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mcsafed -check URL -prog Name | -check URL -spec policy.spec prog.s")
+		return 2
+	}
+	req.NoCache = noCache
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	httpResp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	defer httpResp.Body.Close()
+	respBody, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	var resp server.CheckResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsafed: bad response (%s): %v\n", httpResp.Status, err)
+		return 2
+	}
+	// Pretty-print the full response for humans and greppers alike.
+	out, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	fmt.Println(string(out))
+	if resp.Error != "" {
+		return 2
+	}
+	wire, err := mcsafe.UnmarshalWire(resp.Result)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	if !wire.Safe {
+		return 1
+	}
+	return 0
+}
+
+// clientMetrics dumps the server's metrics snapshot.
+func clientMetrics(base string) int {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func check(name, asm string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mcsafe.Check(prog, spec)
+	res, err := mcsafe.New().Check(context.Background(), prog, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 	fmt.Println("== decoded machine code (the checker's real input) ==")
 	fmt.Print(prog.Disassemble())
 
-	res, err := mcsafe.Check(prog, spec)
+	res, err := mcsafe.New().Check(context.Background(), prog, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -87,7 +88,7 @@ func check(name, asm string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mcsafe.Check(prog, spec)
+	res, err := mcsafe.New().Check(context.Background(), prog, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package gen_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func checkFixture(t *testing.T, f *gen.Fixture) *mcsafe.Result {
 	if err != nil {
 		t.Fatalf("%s: Assemble: %v\n%s", f.Name, err, f.Asm)
 	}
-	res, err := mcsafe.Check(prog, spec)
+	res, err := mcsafe.New().Check(context.Background(), prog, spec)
 	if err != nil {
 		t.Fatalf("%s: Check: %v", f.Name, err)
 	}

@@ -1,0 +1,118 @@
+// Policy hashing: the stable content address of a parsed specification.
+// The hash is computed over a canonical *rendering* of the parsed
+// structure rather than the policy source text, so formatting and
+// comments do not perturb it, while any change that could alter a
+// verdict — a type, an entity state, a constraint, a rule, a trusted
+// function's pre/postcondition, a frame annotation — does.
+
+package policy
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+
+	"mcsafe/internal/expr"
+	"mcsafe/internal/sparc"
+	"mcsafe/internal/types"
+)
+
+// hashMagic versions the canonical rendering: any change to the layout
+// written below must change this string so stale store records keyed by
+// the old rendering are never served.
+const hashMagic = "mcsafe/policy/v1\n"
+
+// Hash computes the specification's stable content address: a SHA-256
+// digest over a canonical rendering of everything the host supplies.
+// Specs that parse to the same structure hash identically regardless of
+// source formatting; the value is stable across processes and checker
+// releases and is the policy component of a verdict-store key.
+func (s *Spec) Hash() [sha256.Size]byte {
+	h := sha256.New()
+	io.WriteString(h, hashMagic)
+	if s == nil {
+		return [sha256.Size]byte(h.Sum(nil))
+	}
+	for _, name := range sortedKeys(s.Types) {
+		fmt.Fprintf(h, "type %s = %s\n", name, typeStr(s.Types[name]))
+	}
+	for _, name := range sortedKeys(s.Regions) {
+		fmt.Fprintf(h, "region %s\n", name)
+	}
+	// Entities keep declaration order: preparation builds the abstract
+	// world by walking them in order.
+	for _, e := range s.Entities {
+		fmt.Fprintf(h, "entity %s type=%s state=%s region=%s summary=%v align=%d val=%v addr=%d\n",
+			e.Name, typeStr(e.Type), e.State.String(), e.Region, e.Summary, e.Align, e.IsVal, e.Addr)
+		for _, path := range sortedKeys(e.FieldStates) {
+			fmt.Fprintf(h, "  field %s state=%s\n", path, e.FieldStates[path].String())
+		}
+	}
+	for _, name := range sortedKeys(s.Symbols) {
+		fmt.Fprintf(h, "symbol %s\n", name)
+	}
+	for _, c := range s.Constraints {
+		fmt.Fprintf(h, "constraint %s\n", formulaStr(c))
+	}
+	regs := make([]int, 0, len(s.Invoke))
+	for r := range s.Invoke {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		fmt.Fprintf(h, "invoke %s = %s\n", sparc.Reg(r).String(), s.Invoke[sparc.Reg(r)])
+	}
+	for _, r := range s.Rules {
+		cat := typeStr(r.CatType)
+		if r.CatType == nil {
+			cat = r.CatStruct + "." + r.CatField
+		}
+		fmt.Fprintf(h, "allow %s : %s : %s\n", r.Region, cat, r.Perm.String())
+	}
+	for _, name := range sortedKeys(s.Trusted) {
+		f := s.Trusted[name]
+		fmt.Fprintf(h, "trusted %s nargs=%d\n", f.Name, f.NArgs)
+		for _, a := range f.Args {
+			fmt.Fprintf(h, "  arg %d type=%s state=%s perm=%s\n",
+				a.Index, typeStr(a.Type), a.State.String(), a.Perm.String())
+		}
+		if f.Ret != nil {
+			fmt.Fprintf(h, "  ret %s\n", f.Ret.String())
+		}
+		fmt.Fprintf(h, "  pre %s\n  post %s\n", formulaStr(f.Pre), formulaStr(f.Post))
+	}
+	for _, name := range sortedKeys(s.Frames) {
+		fr := s.Frames[name]
+		fmt.Fprintf(h, "frame %s size=%d\n", fr.Proc, fr.Size)
+		for _, sl := range fr.Slots {
+			fmt.Fprintf(h, "  slot %s%+d %s type=%s count=%d state=%s\n",
+				sl.Base, sl.Off, sl.Name, typeStr(sl.Type), sl.Count, sl.State.String())
+		}
+	}
+	return [sha256.Size]byte(h.Sum(nil))
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func typeStr(t *types.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.String()
+}
+
+func formulaStr(f expr.Formula) string {
+	if f == nil {
+		return "<nil>"
+	}
+	return f.String()
+}

@@ -1,0 +1,75 @@
+// The v1 wire API of mcsafed. The request/response schemas follow the
+// same evolution rule as the Result wire schema (mcsafe.SchemaVersion):
+// fields are only ever added, decoders ignore fields they do not know,
+// and every response names the checker version and schema that produced
+// it.
+//
+// Endpoints:
+//
+//	POST /v1/check    one submission  → CheckResponse
+//	POST /v1/batch    BatchRequest    → BatchResponse (items in order)
+//	GET  /v1/healthz  liveness        → {"ok":true}
+//	GET  /v1/version  identification  → VersionResponse
+//	GET  /v1/metrics  Prometheus-style text: checker counters + store gauges
+package server
+
+import "encoding/json"
+
+// BudgetRequest is the client's resource envelope for one check. Each
+// field is clamped to the server's -max-* limits; zero fields inherit
+// the server defaults. See mcsafe.Budget for the fail-closed semantics.
+type BudgetRequest struct {
+	DeadlineMS    int64 `json:"deadline_ms,omitempty"`
+	SolverSteps   int64 `json:"solver_steps,omitempty"`
+	CondTimeoutMS int64 `json:"cond_timeout_ms,omitempty"`
+}
+
+// CheckRequest is one program+policy submission. The program arrives
+// either as SPARC assembly (Asm) or as raw machine words plus loader
+// tables (Words/Base/Symbols/DataSyms); Spec is the policy source.
+type CheckRequest struct {
+	Asm      string            `json:"asm,omitempty"`
+	Words    []uint32          `json:"words,omitempty"`
+	Base     uint32            `json:"base,omitempty"`
+	Symbols  map[string]int    `json:"symbols,omitempty"`
+	DataSyms map[string]uint32 `json:"data_syms,omitempty"`
+	Entry    string            `json:"entry,omitempty"`
+	Spec     string            `json:"spec"`
+	Budget   *BudgetRequest    `json:"budget,omitempty"`
+	// NoCache forces a fresh check: the verdict store is neither
+	// consulted nor written for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// CheckResponse is the outcome of one submission. Exactly one of Result
+// and Error is set. Result carries the canonical Result wire encoding
+// (mcsafe.WireResult): on a store hit it is byte-identical to the cold
+// check that populated the store.
+type CheckResponse struct {
+	// Program and Policy are the submission's content addresses
+	// (mcsafe.Hash hex); Checker the serving checker version.
+	Program string `json:"program,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	Checker string `json:"checker"`
+	// Cached reports whether the verdict was served from the store.
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchRequest submits many independent programs in one call.
+type BatchRequest struct {
+	Items []CheckRequest `json:"items"`
+}
+
+// BatchResponse carries one CheckResponse per submitted item, in
+// submission order.
+type BatchResponse struct {
+	Items []CheckResponse `json:"items"`
+}
+
+// VersionResponse identifies the serving checker.
+type VersionResponse struct {
+	Checker string `json:"checker"`
+	Schema  int    `json:"schema"`
+}

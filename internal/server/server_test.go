@@ -1,0 +1,513 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsafe"
+	"mcsafe/internal/obs"
+	"mcsafe/internal/progs"
+	"mcsafe/internal/vstore"
+)
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server, *obs.Trace) {
+	t.Helper()
+	var store *vstore.Store
+	if dir != "" {
+		var err error
+		store, err = vstore.Open(dir, vstore.Options{MemBytes: 1 << 20, DiskBytes: 16 << 20})
+		if err != nil {
+			t.Fatalf("vstore.Open: %v", err)
+		}
+	}
+	trace := obs.New()
+	srv := New(Config{Store: store, Parallelism: 1, Trace: trace})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, trace
+}
+
+func postCheck(t *testing.T, url string, req CheckRequest) (CheckResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	httpResp, err := http.Post(url+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/check: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp CheckResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, httpResp.StatusCode
+}
+
+func builtinRequest(t *testing.T, name string) CheckRequest {
+	t.Helper()
+	b := progs.Get(name)
+	if b == nil {
+		t.Fatalf("unknown builtin %q", name)
+	}
+	return CheckRequest{Asm: b.Source, Spec: b.Spec, Entry: b.Entry}
+}
+
+// TestWarmColdBitIdentity is the tentpole acceptance test: a warm
+// resubmission of each paper program is served from the store without
+// invoking the solver, survives a server restart, and returns a Result
+// bit-identical to the cold check.
+func TestWarmColdBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, trace := newTestServer(t, dir)
+
+	cold := map[string][]byte{}
+	for _, b := range progs.Sorted() {
+		resp, status := postCheck(t, ts.URL, builtinRequest(t, b.Name))
+		if status != http.StatusOK || resp.Error != "" {
+			t.Fatalf("%s: cold check failed: status=%d error=%q", b.Name, status, resp.Error)
+		}
+		if resp.Cached {
+			t.Fatalf("%s: cold check reported cached", b.Name)
+		}
+		if resp.Program == "" || resp.Policy == "" {
+			t.Fatalf("%s: response missing content addresses", b.Name)
+		}
+		cold[b.Name] = []byte(resp.Result)
+	}
+
+	// Warm pass against the same server: every verdict must come from
+	// the store — solver counters frozen — and be byte-identical.
+	checksBefore := trace.Counter("server_checks")
+	solverBefore := trace.Counter("solver_valid_queries")
+	for _, b := range progs.Sorted() {
+		resp, status := postCheck(t, ts.URL, builtinRequest(t, b.Name))
+		if status != http.StatusOK || !resp.Cached {
+			t.Fatalf("%s: warm check not cached: status=%d cached=%v error=%q", b.Name, status, resp.Cached, resp.Error)
+		}
+		if !bytes.Equal([]byte(resp.Result), cold[b.Name]) {
+			t.Fatalf("%s: warm result differs from cold:\ncold: %s\nwarm: %s", b.Name, cold[b.Name], resp.Result)
+		}
+	}
+	if got := trace.Counter("server_checks"); got != checksBefore {
+		t.Fatalf("warm pass ran %d checks, want 0", got-checksBefore)
+	}
+	if got := trace.Counter("solver_valid_queries"); got != solverBefore {
+		t.Fatalf("warm pass issued %d solver queries, want 0", got-solverBefore)
+	}
+	if hits := trace.Counter("server_store_hits"); hits < int64(len(cold)) {
+		t.Fatalf("server_store_hits = %d, want >= %d", hits, len(cold))
+	}
+
+	// Restart: a fresh server over the same store directory must serve
+	// every verdict from disk, still byte-identical.
+	_, ts2, trace2 := newTestServer(t, dir)
+	for _, b := range progs.Sorted() {
+		resp, status := postCheck(t, ts2.URL, builtinRequest(t, b.Name))
+		if status != http.StatusOK || !resp.Cached {
+			t.Fatalf("%s: post-restart check not cached: status=%d cached=%v", b.Name, status, resp.Cached)
+		}
+		if !bytes.Equal([]byte(resp.Result), cold[b.Name]) {
+			t.Fatalf("%s: post-restart result differs from cold check", b.Name)
+		}
+	}
+	if got := trace2.Counter("server_checks"); got != 0 {
+		t.Fatalf("post-restart pass ran %d checks, want 0", got)
+	}
+}
+
+func TestNoCacheBypassesStore(t *testing.T) {
+	_, ts, trace := newTestServer(t, t.TempDir())
+	req := builtinRequest(t, "Sum")
+	req.NoCache = true
+	for i := 0; i < 2; i++ {
+		resp, status := postCheck(t, ts.URL, req)
+		if status != http.StatusOK || resp.Cached {
+			t.Fatalf("no_cache submission %d: status=%d cached=%v", i, status, resp.Cached)
+		}
+	}
+	if got := trace.Counter("server_checks"); got != 2 {
+		t.Fatalf("server_checks = %d, want 2", got)
+	}
+	if got := trace.Counter("server_store_hits") + trace.Counter("server_store_misses") + trace.Counter("server_store_puts"); got != 0 {
+		t.Fatalf("no_cache touched the store (%d ops)", got)
+	}
+}
+
+func TestStorelessServer(t *testing.T) {
+	_, ts, trace := newTestServer(t, "")
+	for i := 0; i < 2; i++ {
+		resp, status := postCheck(t, ts.URL, builtinRequest(t, "Sum"))
+		if status != http.StatusOK || resp.Cached || resp.Error != "" {
+			t.Fatalf("storeless submission %d: status=%d cached=%v error=%q", i, status, resp.Cached, resp.Error)
+		}
+	}
+	if got := trace.Counter("server_checks"); got != 2 {
+		t.Fatalf("server_checks = %d, want 2", got)
+	}
+}
+
+func TestUnsafeVerdictCachedFaithfully(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	cold, status := postCheck(t, ts.URL, builtinRequest(t, "PagingPolicy"))
+	if status != http.StatusOK || cold.Error != "" {
+		t.Fatalf("cold: status=%d error=%q", status, cold.Error)
+	}
+	wire, err := mcsafe.UnmarshalWire(cold.Result)
+	if err != nil {
+		t.Fatalf("unmarshal cold result: %v", err)
+	}
+	if wire.Safe || len(wire.Violations) == 0 {
+		t.Fatalf("PagingPolicy reported safe=%v violations=%d", wire.Safe, len(wire.Violations))
+	}
+	warm, _ := postCheck(t, ts.URL, builtinRequest(t, "PagingPolicy"))
+	if !warm.Cached || !bytes.Equal([]byte(warm.Result), []byte(cold.Result)) {
+		t.Fatalf("unsafe verdict not served bit-identically from store (cached=%v)", warm.Cached)
+	}
+}
+
+func TestBatchOrderAndCaching(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	// Names are distinct: two in-flight submissions of the same program
+	// race benignly (each cold-checks; phase times differ), so byte
+	// equality across batches is only guaranteed per unique key.
+	names := []string{"Sum", "PagingPolicy", "Hash", "StartTimer"}
+	req := BatchRequest{}
+	for _, n := range names {
+		req.Items = append(req.Items, builtinRequest(t, n))
+	}
+	body, _ := json.Marshal(req)
+	httpResp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if len(resp.Items) != len(names) {
+		t.Fatalf("batch returned %d items, want %d", len(resp.Items), len(names))
+	}
+	for i, n := range names {
+		item := resp.Items[i]
+		if item.Error != "" {
+			t.Fatalf("item %d (%s): error %q", i, n, item.Error)
+		}
+		wire, err := mcsafe.UnmarshalWire(item.Result)
+		if err != nil {
+			t.Fatalf("item %d (%s): %v", i, n, err)
+		}
+		wantSafe := n != "PagingPolicy"
+		if wire.Safe != wantSafe {
+			t.Fatalf("item %d (%s): safe=%v, want %v — batch order violated?", i, n, wire.Safe, wantSafe)
+		}
+	}
+	// A second batch is fully warm.
+	httpResp2, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("second POST /v1/batch: %v", err)
+	}
+	defer httpResp2.Body.Close()
+	var resp2 BatchResponse
+	if err := json.NewDecoder(httpResp2.Body).Decode(&resp2); err != nil {
+		t.Fatalf("decode second batch: %v", err)
+	}
+	for i := range resp2.Items {
+		if !resp2.Items[i].Cached {
+			t.Fatalf("second batch item %d not cached", i)
+		}
+		if !bytes.Equal([]byte(resp2.Items[i].Result), []byte(resp.Items[i].Result)) {
+			t.Fatalf("second batch item %d differs from first", i)
+		}
+	}
+}
+
+// TestBatchDuplicateItems submits the same program twice in one batch:
+// both items must succeed with the same content address, whether they
+// raced to a cold check or one caught the other's Put.
+func TestBatchDuplicateItems(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	req := BatchRequest{Items: []CheckRequest{builtinRequest(t, "Sum"), builtinRequest(t, "Sum")}}
+	body, _ := json.Marshal(req)
+	httpResp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("got %d items", len(resp.Items))
+	}
+	for i, item := range resp.Items {
+		if item.Error != "" {
+			t.Fatalf("item %d: %q", i, item.Error)
+		}
+		wire, err := mcsafe.UnmarshalWire(item.Result)
+		if err != nil || !wire.Safe {
+			t.Fatalf("item %d: err=%v safe=%v", i, err, wire.Safe)
+		}
+	}
+	if resp.Items[0].Program != resp.Items[1].Program {
+		t.Fatal("duplicate submissions got different content addresses")
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	store, err := vstore.Open(t.TempDir(), vstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: store, MaxBatchItems: 2, Trace: obs.New()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	req := BatchRequest{Items: make([]CheckRequest, 3)}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	good := builtinRequest(t, "Sum")
+	cases := []struct {
+		name string
+		req  CheckRequest
+	}{
+		{"empty", CheckRequest{Spec: good.Spec}},
+		{"bad spec", CheckRequest{Asm: good.Asm, Spec: "region bogus ???"}},
+		{"bad asm", CheckRequest{Asm: "not sparc at all\n\tbogus %x, %y", Spec: good.Spec}},
+		{"both forms", CheckRequest{Asm: good.Asm, Words: []uint32{0x01000000}, Spec: good.Spec}},
+	}
+	for _, tc := range cases {
+		resp, status := postCheck(t, ts.URL, tc.req)
+		if status != http.StatusBadRequest || resp.Error == "" {
+			t.Errorf("%s: status=%d error=%q, want 400 with error", tc.name, status, resp.Error)
+		}
+	}
+	// Malformed JSON body.
+	httpResp, err := http.Post(ts.URL+"/v1/check", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", httpResp.StatusCode)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv, ts, _ := newTestServer(t, t.TempDir())
+	if resp, status := postCheck(t, ts.URL, builtinRequest(t, "Sum")); status != http.StatusOK || resp.Error != "" {
+		t.Fatalf("pre-drain check failed: status=%d error=%q", status, resp.Error)
+	}
+	srv.Drain()
+	if _, status := postCheck(t, ts.URL, builtinRequest(t, "Sum")); status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain check: status %d, want 503", status)
+	}
+	body, _ := json.Marshal(BatchRequest{Items: []CheckRequest{builtinRequest(t, "Sum")}})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain batch: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestEffectiveBudget(t *testing.T) {
+	srv := New(Config{
+		DefaultBudget: mcsafe.Budget{Deadline: 10 * time.Second, SolverSteps: 1000},
+		MaxBudget:     mcsafe.Budget{Deadline: time.Minute, SolverSteps: 5000, CondTimeout: time.Second},
+	})
+	// No request budget: defaults, but unlimited fields clamp to max.
+	b := srv.effectiveBudget(nil)
+	if b.Deadline != 10*time.Second || b.SolverSteps != 1000 || b.CondTimeout != time.Second {
+		t.Fatalf("default budget = %+v", b)
+	}
+	// Request within limits wins over defaults.
+	b = srv.effectiveBudget(&BudgetRequest{DeadlineMS: 500, SolverSteps: 2000, CondTimeoutMS: 100})
+	if b.Deadline != 500*time.Millisecond || b.SolverSteps != 2000 || b.CondTimeout != 100*time.Millisecond {
+		t.Fatalf("merged budget = %+v", b)
+	}
+	// Requests beyond the maxima are clamped.
+	b = srv.effectiveBudget(&BudgetRequest{DeadlineMS: 3_600_000, SolverSteps: 1 << 40, CondTimeoutMS: 60_000})
+	if b.Deadline != time.Minute || b.SolverSteps != 5000 || b.CondTimeout != time.Second {
+		t.Fatalf("clamped budget = %+v", b)
+	}
+	// No maxima: requests pass through untouched.
+	open := New(Config{})
+	b = open.effectiveBudget(&BudgetRequest{SolverSteps: 1 << 40})
+	if b.SolverSteps != 1<<40 || b.Deadline != 0 {
+		t.Fatalf("uncapped budget = %+v", b)
+	}
+}
+
+func TestBudgetLimitedVerdictNotCached(t *testing.T) {
+	_, ts, trace := newTestServer(t, t.TempDir())
+	req := builtinRequest(t, "HeapSort")
+	req.Budget = &BudgetRequest{SolverSteps: 1}
+	resp, status := postCheck(t, ts.URL, req)
+	if status != http.StatusOK || resp.Error != "" {
+		t.Fatalf("starved check: status=%d error=%q", status, resp.Error)
+	}
+	wire, err := mcsafe.UnmarshalWire(resp.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := false
+	for _, v := range wire.Violations {
+		if v.Code == mcsafe.CodeResource {
+			starved = true
+		}
+	}
+	if !starved {
+		t.Skip("1-step budget did not starve this program; nothing to assert")
+	}
+	if got := trace.Counter("server_store_puts"); got != 0 {
+		t.Fatalf("budget-limited verdict was cached (%d puts)", got)
+	}
+	// A full-budget resubmission must re-check, not serve the starved verdict.
+	full, _ := postCheck(t, ts.URL, builtinRequest(t, "HeapSort"))
+	if full.Cached {
+		t.Fatal("full-budget resubmission served from cache after starved check")
+	}
+	w2, err := mcsafe.UnmarshalWire(full.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Safe {
+		t.Fatalf("full-budget recheck unsafe: %v", w2.Violations)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	_, ts, trace := newTestServer(t, t.TempDir())
+	names := []string{"Sum", "PagingPolicy", "Hash", "BubbleSort"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := builtinRequest(t, names[i%len(names)])
+			resp, status := postCheck(t, ts.URL, req)
+			if status != http.StatusOK || resp.Error != "" {
+				errs <- fmt.Errorf("worker %d: status=%d error=%q", i, status, resp.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every distinct program checked at least once, and the store saw
+	// the rest (either as hits or as racing misses that all checked).
+	if got := trace.Counter("server_requests"); got != 16 {
+		t.Fatalf("server_requests = %d, want 16", got)
+	}
+}
+
+func TestMetricsVersionHealthz(t *testing.T) {
+	srv, ts, _ := newTestServer(t, t.TempDir())
+	postCheck(t, ts.URL, builtinRequest(t, "Sum"))
+	postCheck(t, ts.URL, builtinRequest(t, "Sum"))
+
+	get := func(path string) (string, int) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.StatusCode
+	}
+
+	body, status := get("/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/metrics: status %d", status)
+	}
+	for _, want := range []string{"mcsafe_server_requests", "mcsafe_store_hits", "mcsafe_store_disk_entries"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/v1/metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	body, status = get("/v1/version")
+	if status != http.StatusOK || !strings.Contains(body, mcsafe.CheckerVersion) {
+		t.Fatalf("/v1/version: status=%d body=%s", status, body)
+	}
+
+	body, status = get("/v1/healthz")
+	if status != http.StatusOK || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("/v1/healthz: status=%d body=%s", status, body)
+	}
+	srv.Drain()
+	body, _ = get("/v1/healthz")
+	if !strings.Contains(body, `"draining":true`) {
+		t.Fatalf("/v1/healthz after drain: %s", body)
+	}
+}
+
+func TestWordsSubmission(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	// Submit Sum the way a loader would: raw machine words plus symbol
+	// tables, no assembly source. The words path cold-checks, caches,
+	// and then serves the resubmission bit-identically.
+	b := progs.Get("Sum")
+	sp, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CheckRequest{
+		Words: sp.Words, Base: sp.Base, Symbols: sp.Symbols, DataSyms: sp.DataSyms, Spec: b.Spec,
+	}
+	cold, status := postCheck(t, ts.URL, req)
+	if status != http.StatusOK || cold.Error != "" || cold.Cached {
+		t.Fatalf("cold words check: status=%d cached=%v error=%q", status, cold.Cached, cold.Error)
+	}
+	wire, err := mcsafe.UnmarshalWire(cold.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Safe {
+		t.Fatalf("Sum via words unsafe: %v", wire.Violations)
+	}
+	warm, status := postCheck(t, ts.URL, req)
+	if status != http.StatusOK || !warm.Cached || !bytes.Equal([]byte(warm.Result), []byte(cold.Result)) {
+		t.Fatalf("words resubmission not served bit-identically (cached=%v)", warm.Cached)
+	}
+	// The words fingerprint is a distinct content address from the asm
+	// submission (no source lines), so the two must not alias.
+	asm, _ := postCheck(t, ts.URL, builtinRequest(t, "Sum"))
+	if asm.Cached {
+		t.Fatal("asm submission aliased the words submission's verdict")
+	}
+	if asm.Program == cold.Program {
+		t.Fatal("asm and words fingerprints collide despite differing SrcLines")
+	}
+}

@@ -92,8 +92,16 @@ func Assemble(src string, opts AsmOptions) (*Program, error) {
 	if len(insns) == 0 {
 		return nil, fmt.Errorf("sparc: empty program")
 	}
-	// External symbols resolve to slots past the last instruction.
+	// External symbols resolve to slots past the last instruction, in
+	// name order so that identical source always assembles to identical
+	// symbol tables and words (the verdict store's content addresses
+	// depend on this).
+	externs := make([]string, 0, len(opts.Externs))
 	for name := range opts.Externs {
+		externs = append(externs, name)
+	}
+	sort.Strings(externs)
+	for _, name := range externs {
 		if _, defined := labels[name]; !defined {
 			labels[name] = len(insns) + len(labels)
 		}

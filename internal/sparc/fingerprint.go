@@ -1,0 +1,73 @@
+// Program fingerprinting: the stable content address a verdict store and
+// a checking service key repeat submissions by. The fingerprint covers
+// every Program field the checker's verdict (or its rendered Result,
+// including source-line attributions) can depend on — the machine words,
+// the base address, the entry point, the loader symbol tables, and the
+// source map — so two programs with equal fingerprints are
+// indistinguishable to the checker.
+
+package sparc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// fingerprintMagic versions the canonical encoding itself: any change to
+// the byte layout below must change this string, or old store records
+// would be served for differently-encoded programs.
+const fingerprintMagic = "mcsafe/program/v1\n"
+
+// Fingerprint computes the program's stable content address: a SHA-256
+// digest over a canonical encoding of the checker-visible input. The
+// value is stable across processes, platforms, and checker releases (it
+// depends only on the program), collision-resistant against adversarial
+// submissions, and therefore safe to use as a cache key for verdicts
+// together with the policy hash and checker version.
+func Fingerprint(p *Program) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(fingerprintMagic))
+	var buf [8]byte
+	putU32 := func(v uint32) {
+		binary.BigEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	if p == nil {
+		return [sha256.Size]byte(h.Sum(nil))
+	}
+	putU32(p.Base)
+	putU32(uint32(p.Entry))
+	putU32(uint32(len(p.Words)))
+	for _, w := range p.Words {
+		putU32(w)
+	}
+	syms := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		syms = append(syms, name)
+	}
+	sort.Strings(syms)
+	putU32(uint32(len(syms)))
+	for _, name := range syms {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		putU32(uint32(p.Symbols[name]))
+	}
+	dsyms := make([]string, 0, len(p.DataSyms))
+	for name := range p.DataSyms {
+		dsyms = append(dsyms, name)
+	}
+	sort.Strings(dsyms)
+	putU32(uint32(len(dsyms)))
+	for _, name := range dsyms {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		putU32(p.DataSyms[name])
+	}
+	// The source map feeds Violation.Line, which the wire Result carries.
+	putU32(uint32(len(p.SrcLines)))
+	for _, line := range p.SrcLines {
+		putU32(uint32(line))
+	}
+	return [sha256.Size]byte(h.Sum(nil))
+}

@@ -1,0 +1,416 @@
+// Package vstore is the checker's persistent verdict store: a two-layer
+// cache mapping content-addressed keys — (program fingerprint, policy
+// hash, checker version) — to wire-encoded Results. The in-memory layer
+// is a bytes-bounded LRU serving repeat submissions in microseconds;
+// under it sits a disk-backed layer whose records survive restarts, are
+// written atomically (write to a temp file, then rename), and are
+// evicted least-recently-used when the store exceeds its size budget.
+//
+// The store holds opaque verdict bytes: it returns on a hit exactly the
+// bytes that were Put, which is what lets a warm submission's Result be
+// bit-identical to the cold check that populated it. Callers must not
+// modify returned slices.
+package vstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key addresses one verdict: the program's content address, the
+// policy's content address, and the checker version that produced the
+// verdict (all three rendered as strings; see mcsafe.Hash and
+// mcsafe.CheckerVersion). A verdict is valid for exactly this triple —
+// a different program, policy, or checker release never observes it.
+type Key struct {
+	Program string
+	Policy  string
+	Checker string
+}
+
+// Valid reports whether every component is set.
+func (k Key) Valid() bool { return k.Program != "" && k.Policy != "" && k.Checker != "" }
+
+// id derives the record's file name: a SHA-256 over the triple with
+// unambiguous separators, hex-encoded. Hashing (rather than joining)
+// keeps arbitrary key strings path-safe.
+func (k Key) id() string {
+	h := sha256.New()
+	for _, part := range []string{"mcsafe/vstore/v1", k.Program, k.Policy, k.Checker} {
+		fmt.Fprintf(h, "%d:%s,", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Options tunes a store. The zero value gets sensible defaults.
+type Options struct {
+	// MemBytes bounds the in-memory layer's verdict bytes
+	// (default 64 MiB; negative disables the layer).
+	MemBytes int64
+	// DiskBytes bounds the disk layer's record bytes (default 1 GiB).
+	// A Put that would exceed it evicts least-recently-used records
+	// first; a single record larger than the whole budget is rejected
+	// (counted in Stats.Rejects, not an error).
+	DiskBytes int64
+}
+
+const (
+	defaultMemBytes  = 64 << 20
+	defaultDiskBytes = 1 << 30
+	// recordSchema versions the on-disk envelope.
+	recordSchema = 1
+)
+
+// record is the on-disk envelope: the key it answers for (verified on
+// read — a hash collision or a corrupted file can turn into a miss, but
+// never into a wrong verdict) and the opaque verdict bytes.
+type record struct {
+	Schema      int             `json:"schema"`
+	Program     string          `json:"program"`
+	Policy      string          `json:"policy"`
+	Checker     string          `json:"checker"`
+	CreatedUnix int64           `json:"created_unix"`
+	Verdict     json.RawMessage `json:"verdict"`
+}
+
+// Stats is a point-in-time snapshot of the store's counters and gauges.
+type Stats struct {
+	MemHits       int64 `json:"mem_hits"`
+	DiskHits      int64 `json:"disk_hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	MemEvictions  int64 `json:"mem_evictions"`
+	DiskEvictions int64 `json:"disk_evictions"`
+	// Rejects counts Puts dropped because the record alone exceeds the
+	// disk budget or the key/verdict was invalid.
+	Rejects int64 `json:"rejects"`
+	// Corrupt counts disk records that failed to decode or answered for
+	// a different key; they are removed and the lookup misses.
+	Corrupt int64 `json:"corrupt"`
+
+	MemBytes    int64 `json:"mem_bytes"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	MemEntries  int   `json:"mem_entries"`
+	DiskEntries int   `json:"disk_entries"`
+}
+
+// Store is a two-layer verdict store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	memHits, diskHits, misses, puts atomic.Int64
+	memEvics, diskEvics             atomic.Int64
+	rejects, corrupt                atomic.Int64
+
+	mu        sync.Mutex
+	closed    bool
+	mem       map[string]*list.Element // id -> *memEntry element
+	memList   *list.List               // front = most recently used
+	memBytes  int64
+	disk      map[string]*list.Element // id -> *diskEntry element
+	diskList  *list.List               // front = most recently used
+	diskBytes int64
+}
+
+type memEntry struct {
+	id      string
+	verdict []byte
+}
+
+type diskEntry struct {
+	id   string
+	size int64
+}
+
+// Open opens (creating as needed) a verdict store rooted at dir. The
+// disk index is rebuilt from the record files, ordered by their
+// modification times, so the LRU eviction order survives restarts.
+// Leftover temp files from an interrupted Put are removed.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = defaultMemBytes
+	}
+	if opts.DiskBytes == 0 {
+		opts.DiskBytes = defaultDiskBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "records"), 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: %v", err)
+	}
+	tmpDir := filepath.Join(dir, "tmp")
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return nil, fmt.Errorf("vstore: %v", err)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: %v", err)
+	}
+	s := &Store{
+		dir: dir, opts: opts,
+		mem: make(map[string]*list.Element), memList: list.New(),
+		disk: make(map[string]*list.Element), diskList: list.New(),
+	}
+	type found struct {
+		id    string
+		size  int64
+		mtime time.Time
+	}
+	var entries []found
+	root := filepath.Join(dir, "records")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil // raced with an eviction; skip
+		}
+		id := d.Name()[:len(d.Name())-len(".json")]
+		entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vstore: scanning %s: %v", root, err)
+	}
+	// Oldest first, so PushFront leaves the most recently used at the
+	// front — the same order a live store maintains.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].id < entries[j].id
+	})
+	for _, e := range entries {
+		s.disk[e.id] = s.diskList.PushFront(&diskEntry{id: e.id, size: e.size})
+		s.diskBytes += e.size
+	}
+	// The reopened store may exceed a (newly lowered) budget.
+	s.evictDiskLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the verdict bytes stored for k, consulting the in-memory
+// layer first and falling back to disk (promoting the record into
+// memory on a disk hit). The returned slice must not be modified.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	if !k.Valid() {
+		s.misses.Add(1)
+		return nil, false
+	}
+	id := k.id()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if el, ok := s.mem[id]; ok {
+		s.memList.MoveToFront(el)
+		if del, ok := s.disk[id]; ok {
+			s.diskList.MoveToFront(del)
+		}
+		s.memHits.Add(1)
+		return el.Value.(*memEntry).verdict, true
+	}
+	el, ok := s.disk[id]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	path := s.recordPath(id)
+	data, err := os.ReadFile(path)
+	var rec record
+	if err != nil || json.Unmarshal(data, &rec) != nil ||
+		rec.Program != k.Program || rec.Policy != k.Policy || rec.Checker != k.Checker ||
+		len(rec.Verdict) == 0 {
+		// Unreadable, corrupt, or answering for a different key:
+		// fail safe to a miss and drop the record.
+		s.removeDiskLocked(el)
+		os.Remove(path)
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	verdict := []byte(rec.Verdict)
+	s.diskList.MoveToFront(el)
+	now := time.Now()
+	os.Chtimes(path, now, now) // best effort: persist the LRU order
+	s.insertMemLocked(id, verdict)
+	s.diskHits.Add(1)
+	return verdict, true
+}
+
+// Put stores verdict under k in both layers. The bytes are stored
+// verbatim: a later Get returns exactly them. Storing is idempotent —
+// re-putting an existing key refreshes its recency and contents.
+func (s *Store) Put(k Key, verdict []byte) error {
+	if !k.Valid() || len(verdict) == 0 {
+		s.rejects.Add(1)
+		return fmt.Errorf("vstore: invalid key or empty verdict")
+	}
+	if !json.Valid(verdict) {
+		s.rejects.Add(1)
+		return fmt.Errorf("vstore: verdict is not valid JSON")
+	}
+	id := k.id()
+	rec := record{
+		Schema: recordSchema, Program: k.Program, Policy: k.Policy,
+		Checker: k.Checker, CreatedUnix: time.Now().Unix(),
+		Verdict: json.RawMessage(verdict),
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("vstore: %v", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("vstore: store is closed")
+	}
+	if int64(len(data)) > s.opts.DiskBytes {
+		s.rejects.Add(1)
+		return nil // silently uncacheable: larger than the whole budget
+	}
+	// Atomic write-then-rename: a crash mid-write leaves only a temp
+	// file (cleared on the next Open), never a torn record.
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return fmt.Errorf("vstore: %v", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vstore: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vstore: %v", err)
+	}
+	path := s.recordPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vstore: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("vstore: %v", err)
+	}
+	if el, ok := s.disk[id]; ok {
+		s.diskBytes += int64(len(data)) - el.Value.(*diskEntry).size
+		el.Value.(*diskEntry).size = int64(len(data))
+		s.diskList.MoveToFront(el)
+	} else {
+		s.disk[id] = s.diskList.PushFront(&diskEntry{id: id, size: int64(len(data))})
+		s.diskBytes += int64(len(data))
+	}
+	s.insertMemLocked(id, verdict)
+	s.evictDiskLocked()
+	s.puts.Add(1)
+	return nil
+}
+
+// Len returns the number of records in the disk layer.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.disk)
+}
+
+// Stats snapshots the store's counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		MemBytes: s.memBytes, DiskBytes: s.diskBytes,
+		MemEntries: len(s.mem), DiskEntries: len(s.disk),
+	}
+	s.mu.Unlock()
+	st.MemHits = s.memHits.Load()
+	st.DiskHits = s.diskHits.Load()
+	st.Misses = s.misses.Load()
+	st.Puts = s.puts.Load()
+	st.MemEvictions = s.memEvics.Load()
+	st.DiskEvictions = s.diskEvics.Load()
+	st.Rejects = s.rejects.Load()
+	st.Corrupt = s.corrupt.Load()
+	return st
+}
+
+// Close marks the store closed: subsequent Gets miss and Puts fail. All
+// writes are synchronous, so there is nothing to flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.mem = make(map[string]*list.Element)
+	s.memList = list.New()
+	s.memBytes = 0
+	return nil
+}
+
+func (s *Store) recordPath(id string) string {
+	return filepath.Join(s.dir, "records", id[:2], id+".json")
+}
+
+// insertMemLocked inserts (or refreshes) a verdict in the memory layer
+// and evicts from the back until the layer fits its budget.
+func (s *Store) insertMemLocked(id string, verdict []byte) {
+	if s.opts.MemBytes < 0 || int64(len(verdict)) > s.opts.MemBytes {
+		return
+	}
+	if el, ok := s.mem[id]; ok {
+		s.memBytes += int64(len(verdict)) - int64(len(el.Value.(*memEntry).verdict))
+		el.Value.(*memEntry).verdict = verdict
+		s.memList.MoveToFront(el)
+	} else {
+		s.mem[id] = s.memList.PushFront(&memEntry{id: id, verdict: verdict})
+		s.memBytes += int64(len(verdict))
+	}
+	for s.memBytes > s.opts.MemBytes {
+		back := s.memList.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*memEntry)
+		s.memList.Remove(back)
+		delete(s.mem, e.id)
+		s.memBytes -= int64(len(e.verdict))
+		s.memEvics.Add(1)
+	}
+}
+
+// evictDiskLocked drops least-recently-used records until the disk
+// layer fits its budget.
+func (s *Store) evictDiskLocked() {
+	for s.diskBytes > s.opts.DiskBytes {
+		back := s.diskList.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*diskEntry)
+		s.removeDiskLocked(back)
+		os.Remove(s.recordPath(e.id))
+		s.diskEvics.Add(1)
+	}
+}
+
+// removeDiskLocked unlinks a disk index entry (not the file).
+func (s *Store) removeDiskLocked(el *list.Element) {
+	e := el.Value.(*diskEntry)
+	s.diskList.Remove(el)
+	delete(s.disk, e.id)
+	s.diskBytes -= e.size
+}

@@ -1,0 +1,423 @@
+package vstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(i int) Key {
+	return Key{
+		Program: fmt.Sprintf("prog-%04d", i),
+		Policy:  "policy-a",
+		Checker: "mcsafe-test",
+	}
+}
+
+func verdict(i, size int) []byte {
+	pad := bytes.Repeat([]byte("x"), size)
+	return []byte(fmt.Sprintf(`{"schema":1,"safe":true,"n":%d,"pad":%q}`, i, pad))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := verdict(1, 10)
+	if err := s.Put(key(1), want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = (%q, %v), want (%q, true)", got, ok, want)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("Get of unstored key hit")
+	}
+	// A different checker version never sees the verdict.
+	other := key(1)
+	other.Checker = "mcsafe-other"
+	if _, ok := s.Get(other); ok {
+		t.Fatal("verdict leaked across checker versions")
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Misses != 2 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInvalidKeysAndVerdicts(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(Key{}, verdict(0, 1)); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(key(0), nil); err == nil {
+		t.Error("empty verdict accepted")
+	}
+	if err := s.Put(key(0), []byte("not json")); err == nil {
+		t.Error("non-JSON verdict accepted")
+	}
+	if _, ok := s.Get(Key{}); ok {
+		t.Error("empty key hit")
+	}
+	if s.Stats().Rejects == 0 {
+		t.Error("rejects not counted")
+	}
+}
+
+// TestRestartPersistence is the core serving contract: verdicts written
+// before a restart are served after it, bit-identically, from the disk
+// layer (first hit) and then from memory.
+func TestRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), verdict(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("closed store served a verdict")
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("reopened store has %d records, want %d", s2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(key(i))
+		if !ok {
+			t.Fatalf("key %d lost across restart", i)
+		}
+		if !bytes.Equal(got, verdict(i, 100)) {
+			t.Fatalf("key %d verdict changed across restart", i)
+		}
+	}
+	st := s2.Stats()
+	if st.DiskHits != n || st.MemHits != 0 {
+		t.Errorf("first pass after restart: disk=%d mem=%d, want %d/0", st.DiskHits, st.MemHits, n)
+	}
+	if got, ok := s2.Get(key(3)); !ok || !bytes.Equal(got, verdict(3, 100)) {
+		t.Fatal("promoted record wrong")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Errorf("second read was not a memory hit: %+v", st)
+	}
+}
+
+// TestEvictionProperty drives random puts and gets against a reference
+// LRU model and asserts after every operation that (a) the disk layer
+// never exceeds its byte budget, and (b) exactly the model's surviving
+// keys are retrievable after a reopen (memory layer emptied).
+func TestEvictionProperty(t *testing.T) {
+	const budget = 4096
+	rng := rand.New(rand.NewSource(1))
+	dir := t.TempDir()
+	s, err := Open(dir, Options{DiskBytes: budget, MemBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference model: ordered list of (id, size), front = MRU.
+	type modelEntry struct {
+		i    int
+		size int64
+	}
+	var model []modelEntry // [0] = most recent
+	touch := func(i int, size int64) {
+		for j, e := range model {
+			if e.i == i {
+				model = append(model[:j], model[j+1:]...)
+				break
+			}
+		}
+		model = append([]modelEntry{{i, size}}, model...)
+		var total int64
+		for _, e := range model {
+			total += e.size
+		}
+		for total > budget {
+			total -= model[len(model)-1].size
+			model = model[:len(model)-1]
+		}
+	}
+	// recordSize asks the disk for the just-written record's size (the
+	// envelope adds overhead the model must account for exactly).
+	recordSize := func(i int) int64 {
+		info, err := os.Stat(s.recordPath(key(i).id()))
+		if err != nil {
+			t.Fatalf("record for key %d missing right after Put: %v", i, err)
+		}
+		return info.Size()
+	}
+
+	for op := 0; op < 400; op++ {
+		i := rng.Intn(40)
+		if rng.Intn(3) == 0 {
+			// A get refreshes recency in both store and model (only
+			// when the model still holds the key — a store hit on a
+			// model-evicted key would itself be a failure below).
+			_, ok := s.Get(key(i))
+			inModel := false
+			for _, e := range model {
+				if e.i == i {
+					inModel = true
+					touch(i, e.size)
+					break
+				}
+			}
+			if ok != inModel {
+				t.Fatalf("op %d: Get(%d) hit=%v, model=%v", op, i, ok, inModel)
+			}
+			continue
+		}
+		size := 20 + rng.Intn(200)
+		if err := s.Put(key(i), verdict(i, size)); err != nil {
+			t.Fatalf("op %d: Put: %v", op, err)
+		}
+		touch(i, recordSize(i))
+
+		st := s.Stats()
+		if st.DiskBytes > budget {
+			t.Fatalf("op %d: disk layer at %d bytes exceeds budget %d", op, st.DiskBytes, budget)
+		}
+		if st.MemBytes > 512 {
+			t.Fatalf("op %d: memory layer at %d bytes exceeds budget 512", op, st.MemBytes)
+		}
+	}
+
+	if s.Stats().DiskEvictions == 0 {
+		t.Fatal("property run never evicted; budget too large for the workload")
+	}
+
+	// Survivors must be exactly the model's, even after a restart.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{DiskBytes: budget, MemBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	inModel := map[int]bool{}
+	for _, e := range model {
+		inModel[e.i] = true
+	}
+	for i := 0; i < 40; i++ {
+		_, ok := s2.Get(key(i))
+		if ok != inModel[i] {
+			t.Errorf("after restart: key %d present=%v, model says %v", i, ok, inModel[i])
+		}
+	}
+}
+
+// TestConcurrentAccess hammers overlapping keys from many goroutines;
+// run under -race this is the store's data-race test. Any hit must
+// return the exact bytes some Put stored for that key.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{DiskBytes: 1 << 20, MemBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for r := 0; r < rounds; r++ {
+				i := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					if err := s.Put(key(i), verdict(i, 50)); err != nil {
+						errs <- err
+						return
+					}
+				} else if got, ok := s.Get(key(i)); ok {
+					if !bytes.Equal(got, verdict(i, 50)) {
+						errs <- fmt.Errorf("key %d: wrong bytes", i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionTolerance: a truncated or overwritten record is a miss
+// (never a wrong verdict), is dropped, and the slot is re-fillable.
+func TestCorruptionTolerance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), verdict(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt the record on disk.
+	var recPath string
+	filepath.Walk(filepath.Join(dir, "records"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			recPath = path
+		}
+		return nil
+	})
+	if recPath == "" {
+		t.Fatal("no record file written")
+	}
+	if err := os.WriteFile(recPath, []byte(`{"schema":1,"garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatal("corrupt record served")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("corruption not counted: %+v", st)
+	}
+	if _, err := os.Stat(recPath); !os.IsNotExist(err) {
+		t.Error("corrupt record not removed")
+	}
+	if err := s2.Put(key(1), verdict(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
+		t.Fatal("slot not re-fillable after corruption")
+	}
+}
+
+// TestKeyMismatchIsMiss: a record answering for a different key (as
+// after a hypothetical file-name collision) is never served.
+func TestKeyMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), verdict(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Graft key(1)'s record file onto key(2)'s id.
+	src := s.recordPath(key(1).id())
+	dst := s.recordPath(key(2).id())
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(key(2)); ok {
+		t.Fatal("record served for a key it does not answer for")
+	}
+	if got, ok := s2.Get(key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
+		t.Fatal("legitimate record lost")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{DiskBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(key(1), verdict(1, 1024)); err != nil {
+		t.Fatalf("oversize put errored: %v", err)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("oversize verdict stored")
+	}
+	if st := s.Stats(); st.Rejects != 1 || st.DiskEntries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLRUOrderSurvivesRestart: access order, not write order, decides
+// eviction after a reopen (mtimes persist the order).
+func TestLRUOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(i), verdict(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes even on coarse filesystem clocks.
+		now := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(s.recordPath(key(i).id()), now, now)
+	}
+	// Touch key 0 so it becomes the most recent on disk.
+	now := time.Now()
+	os.Chtimes(s.recordPath(key(0).id()), now, now)
+	s.Close()
+
+	rec, err := os.Stat(filepath.Join(dir, "records", key(0).id()[:2], key(0).id()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for roughly two records: the reopen must evict the oldest.
+	s2, err := Open(dir, Options{DiskBytes: 2*rec.Size() + 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(key(0)); !ok {
+		t.Error("most recently used record evicted on reopen")
+	}
+	if _, ok := s2.Get(key(1)); ok {
+		t.Error("least recently used record survived a shrunk budget")
+	}
+}

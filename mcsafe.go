@@ -9,12 +9,19 @@
 //
 //	spec, err := mcsafe.ParseSpec(specText)
 //	prog, err := mcsafe.Assemble(asmText, spec, "entry")
-//	res, err := mcsafe.Check(prog, spec)
+//	checker := mcsafe.New()                       // configure once, reuse
+//	res, err := checker.Check(ctx, prog, spec)
 //	if res.Safe { ... } else { for _, v := range res.Violations { ... } }
 //
 // Programs may also be supplied as raw machine words plus a loader
 // symbol table via FromWords — the checker itself consumes only the
-// decoded binary.
+// decoded binary. Programs and specs are content-addressed
+// (Program.Fingerprint, Spec.Hash), results have a stable versioned wire
+// encoding (Result.Wire), and cmd/mcsafed serves the whole pipeline over
+// HTTP with a persistent verdict store keyed by those addresses.
+//
+// The package-level Check, CheckWithOptions, and CheckAll functions are
+// deprecated shims over the Checker API, kept for source compatibility.
 package mcsafe
 
 import (
@@ -130,15 +137,21 @@ type Options struct {
 	Budget Budget
 }
 
-// Check runs the five-phase safety-checking analysis. It is a shim over
-// the Checker API: New().Check(context.Background(), prog, spec).
+// Check runs the five-phase safety-checking analysis.
+//
+// Deprecated: build a Checker instead — New().Check(ctx, prog, spec) —
+// which adds context cancellation, functional options, and reuse across
+// programs. This shim is kept for source compatibility and delegates
+// unchanged.
 func Check(prog *Program, spec *Spec) (*Result, error) {
 	return New().Check(context.Background(), prog, spec)
 }
 
-// CheckWithOptions runs the analysis with explicit tuning. It is a shim
-// over the Checker API; new code should build a Checker with functional
-// options instead.
+// CheckWithOptions runs the analysis with explicit tuning.
+//
+// Deprecated: build a Checker with functional options instead, e.g.
+// New(WithParallelism(4), WithBudget(b)).Check(ctx, prog, spec). This
+// shim is kept for source compatibility and delegates unchanged.
 func CheckWithOptions(prog *Program, spec *Spec, opts Options) (*Result, error) {
 	c := New()
 	c.opts = opts

@@ -1,6 +1,7 @@
 package mcsafe
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Check(prog, spec)
+	res, err := New().Check(context.Background(), prog, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestBinaryFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Check(prog, spec)
+	res, err := New().Check(context.Background(), prog, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBinaryTamperingDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Check(prog, spec)
+	res, err := New().Check(context.Background(), prog, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +126,13 @@ func TestBinaryTamperingDetected(t *testing.T) {
 }
 
 func TestCheckNilArguments(t *testing.T) {
+	// The deprecated package-level shim stays covered here; it must
+	// behave exactly like New().Check.
 	if _, err := Check(nil, nil); err == nil {
 		t.Fatal("nil arguments should error")
+	}
+	if _, err := New().Check(context.Background(), nil, nil); err == nil {
+		t.Fatal("nil arguments should error via Checker too")
 	}
 }
 
@@ -171,7 +177,7 @@ func TestBuiltinsConsistent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Check(prog, spec)
+		res, err := New().Check(context.Background(), prog, spec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ package mcsafe
 // complete canonical formulas (see internal/vcgen/pool.go).
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -142,8 +143,9 @@ func TestCheckAllBatch(t *testing.T) {
 	}
 }
 
-// TestCheckAllPublic drives the exported mcsafe.CheckAll wrapper with
-// assembled programs, matching what cmd/mcsafe's batch mode does.
+// TestCheckAllPublic drives Checker.CheckAll with assembled programs,
+// matching what cmd/mcsafe's batch mode does, and keeps the deprecated
+// package-level CheckAll shim covered.
 func TestCheckAllPublic(t *testing.T) {
 	spec, err := ParseSpec(`
 region V
@@ -181,9 +183,13 @@ allow V int[n] rfo
 		{Prog: prog, Spec: spec},
 		{Prog: nil, Spec: spec},
 	}
-	out := CheckAll(items, 2)
+	out := New().CheckAll(context.Background(), items, 2)
 	if len(out) != 3 {
 		t.Fatalf("%d outcomes for 3 items", len(out))
+	}
+	// The deprecated shim must agree with the Checker path.
+	if shim := CheckAll(items[:1], 1); len(shim) != 1 || shim[0].Err != nil || !shim[0].Result.Safe {
+		t.Fatalf("deprecated CheckAll shim disagrees: %+v", shim)
 	}
 	for _, i := range []int{0, 1} {
 		if out[i].Err != nil {

@@ -1,0 +1,97 @@
+package mcsafe
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is the current version of the Result wire schema: the
+// versioned JSON encoding shared bit-identically by `mcsafe -json`, the
+// verdict store's on-disk records, and the mcsafed server's responses.
+// The schema evolves additively — fields are only ever added, and
+// decoders tolerate unknown fields — so the version is bumped only on a
+// breaking change (none so far).
+const SchemaVersion = 1
+
+// WireResult is the versioned wire form of a Result (schema v1). Field
+// names and JSON tags are frozen; the encoding produced by Marshal is
+// canonical (compact, fields in declaration order), so equal WireResults
+// encode to equal bytes — the property the content-addressed verdict
+// store relies on to serve warm submissions bit-identically to the cold
+// check that populated them.
+//
+// Violation.Span is trace-local (span IDs are assigned per observer) and
+// is normalized to zero on the wire.
+type WireResult struct {
+	// Schema is the wire-schema version (SchemaVersion at encode time).
+	Schema int `json:"schema"`
+	// Checker is the CheckerVersion that produced the verdict.
+	Checker string `json:"checker"`
+	// Safe, Violations, Stats, and Times mirror Result. Violations is
+	// never null on the wire: an empty list encodes as [].
+	Safe       bool        `json:"safe"`
+	Violations []Violation `json:"violations"`
+	Stats      Stats       `json:"stats"`
+	Times      PhaseTimes  `json:"times"`
+}
+
+// NewWireResult builds the canonical wire form from result components:
+// the violation list is copied with trace-local span IDs cleared, and a
+// nil list becomes the empty list.
+func NewWireResult(safe bool, violations []Violation, stats Stats, times PhaseTimes) WireResult {
+	vs := make([]Violation, len(violations))
+	copy(vs, violations)
+	for i := range vs {
+		vs[i].Span = 0
+	}
+	return WireResult{
+		Schema: SchemaVersion, Checker: CheckerVersion,
+		Safe: safe, Violations: vs, Stats: stats, Times: times,
+	}
+}
+
+// Wire returns the result's canonical wire form.
+func (r *Result) Wire() WireResult {
+	return NewWireResult(r.Safe, r.Violations, r.Stats, r.Times)
+}
+
+// MarshalWire encodes the result in the canonical v1 wire encoding.
+func (r *Result) MarshalWire() ([]byte, error) {
+	return r.Wire().Marshal()
+}
+
+// Marshal renders the canonical encoding: compact JSON with the fields
+// in declaration order. Equal WireResults marshal to equal bytes.
+func (w WireResult) Marshal() ([]byte, error) {
+	return json.Marshal(w)
+}
+
+// UnmarshalWire decodes a wire-encoded Result. Unknown fields are
+// ignored — a v1 decoder reads records written by any later additive
+// schema — but a missing or unversioned document is rejected, as is a
+// major schema it cannot understand.
+func UnmarshalWire(data []byte) (*WireResult, error) {
+	var w WireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("mcsafe: invalid wire result: %v", err)
+	}
+	if w.Schema < 1 {
+		return nil, fmt.Errorf("mcsafe: not a wire result (schema %d)", w.Schema)
+	}
+	if w.Violations == nil {
+		w.Violations = []Violation{}
+	}
+	return &w, nil
+}
+
+// Result lifts the wire form back into a Result. The lifted result has
+// no attached trace or intermediate analysis state: Explain degrades to
+// the violation's one-line rendering, and Trace returns nil.
+func (w *WireResult) Result() *Result {
+	return &Result{
+		Safe:       w.Safe,
+		Violations: append([]Violation(nil), w.Violations...),
+		Stats:      w.Stats,
+		Times:      w.Times,
+	}
+}

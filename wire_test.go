@@ -1,0 +1,153 @@
+package mcsafe
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goldenWire is a fixed, fully-populated wire result: stable values only
+// (no clocks), so its canonical encoding is a byte-exact golden.
+func goldenWire() WireResult {
+	return NewWireResult(
+		false,
+		[]Violation{{
+			Node: 7, Index: 6, Line: 12, Phase: "global",
+			Code: CodeOOB, Desc: "array store out of bounds", Cond: 3, Span: 42,
+		}},
+		Stats{
+			Instructions: 13, Branches: 2, Loops: 1, InnerLoops: 0,
+			Calls: 0, TrustedCalls: 0, GlobalConds: 4,
+			PropagationSteps: 120, ProverQueries: 9, InductionRuns: 1,
+		},
+		PhaseTimes{
+			Typestate:  1500 * time.Microsecond,
+			AnnotLocal: 800 * time.Microsecond,
+			Global:     21 * time.Millisecond,
+			Total:      24 * time.Millisecond,
+		},
+	)
+}
+
+// TestWireGolden pins the canonical v1 encoding byte-for-byte
+// (regenerate with MCSAFE_REGEN=1). A drift here silently invalidates
+// every persisted verdict-store record and breaks the bit-identity
+// contract between `mcsafe -json`, the store, and mcsafed responses, so
+// it must coincide with a SchemaVersion or CheckerVersion change.
+func TestWireGolden(t *testing.T) {
+	got, err := goldenWire().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "wire_v1.golden")
+	if os.Getenv("MCSAFE_REGEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with MCSAFE_REGEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire encoding diverged from %s (regenerate with MCSAFE_REGEN=1 if intended)\ngot:  %s\nwant: %s",
+			path, got, want)
+	}
+}
+
+// TestWireRoundTrip: Marshal → UnmarshalWire → Marshal is the identity
+// on bytes, spans are normalized off the wire, and a nil violation list
+// encodes as [].
+func TestWireRoundTrip(t *testing.T) {
+	w := goldenWire()
+	if w.Violations[0].Span != 0 {
+		t.Error("NewWireResult kept a trace-local span ID")
+	}
+	enc1, err := w.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalWire(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("re-encoding is not the identity:\n%s\n%s", enc1, enc2)
+	}
+
+	safe := NewWireResult(true, nil, Stats{}, PhaseTimes{})
+	enc, err := safe.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte(`"violations":[]`)) {
+		t.Errorf("nil violations did not encode as []: %s", enc)
+	}
+}
+
+// TestWireUnknownFieldTolerance: a v1 decoder reads records written by
+// any later additive schema, ignoring fields it does not know; documents
+// without a schema version are rejected.
+func TestWireUnknownFieldTolerance(t *testing.T) {
+	future := `{"schema":1,"checker":"mcsafe-99","safe":true,` +
+		`"violations":[],"stats":{"instructions":1,"future_counter":7},` +
+		`"times":{"total_ns":5},"future_field":{"nested":true}}`
+	w, err := UnmarshalWire([]byte(future))
+	if err != nil {
+		t.Fatalf("future record rejected: %v", err)
+	}
+	if !w.Safe || w.Checker != "mcsafe-99" || w.Stats.Instructions != 1 {
+		t.Errorf("future record misdecoded: %+v", w)
+	}
+	if _, err := UnmarshalWire([]byte(`{"safe":true}`)); err == nil {
+		t.Error("unversioned document accepted")
+	}
+	if _, err := UnmarshalWire([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestWireFromCheck: the wire form of a real check round-trips and the
+// lifted Result preserves the verdict surface.
+func TestWireFromCheck(t *testing.T) {
+	prog, spec := buildGolden(t)
+	res, err := New().Check(context.Background(), prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := res.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := UnmarshalWire(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Schema != SchemaVersion || w.Checker != CheckerVersion {
+		t.Errorf("wire header = (%d, %q), want (%d, %q)", w.Schema, w.Checker, SchemaVersion, CheckerVersion)
+	}
+	lifted := w.Result()
+	if lifted.Safe != res.Safe || len(lifted.Violations) != len(res.Violations) {
+		t.Errorf("lifted result diverged: safe=%v/%v violations=%d/%d",
+			lifted.Safe, res.Safe, len(lifted.Violations), len(res.Violations))
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(enc, &generic); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "checker", "safe", "violations", "stats", "times"} {
+		if _, ok := generic[key]; !ok {
+			t.Errorf("wire encoding missing stable key %q", key)
+		}
+	}
+}
