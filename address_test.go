@@ -30,9 +30,11 @@ const goldenAsmText = `
 `
 
 const (
-	goldenProgFingerprint  = "e77a14e1f181eb4960454f4f1edea3cbbb4656749f8094cb6d51885aa0863d7d"
+	// Program encoding v2 (length-prefixed symbol names; see
+	// internal/sparc/fingerprint.go).
+	goldenProgFingerprint  = "a2fcc0440fd11546dd12a861224bee3fd9669bcfed68a7bc358d6b1148e72283"
 	goldenSpecHash         = "194eceb549b7f1aedb0af4ef92b4d6773a4df524fbf799331bcb521b471b7c9b"
-	goldenWordsFingerprint = "77b80e5aa8b78184624cc5cd208cc7ffc5639051c9e6f3ab9e86d8787a910940"
+	goldenWordsFingerprint = "a7ceeff5183c4b33865d8deec74a1b6df537f208e439c419dae7c3aa1f01c5a5"
 )
 
 func buildGolden(t *testing.T) (*Program, *Spec) {
@@ -112,6 +114,30 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 	if h0 == fp(words, map[string]int{"l": 1}) {
 		t.Error("adding a symbol did not change the fingerprint")
+	}
+}
+
+// TestFingerprintSymbolFraming pins the fix for a real collision in the
+// v1 program encoding, which framed each symbol-table entry as
+// name||0x00||value. Names may contain NUL bytes, so an adversarial
+// name could absorb a neighboring entry's framing: the two distinct
+// symbol tables below produce byte-identical v1 encodings
+// (count=2, then 61 00 00000001 62 00 00000002 63 00 00000003), which
+// would let a cached verdict for one program answer for the other. The
+// v2 encoding length-prefixes every name, making the framing
+// unambiguous.
+func TestFingerprintSymbolFraming(t *testing.T) {
+	words := []uint32{0x01000000, 0x01000000, 0x01000000, 0x81c3e008}
+	a, err := FromWords(words, 0x10000, map[string]int{"a\x00\x00\x00\x00\x01b": 2, "c": 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromWords(words, 0x10000, map[string]int{"a": 1, "b\x00\x00\x00\x00\x02c": 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct symbol tables with NUL-bearing names share a fingerprint")
 	}
 }
 

@@ -57,6 +57,7 @@ func run() int {
 	defCondTimeout := flag.Duration("cond-timeout", 0, "default per-condition proof timeout (0 = none)")
 	maxCondTimeout := flag.Duration("max-cond-timeout", 0, "hard cap on any request's per-condition timeout (0 = uncapped)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight checks")
+	traceSpans := flag.Int("trace-spans", 4096, "trace spans retained for metrics (0 = unlimited; counters and span aggregates always cover every request)")
 
 	checkURL := flag.String("check", "", "client mode: POST one check to this mcsafed base URL")
 	metricsURL := flag.String("metrics", "", "client mode: dump /v1/metrics from this base URL")
@@ -83,6 +84,10 @@ func run() int {
 		}
 		fmt.Printf("mcsafed: verdict store at %s (%d records)\n", *storeDir, store.Len())
 	}
+	// The daemon lives for millions of requests: bound span retention so
+	// the trace's memory stays flat (aggregates still count everything).
+	trace := obs.New()
+	trace.SetSpanLimit(*traceSpans)
 	srv := server.New(server.Config{
 		Store:       store,
 		Parallelism: *parallel,
@@ -93,7 +98,7 @@ func run() int {
 		MaxBudget: mcsafe.Budget{
 			Deadline: *maxDeadline, SolverSteps: *maxSteps, CondTimeout: *maxCondTimeout,
 		},
-		Trace: obs.New(),
+		Trace: trace,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -79,12 +79,54 @@ type Trace struct {
 
 	mu       sync.Mutex
 	spans    []Span
+	maxSpans int // > 0: retain only the most recent maxSpans spans
+	dropped  int64
+	aggs     map[string]*spanAgg // per-kind totals over ALL merged spans
 	counters map[string]int64
+}
+
+// spanAgg accumulates one kind's span totals; unlike the spans slice it
+// is never pruned, so WriteText stays monotone under a span limit.
+type spanAgg struct {
+	count int64
+	ns    int64
 }
 
 // New returns an empty trace whose clock starts now.
 func New() *Trace {
-	return &Trace{start: time.Now(), counters: make(map[string]int64)}
+	return &Trace{
+		start:    time.Now(),
+		aggs:     make(map[string]*spanAgg),
+		counters: make(map[string]int64),
+	}
+}
+
+// SetSpanLimit bounds span retention: after each merge only the n most
+// recently merged spans are kept (n <= 0 restores unlimited retention,
+// the default). Counters and the per-kind aggregates WriteText renders
+// keep counting every span ever merged, so a long-running daemon can
+// cap its memory without losing metrics; only the replayable event
+// stream (Events/Snapshot/WriteJSON) is truncated to the retained tail,
+// which may reference parents that have been dropped.
+func (t *Trace) SetSpanLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.maxSpans = n
+	t.pruneLocked()
+	t.mu.Unlock()
+}
+
+// pruneLocked drops the oldest retained spans down to the limit.
+func (t *Trace) pruneLocked() {
+	if t.maxSpans <= 0 || len(t.spans) <= t.maxSpans {
+		return
+	}
+	excess := len(t.spans) - t.maxSpans
+	t.dropped += int64(excess)
+	// Copy rather than re-slice so the dropped prefix is freed.
+	t.spans = append(t.spans[:0], t.spans[excess:]...)
 }
 
 func (t *Trace) now() int64 { return int64(time.Since(t.start)) }
@@ -102,7 +144,17 @@ func (t *Trace) Worker(parent SpanID) *Worker {
 // merge absorbs a worker's finished spans and counters.
 func (t *Trace) merge(spans []Span, counters map[string]int64) {
 	t.mu.Lock()
+	for _, s := range spans {
+		a := t.aggs[s.Kind]
+		if a == nil {
+			a = &spanAgg{}
+			t.aggs[s.Kind] = a
+		}
+		a.count++
+		a.ns += s.End - s.Start
+	}
 	t.spans = append(t.spans, spans...)
+	t.pruneLocked()
 	for k, v := range counters {
 		t.counters[k] += v
 	}
@@ -222,20 +274,15 @@ func (t *Trace) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	type agg struct {
-		count int64
-		ns    int64
+	// The aggregates are maintained at merge time — over every span ever
+	// merged, not just the retained ones — so this snapshot is O(kinds)
+	// and stays monotone under SetSpanLimit.
+	byKind := map[string]spanAgg{}
+	t.mu.Lock()
+	for k, a := range t.aggs {
+		byKind[k] = *a
 	}
-	byKind := map[string]*agg{}
-	for _, s := range t.Spans() {
-		a := byKind[s.Kind]
-		if a == nil {
-			a = &agg{}
-			byKind[s.Kind] = a
-		}
-		a.count++
-		a.ns += s.End - s.Start
-	}
+	t.mu.Unlock()
 	kinds := make([]string, 0, len(byKind))
 	for k := range byKind {
 		kinds = append(kinds, k)

@@ -205,6 +205,59 @@ func TestTextSnapshot(t *testing.T) {
 	}
 }
 
+// TestSpanLimitBoundsRetention: a span limit caps the retained spans (a
+// long-running daemon's memory) while counters and the WriteText span
+// aggregates keep counting every span ever merged.
+func TestSpanLimitBoundsRetention(t *testing.T) {
+	tr := New()
+	tr.SetSpanLimit(10)
+	const total = 100
+	for i := 0; i < total; i++ {
+		w := tr.Worker(0)
+		w.Begin("request", "/v1/check")
+		w.Add("server_requests", 1)
+		w.End()
+		w.Flush()
+	}
+	if got := len(tr.Spans()); got != 10 {
+		t.Fatalf("retained %d spans, want 10", got)
+	}
+	if got := tr.Counter("server_requests"); got != total {
+		t.Fatalf("server_requests = %d, want %d", got, total)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `mcsafe_spans_total{kind="request"} 100`
+	if !strings.Contains(out, want) {
+		t.Fatalf("span aggregate does not cover dropped spans:\nwant %s\n%s", want, out)
+	}
+	// The retained tail is the most recent spans: IDs are monotone, so
+	// the smallest retained ID must be from the last 10 merges.
+	spans := tr.Spans()
+	if spans[0].ID <= SpanID(total-10) {
+		t.Fatalf("oldest retained span ID %d; dropped spans were not the oldest", spans[0].ID)
+	}
+	// Lowering the limit after the fact prunes immediately.
+	tr.SetSpanLimit(3)
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("retained %d spans after re-limit, want 3", got)
+	}
+	// And clearing it restores unlimited growth.
+	tr.SetSpanLimit(0)
+	w := tr.Worker(0)
+	for i := 0; i < 20; i++ {
+		w.Begin("request", "/v1/check")
+		w.End()
+	}
+	w.Flush()
+	if got := len(tr.Spans()); got != 23 {
+		t.Fatalf("retained %d spans with limit cleared, want 23", got)
+	}
+}
+
 func TestTruncateFormula(t *testing.T) {
 	if got := TruncateFormula("short"); got != "short" {
 		t.Fatal(got)

@@ -16,8 +16,11 @@ import (
 
 // fingerprintMagic versions the canonical encoding itself: any change to
 // the byte layout below must change this string, or old store records
-// would be served for differently-encoded programs.
-const fingerprintMagic = "mcsafe/program/v1\n"
+// would be served for differently-encoded programs. v2 length-prefixes
+// symbol names; v1's NUL-terminated names let adversarial names
+// containing NUL bytes shift bytes between adjacent fields, giving two
+// distinct symbol tables one encoding (and thus one fingerprint).
+const fingerprintMagic = "mcsafe/program/v2\n"
 
 // Fingerprint computes the program's stable content address: a SHA-256
 // digest over a canonical encoding of the checker-visible input. The
@@ -32,6 +35,14 @@ func Fingerprint(p *Program) [sha256.Size]byte {
 	putU32 := func(v uint32) {
 		binary.BigEndian.PutUint32(buf[:4], v)
 		h.Write(buf[:4])
+	}
+	// Names are length-prefixed, never terminated: loaders accept
+	// arbitrary byte strings as symbol names, so a terminator byte could
+	// also appear inside a name and make two symbol tables encode
+	// identically.
+	putName := func(name string) {
+		putU32(uint32(len(name)))
+		h.Write([]byte(name))
 	}
 	if p == nil {
 		return [sha256.Size]byte(h.Sum(nil))
@@ -49,8 +60,7 @@ func Fingerprint(p *Program) [sha256.Size]byte {
 	sort.Strings(syms)
 	putU32(uint32(len(syms)))
 	for _, name := range syms {
-		h.Write([]byte(name))
-		h.Write([]byte{0})
+		putName(name)
 		putU32(uint32(p.Symbols[name]))
 	}
 	dsyms := make([]string, 0, len(p.DataSyms))
@@ -60,8 +70,7 @@ func Fingerprint(p *Program) [sha256.Size]byte {
 	sort.Strings(dsyms)
 	putU32(uint32(len(dsyms)))
 	for _, name := range dsyms {
-		h.Write([]byte(name))
-		h.Write([]byte{0})
+		putName(name)
 		putU32(p.DataSyms[name])
 	}
 	// The source map feeds Violation.Line, which the wire Result carries.

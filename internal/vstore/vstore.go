@@ -205,6 +205,10 @@ func (s *Store) Dir() string { return s.dir }
 // Get returns the verdict bytes stored for k, consulting the in-memory
 // layer first and falling back to disk (promoting the record into
 // memory on a disk hit). The returned slice must not be modified.
+//
+// The disk read runs outside the store mutex, so a cold lookup never
+// blocks concurrent in-memory hits; the entry is revalidated under the
+// lock before the record is promoted.
 func (s *Store) Get(k Key) ([]byte, bool) {
 	if !k.Valid() {
 		s.misses.Add(1)
@@ -212,8 +216,8 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	}
 	id := k.id()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -222,33 +226,57 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		if del, ok := s.disk[id]; ok {
 			s.diskList.MoveToFront(del)
 		}
+		verdict := el.Value.(*memEntry).verdict
+		s.mu.Unlock()
 		s.memHits.Add(1)
-		return el.Value.(*memEntry).verdict, true
+		return verdict, true
 	}
-	el, ok := s.disk[id]
-	if !ok {
+	if _, ok := s.disk[id]; !ok {
+		s.mu.Unlock()
 		s.misses.Add(1)
 		return nil, false
 	}
+	s.mu.Unlock()
+
 	path := s.recordPath(id)
 	data, err := os.ReadFile(path)
 	var rec record
-	if err != nil || json.Unmarshal(data, &rec) != nil ||
+	bad := err != nil || json.Unmarshal(data, &rec) != nil ||
 		rec.Program != k.Program || rec.Policy != k.Policy || rec.Checker != k.Checker ||
-		len(rec.Verdict) == 0 {
+		len(rec.Verdict) == 0
+
+	s.mu.Lock()
+	el, present := s.disk[id]
+	if present && bad {
 		// Unreadable, corrupt, or answering for a different key:
-		// fail safe to a miss and drop the record.
+		// fail safe to a miss and drop the record. (If the entry is
+		// gone, a concurrent Get already dropped it — or a concurrent
+		// eviction removed the file mid-read, which is not corruption.)
 		s.removeDiskLocked(el)
+		s.mu.Unlock()
 		os.Remove(path)
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		return nil, false
 	}
+	if bad || s.closed {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
 	verdict := []byte(rec.Verdict)
-	s.diskList.MoveToFront(el)
-	now := time.Now()
-	os.Chtimes(path, now, now) // best effort: persist the LRU order
-	s.insertMemLocked(id, verdict)
+	if present {
+		// Still indexed: refresh recency and promote into memory. (If
+		// evicted while we read, serve the verdict — it answered for
+		// exactly this key — without resurrecting the entry.)
+		s.diskList.MoveToFront(el)
+		s.insertMemLocked(id, verdict)
+	}
+	s.mu.Unlock()
+	if present {
+		now := time.Now()
+		os.Chtimes(path, now, now) // best effort: persist the LRU order
+	}
 	s.diskHits.Add(1)
 	return verdict, true
 }
