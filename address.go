@@ -4,7 +4,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/isa"
 )
 
 // CheckerVersion is an opaque token naming the checker's verdict
@@ -13,7 +13,7 @@ import (
 // verdicts are keyed by it (alongside the program fingerprint and
 // policy hash), so a new checker never serves a predecessor's verdicts.
 // Compare it only for equality.
-const CheckerVersion = "mcsafe-8"
+const CheckerVersion = "mcsafe-9"
 
 // Hash is a stable 256-bit content address (a SHA-256 digest) used to
 // identify programs and policies. Hashes are stable across processes,
@@ -44,10 +44,12 @@ func ParseHash(s string) (Hash, error) {
 
 // Fingerprint returns the program's stable content address: a SHA-256
 // digest over a canonical encoding of everything the checker sees — the
-// machine words, base address, entry point, loader symbol tables, and
-// source map. Two programs with equal fingerprints are indistinguishable
-// to the checker, so the fingerprint (together with Spec.Hash and
-// CheckerVersion) keys persistent verdict stores.
+// architecture, machine words, base address, entry point, loader symbol
+// tables, and source map. Two programs with equal fingerprints are
+// indistinguishable to the checker, so the fingerprint (together with
+// Spec.Hash and CheckerVersion) keys persistent verdict stores. The
+// architecture leads the encoding: identical word sequences submitted
+// under different ISAs decode to different programs and hash apart.
 //
 // The encoding is versioned: a future release that changes it also
 // changes the digests, which simply invalidates old cache entries.
@@ -55,7 +57,7 @@ func (p *Program) Fingerprint() Hash {
 	if p == nil {
 		return Hash{}
 	}
-	return Hash(sparc.Fingerprint(p.prog))
+	return Hash(isa.Fingerprint(p.prog))
 }
 
 // Hash returns the specification's stable content address: a SHA-256

@@ -9,7 +9,7 @@ import (
 // addresses are pinned below. If either pinned value changes, the
 // canonical encoding changed: every persisted verdict-store record is
 // silently invalidated, which is allowed only together with a version
-// bump of the respective encoding magic (see internal/sparc/fingerprint.go
+// bump of the respective encoding magic (see internal/isa/fingerprint.go
 // and internal/policy/hash.go).
 const goldenSpecText = `
 region V
@@ -30,11 +30,11 @@ const goldenAsmText = `
 `
 
 const (
-	// Program encoding v2 (length-prefixed symbol names; see
-	// internal/sparc/fingerprint.go).
-	goldenProgFingerprint  = "a2fcc0440fd11546dd12a861224bee3fd9669bcfed68a7bc358d6b1148e72283"
+	// Program encoding v3 (architecture-qualified; see
+	// internal/isa/fingerprint.go).
+	goldenProgFingerprint  = "87acacf399d2fb0c0f1401f175fb8ba56558d2534a082359c6193b7fb98de8c5"
 	goldenSpecHash         = "194eceb549b7f1aedb0af4ef92b4d6773a4df524fbf799331bcb521b471b7c9b"
-	goldenWordsFingerprint = "a7ceeff5183c4b33865d8deec74a1b6df537f208e439c419dae7c3aa1f01c5a5"
+	goldenWordsFingerprint = "b7546f7304c2c1256c34ee40ed126e398085cef9c01891efb9bf1581a8861630"
 )
 
 func buildGolden(t *testing.T) (*Program, *Spec) {

@@ -49,6 +49,12 @@ const (
 	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
 	CodePolicy  = "policy"  // access the host policy does not grant
 	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+	// CodeAlias marks an address that could not be proved alias-stable on
+	// an architecture whose memory subsystem may translate arithmetically
+	// equal but differently computed addresses inconsistently (hardware
+	// aliasing). Emitted only for such architectures (RV32I here); SPARC
+	// checks never carry it.
+	CodeAlias = "alias"
 	// CodeResource marks a condition left unproven because the check's
 	// resource envelope (Budget) was exhausted — a conservative
 	// rejection, never an acceptance.
@@ -126,6 +132,9 @@ func (c *Checker) Check(ctx context.Context, prog *Program, spec *Spec) (*Result
 	if prog == nil || spec == nil {
 		return nil, fmt.Errorf("mcsafe: nil program or spec")
 	}
+	if pa, sa := prog.Arch(), spec.Arch(); pa != sa {
+		return nil, fmt.Errorf("mcsafe: program architecture %q does not match spec architecture %q", pa, sa)
+	}
 	co := coreOptions(c.opts)
 	co.Obs = c.obs
 	res, err := core.CheckContext(ctx, prog.prog, spec.spec, co)
@@ -177,6 +186,7 @@ func wrapResult(res *core.Result) *Result {
 		Violations: res.Violations,
 		Stats:      res.Stats,
 		Times:      res.Times,
+		arch:       res.G.Prog.Arch.Name(),
 		inner:      res,
 	}
 }

@@ -1,10 +1,12 @@
-// Command mcsafe checks untrusted SPARC machine code against a
+// Command mcsafe checks untrusted machine code against a
 // host-specified safety policy, reproducing the prototype safety checker
 // of "Safety Checking of Machine Code" (Xu, Miller, Reps; PLDI 2000).
+// -arch selects the instruction-set front-end ("sparc", the paper's
+// subject architecture and the default, or "rv32i").
 //
 // Usage:
 //
-//	mcsafe -spec policy.spec [-entry label] [-dump-typestate] [-dump-conds] prog.s
+//	mcsafe [-arch rv32i] -spec policy.spec [-entry label] [-dump-typestate] [-dump-conds] prog.s
 //	mcsafe -spec policy.spec prog1.s prog2.s ...  # batch-check concurrently
 //	mcsafe -list                       # list the built-in Figure 9 programs
 //	mcsafe -prog Sum [-dump-typestate] # check a built-in program
@@ -29,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mcsafe"
 	"mcsafe/internal/obs"
@@ -87,6 +90,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock bound per check (0 = none); exceeding it degrades unproven conditions to 'resource' violations")
 	budget := flag.Int64("budget", 0, "solver step budget per check (0 = unlimited); exhaustion degrades to 'resource' violations")
 	condTimeout := flag.Duration("cond-timeout", 0, "wall-clock bound per condition proof (0 = none)")
+	arch := flag.String("arch", mcsafe.DefaultArch,
+		fmt.Sprintf("instruction-set architecture of the checked code (%s)", strings.Join(mcsafe.Arches(), ", ")))
 	flag.Parse()
 
 	bud := mcsafe.Budget{Deadline: *deadline, SolverSteps: *budget, CondTimeout: *condTimeout}
@@ -162,7 +167,7 @@ func main() {
 		if rerr != nil {
 			fatal(rerr)
 		}
-		spec, perr := mcsafe.ParseSpec(string(specText))
+		spec, perr := mcsafe.ParseSpecArch(string(specText), *arch)
 		if perr != nil {
 			fatal(perr)
 		}
@@ -172,7 +177,7 @@ func main() {
 			mcsafe.WithBudget(bud),
 		)
 		if flag.NArg() == 1 {
-			prog, res, err := checkOne(checker, spec, flag.Arg(0), *entry, *dumpAsm)
+			prog, res, err := checkOne(checker, spec, *arch, flag.Arg(0), *entry, *dumpAsm)
 			if err != nil {
 				fatal(err)
 			}
@@ -205,7 +210,7 @@ func main() {
 			if rerr != nil {
 				fatal(rerr)
 			}
-			prog, aerr := mcsafe.Assemble(string(asmText), spec, *entry)
+			prog, aerr := mcsafe.AssembleArch(*arch, string(asmText), spec, *entry)
 			if aerr != nil {
 				fatal(fmt.Errorf("%s: %v", path, aerr))
 			}
@@ -246,12 +251,12 @@ func main() {
 	}
 }
 
-func checkOne(checker *mcsafe.Checker, spec *mcsafe.Spec, path, entry string, dumpAsm bool) (*mcsafe.Program, *mcsafe.Result, error) {
+func checkOne(checker *mcsafe.Checker, spec *mcsafe.Spec, arch, path, entry string, dumpAsm bool) (*mcsafe.Program, *mcsafe.Result, error) {
 	asmText, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	prog, err := mcsafe.Assemble(string(asmText), spec, entry)
+	prog, err := mcsafe.AssembleArch(arch, string(asmText), spec, entry)
 	if err != nil {
 		return nil, nil, err
 	}

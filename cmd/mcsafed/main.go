@@ -15,6 +15,7 @@
 //
 //	mcsafed -check http://localhost:8745 -prog Sum        # built-in program
 //	mcsafed -check http://localhost:8745 -spec p.spec prog.s
+//	mcsafed -check http://localhost:8745 -arch rv32i -spec p.spec prog.s
 //	mcsafed -metrics http://localhost:8745                # dump /v1/metrics
 //
 // -check prints the server's CheckResponse and exits 0 when the program
@@ -63,6 +64,7 @@ func run() int {
 	metricsURL := flag.String("metrics", "", "client mode: dump /v1/metrics from this base URL")
 	builtin := flag.String("prog", "", "client mode: submit a built-in Figure 9 program by name")
 	specPath := flag.String("spec", "", "client mode: policy file for a submitted assembly file")
+	archName := flag.String("arch", "", "client mode: architecture of a submitted assembly file (default: the server's; see mcsafe.Arches)")
 	entry := flag.String("entry", "", "client mode: entry label")
 	noCache := flag.Bool("no-cache", false, "client mode: ask the server to bypass its verdict store")
 	flag.Parse()
@@ -71,7 +73,7 @@ func run() int {
 		return clientMetrics(*metricsURL)
 	}
 	if *checkURL != "" {
-		return clientCheck(*checkURL, *builtin, *specPath, *entry, flag.Args(), *noCache)
+		return clientCheck(*checkURL, *builtin, *specPath, *archName, *entry, flag.Args(), *noCache)
 	}
 
 	var store *vstore.Store
@@ -135,7 +137,7 @@ func run() int {
 }
 
 // clientCheck submits one program and prints the response.
-func clientCheck(base, builtin, specPath, entry string, args []string, noCache bool) int {
+func clientCheck(base, builtin, specPath, arch, entry string, args []string, noCache bool) int {
 	var req server.CheckRequest
 	switch {
 	case builtin != "":
@@ -156,7 +158,7 @@ func clientCheck(base, builtin, specPath, entry string, args []string, noCache b
 			fmt.Fprintln(os.Stderr, "mcsafed:", err)
 			return 2
 		}
-		req = server.CheckRequest{Asm: string(asmText), Spec: string(specText), Entry: entry}
+		req = server.CheckRequest{Arch: arch, Asm: string(asmText), Spec: string(specText), Entry: entry}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: mcsafed -check URL -prog Name | -check URL -spec policy.spec prog.s")
 		return 2

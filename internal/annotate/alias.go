@@ -1,0 +1,58 @@
+// Hardware-aliasing safety conditions (the "alias" class). On processors
+// whose memory subsystem may translate arithmetically equal but
+// differently computed addresses to different cells (arXiv:1305.6431),
+// value-equality of addresses is not enough for safety: every access must
+// use an address the hardware is guaranteed to translate consistently.
+// The checker's criterion is alias stability: the address must be
+// provably congruent to the referenced object's base modulo the machine
+// word, so the low bits the translation hardware is free to disagree on
+// below word granularity never carry information. Word-sized, word-
+// aligned accesses discharge the condition through the same linear
+// divisibility reasoning that proves alignment; sub-word accesses at
+// unconstrained offsets do not, and are reported with code "alias".
+//
+// The conditions are emitted only on architectures with the
+// HardwareAliasing trait, so delay-slot architectures such as SPARC are
+// untouched by construction.
+
+package annotate
+
+import (
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/expr"
+	"mcsafe/internal/propagate"
+)
+
+// aliasWord is the translation granularity below which aliasing hardware
+// may disagree: the 32-bit machine word.
+const aliasWord = 4
+
+// aliasCond attaches the alias-stability condition for one resolved
+// memory access: aliasWord | (base + index). The pointer-alignment facts
+// derived from the typestate make the condition provable exactly when
+// the object base is word-aligned and the offset is a provable multiple
+// of the word size.
+func (a *annotator) aliasCond(node *cfg.Node, acc *propagate.MemAccess, baseV expr.LinExpr, facts expr.Formula) {
+	if !a.aliasing {
+		return
+	}
+	var addrE expr.LinExpr
+	if acc.IndexReg != "" {
+		addrE = baseV.Add(expr.V(expr.Var(acc.IndexReg)))
+	} else {
+		addrE = baseV.AddConst(int64(acc.IndexImm))
+	}
+	a.cond(node, CodeAlias, "alias-stable address",
+		expr.Divides(aliasWord, addrE), facts, false)
+}
+
+// aliasCheckFrame is the static counterpart for frame-relative accesses:
+// the stack pointer is word-aligned by the stack convention, so the slot
+// offset decides stability locally.
+func (a *annotator) aliasCheckFrame(node *cfg.Node, off int64) {
+	if !a.aliasing {
+		return
+	}
+	a.check(node, CodeAlias, off%aliasWord == 0,
+		"stack access at offset %d is not alias-stable", off)
+}

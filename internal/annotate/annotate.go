@@ -12,10 +12,10 @@ import (
 
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/localcheck"
-	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -31,6 +31,13 @@ const (
 	CodeStack   = "stack"   // stack-manipulation safety (frame size/alignment)
 	CodePolicy  = "policy"  // access the host policy does not grant
 	CodePrecond = "precond" // unmet trusted-call argument state or precondition
+	// CodeAlias marks an address that is not provably alias-stable: on
+	// hardware whose address translation may map arithmetically distinct
+	// addresses inconsistently (arXiv:1305.6431), safety requires every
+	// memory address to be computed in a canonical base+offset form whose
+	// base is a declared object address. Only emitted on architectures
+	// with the HardwareAliasing trait.
+	CodeAlias = "alias"
 	// CodeResource marks a condition left unproven because the check's
 	// resource envelope (deadline, solver step budget, or per-condition
 	// timeout) was exhausted — a conservative rejection, never an
@@ -78,13 +85,25 @@ type Annotations struct {
 }
 
 type annotator struct {
-	res *propagate.Result
-	out *Annotations
+	res  *propagate.Result
+	out  *Annotations
+	rm   *isa.RegModel
+	conv *isa.Convention
+	// aliasing is the HardwareAliasing trait of the program's
+	// architecture: when set, every memory access additionally carries an
+	// alias-stability condition.
+	aliasing bool
 }
 
 // Run performs annotation and local verification.
 func Run(res *propagate.Result) *Annotations {
-	a := &annotator{res: res, out: &Annotations{Res: res}}
+	arch := res.G.Prog.Arch
+	a := &annotator{
+		res: res, out: &Annotations{Res: res},
+		rm:       arch.Regs(),
+		conv:     arch.Conv(),
+		aliasing: arch.Traits().HardwareAliasing,
+	}
 	for _, node := range res.G.Nodes {
 		if res.In[node.ID].Top {
 			continue // unreachable
@@ -123,38 +142,67 @@ func (a *annotator) cond(node *cfg.Node, code, desc string, f expr.Formula, fact
 	a.out.Conds = append(a.out.Conds, gc)
 }
 
-func (a *annotator) regTS(node *cfg.Node, reg sparc.Reg, in typestate.Store) typestate.Typestate {
-	if reg == sparc.G0 {
+func (a *annotator) regTS(node *cfg.Node, reg rtl.Reg, in typestate.Store) typestate.Typestate {
+	if reg == rtl.ZeroReg {
 		return typestate.Typestate{
 			Type: types.Int32Type, State: typestate.InitState,
 			Access: typestate.PermO, Known: true,
 		}
 	}
-	return in.Get(policy.RegLoc(reg, node.Depth))
+	return in.Get(a.rm.Loc(reg, node.Depth))
+}
+
+// operands pulls the node's assignment source apart: the operand
+// structure of an occurrence is read off its lifted RTL, never the
+// architecture's instruction encoding.
+func operands(node *cfg.Node) (bin rtl.Bin, hasBin bool) {
+	for _, eff := range node.RTL {
+		if x, ok := eff.(rtl.Assign); ok {
+			if b, isBin := x.Src.(rtl.Bin); isBin {
+				return b, true
+			}
+		}
+	}
+	return rtl.Bin{}, false
+}
+
+// regOf unwraps a register read (ZeroReg, false for anything else).
+func regOf(e rtl.Expr) (rtl.Reg, bool) {
+	x, ok := e.(rtl.RegX)
+	if !ok {
+		return rtl.ZeroReg, false
+	}
+	return x.R, true
 }
 
 func (a *annotator) visit(node *cfg.Node) {
 	res := a.res
 	in := res.In[node.ID]
-	insn := node.Insn
+	bin, hasBin := operands(node)
 
 	switch res.Kind[node.ID] {
 	case propagate.KindScalarOp, propagate.KindCompare:
-		a.checkOperands(node, in)
+		a.checkOperands(node, bin, hasBin, in)
 
 	case propagate.KindCopy:
 		// mov/set: the source value is examined and copied, which
 		// requires the o permission (Section 2).
-		if insn.Op == sparc.OpOr && !insn.Imm && insn.Rs2 != sparc.G0 {
-			ts := a.regTS(node, insn.Rs2, in)
-			a.check(node, CodeUninit, localcheck.Operable(ts),
-				"use of unusable value in %s (%v)", insn.Rs2, ts)
+		if hasBin && bin.Op == rtl.Or {
+			if r, ok := regOf(bin.B); ok && r != rtl.ZeroReg {
+				ts := a.regTS(node, r, in)
+				a.check(node, CodeUninit, localcheck.Operable(ts),
+					"use of unusable value in %s (%v)", a.rm.Name(r), ts)
+			}
 		}
 
 	case propagate.KindArrayIndex:
-		a.checkOperands(node, in)
+		a.checkOperands(node, bin, hasBin, in)
+		if !hasBin {
+			return
+		}
 		// Table 2, row 2: null ∉ S(rs) and inbounds(sizeof(t), 0, n, Opnd).
-		base, idx := insn.Rs1, insn.Rs2
+		base, _ := regOf(bin.A)
+		idx, _ := regOf(bin.B)
 		baseTS := a.regTS(node, base, in)
 		if baseTS.Type == nil || !baseTS.Type.IsPointer() {
 			baseTS = a.regTS(node, idx, in)
@@ -163,13 +211,13 @@ func (a *annotator) visit(node *cfg.Node) {
 		if baseTS.Type.Kind == 0 {
 			return
 		}
-		baseVar := policy.RegVar(base, node.Depth)
+		baseVar := a.rm.Var(base, node.Depth)
 		facts := a.pointerFacts(baseVar, baseTS)
 		var idxE expr.LinExpr
-		if insn.Imm {
-			idxE = expr.Constant(int64(insn.SImm))
+		if c, isImm := bin.B.(rtl.Const); isImm {
+			idxE = expr.Constant(c.V)
 		} else {
-			idxE = expr.V(policy.RegVar(idx, node.Depth))
+			idxE = expr.V(a.rm.Var(idx, node.Depth))
 		}
 		if baseTS.Type.Elem == nil {
 			return
@@ -186,7 +234,7 @@ func (a *annotator) visit(node *cfg.Node) {
 		if baseTS.State.MayNull {
 			a.cond(node, CodeNullPtr, "null-pointer check", expr.NeExpr(expr.V(baseVar), expr.Constant(0)), facts, false)
 		}
-		if insn.Op == sparc.OpSub || insn.Op == sparc.OpSubcc {
+		if bin.Op == rtl.Sub {
 			idxE = idxE.Scale(-1)
 		}
 		a.cond(node, CodeOOB, "array lower bound", expr.GeExpr(idxE, expr.Constant(0)), facts, false)
@@ -195,10 +243,17 @@ func (a *annotator) visit(node *cfg.Node) {
 			expr.Divides(size, idxE), facts, false)
 
 	case propagate.KindPtrOffset:
-		ts := a.regTS(node, insn.Rs1, in)
-		if insn.Rs1 != sparc.FP && insn.Rs1 != sparc.SP {
+		if !hasBin {
+			return
+		}
+		rs1, ok := regOf(bin.A)
+		if !ok {
+			return
+		}
+		ts := a.regTS(node, rs1, in)
+		if rs1 != a.conv.FP && rs1 != a.conv.SP {
 			a.check(node, CodeUninit, localcheck.Operable(ts),
-				"pointer-offset on unusable value in %s (%v)", insn.Rs1, ts)
+				"pointer-offset on unusable value in %s (%v)", a.rm.Name(rs1), ts)
 		}
 
 	case propagate.KindLoad, propagate.KindStore:
@@ -209,33 +264,42 @@ func (a *annotator) visit(node *cfg.Node) {
 
 	case propagate.KindSave:
 		// Stack-manipulation safety: a save must allocate at least the
-		// minimum SPARC frame (the 64-byte register-save area plus
-		// space for the hidden parameter and outgoing arguments = 92,
-		// rounded to 96) and keep the stack 8-aligned.
-		if !insn.Imm {
+		// architecture's minimum frame (on SPARC the 64-byte register-save
+		// area plus space for the hidden parameter and outgoing arguments)
+		// and keep the stack aligned to the convention's stack alignment.
+		var imm int64
+		isImm := false
+		if hasBin {
+			if c, ok := bin.B.(rtl.Const); ok {
+				imm, isImm = c.V, true
+			}
+		}
+		if !isImm {
 			a.fail(node, CodeStack, "save with register-sized frame is not checkable")
 			return
 		}
-		a.check(node, CodeStack, insn.SImm <= -64, "save allocates too small a frame (%d)", insn.SImm)
-		a.check(node, CodeStack, insn.SImm%8 == 0, "save misaligns the stack (%d)", insn.SImm)
+		a.check(node, CodeStack, imm <= -int64(a.conv.MinFrame), "save allocates too small a frame (%d)", imm)
+		a.check(node, CodeStack, imm%int64(a.conv.StackAlign) == 0, "save misaligns the stack (%d)", imm)
 		if fr, ok := a.res.Ini.Spec.Frames[res.G.Procs[node.Proc].Name]; ok {
-			a.check(node, CodeStack, int(-insn.SImm) >= fr.Size,
-				"save allocates %d bytes, frame annotation requires %d", -insn.SImm, fr.Size)
+			a.check(node, CodeStack, int(-imm) >= fr.Size,
+				"save allocates %d bytes, frame annotation requires %d", -imm, fr.Size)
 		}
 	}
 }
 
-func (a *annotator) checkOperands(node *cfg.Node, in typestate.Store) {
-	insn := node.Insn
-	if insn.Rs1 != sparc.G0 {
-		ts := a.regTS(node, insn.Rs1, in)
-		a.check(node, CodeUninit, localcheck.Operable(ts),
-			"use of uninitialized or unusable value in %s (%v)", insn.Rs1, ts)
+func (a *annotator) checkOperands(node *cfg.Node, bin rtl.Bin, hasBin bool, in typestate.Store) {
+	if !hasBin {
+		return
 	}
-	if !insn.Imm && insn.Rs2 != sparc.G0 {
-		ts := a.regTS(node, insn.Rs2, in)
+	if r, ok := regOf(bin.A); ok && r != rtl.ZeroReg {
+		ts := a.regTS(node, r, in)
 		a.check(node, CodeUninit, localcheck.Operable(ts),
-			"use of uninitialized or unusable value in %s (%v)", insn.Rs2, ts)
+			"use of uninitialized or unusable value in %s (%v)", a.rm.Name(r), ts)
+	}
+	if r, ok := regOf(bin.B); ok && r != rtl.ZeroReg {
+		ts := a.regTS(node, r, in)
+		a.check(node, CodeUninit, localcheck.Operable(ts),
+			"use of uninitialized or unusable value in %s (%v)", a.rm.Name(r), ts)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/sparc"
@@ -40,7 +41,7 @@ allow V int[n] rfo
 
 func runAnnotate(t *testing.T, asm, spec, entry string) *Annotations {
 	t.Helper()
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func runAnnotate(t *testing.T, asm, spec, entry string) *Annotations {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,12 +370,13 @@ end
 }
 
 func TestRenameRegs(t *testing.T) {
+	a := &annotator{rm: sparc.Arch.Regs()}
 	f := expr.GeExpr(expr.V("%o0"), expr.Constant(0))
-	g := renameRegs(f, 2)
+	g := a.renameRegs(f, 2)
 	if !strings.Contains(g.String(), "w2.%o0") {
 		t.Errorf("renameRegs = %v", g)
 	}
-	if renameRegs(f, 0).String() != f.String() {
+	if a.renameRegs(f, 0).String() != f.String() {
 		t.Error("depth 0 should be identity")
 	}
 }

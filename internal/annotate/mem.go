@@ -5,7 +5,8 @@ import (
 	"mcsafe/internal/expr"
 	"mcsafe/internal/localcheck"
 	"mcsafe/internal/policy"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/propagate"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -17,12 +18,32 @@ import (
 // alignment conditions illustrated in Figure 3.
 func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	res := a.res
-	insn := node.Insn
 	acc := res.Mem[node.ID]
 	if acc == nil {
 		return
 	}
-	isStore := insn.IsStore()
+	isStore := res.Kind[node.ID] == propagate.KindStore
+
+	// The access shape comes from the node's lifted memory effect.
+	var base, rd rtl.Reg
+	var size int
+	for _, eff := range node.RTL {
+		switch x := eff.(type) {
+		case rtl.Load:
+			rd, size = x.Dst, x.Size
+			if b, ok := x.Addr.(rtl.Bin); ok {
+				base, _ = regOf(b.A)
+			}
+		case rtl.Store:
+			size = x.Size
+			if src, ok := x.Src.(rtl.RegX); ok {
+				rd = src.R
+			}
+			if b, ok := x.Addr.(rtl.Bin); ok {
+				base, _ = regOf(b.A)
+			}
+		}
+	}
 
 	a.check(node, CodePolicy, len(acc.Targets) > 0, "memory access resolves to no abstract location")
 	if len(acc.Targets) == 0 {
@@ -33,11 +54,11 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	// the annotated stack, which needs no pointer in a register).
 	var facts expr.Formula = expr.T()
 	if !acc.Frame {
-		baseTS := a.regTS(node, insn.Rs1, in)
+		baseTS := a.regTS(node, base, in)
 		a.check(node, CodeUninit, localcheck.Followable(baseTS),
-			"base %s is not followable (%v)", insn.Rs1, baseTS)
+			"base %s is not followable (%v)", a.rm.Name(base), baseTS)
 		a.check(node, CodeUninit, localcheck.Operable(baseTS),
-			"base %s is not operable (%v)", insn.Rs1, baseTS)
+			"base %s is not operable (%v)", a.rm.Name(base), baseTS)
 		facts = a.pointerFacts(expr.Var(acc.BaseVar), baseTS)
 	}
 	if acc.IndexReg != "" {
@@ -48,15 +69,15 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 
 	for _, t := range acc.Targets {
 		if isStore {
-			val := a.regTS(node, insn.Rd, in)
+			val := a.regTS(node, rd, in)
 			lt := res.Ini.LocTypes[t.Loc]
 			if lt != nil && (lt.Kind == types.ArrayBase || lt.Kind == types.ArrayIn) {
 				lt = lt.Elem
 			}
 			a.check(node, CodeUninit, localcheck.Operable(val),
-				"storing unusable value from %s (%v)", insn.Rd, val)
+				"storing unusable value from %s (%v)", a.rm.Name(rd), val)
 			a.check(node, CodePolicy, localcheck.Assignable(res.Ini.World, val, t.Loc, lt),
-				"value in %s (%v) is not assignable to %s", insn.Rd, val, t.Loc)
+				"value in %s (%v) is not assignable to %s", a.rm.Name(rd), val, t.Loc)
 		} else {
 			a.check(node, CodePolicy, localcheck.Readable(res.Ini.World, t.Loc),
 				"location %s is not readable", t.Loc)
@@ -67,8 +88,9 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 
 	// Global predicates.
 	if acc.Frame {
-		// Frame offsets are static: bounds and alignment are decidable
-		// here; treat them as local checks.
+		// Frame offsets are static: bounds, alignment, and alias
+		// stability are decidable here; treat them as local checks.
+		a.aliasCheckFrame(node, int64(acc.IndexImm))
 		if acc.Array {
 			size := int64(acc.ElemType.Size())
 			off := int64(acc.IndexImm)
@@ -86,6 +108,7 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	// points-to set excludes null the fact base >= 1 discharges it.
 	a.cond(node, CodeNullPtr, "null-pointer check", expr.NeExpr(baseV, expr.Constant(0)), facts, false)
 	_ = mayNull
+	a.aliasCond(node, acc, baseV, facts)
 
 	if acc.Array {
 		if acc.BaseInterior && acc.IndexReg == "" && acc.IndexImm == 0 {
@@ -119,7 +142,7 @@ func (a *annotator) visitMem(node *cfg.Node, in typestate.Store) {
 	}
 
 	// Field access at a constant offset: alignment of base + offset.
-	align := int64(insn.MemSize())
+	align := int64(size)
 	if align > 1 {
 		a.cond(node, CodeAlign, "address alignment",
 			expr.Divides(align, baseV.AddConst(int64(acc.IndexImm))), facts, false)
@@ -141,12 +164,17 @@ func (a *annotator) visitCall(node *cfg.Node) {
 		a.fail(node, CodePrecond, "call to undeclared trusted function %q", site.TrustedName)
 		return
 	}
-	// Arguments are in %o0..%o5 once the delay slot has executed.
+	// Arguments are in the convention's argument registers once the
+	// delay slot (if any) has executed.
 	argStore := res.Out[site.DelayNode]
 	depth := res.G.Nodes[site.DelayNode].Depth
 	for _, as := range tf.Args {
-		reg := sparc.O0 + sparc.Reg(as.Index)
-		ts := argStore.Get(policy.RegLoc(reg, depth))
+		if as.Index >= len(a.conv.ArgRegs) {
+			a.fail(node, CodePrecond, "argument %d of %s exceeds the register-argument convention", as.Index, tf.Name)
+			continue
+		}
+		reg := a.conv.ArgRegs[as.Index]
+		ts := argStore.Get(a.rm.Loc(reg, depth))
 		a.check(node, CodePrecond, argTypeOK(ts, as),
 			"argument %d of %s: have %v, requires %v/%v", as.Index, tf.Name, ts, as.Type, as.State)
 		a.check(node, CodePrecond, ts.Access.Has(as.Perm.ValuePerms()),
@@ -154,7 +182,7 @@ func (a *annotator) visitCall(node *cfg.Node) {
 	}
 	// The precondition becomes a global safety condition after the
 	// delay slot.
-	pre := renameRegs(tf.Pre, depth)
+	pre := a.renameRegs(tf.Pre, depth)
 	if _, isTrue := pre.(expr.TrueF); !isTrue {
 		a.condAt(site.DelayNode, CodePrecond, "precondition of "+tf.Name, pre, expr.T(), true)
 	}
@@ -200,16 +228,15 @@ func argTypeOK(ts typestate.Typestate, as policy.ArgSpec) bool {
 
 // renameRegs rewrites entry-window register variables in a policy
 // formula to the given window depth.
-func renameRegs(f expr.Formula, depth int) expr.Formula {
+func (a *annotator) renameRegs(f expr.Formula, depth int) expr.Formula {
 	if depth == 0 {
 		return f
 	}
 	sub := map[expr.Var]expr.LinExpr{}
 	for _, v := range expr.FreeVarsOf(f) {
 		if len(v) >= 2 && v[0] == '%' {
-			r, err := sparc.ParseReg(string(v))
-			if err == nil && !r.IsGlobal() {
-				sub[v] = expr.V(policy.RegVar(r, depth))
+			if r, ok := a.rm.Parse(string(v)); ok && a.rm.Windowed(r) {
+				sub[v] = expr.V(a.rm.Var(r, depth))
 			}
 		}
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/rtl"
 )
 
 // IntraSuccs returns the successors of a node in the intraprocedural view:
@@ -291,7 +291,7 @@ func (g *Graph) BranchCount() int {
 		if node.Replica {
 			continue
 		}
-		if node.Insn.IsBranch() && node.Insn.Cond != sparc.CondA {
+		if br, ok := node.Insn.Branch(); ok && br.Cond != rtl.CondAlways {
 			n++
 		}
 	}

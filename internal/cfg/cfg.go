@@ -1,9 +1,11 @@
-// Package cfg builds control-flow graphs from decoded SPARC machine code.
-// Nodes represent instructions; delayed branches are modeled by
-// replicating the delay-slot instruction on the taken path, exactly as in
-// Section 5.2.2 of the paper ("the instructions at lines 5 and 11 are
-// replicated to model the semantics of delayed branches"). The package
-// also computes dominators, back edges, natural loops with nesting,
+// Package cfg builds control-flow graphs from decoded machine code in
+// ISA-neutral form. Nodes represent instructions; on architectures with
+// delayed branches (the DelaySlots trait), the delay-slot instruction is
+// replicated on the taken path, exactly as in Section 5.2.2 of the paper
+// ("the instructions at lines 5 and 11 are replicated to model the
+// semantics of delayed branches"). On architectures without delay slots
+// the wiring degenerates to plain two-way edges. The package also
+// computes dominators, back edges, natural loops with nesting,
 // reducibility, the call graph (rejecting recursion, per Section 5.2.1),
 // and static register-window depths.
 package cfg
@@ -12,8 +14,9 @@ import (
 	"fmt"
 	"sort"
 
+	"mcsafe/internal/faults"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/rtl"
-	"mcsafe/internal/sparc"
 )
 
 // EdgeKind labels a control-flow edge.
@@ -62,7 +65,7 @@ type Edge struct {
 // branches are replicas of the underlying instruction.
 type Node struct {
 	ID    int
-	Insn  sparc.Insn
+	Insn  isa.Insn
 	Index int // original instruction index in the program
 	// RTL is the instruction's lifted effect sequence (shared between a
 	// primary node and its delay-slot replicas). All analyses consume
@@ -84,9 +87,12 @@ type Node struct {
 
 // CallSite records one call instruction and its plumbing.
 type CallSite struct {
-	ID        int
-	CallNode  int // the call instruction node
-	DelayNode int // the delay-slot node executed before entering the callee
+	ID       int
+	CallNode int // the call instruction node
+	// DelayNode is the node executed last before entering the callee: the
+	// delay-slot node on delay-slot architectures, the call node itself
+	// otherwise.
+	DelayNode int
 	Return    int // node that receives control after the callee returns (-1 if none)
 	Callee    int // procedure index, -1 for calls to trusted/external targets
 	// TrustedName is the symbol name for calls that leave the program
@@ -103,7 +109,9 @@ type Proc struct {
 	Lo, Hi int
 	// Nodes lists node IDs belonging to this procedure.
 	Nodes []int
-	// Returns lists node IDs of return (jmpl) nodes.
+	// Returns lists node IDs of return nodes (the delay-slot node of a
+	// ret on delay-slot architectures, the return instruction itself
+	// otherwise).
 	Returns []int
 	// Loops are the natural loops of the procedure, outermost first.
 	Loops []*Loop
@@ -142,7 +150,7 @@ func (l *Loop) Contains(id int) bool { return l.Body[id] }
 
 // Graph is the interprocedural control-flow graph of a program.
 type Graph struct {
-	Prog  *sparc.Program
+	Prog  *isa.Program
 	Nodes []*Node
 	Procs []*Proc
 	Sites []*CallSite
@@ -167,7 +175,7 @@ type Options struct {
 // Build constructs the interprocedural CFG for a program and runs all
 // structural analyses (dominators, loops, reducibility, call graph,
 // window depths).
-func Build(prog *sparc.Program, opts Options) (*Graph, error) {
+func Build(prog *isa.Program, opts Options) (*Graph, error) {
 	g, err := construct(prog, opts)
 	if err != nil {
 		return nil, err
@@ -185,12 +193,13 @@ func Build(prog *sparc.Program, opts Options) (*Graph, error) {
 }
 
 // construct wires nodes and edges without running the analyses.
-func construct(prog *sparc.Program, opts Options) (*Graph, error) {
+func construct(prog *isa.Program, opts Options) (*Graph, error) {
 	g := &Graph{Prog: prog}
 	n := len(prog.Insns)
 	if n == 0 {
 		return nil, fmt.Errorf("cfg: empty program")
 	}
+	delaySlots := prog.Arch.Traits().DelaySlots
 
 	// Procedure spans: contiguous from each proc entry to the next.
 	type span struct {
@@ -247,13 +256,11 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 		}
 	}
 
-	// Lift each instruction once; primaries and replicas share the
-	// canonical effect sequence.
-	lifted := make([][]rtl.Effect, n)
+	// The front-end lifts each instruction once; primaries and replicas
+	// share the canonical effect sequence.
 	for idx := 0; idx < n; idx++ {
-		lifted[idx] = sparc.Lift(prog.Insns[idx])
-		if lifted[idx] == nil {
-			return nil, fmt.Errorf("cfg: instruction %d has no RTL lifting (%v)", idx, prog.Insns[idx].Op)
+		if prog.Insns[idx].RTL == nil {
+			return nil, fmt.Errorf("cfg: instruction %d has no RTL lifting (%s)", idx, prog.Insns[idx].Text)
 		}
 	}
 
@@ -264,7 +271,7 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 			ID:          len(g.Nodes),
 			Insn:        prog.Insns[idx],
 			Index:       idx,
-			RTL:         lifted[idx],
+			RTL:         prog.Insns[idx].RTL,
 			Proc:        procOfIndex[idx],
 			BranchOwner: -1,
 		}
@@ -277,7 +284,7 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 			ID:          len(g.Nodes),
 			Insn:        prog.Insns[idx],
 			Index:       idx,
-			RTL:         lifted[idx],
+			RTL:         prog.Insns[idx].RTL,
 			Replica:     true,
 			Proc:        procOfIndex[idx],
 			BranchOwner: owner,
@@ -297,16 +304,21 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 		procEntryIdx[s.lo] = pi
 	}
 
-	// Delay slots may not be branch targets or themselves control
-	// transfers; collect them for validation.
-	isCTI := func(i sparc.Insn) bool {
-		return i.Op == sparc.OpBranch || i.Op == sparc.OpCall ||
-			i.Op == sparc.OpJmpl
+	// A control-transfer instruction carries a Branch, Call, or Jump
+	// effect. On delay-slot architectures the following instruction is
+	// its delay slot, which may be neither a branch target nor itself a
+	// control transfer; collect them for validation.
+	isCTI := func(i isa.Insn) bool {
+		_, b := i.Branch()
+		_, c := i.Call()
+		_, j := i.Jump()
+		return b || c || j
 	}
 	delaySlot := make([]bool, n)
 	branchTarget := make([]bool, n)
 	for idx, insn := range prog.Insns {
-		if isCTI(insn) {
+		faults.Fire(faults.Lift)
+		if delaySlots && isCTI(insn) {
 			if idx+1 >= n {
 				return nil, fmt.Errorf("cfg: control transfer at %d has no delay slot", idx)
 			}
@@ -315,8 +327,8 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 			}
 			delaySlot[idx+1] = true
 		}
-		if insn.Op == sparc.OpBranch {
-			tgt := idx + int(insn.Disp)
+		if br, ok := insn.Branch(); ok {
+			tgt := idx + int(br.Disp)
 			if tgt < 0 || tgt >= n {
 				return nil, fmt.Errorf("cfg: branch at %d targets %d, out of range", idx, tgt)
 			}
@@ -333,13 +345,34 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 	for idx := 0; idx < n; idx++ {
 		insn := prog.Insns[idx]
 		id := primary[idx]
+		br, isBr := insn.Branch()
+		call, isCall := insn.Call()
+		_, isJump := insn.Jump()
 		switch {
-		case insn.Op == sparc.OpBranch:
-			tgt := idx + int(insn.Disp)
+		case isBr:
+			tgt := idx + int(br.Disp)
+			if !delaySlots {
+				// No delay slot: a conditional branch is a plain two-way
+				// split; an unconditional one a goto.
+				switch br.Cond {
+				case rtl.CondAlways:
+					addEdge(id, primary[tgt], EdgeTaken, -1)
+				case rtl.CondNever:
+					if idx+1 < n {
+						addEdge(id, primary[idx+1], EdgeFall, -1)
+					}
+				default:
+					addEdge(id, primary[tgt], EdgeTaken, -1)
+					if idx+1 < n {
+						addEdge(id, primary[idx+1], EdgeFall, -1)
+					}
+				}
+				break
+			}
 			slot := idx + 1
 			g.Nodes[primary[slot]].BranchOwner = id
-			if insn.Cond == sparc.CondA {
-				if insn.Annul {
+			if br.Cond == rtl.CondAlways {
+				if br.Annul {
 					// ba,a: delay slot never executes.
 					addEdge(id, primary[tgt], EdgeTaken, -1)
 				} else {
@@ -347,8 +380,8 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 					addEdge(id, rep, EdgeTaken, -1)
 					addEdge(rep, primary[tgt], EdgeFall, -1)
 				}
-			} else if insn.Cond == sparc.CondN {
-				if insn.Annul {
+			} else if br.Cond == rtl.CondNever {
+				if br.Annul {
 					// bn,a: never taken with the annul bit set, so the
 					// delay slot never executes (matching the
 					// interpreter's untaken-annulled semantics).
@@ -368,7 +401,7 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 				rep := addReplica(slot, id)
 				addEdge(id, rep, EdgeTaken, -1)
 				addEdge(rep, primary[tgt], EdgeFall, -1)
-				if insn.Annul {
+				if br.Annul {
 					if slot+1 < n {
 						addEdge(id, primary[slot+1], EdgeFall, -1)
 					}
@@ -380,11 +413,16 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 				}
 			}
 
-		case insn.Op == sparc.OpCall:
-			tgt := idx + int(insn.Disp)
-			slot := idx + 1
-			g.Nodes[primary[slot]].BranchOwner = id
-			site := &CallSite{ID: len(g.Sites), CallNode: id, DelayNode: primary[slot], Callee: -1}
+		case isCall:
+			tgt := idx + int(call.Disp)
+			site := &CallSite{ID: len(g.Sites), CallNode: id, DelayNode: id, Callee: -1}
+			retIdx := idx + 1
+			if delaySlots {
+				slot := idx + 1
+				g.Nodes[primary[slot]].BranchOwner = id
+				site.DelayNode = primary[slot]
+				retIdx = idx + 2
+			}
 			if tgt >= 0 && tgt < n {
 				if pi, ok := procEntryIdx[tgt]; ok {
 					site.Callee = pi
@@ -400,31 +438,37 @@ func construct(prog *sparc.Program, opts Options) (*Graph, error) {
 				}
 				site.TrustedName = name
 			}
-			if idx+2 < n {
-				site.Return = primary[idx+2]
+			if retIdx < n {
+				site.Return = primary[retIdx]
 			} else {
 				site.Return = -1
 			}
 			g.Sites = append(g.Sites, site)
-			addEdge(id, primary[slot], EdgeFall, -1)
+			if delaySlots {
+				addEdge(id, site.DelayNode, EdgeFall, -1)
+			}
 			if site.Callee >= 0 {
-				addEdge(primary[slot], primary[spans[site.Callee].lo], EdgeCall, site.ID)
+				addEdge(site.DelayNode, primary[spans[site.Callee].lo], EdgeCall, site.ID)
 				// Return edges are added after return nodes are known.
 			} else if site.Return >= 0 {
 				// Trusted call: summary edge to the return point.
-				addEdge(primary[slot], site.Return, EdgeSummary, site.ID)
+				addEdge(site.DelayNode, site.Return, EdgeSummary, site.ID)
 			}
 
-		case insn.Op == sparc.OpJmpl:
-			if !insn.IsReturn() {
-				return nil, fmt.Errorf("cfg: indirect jump at %d is not supported (only ret/retl)", idx)
+		case isJump:
+			if !insn.Ret {
+				return nil, fmt.Errorf("cfg: indirect jump at %d is not supported (only returns)", idx)
 			}
-			slot := idx + 1
-			g.Nodes[primary[slot]].BranchOwner = id
-			addEdge(id, primary[slot], EdgeFall, -1)
-			// The delay-slot node is the procedure's return node; return
-			// edges added below.
-			g.Procs[procOfIndex[idx]].Returns = append(g.Procs[procOfIndex[idx]].Returns, primary[slot])
+			retNode := id
+			if delaySlots {
+				slot := idx + 1
+				g.Nodes[primary[slot]].BranchOwner = id
+				addEdge(id, primary[slot], EdgeFall, -1)
+				// The delay-slot node is the procedure's return node.
+				retNode = primary[slot]
+			}
+			// Return edges added below.
+			g.Procs[procOfIndex[idx]].Returns = append(g.Procs[procOfIndex[idx]].Returns, retNode)
 
 		default:
 			// Ordinary instruction: plain fall-through. Delay-slot
@@ -516,7 +560,8 @@ func (g *Graph) checkRecursion() error {
 }
 
 // computeDepths assigns a static register-window depth to every node
-// reachable from the entry and rejects inconsistent window usage.
+// reachable from the entry and rejects inconsistent window usage. On
+// architectures without register windows every node stays at depth 0.
 func (g *Graph) computeDepths() error {
 	depth := make([]int, len(g.Nodes))
 	for i := range depth {
@@ -529,15 +574,9 @@ func (g *Graph) computeDepths() error {
 		id := work[len(work)-1]
 		work = work[:len(work)-1]
 		d := depth[id]
-		out := d
-		switch g.Nodes[id].Insn.Op {
-		case sparc.OpSave:
-			out = d + 1
-		case sparc.OpRestore:
-			out = d - 1
-			if out < 0 {
-				return fmt.Errorf("cfg: restore at node %d underflows the register window", id)
-			}
+		out := d + g.Nodes[id].Insn.WindowDelta()
+		if out < 0 {
+			return fmt.Errorf("cfg: restore at node %d underflows the register window", id)
 		}
 		for _, e := range g.Nodes[id].Succs {
 			want := out

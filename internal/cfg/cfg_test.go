@@ -3,6 +3,7 @@ package cfg
 import (
 	"testing"
 
+	"mcsafe/internal/isa"
 	"mcsafe/internal/sparc"
 )
 
@@ -24,7 +25,7 @@ const fig1Source = `
 
 func buildFig1(t *testing.T) *Graph {
 	t.Helper()
-	p, err := sparc.Assemble(fig1Source, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(fig1Source, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFig1BranchEdges(t *testing.T) {
 	g := buildFig1(t)
 	// Node 3 is the bge: one taken edge to a replica, one fall edge.
 	bge := g.Nodes[3]
-	if !bge.Insn.IsBranch() {
+	if _, ok := bge.Insn.Branch(); !ok {
 		t.Fatalf("node 3 is %v", bge.Insn)
 	}
 	var taken, fall int
@@ -160,7 +161,7 @@ helper:
 `
 
 func TestTwoProcGraph(t *testing.T) {
-	p, err := sparc.Assemble(twoProcSource, sparc.AsmOptions{Entry: "main"})
+	p, err := sparc.Arch.Assemble(twoProcSource, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ main:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{Entry: "main"})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ b:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{Entry: "a"})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{Entry: "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ gettime:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{Entry: "main"})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ L2:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{Entry: "outer"})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{Entry: "outer"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ target:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ lab:	add %o0,1,%o0
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ lab:	add %o0,1,%o0
 
 func TestCTIInDelaySlotRejected(t *testing.T) {
 	src := "ba x\nba y\nx: retl\nnop\ny: retl\nnop"
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +403,7 @@ done:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ done:
 }
 
 func TestIntraViews(t *testing.T) {
-	p, err := sparc.Assemble(twoProcSource, sparc.AsmOptions{Entry: "main"})
+	p, err := sparc.Arch.Assemble(twoProcSource, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,7 +462,7 @@ skip:
 	retl
 	nop
 `
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ skip:
 
 func TestRestoreUnderflowRejected(t *testing.T) {
 	src := "restore\nretl\nnop"
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +483,7 @@ func TestRestoreUnderflowRejected(t *testing.T) {
 }
 
 func TestSiteByReturn(t *testing.T) {
-	p, err := sparc.Assemble(twoProcSource, sparc.AsmOptions{Entry: "main"})
+	p, err := sparc.Arch.Assemble(twoProcSource, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,13 +4,14 @@ import (
 	"reflect"
 	"testing"
 
+	"mcsafe/internal/isa"
 	"mcsafe/internal/sparc"
 )
 
 // buildAsm assembles a source snippet and builds its graph.
 func buildAsm(t *testing.T, src string) *Graph {
 	t.Helper()
-	p, err := sparc.Assemble(src, sparc.AsmOptions{})
+	p, err := sparc.Arch.Assemble(src, isa.AsmOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,8 +60,8 @@ func render(n Normalized) string {
 	if len(n.Codes) > 0 {
 		s += "[" + strings.Join(n.Codes, ",") + "]"
 	}
-	return fmt.Sprintf("%s insns=%d branches=%d loops=%d calls=%d conds=%d",
-		s, n.Insns, n.Branches, n.Loops, n.Calls, n.Conds)
+	return fmt.Sprintf("%s arch=%s insns=%d branches=%d loops=%d calls=%d conds=%d",
+		s, archOf(n), n.Insns, n.Branches, n.Loops, n.Calls, n.Conds)
 }
 
 // Compare diffs a run's outcomes against the manifest. Outcomes may

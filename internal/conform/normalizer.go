@@ -14,7 +14,12 @@ import (
 // change when the generator or the condition generator changes — both
 // manifest-worthy events.
 type Normalized struct {
-	Name    string `json:"name"`
+	Name string `json:"name"`
+	// Arch is the fixture's instruction-set front-end. Manifests written
+	// before the architecture seam omit it; comparison treats absence as
+	// "sparc" (the only architecture those manifests could cover), so
+	// tagging did not invalidate the committed corpus.
+	Arch    string `json:"arch,omitempty"`
 	Verdict string `json:"verdict"` // "safe" or "unsafe"
 	// Codes is the sorted, deduplicated set of Violation.Code values.
 	Codes    []string `json:"codes,omitempty"`
@@ -29,6 +34,7 @@ type Normalized struct {
 func Normalize(name string, res *mcsafe.Result) Normalized {
 	n := Normalized{
 		Name:     name,
+		Arch:     res.Arch(),
 		Verdict:  "safe",
 		Insns:    res.Stats.Instructions,
 		Branches: res.Stats.Branches,
@@ -50,8 +56,20 @@ func Normalize(name string, res *mcsafe.Result) Normalized {
 	return n
 }
 
+// archOf resolves a normalized outcome's architecture, reading the
+// pre-seam manifests' absent field as SPARC.
+func archOf(n Normalized) string {
+	if n.Arch == "" {
+		return "sparc"
+	}
+	return n.Arch
+}
+
 // equal reports whether two normalized outcomes agree exactly.
 func (n Normalized) equal(o Normalized) bool {
+	if archOf(n) != archOf(o) {
+		return false
+	}
 	if n.Name != o.Name || n.Verdict != o.Verdict ||
 		n.Insns != o.Insns || n.Branches != o.Branches ||
 		n.Loops != o.Loops || n.Calls != o.Calls || n.Conds != o.Conds ||

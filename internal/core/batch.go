@@ -8,13 +8,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
-	"mcsafe/internal/sparc"
 )
 
 // CheckItem is one program+policy pair for batch checking.
 type CheckItem struct {
-	Prog *sparc.Program
+	Prog *isa.Program
 	Spec *policy.Spec
 	Opts Options
 }

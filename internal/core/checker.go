@@ -18,11 +18,11 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/obs"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/solver"
-	"mcsafe/internal/sparc"
 	"mcsafe/internal/vcgen"
 )
 
@@ -140,7 +140,7 @@ type Result struct {
 
 // Check runs the five-phase safety-checking analysis on a program
 // against a host specification.
-func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error) {
+func Check(prog *isa.Program, spec *policy.Spec, opts Options) (*Result, error) {
 	return CheckContext(context.Background(), prog, spec, opts)
 }
 
@@ -148,9 +148,12 @@ func Check(prog *sparc.Program, spec *policy.Spec, opts Options) (*Result, error
 // between phases and, inside Phase 5, between condition chunks. On
 // cancellation it returns a *PhaseError naming the phase that was
 // interrupted, wrapping ctx.Err().
-func CheckContext(ctx context.Context, prog *sparc.Program, spec *policy.Spec, opts Options) (res *Result, err error) {
+func CheckContext(ctx context.Context, prog *isa.Program, spec *policy.Spec, opts Options) (res *Result, err error) {
 	if prog == nil || spec == nil {
 		return nil, fmt.Errorf("core: nil program or spec")
+	}
+	if pa, sa := prog.Arch.Name(), spec.Arch.Name(); pa != sa {
+		return nil, fmt.Errorf("core: program architecture %q does not match spec architecture %q", pa, sa)
 	}
 	t0 := time.Now()
 	w := opts.Obs.Worker(0)
@@ -412,7 +415,7 @@ func (r *Result) Explain(v Violation) string {
 	return b.String()
 }
 
-func lineOf(prog *sparc.Program, g *cfg.Graph, node int) int {
+func lineOf(prog *isa.Program, g *cfg.Graph, node int) int {
 	idx := g.Nodes[node].Index
 	if idx >= 0 && idx < len(prog.SrcLines) {
 		return prog.SrcLines[idx]

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 )
@@ -37,11 +38,11 @@ allow V int[n] rfo
 
 func check(t *testing.T, asm, spec, entry string) *Result {
 	t.Helper()
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
 	if err != nil {
 		t.Fatal(err)
 	}

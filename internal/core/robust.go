@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"time"
 
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/isa"
 )
 
 // Budget is the resource envelope of one check. The zero Budget
@@ -70,7 +70,7 @@ func (e *InternalError) Error() string {
 }
 
 // ProgramHash fingerprints a program: FNV-1a over its machine words.
-func ProgramHash(prog *sparc.Program) uint64 {
+func ProgramHash(prog *isa.Program) uint64 {
 	if prog == nil {
 		return 0
 	}

@@ -7,6 +7,7 @@ import (
 
 	"mcsafe/internal/expr"
 	"mcsafe/internal/policy"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
@@ -108,11 +109,11 @@ func BuildWorld(spec *policy.Spec, r *rand.Rand) (*World, error) {
 	// Invocation: registers carry entity addresses and symbol values.
 	for reg, name := range spec.Invoke {
 		if v, ok := valAddr[name]; ok {
-			w.Regs[reg] = v
+			w.Regs[sparc.Reg(reg)] = v
 		} else if v, ok := w.Syms[name]; ok {
-			w.Regs[reg] = uint32(v)
+			w.Regs[sparc.Reg(reg)] = uint32(v)
 		} else {
-			return nil, fmt.Errorf("invoke %s = %s: unknown entity or symbol", reg, name)
+			return nil, fmt.Errorf("invoke %s = %s: unknown entity or symbol", sparc.Reg(reg), name)
 		}
 	}
 	return w, nil
@@ -495,7 +496,7 @@ func (w *World) hostCall(name string, m *sparc.Machine) {
 	if tf == nil || tf.Ret == nil {
 		return // void (or unknown) host function: registers untouched
 	}
-	o0 := policy.RegVar(sparc.O0, 0)
+	o0 := sparc.Arch.Regs().Var(rtl.Reg(sparc.O0), 0)
 	for attempt := 0; attempt < 64; attempt++ {
 		v := int64(w.rng.Intn(17))
 		if tf.Post == nil || tf.Post.Eval(map[expr.Var]int64{o0: v}, nil) {

@@ -15,7 +15,7 @@ import (
 // word load — must each produce the expected trap kind. Without this
 // test, a classifier that never fires would pass every soundness sweep.
 func TestDiffOracleDetects(t *testing.T) {
-	spec, err := policy.Parse(progs.Sum().Spec)
+	spec, err := policy.Parse(progs.Sum().Spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"mcsafe/internal/core"
 	"mcsafe/internal/progs"
+	"mcsafe/internal/sparc"
 )
 
 // OracleConfig parameterizes one soundness-oracle sweep.
@@ -172,7 +173,7 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 		if b == nil {
 			return nil, stats, fmt.Errorf("unknown benchmark %q", name)
 		}
-		prog, spec, err := b.Build()
+		prog, spec, err := b.BuildNative()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -201,7 +202,7 @@ func RunSoundness(cfg OracleConfig) ([]Finding, OracleStats, error) {
 				continue
 			}
 			safe, panicked, hung, codes := checkSafeTimed(cfg.InputTimeout, func() (*core.Result, error) {
-				return core.Check(mp, spec, core.Options{
+				return core.Check(sparc.ToISA(mp), spec, core.Options{
 					Budget: core.Budget{Deadline: cfg.InputTimeout},
 				})
 			})

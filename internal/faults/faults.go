@@ -1,7 +1,7 @@
 // Package faults is the checker's deterministic fault-injection
 // harness. The pipeline's robustness-critical boundaries — the solver's
 // step loop, the formula-cache lookup, the proving pool's worker start,
-// and the instruction lifter — each call Fire at a named Point; a test
+// and the CFG builder's per-instruction RTL walk — each call Fire at a named Point; a test
 // arms a Plan describing which points misbehave and how (panic, delay,
 // forced cancellation), drives a real check, and asserts the checker
 // still terminates with a well-formed Result or structured error.
@@ -38,7 +38,8 @@ const (
 	// WorkerStart fires when a Phase 5 proving-pool worker goroutine
 	// starts.
 	WorkerStart Point = "worker-start"
-	// Lift fires on every instruction lifted to RTL (Phase 1).
+	// Lift fires as the CFG builder consumes each instruction's
+	// lifted RTL (Phase 1).
 	Lift Point = "lift"
 )
 

@@ -60,7 +60,7 @@ func buildProg(t *testing.T, name string) (*sparc.Program, *policy.Spec) {
 	if b == nil {
 		t.Fatalf("unknown benchmark %q", name)
 	}
-	prog, spec, err := b.Build()
+	prog, spec, err := b.BuildNative()
 	if err != nil {
 		t.Fatalf("building %s: %v", name, err)
 	}
@@ -133,7 +133,7 @@ func TestChaosSeedSweep(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		plan, f := faults.PlanFromSeed(seed, cancel)
 		restore := faults.Activate(plan)
-		res, err := core.CheckContext(ctx, prog, spec, core.Options{
+		res, err := core.CheckContext(ctx, sparc.ToISA(prog), spec, core.Options{
 			// The deadline bounds Repeat-delay faults; it is generous
 			// enough that no fast benchmark ever trips it on the merits.
 			Budget: core.Budget{Deadline: 2 * time.Second},
@@ -166,7 +166,7 @@ func TestChaosMutants(t *testing.T) {
 				ctx, cancel := context.WithCancel(context.Background())
 				plan, f := faults.PlanFromSeed(seed*1000003+int64(mi), cancel)
 				restore := faults.Activate(plan)
-				res, cerr := core.CheckContext(ctx, mp, spec, core.Options{
+				res, cerr := core.CheckContext(ctx, sparc.ToISA(mp), spec, core.Options{
 					Budget: core.Budget{Deadline: 2 * time.Second},
 				})
 				restore()
@@ -195,7 +195,7 @@ func TestPanicContainedAtEveryPoint(t *testing.T) {
 		restore := faults.Activate(faults.NewPlan(faults.Fault{Point: pt, Kind: faults.Panic}))
 		// Parallelism 4 keeps the proving pool (and so WorkerStart and
 		// the shared cache) on the exercised path.
-		res, err := core.Check(prog, spec, core.Options{Parallelism: 4})
+		res, err := core.Check(sparc.ToISA(prog), spec, core.Options{Parallelism: 4})
 		restore()
 		if err == nil {
 			t.Errorf("%s: panic produced no error (res=%+v)", pt, res)
@@ -217,8 +217,8 @@ func TestPanicContainedAtEveryPoint(t *testing.T) {
 		if !strings.Contains(ie.Panic, "injected panic at "+string(pt)) {
 			t.Errorf("%s: panic value not recorded: %q", pt, ie.Panic)
 		}
-		if ie.ProgramHash != core.ProgramHash(prog) {
-			t.Errorf("%s: program hash %016x, want %016x", pt, ie.ProgramHash, core.ProgramHash(prog))
+		if ie.ProgramHash != core.ProgramHash(sparc.ToISA(prog)) {
+			t.Errorf("%s: program hash %016x, want %016x", pt, ie.ProgramHash, core.ProgramHash(sparc.ToISA(prog)))
 		}
 		if len(ie.Stack) == 0 {
 			t.Errorf("%s: InternalError without a stack", pt)
@@ -234,7 +234,7 @@ func TestBatchSurvivesPanickingItem(t *testing.T) {
 	var items []core.CheckItem
 	for _, name := range chaosPrograms() {
 		prog, spec := buildProg(t, name)
-		items = append(items, core.CheckItem{Prog: prog, Spec: spec})
+		items = append(items, core.CheckItem{Prog: sparc.ToISA(prog), Spec: spec})
 	}
 	// The third solver tick panics: items with global conditions fail
 	// with a contained error; any item that never reaches a third tick
@@ -272,13 +272,13 @@ func TestBatchSurvivesPanickingItem(t *testing.T) {
 func TestChaosLeavesNoResidue(t *testing.T) {
 	defer leakcheck.Check(t)()
 	prog, spec := buildProg(t, "Sum")
-	baseline, err := core.Check(prog, spec, core.Options{})
+	baseline, err := core.Check(sparc.ToISA(prog), spec, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	restore := faults.Activate(faults.NewPlan(faults.Fault{Point: faults.SolverStep, Kind: faults.Panic}))
-	if _, err := core.Check(prog, spec, core.Options{}); err == nil {
+	if _, err := core.Check(sparc.ToISA(prog), spec, core.Options{}); err == nil {
 		t.Fatal("armed panic produced no error")
 	}
 	restore()
@@ -286,7 +286,7 @@ func TestChaosLeavesNoResidue(t *testing.T) {
 		t.Fatal("plan still armed after restore")
 	}
 
-	after, err := core.Check(prog, spec, core.Options{})
+	after, err := core.Check(sparc.ToISA(prog), spec, core.Options{})
 	if err != nil {
 		t.Fatalf("clean check after chaos failed: %v", err)
 	}

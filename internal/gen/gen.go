@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 )
@@ -68,6 +69,10 @@ type Fixture struct {
 	Seed int64
 	Size int
 	Kind Kind
+	// Arch names the instruction-set front-end the fixture is written
+	// for. The generator emits SPARC today; the tag keeps the harness
+	// ready for a future RV32I generator.
+	Arch string
 
 	// Asm is the SPARC assembly source; Spec the policy text; Entry the
 	// entry label.
@@ -107,8 +112,26 @@ func Generate(cfg Config) *Fixture {
 
 // Build assembles the fixture and parses its specification, exactly as
 // a Benchmark does.
-func (f *Fixture) Build() (*sparc.Program, *policy.Spec, error) {
-	spec, err := policy.Parse(f.Spec)
+func (f *Fixture) Build() (*isa.Program, *policy.Spec, error) {
+	spec, err := policy.Parse(f.Spec, sparc.Arch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: spec: %v", f.Name, err)
+	}
+	prog, err := sparc.Arch.Assemble(f.Asm, isa.AsmOptions{
+		DataSyms: spec.DataSyms(),
+		Entry:    f.Entry,
+		Externs:  spec.TrustedNames(),
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: asm: %v", f.Name, err)
+	}
+	return prog, spec, nil
+}
+
+// BuildNative assembles the fixture into its native SPARC container —
+// for the differential-test oracle's concrete executions.
+func (f *Fixture) BuildNative() (*sparc.Program, *policy.Spec, error) {
+	spec, err := policy.Parse(f.Spec, sparc.Arch)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: spec: %v", f.Name, err)
 	}
@@ -215,6 +238,7 @@ func (g *generator) run() *Fixture {
 		Seed:      g.cfg.Seed,
 		Size:      size,
 		Kind:      g.cfg.Kind,
+		Arch:      "sparc",
 		Asm:       g.text.String() + g.procs.String(),
 		Spec:      specText,
 		Entry:     "entry",

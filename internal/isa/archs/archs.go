@@ -1,0 +1,11 @@
+// Package archs links every architecture front-end into the binary:
+// blank-importing it runs their init-time isa.Register calls. The public
+// mcsafe package imports it, so every program built on the checker can
+// resolve architectures by name; a build that wants exactly one ISA can
+// instead import that front-end directly.
+package archs
+
+import (
+	_ "mcsafe/internal/riscv"
+	_ "mcsafe/internal/sparc"
+)

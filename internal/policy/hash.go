@@ -14,7 +14,7 @@ import (
 	"sort"
 
 	"mcsafe/internal/expr"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/types"
 )
 
@@ -60,8 +60,13 @@ func (s *Spec) Hash() [sha256.Size]byte {
 		regs = append(regs, int(r))
 	}
 	sort.Ints(regs)
+	// Register names come from the architecture's register model. The
+	// architecture itself is deliberately NOT part of the policy hash:
+	// the rendering below is byte-identical to the historical SPARC one,
+	// and cross-ISA verdicts can never collide because the program
+	// fingerprint carries the architecture name.
 	for _, r := range regs {
-		fmt.Fprintf(h, "invoke %s = %s\n", sparc.Reg(r).String(), s.Invoke[sparc.Reg(r)])
+		fmt.Fprintf(h, "invoke %s = %s\n", s.Arch.Regs().Name(rtl.Reg(r)), s.Invoke[rtl.Reg(r)])
 	}
 	for _, r := range s.Rules {
 		cat := typeStr(r.CatType)

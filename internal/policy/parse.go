@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"mcsafe/internal/expr"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -36,9 +36,11 @@ func (p *parseState) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("policy: line %d: %s", p.line, fmt.Sprintf(format, args...))
 }
 
-// Parse parses a specification.
-func Parse(src string) (*Spec, error) {
-	p := &parseState{spec: NewSpec()}
+// Parse parses a specification for one architecture: register tokens in
+// invoke bindings and constraints ("%o0", "%a0") resolve through the
+// architecture's register model.
+func Parse(src string, arch isa.Arch) (*Spec, error) {
+	p := &parseState{spec: NewSpec(arch)}
 	lines := strings.Split(src, "\n")
 	for i := 0; i < len(lines); i++ {
 		p.line = i + 1
@@ -413,16 +415,16 @@ func (p *parseState) parseInvoke(fields []string) error {
 	if len(fields) != 4 || fields[2] != "=" {
 		return p.errf("invoke expects: invoke %%reg = <name>")
 	}
-	r, err := sparc.ParseReg(fields[1])
-	if err != nil {
-		return p.errf("%v", err)
+	r, ok := p.spec.Arch.Regs().Parse(fields[1])
+	if !ok {
+		return p.errf("unknown register %q", fields[1])
 	}
 	name := fields[3]
 	if p.spec.Entity(name) == nil && !p.spec.Symbols[name] {
 		return p.errf("invoke of undeclared %q", name)
 	}
 	if _, dup := p.spec.Invoke[r]; dup {
-		return p.errf("register %s bound twice", r)
+		return p.errf("register %s bound twice", p.spec.Arch.Regs().Name(r))
 	}
 	p.spec.Invoke[r] = name
 	return nil
@@ -816,11 +818,11 @@ func (p *parseState) parseTerm(tok string, sign int64) (expr.LinExpr, error) {
 		return expr.Constant(coef * n), nil
 	}
 	if strings.HasPrefix(tok, "%") {
-		r, err := sparc.ParseReg(tok)
-		if err != nil {
-			return expr.LinExpr{}, p.errf("%v", err)
+		r, ok := p.spec.Arch.Regs().Parse(tok)
+		if !ok {
+			return expr.LinExpr{}, p.errf("unknown register %q", tok)
 		}
-		return expr.Term(coef, RegVar(r, 0)), nil
+		return expr.Term(coef, p.spec.Arch.Regs().Var(r, 0)), nil
 	}
 	// val(loc): the value stored in an abstract location (host data
 	// invariants, e.g. "val(tmr.count) >= 0").

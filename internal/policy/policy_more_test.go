@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mcsafe/internal/expr"
+	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -22,7 +23,7 @@ invoke %o0 = tp
 allow H timer.count rwo
 allow H ptr<timer> rfo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ invoke %o0 = mp
 allow H mutex ro
 allow H ptr<mutex> rfo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ allow H outer.hdr ro
 allow H outer.in.x ro
 allow H outer.in.y rwo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ global tab int[8] state init region H addr 0x20800
 allow H int ro
 allow H int[8] rfo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ allow H pair.a ro
 allow H pair.b ro
 allow H ptr<int> rfo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ trusted f args 2
   post %o0 <= 100
 end
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ sym a   # trailing comment
 constraint a != 0
 invoke %o0 = a
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}

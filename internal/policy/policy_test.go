@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mcsafe/internal/expr"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
@@ -27,7 +28,7 @@ allow V int[n] rfo
 
 func parseFig1(t *testing.T) *Spec {
 	t.Helper()
-	s, err := Parse(fig1Spec)
+	s, err := Parse(fig1Spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestParseFig1(t *testing.T) {
 	if !s.Symbols["n"] {
 		t.Error("symbol n missing")
 	}
-	if got := s.Invoke[sparc.O0]; got != "arr" {
+	if got := s.Invoke[rtl.Reg(sparc.O0)]; got != "arr" {
 		t.Errorf("invoke %%o0 = %q", got)
 	}
 	if len(s.Rules) != 2 {
@@ -141,7 +142,7 @@ allow H ptr<thread> rfo
 `
 
 func TestThreadListSpec(t *testing.T) {
-	s, err := Parse(threadSpec)
+	s, err := Parse(threadSpec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ trusted gettime args 1
   post %o0 >= 1
 end
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ frame md5 size 160
   slot fp-88 int[16] name block state init
 end
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ region H
 global counter int state init region H addr 0x20400
 allow H int rwo
 `
-	s, err := Parse(src)
+	s, err := Parse(src, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ allow H int rwo
 }
 
 func TestFormulaParsing(t *testing.T) {
-	p := &parseState{spec: NewSpec()}
+	p := &parseState{spec: NewSpec(sparc.Arch)}
 	cases := []struct {
 		src  string
 		env  map[expr.Var]int64
@@ -322,14 +323,14 @@ func TestParseErrors(t *testing.T) {
 		"region V\nglobal g int region V",       // global missing addr
 	}
 	for _, src := range cases {
-		if _, err := Parse(src); err == nil {
+		if _, err := Parse(src, sparc.Arch); err == nil {
 			t.Errorf("Parse(%q) should fail", src)
 		}
 	}
 }
 
 func TestTypeParsing(t *testing.T) {
-	p := &parseState{spec: NewSpec()}
+	p := &parseState{spec: NewSpec(sparc.Arch)}
 	p.spec.Types["thread"] = types.LayoutStruct("thread",
 		[]string{"tid"}, []*types.Type{types.Int32Type})
 
@@ -356,14 +357,15 @@ func TestTypeParsing(t *testing.T) {
 }
 
 func TestRegVarNaming(t *testing.T) {
-	if RegVar(sparc.O0, 0) != "%o0" {
+	rm := sparc.Arch.Regs()
+	if rm.Var(rtl.Reg(sparc.O0), 0) != "%o0" {
 		t.Error("depth-0 naming should be bare")
 	}
-	if RegVar(sparc.O0, 1) != "w1.%o0" {
+	if rm.Var(rtl.Reg(sparc.O0), 1) != "w1.%o0" {
 		t.Error("deep naming should carry the window")
 	}
 	// Globals are depth-independent.
-	if RegVar(sparc.Reg(3), 2) != "%g3" {
+	if rm.Var(rtl.Reg(3), 2) != "%g3" {
 		t.Error("globals should not be window-qualified")
 	}
 	if ValVar("e") != "val.e" {

@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"mcsafe/internal/expr"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -48,9 +48,12 @@ func Prepare(spec *Spec) (*Initial, error) {
 		SlotCounts: make(map[string]int),
 	}
 
+	rm := spec.Arch.Regs()
+	conv := spec.Arch.Conv()
+
 	// Registers of the entry window.
-	for r := sparc.Reg(0); r < 32; r++ {
-		ini.World.AddReg(RegLoc(r, 0))
+	for r := 0; r < rm.N(); r++ {
+		ini.World.AddReg(rm.Loc(rtl.Reg(r), 0))
 	}
 	// Ghost condition-code pair.
 	ini.World.AddReg(string(ICCA))
@@ -97,18 +100,18 @@ func Prepare(spec *Spec) (*Initial, error) {
 	// Invocation bindings, in register order so the constraint
 	// conjunction (and everything rendered from it downstream) is
 	// deterministic across runs.
-	invokeRegs := make([]sparc.Reg, 0, len(spec.Invoke))
+	invokeRegs := make([]rtl.Reg, 0, len(spec.Invoke))
 	for reg := range spec.Invoke {
 		invokeRegs = append(invokeRegs, reg)
 	}
 	sort.Slice(invokeRegs, func(i, j int) bool { return invokeRegs[i] < invokeRegs[j] })
-	boundRegs := map[sparc.Reg]bool{}
+	boundRegs := map[rtl.Reg]bool{}
 	var constraints []expr.Formula
 	constraints = append(constraints, spec.Constraints...)
 	for _, reg := range invokeRegs {
 		name := spec.Invoke[reg]
 		boundRegs[reg] = true
-		locName := RegLoc(reg, 0)
+		locName := rm.Loc(reg, 0)
 		if ent := spec.Entity(name); ent != nil {
 			perm := typestate.PermO
 			if ent.Region != "" {
@@ -124,19 +127,19 @@ func Prepare(spec *Spec) (*Initial, error) {
 			Type: types.Int32Type, State: typestate.InitState, Access: typestate.PermO,
 		})
 		constraints = append(constraints,
-			expr.EqExpr(expr.V(RegVar(reg, 0)), expr.V(expr.Var(name))))
+			expr.EqExpr(expr.V(rm.Var(reg, 0)), expr.V(expr.Var(name))))
 	}
 
-	// Implicit machine state: %g0 reads as zero; the stack and return
-	// pointers are valid initialized words.
-	if !boundRegs[sparc.G0] {
-		ini.Entry.SetInPlace(RegLoc(sparc.G0, 0), typestate.Typestate{
+	// Implicit machine state: the zero register reads as zero; the stack,
+	// frame, and link registers are valid initialized words.
+	if !boundRegs[rtl.ZeroReg] {
+		ini.Entry.SetInPlace(rm.Loc(rtl.ZeroReg, 0), typestate.Typestate{
 			Type: types.Int32Type, State: typestate.InitState, Access: typestate.PermO,
 		})
 	}
-	for _, r := range []sparc.Reg{sparc.SP, sparc.FP, sparc.O7, sparc.I7} {
+	for _, r := range conv.InitRegs {
 		if !boundRegs[r] {
-			ini.Entry.SetInPlace(RegLoc(r, 0), typestate.Typestate{
+			ini.Entry.SetInPlace(rm.Loc(r, 0), typestate.Typestate{
 				Type: types.UInt32Type, State: typestate.InitState, Access: typestate.PermO,
 			})
 		}

@@ -9,10 +9,9 @@
 package policy
 
 import (
-	"fmt"
-
 	"mcsafe/internal/expr"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/isa"
+	"mcsafe/internal/rtl"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -98,27 +97,31 @@ type Frame struct {
 	Slots []FrameSlot
 }
 
-// Spec is a parsed policy file: everything the host supplies.
+// Spec is a parsed policy file: everything the host supplies. A spec is
+// parsed for one architecture (register names in invoke bindings and
+// constraints resolve through its register model); Arch records it.
 type Spec struct {
+	Arch        isa.Arch
 	Types       map[string]*types.Type
 	Regions     map[string]bool
 	Entities    []*Entity
 	Symbols     map[string]bool // symbolic integers (array bounds etc.)
 	Constraints []expr.Formula
 	// Invoke maps an entry register to the entity or symbol passed in it.
-	Invoke  map[sparc.Reg]string
+	Invoke  map[rtl.Reg]string
 	Rules   []AllowRule
 	Trusted map[string]*TrustedFunc
 	Frames  map[string]*Frame
 }
 
-// NewSpec returns an empty specification.
-func NewSpec() *Spec {
+// NewSpec returns an empty specification for one architecture.
+func NewSpec(arch isa.Arch) *Spec {
 	return &Spec{
+		Arch:    arch,
 		Types:   make(map[string]*types.Type),
 		Regions: make(map[string]bool),
 		Symbols: make(map[string]bool),
-		Invoke:  make(map[sparc.Reg]string),
+		Invoke:  make(map[rtl.Reg]string),
 		Trusted: make(map[string]*TrustedFunc),
 		Frames:  make(map[string]*Frame),
 	}
@@ -193,37 +196,10 @@ func (s *Spec) permsForField(region, structName, fieldPath string) (typestate.Pe
 	return p, found
 }
 
-// RegVar names the expr variable carrying the value of a register at a
-// window depth: depth 0 uses the bare register name so that formulas read
-// exactly like the paper's ("%g3 < n"); globals are depth-independent.
-func RegVar(r sparc.Reg, depth int) expr.Var {
-	if r.IsGlobal() || depth == 0 {
-		return expr.Var(r.String())
-	}
-	if r < 32 && depth > 0 && depth < len(regVarNames) {
-		return regVarNames[depth][r]
-	}
-	return expr.Var(fmt.Sprintf("w%d.%s", depth, r))
-}
-
-// regVarNames caches windowed register variable names for the call
-// depths that occur in practice; RegVar is called once per register
-// operand during wlp back-substitution, so formatting the same few
-// names millions of times showed up in profiles.
-var regVarNames = func() (names [9][32]expr.Var) {
-	for depth := 1; depth < len(names); depth++ {
-		for r := sparc.Reg(0); r < 32; r++ {
-			names[depth][r] = expr.Var(fmt.Sprintf("w%d.%s", depth, r))
-		}
-	}
-	return
-}()
-
-// RegLoc names the abstract location of a register at a window depth
-// (same naming scheme as RegVar).
-func RegLoc(r sparc.Reg, depth int) string {
-	return string(RegVar(r, depth))
-}
+// Register variable and location naming lives on the architecture's
+// register model (isa.RegModel.Var / isa.RegModel.Loc): depth 0 uses the
+// bare register name so that formulas read exactly like the paper's
+// ("%g3 < n"); windowed registers at depth > 0 are "w<depth>.<name>".
 
 // ValVar names the expr variable carrying the value stored in an
 // abstract location.

@@ -39,7 +39,7 @@ func watcher(t *testing.T, name string, wins []window) func(uint32, int, bool) {
 
 func assemble(t *testing.T, b *Benchmark) *sparc.Program {
 	t.Helper()
-	prog, _, err := b.Build()
+	prog, _, err := b.BuildNative()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"mcsafe/internal/annotate"
 	"mcsafe/internal/core"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 )
@@ -76,11 +77,11 @@ trusted host_use args 1
   arg 0 int init
 end
 `
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "main", Externs: s.TrustedNames()})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "main", Externs: s.TrustedNames()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ end
 	// The same program against a NON-summary slot verifies: the store
 	// is a strong update.
 	strongSpec := strings.Replace(spec, "region H summary fields", "region H fields", 1)
-	s2, err := policy.Parse(strongSpec)
+	s2, err := policy.Parse(strongSpec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog2, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "main", Externs: s2.TrustedNames()})
+	prog2, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "main", Externs: s2.TrustedNames()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ allow V int ro
 allow V int[n] rfo
 allow V int(n] rfo
 `
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "main"})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +209,11 @@ invoke %o1 = pb
 allow H cell.v ro
 allow H ptr<cell> rfo
 `
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "main"})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,8 +236,8 @@ main:
 	retl
 	nop
 `
-	s, _ := policy.Parse("sym x\ninvoke %o0 = x")
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "main"})
+	s, _ := policy.Parse("sym x\ninvoke %o0 = x", sparc.Arch)
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,11 +277,11 @@ invoke %o1 = key
 allow V int ro
 allow V int[n] rfo
 `
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{Entry: "search"})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{Entry: "search"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"mcsafe/internal/core"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 )
@@ -53,8 +54,27 @@ type Benchmark struct {
 }
 
 // Build assembles the program and parses its specification.
-func (b *Benchmark) Build() (*sparc.Program, *policy.Spec, error) {
-	spec, err := policy.Parse(b.Spec)
+func (b *Benchmark) Build() (*isa.Program, *policy.Spec, error) {
+	spec, err := policy.Parse(b.Spec, sparc.Arch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", b.Name, err)
+	}
+	prog, err := sparc.Arch.Assemble(b.Source, isa.AsmOptions{
+		DataSyms: spec.DataSyms(),
+		Entry:    b.Entry,
+		Externs:  spec.TrustedNames(),
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", b.Name, err)
+	}
+	return prog, spec, nil
+}
+
+// BuildNative assembles the program into its native SPARC container —
+// for the differential-test oracle, which drives the SPARC machine model
+// directly (sparc.ToISA lifts the result for the neutral pipeline).
+func (b *Benchmark) BuildNative() (*sparc.Program, *policy.Spec, error) {
+	spec, err := policy.Parse(b.Spec, sparc.Arch)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %v", b.Name, err)
 	}

@@ -9,10 +9,11 @@ import (
 	"testing"
 
 	"mcsafe/internal/cfg"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/sparc"
 )
 
-func buildGraph(t *testing.T, b *Benchmark) (*sparc.Program, *cfg.Graph) {
+func buildGraph(t *testing.T, b *Benchmark) (*isa.Program, *cfg.Graph) {
 	t.Helper()
 	prog, spec, err := b.Build()
 	if err != nil {

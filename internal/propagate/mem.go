@@ -6,7 +6,6 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/rtl"
-	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -26,14 +25,14 @@ func frameDelta(bin rtl.Bin) int {
 
 // frameSlotAt looks up a stack-frame annotation slot for the node's
 // procedure at the given %fp/%sp offset (exact match only).
-func (r *Result) frameSlotAt(node *cfg.Node, base sparc.Reg, off int) *policy.FrameSlot {
+func (r *Result) frameSlotAt(node *cfg.Node, base rtl.Reg, off int) *policy.FrameSlot {
 	proc := r.G.Procs[node.Proc]
 	frames, ok := r.Ini.FrameSlots[proc.Name]
 	if !ok {
 		return nil
 	}
 	key := "fp"
-	if base == sparc.SP {
+	if base == r.conv.SP {
 		key = "sp"
 	}
 	return frames[key][off]
@@ -43,14 +42,14 @@ func (r *Result) frameSlotAt(node *cfg.Node, base sparc.Reg, off int) *policy.Fr
 // (for direct [fp+imm] accesses into scalar slots or array slots).
 // Offsets are scanned in sorted order so overlapping annotations resolve
 // deterministically.
-func (r *Result) frameSlotCovering(node *cfg.Node, base sparc.Reg, off, size int) (*policy.FrameSlot, int) {
+func (r *Result) frameSlotCovering(node *cfg.Node, base rtl.Reg, off, size int) (*policy.FrameSlot, int) {
 	proc := r.G.Procs[node.Proc]
 	frames, ok := r.Ini.FrameSlots[proc.Name]
 	if !ok {
 		return nil, 0
 	}
 	key := "fp"
-	if base == sparc.SP {
+	if base == r.conv.SP {
 		key = "sp"
 	}
 	offs := make([]int, 0, len(frames[key]))
@@ -83,20 +82,20 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 	var addr rtl.Expr
 	var size int
 	var isStore, signed bool
-	var rd sparc.Reg
+	var rd rtl.Reg
 	for _, eff := range node.RTL {
 		switch x := eff.(type) {
 		case rtl.Unsupported:
 			report(node.ID, x.Code, "%s", x.Msg)
-			r.setReg(sparc.Reg(x.Dst), d, &s, typestate.BottomTS)
+			r.setReg(x.Dst, d, &s, typestate.BottomTS)
 			return s
 		case rtl.Load:
 			addr, size, signed = x.Addr, x.Size, x.Signed
-			rd = sparc.Reg(x.Dst)
+			rd = x.Dst
 		case rtl.Store:
 			addr, size, isStore = x.Addr, x.Size, true
 			if src, ok := x.Src.(rtl.RegX); ok {
-				rd = sparc.Reg(src.R)
+				rd = src.R
 			}
 		}
 	}
@@ -111,17 +110,17 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 
 	// The lifted effective address is always base + operand2.
 	bin := addr.(rtl.Bin)
-	base := sparc.Reg(bin.A.(rtl.RegX).R)
+	base := bin.A.(rtl.RegX).R
 	var immOff int
-	var idxReg sparc.Reg
+	var idxReg rtl.Reg
 	imm := false
 	if c, ok := bin.B.(rtl.Const); ok {
 		imm = true
 		immOff = int(c.V)
 		acc.IndexImm = int32(c.V)
 	} else {
-		idxReg = sparc.Reg(bin.B.(rtl.RegX).R)
-		acc.IndexReg = string(policy.RegVar(idxReg, d))
+		idxReg = bin.B.(rtl.RegX).R
+		acc.IndexReg = string(r.rm.Var(idxReg, d))
 	}
 
 	addTarget := func(locName string) {
@@ -144,7 +143,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 	}
 
 	// Frame-relative accesses resolved through stack annotations.
-	if (base == sparc.FP || base == sparc.SP) && imm {
+	if (base == r.conv.FP || base == r.conv.SP) && imm {
 		if slot, rel := r.frameSlotCovering(node, base, immOff, size); slot != nil {
 			acc.Frame = true
 			acc.IndexImm = int32(rel)
@@ -159,7 +158,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 	}
 
 	a := r.regTS(base, d, s)
-	acc.BaseVar = string(policy.RegVar(base, d))
+	acc.BaseVar = string(r.rm.Var(base, d))
 
 	switch {
 	case a.Type.Kind == types.ArrayBase || a.Type.Kind == types.ArrayIn:
@@ -168,7 +167,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		acc.Bound = a.Type.N
 		acc.BaseInterior = a.Type.Kind == types.ArrayIn
 		if a.State.Kind != typestate.StatePointsTo {
-			report(node.ID, "uninit", "array access through %s whose state is %v", base, a.State)
+			report(node.ID, "uninit", "array access through %s whose state is %v", r.rm.Name(base), a.State)
 			break
 		}
 		acc.MayNull = a.State.MayNull
@@ -181,7 +180,7 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 
 	case a.Type.Kind == types.Ptr:
 		if a.State.Kind != typestate.StatePointsTo {
-			report(node.ID, "uninit", "pointer dereference through %s whose state is %v", base, a.State)
+			report(node.ID, "uninit", "pointer dereference through %s whose state is %v", r.rm.Name(base), a.State)
 			break
 		}
 		acc.MayNull = a.State.MayNull
@@ -221,14 +220,14 @@ func (r *Result) transferMem(node *cfg.Node, in, s typestate.Store, report func(
 		}
 
 	default:
-		report(node.ID, "policy", "memory access through non-pointer %s of type %v", base, a.Type)
+		report(node.ID, "policy", "memory access through non-pointer %s of type %v", r.rm.Name(base), a.Type)
 	}
 
 	return r.finishMem(node, in, s, acc, isStore, rd, size, signed, report)
 }
 
 // finishMem applies the load/store effect once the target set F is known.
-func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, isStore bool, rd sparc.Reg, size int, signed bool, report func(int, string, string, ...interface{})) typestate.Store {
+func (r *Result) finishMem(node *cfg.Node, in, s typestate.Store, acc *MemAccess, isStore bool, rd rtl.Reg, size int, signed bool, report func(int, string, string, ...interface{})) typestate.Store {
 	d := node.Depth
 	if acc.MinAlign == 1<<30 {
 		acc.MinAlign = 1

@@ -4,8 +4,7 @@ import (
 	"strings"
 
 	"mcsafe/internal/cfg"
-	"mcsafe/internal/policy"
-	"mcsafe/internal/sparc"
+	"mcsafe/internal/rtl"
 )
 
 // modSet describes the abstract locations a procedure (transitively) may
@@ -25,9 +24,12 @@ func isRegLoc(name string) bool {
 }
 
 // computeModSets builds the per-procedure modification summaries,
-// processing callees before callers (the call graph is acyclic).
+// processing callees before callers (the call graph is acyclic). The
+// written locations of each node are read off its RTL effects.
 func computeModSets(g *cfg.Graph) []*modSet {
 	sets := make([]*modSet, len(g.Procs))
+	rm := g.Prog.Arch.Regs()
+	conv := g.Prog.Arch.Conv()
 
 	// Reverse-topological order over the call graph.
 	adj := make(map[int][]int)
@@ -61,47 +63,64 @@ func computeModSets(g *cfg.Graph) []*modSet {
 		sets[pi] = ms
 		for _, id := range g.Procs[pi].Nodes {
 			node := g.Nodes[id]
-			insn := node.Insn
 			d := node.Depth
-			addReg := func(r sparc.Reg, depth int) {
-				if r != sparc.G0 {
-					ms.locs[policy.RegLoc(r, depth)] = true
+			addReg := func(r rtl.Reg, depth int) {
+				if r != rtl.ZeroReg {
+					ms.locs[rm.Loc(r, depth)] = true
 				}
 			}
-			switch {
-			case insn.Op == sparc.OpSave:
-				for k := sparc.Reg(8); k < 32; k++ {
-					addReg(k, d+1)
-				}
-			case insn.Op == sparc.OpRestore:
-				addReg(insn.Rd, d-1)
-			case insn.Op == sparc.OpCall:
-				addReg(sparc.O7, d)
-				site := siteByCall(g, id)
-				if site == nil {
-					continue
-				}
-				if site.Callee >= 0 {
-					callee := sets[site.Callee]
-					if callee != nil {
-						for l := range callee.locs {
-							ms.locs[l] = true
-						}
-						ms.mem = ms.mem || callee.mem
+			for _, eff := range node.RTL {
+				switch e := eff.(type) {
+				case rtl.SaveWindow:
+					// Entering a window makes every register of the new
+					// window writable.
+					win := conv.Window
+					for k := 0; k < win.Size; k++ {
+						addReg(win.Out+rtl.Reg(k), d+1)
+						addReg(win.Local+rtl.Reg(k), d+1)
+						addReg(win.In+rtl.Reg(k), d+1)
 					}
-				} else {
-					// Trusted call: caller-saved registers plus any
-					// host memory.
-					for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5} {
-						addReg(r, d)
+				case rtl.Assign:
+					switch {
+					case e.Win > 0:
+						// Subsumed by the SaveWindow sweep above.
+					case e.Win < 0:
+						addReg(e.Dst, d-1)
+					default:
+						addReg(e.Dst, d)
 					}
+				case rtl.Load:
+					addReg(e.Dst, d)
+				case rtl.Store:
 					ms.mem = true
+				case rtl.Unsupported:
+					if e.Store {
+						ms.mem = true
+					} else {
+						addReg(e.Dst, d)
+					}
+				case rtl.Call:
+					site := siteByCall(g, id)
+					if site == nil {
+						continue
+					}
+					if site.Callee >= 0 {
+						callee := sets[site.Callee]
+						if callee != nil {
+							for l := range callee.locs {
+								ms.locs[l] = true
+							}
+							ms.mem = ms.mem || callee.mem
+						}
+					} else {
+						// Trusted call: caller-saved registers plus any
+						// host memory.
+						for _, r := range conv.CallClobbered {
+							addReg(r, d)
+						}
+						ms.mem = true
+					}
 				}
-			case insn.IsStore():
-				ms.mem = true
-			case insn.Op == sparc.OpBranch || insn.Op == sparc.OpJmpl || insn.Op == sparc.OpSethi && insn.IsNop():
-			default:
-				addReg(insn.Rd, d)
 			}
 		}
 	}

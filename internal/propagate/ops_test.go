@@ -7,9 +7,25 @@ package propagate
 import (
 	"testing"
 
+	"mcsafe/internal/cfg"
+	"mcsafe/internal/rtl"
+	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
+
+// dstLoc names the destination register of a register-writing
+// instruction (its Assign effect), as the abstract store keys it.
+func dstLoc(t *testing.T, n *cfg.Node) string {
+	t.Helper()
+	for _, eff := range n.Insn.RTL {
+		if a, ok := eff.(rtl.Assign); ok {
+			return sparc.Arch.Regs().Name(a.Dst)
+		}
+	}
+	t.Fatalf("%s: no assign effect", n.Insn.Text)
+	return ""
+}
 
 const scalarSpec = `
 sym a
@@ -59,7 +75,7 @@ func TestDivMulKinds(t *testing.T) {
 		if r.Kind[n.ID] != KindScalarOp {
 			t.Errorf("insn %d kind = %v, want scalar-op", idx, r.Kind[n.ID])
 		}
-		out := r.Out[n.ID].Get(n.Insn.Rd.String())
+		out := r.Out[n.ID].Get(dstLoc(t, n))
 		if out.State.Kind != typestate.StateInit {
 			t.Errorf("insn %d result = %v, want initialized", idx, out)
 		}

@@ -13,9 +13,9 @@ import (
 	"fmt"
 
 	"mcsafe/internal/cfg"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/rtl"
-	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
 	"mcsafe/internal/typestate"
 )
@@ -112,6 +112,8 @@ type Issue struct {
 type Result struct {
 	G    *cfg.Graph
 	Ini  *policy.Initial
+	rm   *isa.RegModel
+	conv *isa.Convention
 	mods []*modSet
 	// In and Out are the abstract stores before/after each node.
 	In, Out []typestate.Store
@@ -133,6 +135,8 @@ func Run(g *cfg.Graph, ini *policy.Initial) *Result {
 	r := &Result{
 		G:    g,
 		Ini:  ini,
+		rm:   g.Prog.Arch.Regs(),
+		conv: g.Prog.Arch.Conv(),
 		In:   make([]typestate.Store, len(g.Nodes)),
 		Out:  make([]typestate.Store, len(g.Nodes)),
 		Kind: make([]UsageKind, len(g.Nodes)),
@@ -263,14 +267,11 @@ func (r *Result) edgeTransfer(e cfg.Edge, pred, succ int, out typestate.Store) t
 	depth := r.G.Nodes[pred].Depth
 	s := out.Clone()
 	// Caller-saved registers are clobbered by the callee.
-	for _, reg := range []sparc.Reg{8, 9, 10, 11, 12, 13} { // %o0-%o5
-		s.SetInPlace(policy.RegLoc(reg, depth), typestate.BottomTS)
-	}
-	for _, reg := range []sparc.Reg{1, 2, 3, 4, 5} { // %g1-%g5
-		s.SetInPlace(policy.RegLoc(reg, depth), typestate.BottomTS)
+	for _, reg := range r.conv.CallClobbered {
+		s.SetInPlace(r.rm.Loc(reg, depth), typestate.BottomTS)
 	}
 	if tf != nil && tf.Ret != nil {
-		s.SetInPlace(policy.RegLoc(sparc.O0, depth), *tf.Ret)
+		s.SetInPlace(r.rm.Loc(r.conv.RetReg, depth), *tf.Ret)
 	}
 	return s
 }
@@ -331,7 +332,7 @@ func (r *Result) exprTS(e rtl.Expr, d int, s typestate.Store) typestate.Typestat
 	case rtl.Const:
 		return r.resolveAddr(constTS(x.V))
 	case rtl.RegX:
-		return r.regTS(sparc.Reg(x.R), d, s)
+		return r.regTS(x.R, d, s)
 	}
 	return typestate.BottomTS
 }
@@ -342,18 +343,18 @@ func isZeroReg(e rtl.Expr) bool {
 	return ok && x.R == rtl.ZeroReg
 }
 
-func (r *Result) regTS(reg sparc.Reg, depth int, s typestate.Store) typestate.Typestate {
-	if reg == sparc.G0 {
+func (r *Result) regTS(reg rtl.Reg, depth int, s typestate.Store) typestate.Typestate {
+	if reg == rtl.ZeroReg {
 		return constTS(0)
 	}
-	return s.Get(policy.RegLoc(reg, depth))
+	return s.Get(r.rm.Loc(reg, depth))
 }
 
-func (r *Result) setReg(reg sparc.Reg, depth int, s *typestate.Store, ts typestate.Typestate) {
-	if reg == sparc.G0 {
+func (r *Result) setReg(reg rtl.Reg, depth int, s *typestate.Store, ts typestate.Typestate) {
+	if reg == rtl.ZeroReg {
 		return
 	}
-	s.SetInPlace(policy.RegLoc(reg, depth), ts)
+	s.SetInPlace(r.rm.Loc(reg, depth), ts)
 }
 
 // transfer is the abstract operational semantics R: M -> M of Section
@@ -401,7 +402,7 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 		// address the policy treats as an operable 32-bit value.
 		if assign != nil {
 			if _, isPC := assign.Src.(rtl.PC); isPC {
-				r.setReg(sparc.Reg(assign.Dst), d, &s, typestate.Typestate{
+				r.setReg(assign.Dst, d, &s, typestate.Typestate{
 					Type: types.UInt32Type, State: typestate.InitState, Access: typestate.PermO,
 				})
 			}
@@ -412,22 +413,23 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 	switch win.(type) {
 	case rtl.SaveWindow:
 		r.Kind[node.ID] = KindSave
-		// New window: %i[k] <- old %o[k]; locals and outs become
-		// undefined; the new %sp is computed from the old one.
+		// New window: the in registers receive the old outs; locals and
+		// outs become undefined; the new %sp is computed from the old one.
+		win := r.conv.Window
 		var newSP typestate.Typestate
 		if bin, ok := assign.Src.(rtl.Bin); ok {
 			newSP = scalarOp(r.exprTS(bin.A, d, s), r.exprTS(bin.B, d, s), bin.Op, true)
 		}
-		for k := sparc.Reg(0); k < 8; k++ {
-			r.setReg(24+k, d+1, &s, r.regTS(8+k, d, in))
+		for k := rtl.Reg(0); k < rtl.Reg(win.Size); k++ {
+			r.setReg(win.In+k, d+1, &s, r.regTS(win.Out+k, d, in))
 		}
-		for k := sparc.Reg(0); k < 8; k++ {
-			r.setReg(16+k, d+1, &s, typestate.BottomTS)
-			if 8+k != sparc.SP {
-				r.setReg(8+k, d+1, &s, typestate.BottomTS)
+		for k := rtl.Reg(0); k < rtl.Reg(win.Size); k++ {
+			r.setReg(win.Local+k, d+1, &s, typestate.BottomTS)
+			if win.Out+k != r.conv.SP {
+				r.setReg(win.Out+k, d+1, &s, typestate.BottomTS)
 			}
 		}
-		r.setReg(sparc.Reg(assign.Dst), d+1, &s, newSP)
+		r.setReg(assign.Dst, d+1, &s, newSP)
 		return s
 
 	case rtl.RestoreWindow:
@@ -436,7 +438,7 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 		if bin, ok := assign.Src.(rtl.Bin); ok {
 			val = scalarOp(r.exprTS(bin.A, d, s), r.exprTS(bin.B, d, s), bin.Op, true)
 		}
-		r.setReg(sparc.Reg(assign.Dst), d-1, &s, val)
+		r.setReg(assign.Dst, d-1, &s, val)
 		return s
 	}
 
@@ -455,7 +457,7 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 			return s
 		}
 		r.Kind[node.ID] = KindCopy
-		r.setReg(sparc.Reg(assign.Dst), d, &s, r.resolveAddr(constTS(c.V)))
+		r.setReg(assign.Dst, d, &s, r.resolveAddr(constTS(c.V)))
 		return s
 	}
 
@@ -463,7 +465,7 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 	bin, ok := assign.Src.(rtl.Bin)
 	if !ok {
 		r.Kind[node.ID] = KindScalarOp
-		r.setReg(sparc.Reg(assign.Dst), d, &s, typestate.BottomTS)
+		r.setReg(assign.Dst, d, &s, typestate.BottomTS)
 		return s
 	}
 	a := r.exprTS(bin.A, d, s)
@@ -516,11 +518,11 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 		}
 
 	case (bin.Op == rtl.Add || bin.Op == rtl.Sub) && !hasCC && immB &&
-		frameBase(bin.A) != 0 &&
-		r.frameSlotAt(node, frameBase(bin.A), frameDelta(bin)) != nil:
+		r.frameBase(bin.A) != 0 &&
+		r.frameSlotAt(node, r.frameBase(bin.A), frameDelta(bin)) != nil:
 		// Address of an annotated stack slot (local-array bases;
 		// Section 6's stack-frame annotations).
-		slot := r.frameSlotAt(node, frameBase(bin.A), frameDelta(bin))
+		slot := r.frameSlotAt(node, r.frameBase(bin.A), frameDelta(bin))
 		r.Kind[node.ID] = KindPtrOffset
 		if slot.Count > 0 {
 			out = typestate.Typestate{
@@ -545,20 +547,19 @@ func (r *Result) transfer(node *cfg.Node, in typestate.Store, report func(int, s
 		r.Kind[node.ID] = KindScalarOp
 		out = scalarOp(a, b, bin.Op, false)
 	}
-	r.setReg(sparc.Reg(assign.Dst), d, &s, out)
+	r.setReg(assign.Dst, d, &s, out)
 	return s
 }
 
-// frameBase returns %fp or %sp when the expression reads one of the
-// frame registers (0 otherwise).
-func frameBase(e rtl.Expr) sparc.Reg {
+// frameBase returns the frame or stack pointer when the expression reads
+// one of the frame registers (0 otherwise).
+func (r *Result) frameBase(e rtl.Expr) rtl.Reg {
 	x, ok := e.(rtl.RegX)
 	if !ok {
 		return 0
 	}
-	reg := sparc.Reg(x.R)
-	if reg == sparc.FP || reg == sparc.SP {
-		return reg
+	if x.R == r.conv.FP || x.R == r.conv.SP {
+		return x.R
 	}
 	return 0
 }

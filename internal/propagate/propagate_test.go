@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mcsafe/internal/cfg"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/sparc"
 	"mcsafe/internal/types"
@@ -39,7 +40,7 @@ allow V int[n] rfo
 
 func run(t *testing.T, asm, spec string, entry string) *Result {
 	t.Helper()
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func run(t *testing.T, asm, spec string, entry string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{DataSyms: s.DataSyms(), Entry: entry})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,95 @@
+// The isa.Arch adapter for the RV32I front-end. RV32I exercises the
+// architecture seam from the opposite corner of the design space to
+// SPARC: no delay slots, no register windows, fused compare-and-branch
+// instead of condition codes — and a memory subsystem the hardware-
+// aliasing literature (arXiv:1305.6431) says may translate
+// arithmetically distinct addresses inconsistently, which turns on the
+// "alias" safety-condition class.
+
+package riscv
+
+import (
+	"fmt"
+
+	"mcsafe/internal/isa"
+	"mcsafe/internal/rtl"
+)
+
+type archImpl struct{}
+
+// Arch is the RV32I front-end as an isa.Arch.
+var Arch isa.Arch = archImpl{}
+
+func init() { isa.Register(Arch) }
+
+var regModel = func() *isa.RegModel {
+	names := make([]string, 32)
+	aliases := map[string]string{"%fp": "%s0"}
+	for r := 0; r < 32; r++ {
+		names[r] = Reg(r).String()
+		aliases[fmt.Sprintf("%%x%d", r)] = names[r]
+	}
+	return isa.NewRegModel(names, aliases, false, 0, 0)
+}()
+
+var convention = &isa.Convention{
+	SP:      rtl.Reg(SP),
+	FP:      rtl.Reg(S0),
+	Link:    rtl.Reg(RA),
+	RetReg:  rtl.Reg(A0),
+	ArgRegs: []rtl.Reg{10, 11, 12, 13, 14, 15, 16, 17}, // %a0..%a7
+	// A trusted call may clobber the argument, temporary, and link
+	// registers; the order is the canonical havoc order and is frozen.
+	CallClobbered: []rtl.Reg{10, 11, 12, 13, 14, 15, 16, 17, 5, 6, 7, 28, 29, 30, 31, 1},
+	InitRegs:      []rtl.Reg{rtl.Reg(SP), rtl.Reg(S0), rtl.Reg(RA)},
+	MinFrame:      16,
+	StackAlign:    16,
+}
+
+func (archImpl) Name() string          { return "rv32i" }
+func (archImpl) Regs() *isa.RegModel   { return regModel }
+func (archImpl) Conv() *isa.Convention { return convention }
+func (archImpl) Traits() isa.Traits {
+	return isa.Traits{HardwareAliasing: true}
+}
+
+func (archImpl) Assemble(src string, opts isa.AsmOptions) (*isa.Program, error) {
+	p, err := Assemble(src, AsmOptions{
+		Base: opts.Base, DataSyms: opts.DataSyms, Entry: opts.Entry, Externs: opts.Externs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toISA(p), nil
+}
+
+func (archImpl) FromWords(words []uint32, base uint32, symbols map[string]int, dataSyms map[string]uint32) (*isa.Program, error) {
+	p, err := FromWords(words, base, symbols, dataSyms)
+	if err != nil {
+		return nil, err
+	}
+	return toISA(p), nil
+}
+
+// toISA lifts an assembled RV32I program into the ISA-neutral container.
+func toISA(p *Program) *isa.Program {
+	insns := make([]isa.Insn, len(p.Insns))
+	for i, insn := range p.Insns {
+		insns[i] = isa.Insn{
+			RTL:  Lift(insn),
+			Text: insn.String(),
+			Ret:  insn.IsReturn(),
+		}
+	}
+	return &isa.Program{
+		Arch:     Arch,
+		Words:    p.Words,
+		Insns:    insns,
+		Base:     p.Base,
+		Symbols:  p.Symbols,
+		Procs:    p.Procs,
+		Entry:    p.Entry,
+		DataSyms: p.DataSyms,
+		SrcLines: p.SrcLines,
+	}
+}

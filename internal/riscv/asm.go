@@ -1,0 +1,504 @@
+package riscv
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultBase is the virtual address assigned to the first instruction
+// of an assembled program.
+const DefaultBase uint32 = 0x10000
+
+// Program is an assembled (or externally supplied) RV32I program; the
+// fields mirror the SPARC front-end's container and are lifted into the
+// ISA-neutral isa.Program by the Arch adapter.
+type Program struct {
+	Words    []uint32
+	Insns    []Insn
+	Base     uint32
+	Symbols  map[string]int
+	Procs    []string
+	Entry    int
+	DataSyms map[string]uint32
+	SrcLines []int
+}
+
+// AsmOptions configures assembly.
+type AsmOptions struct {
+	Base     uint32
+	DataSyms map[string]uint32
+	Entry    string
+	Externs  map[string]bool
+}
+
+// Assemble runs a two-pass assembler over RV32I assembly source in
+// standard syntax ("addi a0, a0, 1", "lw a1, 0(a0)", "beq a0, zero,
+// done"). Pseudo-instructions li/la/mv/j/call/ret/nop/beqz/bnez are
+// expanded; labels are resolved to displacements; the result is encoded
+// to machine words and re-decoded so Program.Insns is exactly what a
+// checker sees when handed the binary.
+func Assemble(src string, opts AsmOptions) (*Program, error) {
+	base := opts.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+
+	var insns []Insn
+	labels := make(map[string]int)
+	var pendingLabels []string
+
+	for lineNo, text := range strings.Split(src, "\n") {
+		lbls, parsed, err := parseLine(text, lineNo+1, opts.DataSyms)
+		if err != nil {
+			return nil, err
+		}
+		pendingLabels = append(pendingLabels, lbls...)
+		if len(parsed) == 0 {
+			continue
+		}
+		for _, l := range pendingLabels {
+			if _, dup := labels[l]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, l)
+			}
+			labels[l] = len(insns)
+		}
+		pendingLabels = pendingLabels[:0]
+		insns = append(insns, parsed...)
+	}
+	if len(pendingLabels) > 0 {
+		for _, l := range pendingLabels {
+			labels[l] = len(insns)
+		}
+	}
+	if len(insns) == 0 {
+		return nil, fmt.Errorf("riscv: empty program")
+	}
+	// External symbols resolve to slots past the last instruction, in
+	// name order, exactly as the SPARC assembler places them — the
+	// verdict store's content addresses depend on the determinism.
+	externs := make([]string, 0, len(opts.Externs))
+	for name := range opts.Externs {
+		externs = append(externs, name)
+	}
+	sort.Strings(externs)
+	for _, name := range externs {
+		if _, defined := labels[name]; !defined {
+			labels[name] = len(insns) + len(labels)
+		}
+	}
+
+	// Pass 2: resolve targets, encode.
+	words := make([]uint32, len(insns))
+	srcLines := make([]int, len(insns))
+	callTargets := make(map[string]bool)
+	for idx := range insns {
+		insn := insns[idx]
+		srcLines[idx] = insn.Line
+		if insn.Target != "" {
+			tgt, ok := labels[insn.Target]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", insn.Line, insn.Target)
+			}
+			insn.Disp = int32(tgt - idx)
+			if insn.Op == OpJal && insn.Rd != Zero {
+				callTargets[insn.Target] = true
+			}
+			insn.Target = ""
+		}
+		w, err := Encode(insn)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", insn.Line, err)
+		}
+		words[idx] = w
+	}
+
+	decoded, err := DecodeAll(words)
+	if err != nil {
+		return nil, fmt.Errorf("riscv: internal round-trip failure: %v", err)
+	}
+	for idx := range decoded {
+		decoded[idx].Line = srcLines[idx]
+	}
+
+	entry := 0
+	if opts.Entry != "" {
+		e, ok := labels[opts.Entry]
+		if !ok {
+			return nil, fmt.Errorf("riscv: entry label %q not defined", opts.Entry)
+		}
+		entry = e
+	}
+
+	var procs []string
+	for l := range callTargets {
+		if labels[l] < len(insns) {
+			procs = append(procs, l)
+		}
+	}
+	for l, idx := range labels {
+		if idx == entry && !callTargets[l] {
+			procs = append(procs, l)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return labels[procs[i]] < labels[procs[j]] })
+
+	return &Program{
+		Words:    words,
+		Insns:    decoded,
+		Base:     base,
+		Symbols:  labels,
+		Procs:    procs,
+		Entry:    entry,
+		DataSyms: opts.DataSyms,
+		SrcLines: srcLines,
+	}, nil
+}
+
+// FromWords builds a Program directly from machine words; symbols and
+// dataSyms may be nil. Call targets (jal with a link register) identify
+// procedure entries, as on SPARC.
+func FromWords(words []uint32, base uint32, symbols map[string]int, dataSyms map[string]uint32) (*Program, error) {
+	insns, err := DecodeAll(words)
+	if err != nil {
+		return nil, err
+	}
+	if base == 0 {
+		base = DefaultBase
+	}
+	prog := &Program{
+		Words:    append([]uint32(nil), words...),
+		Insns:    insns,
+		Base:     base,
+		Symbols:  symbols,
+		DataSyms: dataSyms,
+		SrcLines: make([]int, len(insns)),
+	}
+	if prog.Symbols == nil {
+		prog.Symbols = map[string]int{}
+	}
+	seen := map[int]bool{}
+	for idx, insn := range insns {
+		if insn.Op == OpJal && insn.Rd != Zero {
+			tgt := idx + int(insn.Disp)
+			if tgt >= 0 && tgt < len(insns) && !seen[tgt] {
+				seen[tgt] = true
+			}
+		}
+	}
+	nameOf := make(map[int]string)
+	for name, idx := range prog.Symbols {
+		nameOf[idx] = name
+	}
+	var procIdx []int
+	for idx := range seen {
+		procIdx = append(procIdx, idx)
+	}
+	if !seen[prog.Entry] {
+		procIdx = append(procIdx, prog.Entry)
+	}
+	sort.Ints(procIdx)
+	for _, idx := range procIdx {
+		name := nameOf[idx]
+		if name == "" {
+			name = fmt.Sprintf("proc_%d", idx)
+			prog.Symbols[name] = idx
+		}
+		prog.Procs = append(prog.Procs, name)
+	}
+	return prog, nil
+}
+
+// parseLine parses one source line into leading labels and expanded
+// instructions. Comments start with "#".
+func parseLine(text string, line int, dataSyms map[string]uint32) ([]string, []Insn, error) {
+	if i := strings.IndexByte(text, '#'); i >= 0 {
+		text = text[:i]
+	}
+	text = strings.TrimSpace(text)
+	var labels []string
+	for {
+		i := strings.IndexByte(text, ':')
+		if i < 0 {
+			break
+		}
+		lbl := strings.TrimSpace(text[:i])
+		if lbl == "" || strings.ContainsAny(lbl, " \t,()") {
+			return nil, nil, fmt.Errorf("line %d: bad label %q", line, lbl)
+		}
+		labels = append(labels, lbl)
+		text = strings.TrimSpace(text[i+1:])
+	}
+	if text == "" {
+		return labels, nil, nil
+	}
+	insns, err := parseInsn(text, line, dataSyms)
+	return labels, insns, err
+}
+
+func parseInsn(text string, line int, dataSyms map[string]uint32) ([]Insn, error) {
+	mnemonic, rest, _ := strings.Cut(text, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	var ops []string
+	if rest = strings.TrimSpace(rest); rest != "" {
+		ops = strings.Split(rest, ",")
+		for i := range ops {
+			ops[i] = strings.TrimSpace(ops[i])
+		}
+	}
+	errf := func(format string, args ...any) ([]Insn, error) {
+		return nil, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("line %d: %s wants %d operands, got %d", line, mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	one := func(i Insn) ([]Insn, error) {
+		i.Line = line
+		return []Insn{i}, nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(Insn{Op: OpAddi})
+	case "ret":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(Insn{Op: OpJalr, Rd: Zero, Rs1: RA})
+	case "ecall", "ebreak", "fence":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		op := map[string]Op{"ecall": OpEcall, "ebreak": OpEbreak, "fence": OpFence}[mnemonic]
+		return one(Insn{Op: op})
+	case "j", "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd := Zero
+		if mnemonic == "call" {
+			rd = RA
+		}
+		return one(Insn{Op: OpJal, Rd: rd, Target: ops[0]})
+	case "jal":
+		// jal label   (rd = ra)  |  jal rd, label
+		switch len(ops) {
+		case 1:
+			return one(Insn{Op: OpJal, Rd: RA, Target: ops[0]})
+		case 2:
+			rd, err := ParseReg(ops[0])
+			if err != nil {
+				return errf("%v", err)
+			}
+			return one(Insn{Op: OpJal, Rd: rd, Target: ops[1]})
+		}
+		return errf("jal wants 1 or 2 operands")
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := ParseReg(ops[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return errf("%v", err)
+		}
+		return one(Insn{Op: OpJalr, Rd: rd, Rs1: rs1, Imm: off})
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := ParseReg(ops[0])
+		rs, err2 := ParseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return errf("bad mv operands")
+		}
+		return one(Insn{Op: OpAddi, Rd: rd, Rs1: rs})
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := ParseReg(ops[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		var v int64
+		if mnemonic == "la" {
+			addr, ok := dataSyms[ops[1]]
+			if !ok {
+				return errf("unknown data symbol %q", ops[1])
+			}
+			v = int64(int32(addr))
+		} else {
+			n, err := parseImm(ops[1])
+			if err != nil {
+				return errf("%v", err)
+			}
+			v = int64(n)
+		}
+		if v >= -2048 && v <= 2047 {
+			return []Insn{{Op: OpAddi, Rd: rd, Imm: int32(v), Line: line}}, nil
+		}
+		hi := (uint32(v) + 0x800) & 0xfffff000
+		lo := int32(uint32(v) - hi)
+		out := []Insn{{Op: OpLui, Rd: rd, Imm: int32(hi), Line: line}}
+		if lo != 0 {
+			out = append(out, Insn{Op: OpAddi, Rd: rd, Rs1: rd, Imm: lo, Line: line})
+		}
+		return out, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := ParseReg(ops[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		op := OpBeq
+		if mnemonic == "bnez" {
+			op = OpBne
+		}
+		return one(Insn{Op: op, Rs1: rs, Target: ops[1]})
+	}
+
+	if op, ok := branchOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := ParseReg(ops[0])
+		rs2, err2 := ParseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return errf("bad %s operands", mnemonic)
+		}
+		return one(Insn{Op: op, Rs1: rs1, Rs2: rs2, Target: ops[2]})
+	}
+	if op, ok := loadOps[mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := ParseReg(ops[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return errf("%v", err)
+		}
+		return one(Insn{Op: op, Rd: rd, Rs1: rs1, Imm: off})
+	}
+	if op, ok := storeOps[mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := ParseReg(ops[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return errf("%v", err)
+		}
+		return one(Insn{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	}
+	if op, ok := immALUOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := ParseReg(ops[0])
+		rs1, err2 := ParseReg(ops[1])
+		imm, err3 := parseImm(ops[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errf("bad %s operands", mnemonic)
+		}
+		return one(Insn{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	}
+	if op, ok := regALUOps[mnemonic]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := ParseReg(ops[0])
+		rs1, err2 := ParseReg(ops[1])
+		rs2, err3 := ParseReg(ops[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errf("bad %s operands", mnemonic)
+		}
+		return one(Insn{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+	if mnemonic == "lui" || mnemonic == "auipc" {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := ParseReg(ops[0])
+		imm, err2 := parseImm(ops[1])
+		if err1 != nil || err2 != nil {
+			return errf("bad %s operands", mnemonic)
+		}
+		op := OpLui
+		if mnemonic == "auipc" {
+			op = OpAuipc
+		}
+		return one(Insn{Op: op, Rd: rd, Imm: imm << 12})
+	}
+	return errf("unknown mnemonic %q", mnemonic)
+}
+
+var branchOps = map[string]Op{
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"bltu": OpBltu, "bgeu": OpBgeu,
+}
+var loadOps = map[string]Op{
+	"lb": OpLb, "lh": OpLh, "lw": OpLw, "lbu": OpLbu, "lhu": OpLhu,
+}
+var storeOps = map[string]Op{"sb": OpSb, "sh": OpSh, "sw": OpSw}
+var immALUOps = map[string]Op{
+	"addi": OpAddi, "slti": OpSlti, "sltiu": OpSltiu, "xori": OpXori,
+	"ori": OpOri, "andi": OpAndi, "slli": OpSlli, "srli": OpSrli,
+	"srai": OpSrai,
+}
+var regALUOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "sll": OpSll, "slt": OpSlt,
+	"sltu": OpSltu, "xor": OpXor, "srl": OpSrl, "sra": OpSra,
+	"or": OpOr, "and": OpAnd,
+}
+
+// parseMem parses an "off(reg)" memory operand; a bare "(reg)" means
+// offset 0.
+func parseMem(s string) (int32, Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("riscv: bad memory operand %q", s)
+	}
+	off := int32(0)
+	if offText := strings.TrimSpace(s[:open]); offText != "" {
+		v, err := parseImm(offText)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	reg, err := ParseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("riscv: bad immediate %q", s)
+	}
+	if v < -(1<<31) || v >= 1<<32 {
+		return 0, fmt.Errorf("riscv: immediate %q out of 32-bit range", s)
+	}
+	return int32(v), nil
+}

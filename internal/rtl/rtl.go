@@ -197,10 +197,13 @@ type Jump struct{ Target Expr }
 // Unsupported marks an instruction the machine model does not support.
 // Executors fault; static analyses charge Code/Msg as a violation and
 // forget everything about Dst (ZeroReg when no register is clobbered).
+// Store marks the unmodelled instruction as one that may write memory
+// (e.g. an unsupported store form), so mod-set computation stays sound.
 type Unsupported struct {
-	Code string
-	Msg  string
-	Dst  Reg
+	Code  string
+	Msg   string
+	Dst   Reg
+	Store bool
 }
 
 func (Assign) isEffect()        {}

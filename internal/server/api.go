@@ -25,9 +25,13 @@ type BudgetRequest struct {
 }
 
 // CheckRequest is one program+policy submission. The program arrives
-// either as SPARC assembly (Asm) or as raw machine words plus loader
-// tables (Words/Base/Symbols/DataSyms); Spec is the policy source.
+// either as assembly (Asm) or as raw machine words plus loader tables
+// (Words/Base/Symbols/DataSyms); Spec is the policy source. Arch names
+// the instruction-set front-end the submission is decoded with (see
+// mcsafe.Arches); empty means mcsafe.DefaultArch, so pre-arch clients
+// keep checking SPARC unchanged.
 type CheckRequest struct {
+	Arch     string            `json:"arch,omitempty"`
 	Asm      string            `json:"asm,omitempty"`
 	Words    []uint32          `json:"words,omitempty"`
 	Base     uint32            `json:"base,omitempty"`

@@ -182,7 +182,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // response and its HTTP status.
 func (s *Server) process(ctx context.Context, worker *obs.Worker, req *CheckRequest) (CheckResponse, int) {
 	resp := CheckResponse{Checker: mcsafe.CheckerVersion}
-	spec, err := mcsafe.ParseSpec(req.Spec)
+	arch := req.Arch
+	if arch == "" {
+		arch = mcsafe.DefaultArch
+	}
+	spec, err := mcsafe.ParseSpecArch(req.Spec, arch)
 	if err != nil {
 		resp.Error = fmt.Sprintf("spec: %v", err)
 		worker.Add("server_errors", 1)
@@ -193,9 +197,9 @@ func (s *Server) process(ctx context.Context, worker *obs.Worker, req *CheckRequ
 	case req.Asm != "" && len(req.Words) > 0:
 		resp.Error = "program: supply asm or words, not both"
 	case req.Asm != "":
-		prog, err = mcsafe.Assemble(req.Asm, spec, req.Entry)
+		prog, err = mcsafe.AssembleArch(arch, req.Asm, spec, req.Entry)
 	case len(req.Words) > 0:
-		prog, err = mcsafe.FromWords(req.Words, req.Base, req.Symbols, req.DataSyms)
+		prog, err = mcsafe.FromWordsArch(arch, req.Words, req.Base, req.Symbols, req.DataSyms)
 	default:
 		resp.Error = "program: empty submission (need asm or words)"
 	}

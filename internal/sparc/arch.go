@@ -1,0 +1,103 @@
+// The isa.Arch adapter: everything outside this package (and the
+// differential-test oracle) reaches SPARC only through the registered
+// architecture — decode, lift, register naming, and the calling
+// convention are exposed here and nowhere else.
+
+package sparc
+
+import (
+	"mcsafe/internal/isa"
+	"mcsafe/internal/rtl"
+)
+
+type archImpl struct{}
+
+// Arch is the SPARC front-end as an isa.Arch.
+var Arch isa.Arch = archImpl{}
+
+func init() { isa.Register(Arch) }
+
+var regModel = func() *isa.RegModel {
+	names := make([]string, 32)
+	for r := 0; r < 32; r++ {
+		names[r] = Reg(r).String()
+	}
+	// %o6 and %i6 are the numbered spellings of %sp and %fp.
+	aliases := map[string]string{"%o6": "%sp", "%i6": "%fp"}
+	return isa.NewRegModel(names, aliases, true, rtl.Reg(O0), 8)
+}()
+
+var convention = &isa.Convention{
+	SP:      rtl.Reg(SP),
+	FP:      rtl.Reg(FP),
+	Link:    rtl.Reg(O7),
+	RetReg:  rtl.Reg(O0),
+	ArgRegs: []rtl.Reg{8, 9, 10, 11, 12, 13}, // %o0..%o5
+	// A trusted call may clobber the out and volatile global registers.
+	// The order — outs then globals — is the canonical havoc order of
+	// the verifier and is frozen (fresh-variable naming is part of the
+	// verdict rendering).
+	CallClobbered: []rtl.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5},
+	InitRegs:      []rtl.Reg{rtl.Reg(SP), rtl.Reg(FP), rtl.Reg(O7), rtl.Reg(I7)},
+	MinFrame:      64,
+	StackAlign:    8,
+	Window: isa.WindowLayout{
+		Out: rtl.Reg(O0), Local: rtl.Reg(L0), In: rtl.Reg(I0),
+		Size: 8, MaxDepth: 8,
+	},
+}
+
+func (archImpl) Name() string          { return "sparc" }
+func (archImpl) Regs() *isa.RegModel   { return regModel }
+func (archImpl) Conv() *isa.Convention { return convention }
+func (archImpl) Traits() isa.Traits {
+	return isa.Traits{DelaySlots: true, RegisterWindows: true}
+}
+
+func (archImpl) Assemble(src string, opts isa.AsmOptions) (*isa.Program, error) {
+	p, err := Assemble(src, AsmOptions{
+		Base: opts.Base, DataSyms: opts.DataSyms, Entry: opts.Entry, Externs: opts.Externs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toISA(p), nil
+}
+
+func (archImpl) FromWords(words []uint32, base uint32, symbols map[string]int, dataSyms map[string]uint32) (*isa.Program, error) {
+	p, err := FromWords(words, base, symbols, dataSyms)
+	if err != nil {
+		return nil, err
+	}
+	return toISA(p), nil
+}
+
+// ToISA lifts a native SPARC program into the ISA-neutral container —
+// exported for the differential-test oracle, which mutates and executes
+// native programs but checks them through the neutral pipeline.
+func ToISA(p *Program) *isa.Program { return toISA(p) }
+
+// toISA lifts an assembled SPARC program into the ISA-neutral container:
+// per instruction, its decoded text, its RTL effect sequence, and the
+// return-idiom flag.
+func toISA(p *Program) *isa.Program {
+	insns := make([]isa.Insn, len(p.Insns))
+	for i, insn := range p.Insns {
+		insns[i] = isa.Insn{
+			RTL:  Lift(insn),
+			Text: insn.String(),
+			Ret:  insn.IsReturn(),
+		}
+	}
+	return &isa.Program{
+		Arch:     Arch,
+		Words:    p.Words,
+		Insns:    insns,
+		Base:     p.Base,
+		Symbols:  p.Symbols,
+		Procs:    p.Procs,
+		Entry:    p.Entry,
+		DataSyms: p.DataSyms,
+		SrcLines: p.SrcLines,
+	}
+}

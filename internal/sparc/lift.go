@@ -1,7 +1,6 @@
 package sparc
 
 import (
-	"mcsafe/internal/faults"
 	"mcsafe/internal/rtl"
 )
 
@@ -18,7 +17,6 @@ import (
 // addressing modes. Source expressions always evaluate in the entry
 // window; save/restore destinations carry Win = ±1.
 func Lift(i Insn) []rtl.Effect {
-	faults.Fire(faults.Lift)
 	rd := rtl.Reg(i.Rd)
 	rs1 := rtl.RegX{R: rtl.Reg(i.Rs1)}
 	switch i.Op {
@@ -65,7 +63,7 @@ func Lift(i Insn) []rtl.Effect {
 
 	case OpStd:
 		return []rtl.Effect{rtl.Unsupported{Code: "policy",
-			Msg: "doubleword memory access not supported", Dst: rtl.ZeroReg}}
+			Msg: "doubleword memory access not supported", Dst: rtl.ZeroReg, Store: true}}
 	}
 
 	op, ok := liftALUOp(i.Op)

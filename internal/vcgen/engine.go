@@ -23,6 +23,7 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/obs"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/solver"
@@ -107,7 +108,12 @@ type Engine struct {
 	// of explainable verdicts).
 	wlpCapture *string
 
-	g     *cfg.Graph
+	g *cfg.Graph
+	// rm and conv are the checked program's register model and calling
+	// convention (from its architecture); wlp rendering and clobber
+	// modeling go through them.
+	rm    *isa.RegModel
+	conv  *isa.Convention
 	fresh int
 	// cache and entryCache are fingerprint-keyed verdict caches (the
 	// same verified-hit ShardedCache the pool shares, used privately
@@ -140,7 +146,10 @@ type sharedCaches struct {
 
 // New builds an engine over propagation results.
 func New(res *propagate.Result, p *solver.Prover, opts Options) *Engine {
+	arch := res.G.Prog.Arch
 	return &Engine{Res: res, P: p, Opts: opts, g: res.G,
+		rm:          arch.Regs(),
+		conv:        arch.Conv(),
 		cache:       solver.NewShardedCache(),
 		entryCache:  solver.NewShardedCache(),
 		crossCache:  make(map[expr.FP]expr.Formula),

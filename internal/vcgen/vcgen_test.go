@@ -8,6 +8,7 @@ import (
 	"mcsafe/internal/cfg"
 	"mcsafe/internal/expr"
 	"mcsafe/internal/induction"
+	"mcsafe/internal/isa"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/propagate"
 	"mcsafe/internal/rtl"
@@ -52,7 +53,7 @@ type pipeline struct {
 
 func build(t *testing.T, asm, spec, entry string) *pipeline {
 	t.Helper()
-	s, err := policy.Parse(spec)
+	s, err := policy.Parse(spec, sparc.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func build(t *testing.T, asm, spec, entry string) *pipeline {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := sparc.Assemble(asm, sparc.AsmOptions{
+	prog, err := sparc.Arch.Assemble(asm, isa.AsmOptions{
 		DataSyms: s.DataSyms(), Entry: entry, Externs: s.TrustedNames()})
 	if err != nil {
 		t.Fatal(err)
@@ -316,9 +317,9 @@ func TestConditionCache(t *testing.T) {
 // TestAblationOptionsRespected: with generalization and DNF disabled and
 // MaxIter 1, the Figure 1 bound cannot be established.
 func TestAblationOptionsRespected(t *testing.T) {
-	s, _ := policy.Parse(fig1Spec)
+	s, _ := policy.Parse(fig1Spec, sparc.Arch)
 	ini, _ := policy.Prepare(s)
-	prog, _ := sparc.Assemble(fig1Asm, sparc.AsmOptions{})
+	prog, _ := sparc.Arch.Assemble(fig1Asm, isa.AsmOptions{})
 	g, _ := cfg.Build(prog, cfg.Options{})
 	res := propagate.Run(g, ini)
 	ann := annotate.Run(res)

@@ -8,7 +8,6 @@ import (
 	"mcsafe/internal/expr"
 	"mcsafe/internal/policy"
 	"mcsafe/internal/rtl"
-	"mcsafe/internal/sparc"
 )
 
 // freshVar mints a havoc variable: a value the analysis knows nothing
@@ -58,24 +57,24 @@ func closeFresh(f expr.Formula, vars []expr.Var) expr.Formula {
 // window depth (the zero register reads as the constant 0); it is the
 // bridge rtl.Linearize uses to name registers in the policy's variable
 // space.
-func regVarAt(depth int) func(rtl.Reg) expr.LinExpr {
+func (e *Engine) regVarAt(depth int) func(rtl.Reg) expr.LinExpr {
 	return func(r rtl.Reg) expr.LinExpr {
 		if r == rtl.ZeroReg {
 			return expr.Constant(0)
 		}
-		return expr.V(policy.RegVar(sparc.Reg(r), depth))
+		return expr.V(e.rm.Var(r, depth))
 	}
 }
 
 // linAt linearizes an RTL operand expression at a window depth.
-func linAt(x rtl.Expr, depth int) (expr.LinExpr, bool) {
-	return rtl.Linearize(x, regVarAt(depth))
+func (e *Engine) linAt(x rtl.Expr, depth int) (expr.LinExpr, bool) {
+	return rtl.Linearize(x, e.regVarAt(depth))
 }
 
 // mustLin linearizes an expression known to be linear (register reads
 // and immediates).
-func mustLin(x rtl.Expr, depth int) expr.LinExpr {
-	le, _ := rtl.Linearize(x, regVarAt(depth))
+func (e *Engine) mustLin(x rtl.Expr, depth int) expr.LinExpr {
+	le, _ := rtl.Linearize(x, e.regVarAt(depth))
 	return le
 }
 
@@ -122,15 +121,22 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 
 	switch ctl.(type) {
 	case rtl.Branch:
-		return f // guards are applied on edges
+		// Guards are applied on edges. A fused compare-and-branch (the
+		// non-delay-slot ISAs) carries the SetCC that resolves the icc
+		// ghosts on the branch occurrence itself, so it falls through to
+		// the cc-substitution path below; delay-slot ISAs set cc on a
+		// separate instruction and the branch is the identity.
+		if cc == nil {
+			return f
+		}
 
 	case rtl.Call:
-		// The call writes the return address into %o7.
-		return e.havoc(f, policy.RegVar(sparc.Reg(assign.Dst), d), "o7")
+		// The call writes the return address into the link register.
+		return e.havoc(f, e.rm.Var(assign.Dst, d), "o7")
 
 	case rtl.Jump:
-		// The returning jmpl idiom links through %g0; the link write
-		// carries no constraint.
+		// The returning jump idiom links through the zero register; the
+		// link write carries no constraint.
 		return f
 	}
 
@@ -139,7 +145,8 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 		// New-window variables become functions of the old window:
 		// %i[k]@d+1 = %o[k]@d, the new %sp is computed, and the new
 		// locals/outs are unconstrained.
-		rd := sparc.Reg(assign.Dst)
+		wl := e.conv.Window
+		rd := assign.Dst
 		sub := map[expr.Var]expr.LinExpr{}
 		var fresh []expr.Var
 		mkFresh := func(hint string) expr.LinExpr {
@@ -147,29 +154,30 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 			fresh = append(fresh, v)
 			return expr.V(v)
 		}
-		for k := sparc.Reg(0); k < 8; k++ {
-			sub[policy.RegVar(24+k, d+1)] = regVarAt(d)(rtl.Reg(8 + k))
-			sub[policy.RegVar(16+k, d+1)] = mkFresh("l")
-			if 8+k != rd {
-				sub[policy.RegVar(8+k, d+1)] = mkFresh("o")
+		for k := 0; k < wl.Size; k++ {
+			kk := rtl.Reg(k)
+			sub[e.rm.Var(wl.In+kk, d+1)] = e.regVarAt(d)(wl.Out + kk)
+			sub[e.rm.Var(wl.Local+kk, d+1)] = mkFresh("l")
+			if wl.Out+kk != rd {
+				sub[e.rm.Var(wl.Out+kk, d+1)] = mkFresh("o")
 			}
 		}
-		if res, ok := linAt(assign.Src, d); ok {
-			sub[policy.RegVar(rd, d+1)] = res
+		if res, ok := e.linAt(assign.Src, d); ok {
+			sub[e.rm.Var(rd, d+1)] = res
 		} else {
-			sub[policy.RegVar(rd, d+1)] = mkFresh("sp")
+			sub[e.rm.Var(rd, d+1)] = mkFresh("sp")
 		}
 		return closeFresh(expr.SubstAll(f, sub), fresh)
 
 	case rtl.RestoreWindow:
-		rd := sparc.Reg(assign.Dst)
-		if rd == sparc.G0 {
+		rd := assign.Dst
+		if rd == rtl.ZeroReg {
 			return f
 		}
-		if res, ok := linAt(assign.Src, d); ok {
-			return f.Subst(policy.RegVar(rd, d-1), res)
+		if res, ok := e.linAt(assign.Src, d); ok {
+			return f.Subst(e.rm.Var(rd, d-1), res)
 		}
-		return e.havoc(f, policy.RegVar(rd, d-1), "r")
+		return e.havoc(f, e.rm.Var(rd, d-1), "r")
 	}
 
 	if unsup != nil {
@@ -178,17 +186,18 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 		if unsup.Dst == rtl.ZeroReg {
 			return f
 		}
-		return e.havoc(f, policy.RegVar(sparc.Reg(unsup.Dst), d), "ld")
+		return e.havoc(f, e.rm.Var(unsup.Dst, d), "ld")
 	}
 	if load != nil {
-		return e.wlpLoad(id, sparc.Reg(load.Dst), f)
+		return e.wlpLoad(id, load.Dst, f)
 	}
 	if store != nil {
 		return e.wlpStore(id, store.Src, f)
 	}
 
-	// Arithmetic (including cc-setting and sethi).
-	if assign == nil {
+	// Arithmetic (including cc-setting and sethi), plus fused
+	// compare-and-branch occurrences (assign == nil, cc != nil).
+	if assign == nil && cc == nil {
 		return f
 	}
 	sub := map[expr.Var]expr.LinExpr{}
@@ -198,37 +207,39 @@ func (e *Engine) wlpInsn(id int, f expr.Formula) expr.Formula {
 		fresh = append(fresh, v)
 		return expr.V(v)
 	}
-	if assign.Dst != rtl.ZeroReg {
-		if res, ok := linAt(assign.Src, d); ok {
-			sub[policy.RegVar(sparc.Reg(assign.Dst), d)] = res
+	if assign != nil && assign.Dst != rtl.ZeroReg {
+		if res, ok := e.linAt(assign.Src, d); ok {
+			sub[e.rm.Var(assign.Dst, d)] = res
 		} else {
-			sub[policy.RegVar(sparc.Reg(assign.Dst), d)] = mkFresh("v")
+			sub[e.rm.Var(assign.Dst, d)] = mkFresh("v")
 		}
 	}
 	if cc != nil {
 		switch cc.Op {
 		case rtl.Sub:
 			// cmp a,b: branches compare a against b.
-			sub[policy.ICCA] = mustLin(cc.A, d)
-			sub[policy.ICCB] = mustLin(cc.B, d)
+			sub[policy.ICCA] = e.mustLin(cc.A, d)
+			sub[policy.ICCB] = e.mustLin(cc.B, d)
 		case rtl.Add:
-			sub[policy.ICCA] = mustLin(cc.A, d).Add(mustLin(cc.B, d))
+			sub[policy.ICCA] = e.mustLin(cc.A, d).Add(e.mustLin(cc.B, d))
 			sub[policy.ICCB] = expr.Constant(0)
 		case rtl.Or:
 			// tst: orcc %g0,rs,%g0 compares rs against 0.
-			if res, ok := linAt(assign.Src, d); ok {
-				sub[policy.ICCA] = res
-				sub[policy.ICCB] = expr.Constant(0)
-			} else {
-				sub[policy.ICCA] = mkFresh("icc")
-				sub[policy.ICCB] = mkFresh("icc")
+			if assign != nil {
+				if res, ok := e.linAt(assign.Src, d); ok {
+					sub[policy.ICCA] = res
+					sub[policy.ICCB] = expr.Constant(0)
+					break
+				}
 			}
+			sub[policy.ICCA] = mkFresh("icc")
+			sub[policy.ICCB] = mkFresh("icc")
 		case rtl.And:
 			// andcc rs,mask,%g0 with mask = 2^k - 1 tests divisibility
 			// of rs by 2^k; rewrite equality tests on the ghosts into
 			// divisibility atoms before substituting.
 			if c, isImm := cc.B.(rtl.Const); isImm && c.V > 0 && (c.V&(c.V+1)) == 0 {
-				f = e.rewriteICCMask(f, c.V+1, mustLin(cc.A, d))
+				f = e.rewriteICCMask(f, c.V+1, e.mustLin(cc.A, d))
 				// Any remaining icc occurrences were havocked by the
 				// rewrite; nothing further to substitute.
 			} else {
@@ -299,13 +310,13 @@ func (e *Engine) rewriteICCMask(f expr.Formula, m int64, rs expr.LinExpr) expr.F
 // wlpLoad: rd receives the value of one of the target locations; the
 // postcondition must hold for every possibility. Summary locations have
 // no single value and havoc the destination.
-func (e *Engine) wlpLoad(id int, dst sparc.Reg, f expr.Formula) expr.Formula {
+func (e *Engine) wlpLoad(id int, dst rtl.Reg, f expr.Formula) expr.Formula {
 	node := e.g.Nodes[id]
 	acc := e.Res.Mem[id]
-	rd := policy.RegVar(dst, node.Depth)
-	if dst == sparc.G0 {
+	if dst == rtl.ZeroReg {
 		return f
 	}
+	rd := e.rm.Var(dst, node.Depth)
 	if acc == nil || len(acc.Targets) == 0 {
 		return e.havoc(f, rd, "ld")
 	}
@@ -329,7 +340,7 @@ func (e *Engine) wlpStore(id int, srcExpr rtl.Expr, f expr.Formula) expr.Formula
 	if acc == nil || len(acc.Targets) == 0 {
 		return f
 	}
-	src := mustLin(srcExpr, node.Depth)
+	src := e.mustLin(srcExpr, node.Depth)
 	var terms []expr.Formula
 	for _, t := range acc.Targets {
 		v := policy.ValVar(t.Loc)
@@ -405,11 +416,11 @@ func (e *Engine) crossTrusted(site *cfg.CallSite, retCont expr.Formula) expr.For
 		fresh = append(fresh, v)
 		return expr.V(v)
 	}
-	for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13} { // %o0-%o5
-		sub[policy.RegVar(r, depth)] = mkFresh("call")
-	}
-	for _, r := range []sparc.Reg{1, 2, 3, 4, 5} { // %g1-%g5
-		sub[policy.RegVar(r, depth)] = mkFresh("call")
+	// The convention's clobber list is canonically ordered; the fresh
+	// variables are minted in that order, which is part of the verdict
+	// fingerprint.
+	for _, r := range e.conv.CallClobbered {
+		sub[e.rm.Var(r, depth)] = mkFresh("call")
 	}
 	sub[policy.ICCA] = mkFresh("icc")
 	sub[policy.ICCB] = mkFresh("icc")
@@ -422,7 +433,7 @@ func (e *Engine) crossTrusted(site *cfg.CallSite, retCont expr.Formula) expr.For
 	if _, isTrue := tf.Post.(expr.TrueF); !isTrue {
 		// The postcondition speaks about the post-call registers:
 		// rename to the same fresh variables.
-		post := expr.SubstAll(renameRegsToDepth(tf.Post, depth), sub)
+		post := expr.SubstAll(e.renameRegsToDepth(tf.Post, depth), sub)
 		cont = expr.Implies(post, cont)
 	}
 	return closeFresh(cont, fresh)
@@ -430,16 +441,15 @@ func (e *Engine) crossTrusted(site *cfg.CallSite, retCont expr.Formula) expr.For
 
 // renameRegsToDepth rewrites entry-window register variables in a policy
 // formula to a window depth.
-func renameRegsToDepth(f expr.Formula, depth int) expr.Formula {
+func (e *Engine) renameRegsToDepth(f expr.Formula, depth int) expr.Formula {
 	if depth == 0 {
 		return f
 	}
 	sub := map[expr.Var]expr.LinExpr{}
 	for _, v := range expr.FreeVarsOf(f) {
 		if len(v) >= 2 && v[0] == '%' {
-			r, err := sparc.ParseReg(string(v))
-			if err == nil && !r.IsGlobal() {
-				sub[v] = expr.V(policy.RegVar(r, depth))
+			if r, ok := e.rm.Parse(string(v)); ok && e.rm.Windowed(r) {
+				sub[v] = expr.V(e.rm.Var(r, depth))
 			}
 		}
 	}
@@ -540,21 +550,26 @@ func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
 
 		switch {
 		case isCall:
-			add(policy.RegVar(sparc.Reg(assign.Dst), d))
+			if assign != nil && assign.Dst != rtl.ZeroReg {
+				add(e.rm.Var(assign.Dst, d))
+			}
 			if site := e.siteByCall(id); site != nil && site.TrustedName != "" {
-				for _, r := range []sparc.Reg{8, 9, 10, 11, 12, 13, 1, 2, 3, 4, 5} {
-					add(policy.RegVar(r, d))
+				for _, r := range e.conv.CallClobbered {
+					add(e.rm.Var(r, d))
 				}
 				add(policy.ICCA)
 				add(policy.ICCB)
 			}
 		case isSave:
-			for k := sparc.Reg(8); k < 32; k++ {
-				add(policy.RegVar(k, d+1))
+			wl := e.conv.Window
+			for _, bank := range []rtl.Reg{wl.Out, wl.Local, wl.In} {
+				for k := 0; k < wl.Size; k++ {
+					add(e.rm.Var(bank+rtl.Reg(k), d+1))
+				}
 			}
 		case isRestore:
 			if assign.Dst != rtl.ZeroReg {
-				add(policy.RegVar(sparc.Reg(assign.Dst), d-1))
+				add(e.rm.Var(assign.Dst, d-1))
 			}
 		case hasStore:
 			if acc := e.Res.Mem[id]; acc != nil {
@@ -564,17 +579,17 @@ func (e *Engine) modifiedVars(l *cfg.Loop) []expr.Var {
 			}
 		case load != nil:
 			if load.Dst != rtl.ZeroReg {
-				add(policy.RegVar(sparc.Reg(load.Dst), d))
+				add(e.rm.Var(load.Dst, d))
 			}
 		case unsup != nil:
 			if unsup.Dst != rtl.ZeroReg {
-				add(policy.RegVar(sparc.Reg(unsup.Dst), d))
+				add(e.rm.Var(unsup.Dst, d))
 			}
 		case ctl != nil:
 			// Branches and returning jumps write no tracked variable.
 		default:
 			if assign != nil && assign.Dst != rtl.ZeroReg {
-				add(policy.RegVar(sparc.Reg(assign.Dst), d))
+				add(e.rm.Var(assign.Dst, d))
 			}
 		}
 	}

@@ -1,0 +1,297 @@
+package mcsafe
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The RV32I end-to-end programs: the array-summation policy of Figure 1
+// restated over the RV32I calling convention (arguments in %a0/%a1).
+const rvSumSpec = `
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %a0 = arr
+invoke %a1 = n
+allow V int ro
+allow V int[n] rfo
+`
+
+// rvSumSafe sums arr[0..n) with word loads at word stride: every
+// access is in bounds, aligned, and alias-stable.
+const rvSumSafe = `
+sum:
+  mv a2, a0
+  li a0, 0
+  li a3, 0
+loop:
+  bge a3, a1, done
+  slli a4, a3, 2
+  add a4, a2, a4
+  lw a5, 0(a4)
+  add a0, a0, a5
+  addi a3, a3, 1
+  j loop
+done:
+  ret
+`
+
+// rvSumOOB runs the same loop one element too far (exit on n < i, so
+// arr[n] is read).
+const rvSumOOB = `
+sum:
+  mv a2, a0
+  li a0, 0
+  li a3, 0
+loop:
+  blt a1, a3, done
+  slli a4, a3, 2
+  add a4, a2, a4
+  lw a5, 0(a4)
+  add a0, a0, a5
+  addi a3, a3, 1
+  j loop
+done:
+  ret
+`
+
+// rvByteSpec and rvByteSum: summing a byte array with byte loads. Every
+// access is in bounds and (trivially) aligned, but the addresses walk
+// the array at byte stride — exactly the shape hardware aliasing makes
+// unsafe, so the only failing condition class is "alias".
+const rvByteSpec = `
+region V
+loc e  byte   state init region V summary
+val buf byte[n] state {e} region V
+constraint n >= 1
+invoke %a0 = buf
+invoke %a1 = n
+allow V byte ro
+allow V byte[n] rfo
+`
+
+const rvByteSum = `
+bsum:
+  mv a2, a0
+  li a0, 0
+  li a3, 0
+loop:
+  bge a3, a1, done
+  add a4, a2, a3
+  lbu a5, 0(a4)
+  add a0, a0, a5
+  addi a3, a3, 1
+  j loop
+done:
+  ret
+`
+
+func checkArch(t *testing.T, arch, src, spec, entry string) *Result {
+	t.Helper()
+	s, err := ParseSpecArch(spec, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AssembleArch(arch, src, s, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Check(context.Background(), p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// codeSet is the sorted set of violation codes in a result.
+func codeSet(res *Result) []string {
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		seen[v.Code] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRV32ISumSafe: the word-stride summation proves safe end to end —
+// including the alias-stability conditions the rv32i front-end turns
+// on, which must be emitted (visible in the conditions dump) and
+// discharged.
+func TestRV32ISumSafe(t *testing.T) {
+	res := checkArch(t, "rv32i", rvSumSafe, rvSumSpec, "sum")
+	if !res.Safe {
+		t.Fatalf("safe RV32I summation rejected: %v", res.Violations)
+	}
+	if res.Arch() != "rv32i" {
+		t.Errorf("result arch %q, want rv32i", res.Arch())
+	}
+	if !strings.Contains(res.Conditions(), "alias-stable") {
+		t.Error("no alias-stability conditions were emitted for an aliasing architecture")
+	}
+}
+
+// TestRV32ISumOOB: the off-by-one variant is rejected with the oob
+// class; its alias conditions still discharge (the overrunning address
+// is word-aligned, just out of bounds), so "alias" must not appear.
+func TestRV32ISumOOB(t *testing.T) {
+	res := checkArch(t, "rv32i", rvSumOOB, rvSumSpec, "sum")
+	if res.Safe {
+		t.Fatal("out-of-bounds RV32I summation accepted")
+	}
+	codes := codeSet(res)
+	if got := strings.Join(codes, ","); got != CodeOOB {
+		t.Errorf("violation codes %v, want exactly [%s]", codes, CodeOOB)
+	}
+}
+
+// TestRV32IAliasUnstable: byte-stride addressing is in bounds and
+// aligned but not alias-stable — the violation class specific to
+// hardware-aliasing architectures, and only that class.
+func TestRV32IAliasUnstable(t *testing.T) {
+	res := checkArch(t, "rv32i", rvByteSum, rvByteSpec, "bsum")
+	if res.Safe {
+		t.Fatal("alias-unstable RV32I program accepted")
+	}
+	codes := codeSet(res)
+	if got := strings.Join(codes, ","); got != CodeAlias {
+		t.Errorf("violation codes %v, want exactly [%s]", codes, CodeAlias)
+	}
+}
+
+// The SPARC statements of the same two summation programs, for the
+// cross-ISA lockstep comparison below.
+const spSumSpec = `
+region V
+loc e  int    state init region V summary
+val arr int[n] state {e} region V
+constraint n >= 1
+invoke %o0 = arr
+invoke %o1 = n
+allow V int ro
+allow V int[n] rfo
+`
+
+const spSumSafe = `
+sum:
+  mov %o0,%o2
+  clr %o0
+  clr %g3
+loop:
+  cmp %g3,%o1
+  bge done
+  nop
+  sll %g3,2,%g2
+  ld [%o2+%g2],%g2
+  add %o0,%g2,%o0
+  inc %g3
+  ba loop
+  nop
+done:
+  retl
+  nop
+`
+
+const spSumOOB = `
+sum:
+  mov %o0,%o2
+  clr %o0
+  clr %g3
+loop:
+  cmp %g3,%o1
+  bg done
+  nop
+  sll %g3,2,%g2
+  ld [%o2+%g2],%g2
+  add %o0,%g2,%o0
+  inc %g3
+  ba loop
+  nop
+done:
+  retl
+  nop
+`
+
+// TestCrossISALockstep: the same program checked through both
+// front-ends reaches the same verdict and charges the same violation
+// classes — the portability claim of the architecture seam, stated as
+// a test. (SPARC's exit test is "g > n" where RV32I's is "n < i": the
+// identical loop logic under each ISA's branch repertoire.)
+func TestCrossISALockstep(t *testing.T) {
+	cases := []struct {
+		name         string
+		spSrc, rvSrc string
+		wantSafe     bool
+	}{
+		{"sum-safe", spSumSafe, rvSumSafe, true},
+		{"sum-oob", spSumOOB, rvSumOOB, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := checkArch(t, "sparc", tc.spSrc, spSumSpec, "sum")
+			rv := checkArch(t, "rv32i", tc.rvSrc, rvSumSpec, "sum")
+			if sp.Safe != tc.wantSafe || rv.Safe != tc.wantSafe {
+				t.Fatalf("verdicts diverge: sparc=%v rv32i=%v want %v\nsparc: %v\nrv32i: %v",
+					sp.Safe, rv.Safe, tc.wantSafe, sp.Violations, rv.Violations)
+			}
+			spCodes, rvCodes := codeSet(sp), codeSet(rv)
+			if strings.Join(spCodes, ",") != strings.Join(rvCodes, ",") {
+				t.Errorf("violation classes diverge: sparc=%v rv32i=%v", spCodes, rvCodes)
+			}
+		})
+	}
+}
+
+// TestArchMismatchRejected: a program checks only against a spec parsed
+// for its own architecture.
+func TestArchMismatchRejected(t *testing.T) {
+	rvSpec, err := ParseSpecArch(rvSumSpec, "rv32i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spSpec, err := ParseSpecArch(spSumSpec, "sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AssembleArch("rv32i", rvSumSafe, rvSpec, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Check(context.Background(), p, spSpec); err == nil {
+		t.Fatal("rv32i program accepted against a sparc spec")
+	}
+}
+
+// TestFingerprintArchDomainSeparation: identical machine words
+// submitted under different ISAs decode to different programs and must
+// hash apart — the regression guard for the v3 fingerprint encoding,
+// which leads with the architecture name. 0x40000033 is decodable by
+// both front-ends (SPARC: call; RV32I: sub x0, x0, x0).
+func TestFingerprintArchDomainSeparation(t *testing.T) {
+	words := []uint32{0x40000033, 0x40000033}
+	sp, err := FromWordsArch("sparc", words, 0x10000, map[string]int{"entry": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := FromWordsArch("rv32i", words, 0x10000, map[string]int{"entry": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Fingerprint() == rv.Fingerprint() {
+		t.Fatalf("cross-ISA fingerprint collision: %s", sp.Fingerprint())
+	}
+}
+
+// TestArches: both front-ends are linked and discoverable.
+func TestArches(t *testing.T) {
+	got := strings.Join(Arches(), ",")
+	if got != "rv32i,sparc" {
+		t.Errorf("Arches() = %q, want rv32i,sparc", got)
+	}
+}

@@ -1,0 +1,14 @@
+sum:
+  mv a2, a0
+  li a0, 0
+  li a3, 0
+loop:
+  bge a3, a1, done
+  slli a4, a3, 2
+  add a4, a2, a4
+  lw a5, 0(a4)
+  add a0, a0, a5
+  addi a3, a3, 1
+  j loop
+done:
+  ret

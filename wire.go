@@ -27,6 +27,10 @@ type WireResult struct {
 	Schema int `json:"schema"`
 	// Checker is the CheckerVersion that produced the verdict.
 	Checker string `json:"checker"`
+	// Arch is the architecture name of the checked program ("sparc",
+	// "rv32i"). Added additively in mcsafe-9; decoders of older records
+	// see the empty string.
+	Arch string `json:"arch,omitempty"`
 	// Safe, Violations, Stats, and Times mirror Result. Violations is
 	// never null on the wire: an empty list encodes as [].
 	Safe       bool        `json:"safe"`
@@ -38,21 +42,21 @@ type WireResult struct {
 // NewWireResult builds the canonical wire form from result components:
 // the violation list is copied with trace-local span IDs cleared, and a
 // nil list becomes the empty list.
-func NewWireResult(safe bool, violations []Violation, stats Stats, times PhaseTimes) WireResult {
+func NewWireResult(arch string, safe bool, violations []Violation, stats Stats, times PhaseTimes) WireResult {
 	vs := make([]Violation, len(violations))
 	copy(vs, violations)
 	for i := range vs {
 		vs[i].Span = 0
 	}
 	return WireResult{
-		Schema: SchemaVersion, Checker: CheckerVersion,
+		Schema: SchemaVersion, Checker: CheckerVersion, Arch: arch,
 		Safe: safe, Violations: vs, Stats: stats, Times: times,
 	}
 }
 
 // Wire returns the result's canonical wire form.
 func (r *Result) Wire() WireResult {
-	return NewWireResult(r.Safe, r.Violations, r.Stats, r.Times)
+	return NewWireResult(r.arch, r.Safe, r.Violations, r.Stats, r.Times)
 }
 
 // MarshalWire encodes the result in the canonical v1 wire encoding.
@@ -93,5 +97,6 @@ func (w *WireResult) Result() *Result {
 		Violations: append([]Violation(nil), w.Violations...),
 		Stats:      w.Stats,
 		Times:      w.Times,
+		arch:       w.Arch,
 	}
 }

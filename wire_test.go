@@ -14,6 +14,7 @@ import (
 // (no clocks), so its canonical encoding is a byte-exact golden.
 func goldenWire() WireResult {
 	return NewWireResult(
+		"sparc",
 		false,
 		[]Violation{{
 			Node: 7, Index: 6, Line: 12, Phase: "global",
@@ -85,7 +86,7 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Errorf("re-encoding is not the identity:\n%s\n%s", enc1, enc2)
 	}
 
-	safe := NewWireResult(true, nil, Stats{}, PhaseTimes{})
+	safe := NewWireResult("sparc", true, nil, Stats{}, PhaseTimes{})
 	enc, err := safe.Marshal()
 	if err != nil {
 		t.Fatal(err)
