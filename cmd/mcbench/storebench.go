@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcsafe"
@@ -83,8 +86,8 @@ func storeBench(dir string, wanted map[string]bool, parallelism int) int {
 		warmMem := time.Duration(1<<62 - 1)
 		for i := 0; i < 32; i++ {
 			t0 := time.Now()
-			if _, ok := st.Get(key); !ok {
-				fmt.Fprintf(os.Stderr, "mcbench: %s: warm get missed\n", b.Name)
+			if _, ok, err := st.Get(key); !ok || err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: %s: warm get missed (err=%v)\n", b.Name, err)
 				return 2
 			}
 			if d := time.Since(t0); d < warmMem {
@@ -116,8 +119,8 @@ func storeBench(dir string, wanted map[string]bool, parallelism int) int {
 			Checker: mcsafe.CheckerVersion,
 		}
 		t0 := time.Now()
-		if _, ok := st2.Get(key); !ok {
-			fmt.Fprintf(os.Stderr, "mcbench: %s: disk get missed after restart\n", rows[i].name)
+		if _, ok, err := st2.Get(key); !ok || err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: disk get missed after restart (err=%v)\n", rows[i].name, err)
 			return 2
 		}
 		rows[i].warmDisk = time.Since(t0)
@@ -141,6 +144,64 @@ func storeBench(dir string, wanted map[string]bool, parallelism int) int {
 		fmt.Printf("\ntotal cold %v, total warm-mem %v (%.0fx)\n",
 			totCold.Round(time.Microsecond), totMem.Round(time.Microsecond),
 			float64(totCold)/float64(totMem))
+	}
+	return writeScaling()
+}
+
+// writeScaling measures concurrent cold-write throughput against the
+// shard (lock-stripe) count: many goroutines committing synthetic
+// verdicts, full durability (fsync per commit). More stripes mean less
+// rename/index contention, which is what lets cold misses under heavy
+// traffic scale.
+func writeScaling() int {
+	fmt.Println("\nConcurrent cold-write scaling (durable commits, 8 writers)")
+	fmt.Printf("%-8s %12s %14s\n", "Shards", "Puts", "Puts/sec")
+	const (
+		workers = 8
+		perW    = 64
+	)
+	verdict := []byte(fmt.Sprintf(`{"schema":1,"safe":true,"pad":%q}`, strings.Repeat("x", 1024)))
+	for _, shards := range []int{1, 2, 8} {
+		dir, err := os.MkdirTemp("", "mcsafe-writebench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 2
+		}
+		st, err := vstore.Open(dir, vstore.Options{Shards: shards})
+		if err != nil {
+			os.RemoveAll(dir)
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 2
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		var failed atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					k := vstore.Key{
+						Program: fmt.Sprintf("bench-%d-%d", w, i),
+						Policy:  "bench", Checker: "bench",
+					}
+					if err := st.Put(k, verdict); err != nil {
+						failed.Add(1)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st.Close()
+		os.RemoveAll(dir)
+		if failed.Load() > 0 {
+			fmt.Fprintf(os.Stderr, "mcbench: %d writers failed at %d shards\n", failed.Load(), shards)
+			return 2
+		}
+		total := workers * perW
+		fmt.Printf("%-8d %12d %14.0f\n", shards, total, float64(total)/elapsed.Seconds())
 	}
 	return 0
 }

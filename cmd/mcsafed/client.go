@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"mcsafe"
+	"mcsafe/internal/progs"
+	"mcsafe/internal/server"
+)
+
+// retryClient is mcsafed's client-mode HTTP layer: capped exponential
+// backoff with jitter, Retry-After honored on refusals, and an optional
+// hedged duplicate request. All of it is safe because /v1/check is
+// idempotent by construction — requests are content-addressed, so a
+// retried or duplicated submission yields the same verdict (usually
+// straight from the server's store).
+type retryClient struct {
+	hc      *http.Client
+	retries int           // additional attempts after the first
+	hedge   time.Duration // 0 disables the hedged duplicate
+}
+
+const (
+	retryBase = 200 * time.Millisecond
+	retryCap  = 3 * time.Second
+)
+
+func newRetryClient(retries int, hedge time.Duration) *retryClient {
+	if retries < 0 {
+		retries = 0
+	}
+	return &retryClient{hc: &http.Client{}, retries: retries, hedge: hedge}
+}
+
+type httpResult struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+func (r httpResult) describe() string {
+	if r.err != nil {
+		return r.err.Error()
+	}
+	return fmt.Sprintf("HTTP %d", r.status)
+}
+
+// retryable reports whether the result is worth another attempt:
+// connection failures and server-side refusals (shedding, draining,
+// internal errors) are; client errors and verdicts are not.
+func (r httpResult) retryable() bool {
+	return r.err != nil || r.status >= 500 || r.status == http.StatusTooManyRequests
+}
+
+// postJSON POSTs body to url until a usable response arrives or the
+// attempts run out. The final result is returned either way — a last
+// 5xx still carries a response body the caller can print.
+func (c *retryClient) postJSON(url string, body []byte) (int, []byte, error) {
+	var last httpResult
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt, last)
+			fmt.Fprintf(os.Stderr, "mcsafed: %s; retry %d/%d in %v\n",
+				last.describe(), attempt, c.retries, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+		}
+		last = c.attempt(url, body)
+		if !last.retryable() {
+			return last.status, last.body, nil
+		}
+	}
+	if last.err != nil {
+		return 0, nil, fmt.Errorf("after %d attempts: %w", c.retries+1, last.err)
+	}
+	return last.status, last.body, nil
+}
+
+// attempt runs one try, optionally hedged: if the primary request has
+// not answered within the hedge delay, an identical duplicate is sent
+// and the first usable response wins. Hedging bounds tail latency (a
+// request stuck behind a slow check or a dying connection); it never
+// changes the answer, because the request is content-addressed.
+func (c *retryClient) attempt(url string, body []byte) httpResult {
+	if c.hedge <= 0 {
+		return c.post(url, body)
+	}
+	results := make(chan httpResult, 2)
+	launch := func() { go func() { results <- c.post(url, body) }() }
+	launch()
+	timer := time.NewTimer(c.hedge)
+	defer timer.Stop()
+	launched, received := 1, 0
+	var first *httpResult
+	for received < launched {
+		select {
+		case r := <-results:
+			received++
+			if !r.retryable() {
+				return r
+			}
+			if first == nil {
+				first = &r
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched++
+				launch()
+			}
+		}
+	}
+	return *first
+}
+
+// backoff computes the next delay: the server's Retry-After if it sent
+// one, else exponential from retryBase capped at retryCap — jittered
+// either way so a fleet of clients doesn't retry in lockstep.
+func (c *retryClient) backoff(attempt int, last httpResult) time.Duration {
+	if last.header != nil {
+		if secs, err := strconv.Atoi(last.header.Get("Retry-After")); err == nil && secs >= 0 {
+			return time.Duration(secs)*time.Second + time.Duration(rand.Int63n(int64(250*time.Millisecond)))
+		}
+	}
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+func (c *retryClient) post(url string, body []byte) httpResult {
+	resp, err := c.hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return httpResult{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return httpResult{err: err}
+	}
+	return httpResult{status: resp.StatusCode, header: resp.Header, body: b}
+}
+
+// clientCheck submits one program (retrying per the flags) and prints
+// the response. Exit codes: 0 safe, 1 unsafe, 2 error.
+func clientCheck(base, builtin, specPath, arch, entry string, args []string, noCache bool, retries int, hedge time.Duration) int {
+	var req server.CheckRequest
+	switch {
+	case builtin != "":
+		b := progs.Get(builtin)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "mcsafed: unknown built-in program %q\n", builtin)
+			return 2
+		}
+		req = server.CheckRequest{Asm: b.Source, Spec: b.Spec, Entry: b.Entry}
+	case specPath != "" && len(args) == 1:
+		specText, err := os.ReadFile(specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcsafed:", err)
+			return 2
+		}
+		asmText, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcsafed:", err)
+			return 2
+		}
+		req = server.CheckRequest{Arch: arch, Asm: string(asmText), Spec: string(specText), Entry: entry}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mcsafed -check URL -prog Name | -check URL -spec policy.spec prog.s")
+		return 2
+	}
+	req.NoCache = noCache
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	status, respBody, err := newRetryClient(retries, hedge).postJSON(base+"/v1/check", body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	var resp server.CheckResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsafed: bad response (HTTP %d): %v\n", status, err)
+		return 2
+	}
+	// Pretty-print the full response for humans and greppers alike.
+	out, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	fmt.Println(string(out))
+	if resp.Error != "" {
+		return 2
+	}
+	wire, err := mcsafe.UnmarshalWire(resp.Result)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	if !wire.Safe {
+		return 1
+	}
+	return 0
+}
+
+// clientMetrics dumps the server's metrics snapshot.
+func clientMetrics(base string) int {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsafed:", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryClientRecoversFrom503 drives the client against a server
+// that sheds (503 + Retry-After) twice before answering: the client
+// must retry through the refusals and return the eventual 200.
+func TestRetryClientRecoversFrom503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	status, body, err := newRetryClient(4, 0).postJSON(ts.URL, []byte(`{}`))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("postJSON = (%d, %v), want 200", status, err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("body = %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two shed + one served)", got)
+	}
+}
+
+// TestRetryClientGivesUp pins the retry bound: a persistently failing
+// server exhausts the attempts and the final status comes back.
+func TestRetryClientGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	status, _, err := newRetryClient(2, 0).postJSON(ts.URL, []byte(`{}`))
+	if err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("postJSON = (%d, %v), want final 503 with no error", status, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly 1 + 2 retries", got)
+	}
+}
+
+// TestRetryClientNoRetryOn400 pins that client errors are terminal:
+// a 400 is the answer, not a reason to retry.
+func TestRetryClientNoRetryOn400(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	if status, _, err := newRetryClient(4, 0).postJSON(ts.URL, []byte(`{}`)); err != nil || status != http.StatusBadRequest {
+		t.Fatalf("postJSON = (%d, %v), want immediate 400", status, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestHedgedRequestWins pins hedging: when the first request stalls, a
+// duplicate goes out after the hedge delay and its (fast) answer is
+// returned without waiting for the stalled one.
+func TestHedgedRequestWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // the primary hangs until the test ends
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer func() {
+		close(release)
+		ts.Close()
+	}()
+	c := newRetryClient(0, 20*time.Millisecond)
+	start := time.Now()
+	status, body, err := c.postJSON(ts.URL, []byte(`{}`))
+	if err != nil || status != http.StatusOK || string(body) != `{"ok":true}` {
+		t.Fatalf("hedged postJSON = (%d, %q, %v)", status, body, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged request took %v — the duplicate did not win", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want primary + hedge", got)
+	}
+}
+
+// TestHedgeNotSentWhenFast pins the hedge stays holstered when the
+// primary answers within the delay.
+func TestHedgeNotSentWhenFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	if status, _, err := newRetryClient(0, time.Second).postJSON(ts.URL, []byte(`{}`)); err != nil || status != 200 {
+		t.Fatalf("postJSON = (%d, %v)", status, err)
+	}
+	time.Sleep(20 * time.Millisecond) // a stray hedge would land here
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no hedge)", got)
+	}
+}
+
+// TestRetryClientConnectionError pins retries on transport failures: a
+// dead endpoint errors after exhausting every attempt.
+func TestRetryClientConnectionError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens anymore
+	if _, _, err := newRetryClient(1, 0).postJSON(ts.URL, []byte(`{}`)); err == nil {
+		t.Fatal("postJSON against a closed server returned no error")
+	}
+}

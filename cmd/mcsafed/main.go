@@ -19,16 +19,17 @@
 //	mcsafed -metrics http://localhost:8745                # dump /v1/metrics
 //
 // -check prints the server's CheckResponse and exits 0 when the program
-// is safe, 1 when unsafe, 2 on errors.
+// is safe, 1 when unsafe, 2 on errors. It retries connection errors and
+// server refusals with capped exponential backoff (-retries, honoring
+// Retry-After), and -hedge sends a duplicate request when the first is
+// slow — both safe because submissions are content-addressed and
+// therefore idempotent.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,7 +38,6 @@ import (
 
 	"mcsafe"
 	"mcsafe/internal/obs"
-	"mcsafe/internal/progs"
 	"mcsafe/internal/server"
 	"mcsafe/internal/vstore"
 )
@@ -49,6 +49,11 @@ func run() int {
 	storeDir := flag.String("store", "", "verdict-store directory (empty: no persistent store)")
 	memBytes := flag.Int64("store-mem", 64<<20, "in-memory verdict layer budget, bytes")
 	diskBytes := flag.Int64("store-disk", 1<<30, "disk verdict layer budget, bytes")
+	storeShards := flag.Int("store-shards", 0, "verdict-store lock stripes (0 = default)")
+	storeNoSync := flag.Bool("store-nosync", false, "skip fsync on verdict commits (faster, loses crash durability)")
+	admissionWait := flag.Duration("admission-wait", 0, "shed a queued request after this wait with 503 + Retry-After (0 = queue unbounded)")
+	storeFailThreshold := flag.Int("store-fail-threshold", 0, "consecutive store I/O failures before degraded cache-bypass mode (0 = default 3)")
+	storeRecovery := flag.Duration("store-recovery", 0, "degraded-mode duration before a recovery probe (0 = default 15s)")
 	parallel := flag.Int("parallel", 1, "Phase 5 workers per check (0 = GOMAXPROCS; 1 maximizes throughput under concurrent load)")
 	maxInFlight := flag.Int("max-in-flight", 0, "concurrent checks admitted (0 = GOMAXPROCS)")
 	defDeadline := flag.Duration("deadline", 0, "default wall-clock budget per check (0 = none)")
@@ -67,19 +72,24 @@ func run() int {
 	archName := flag.String("arch", "", "client mode: architecture of a submitted assembly file (default: the server's; see mcsafe.Arches)")
 	entry := flag.String("entry", "", "client mode: entry label")
 	noCache := flag.Bool("no-cache", false, "client mode: ask the server to bypass its verdict store")
+	retries := flag.Int("retries", 4, "client mode: extra attempts on connection errors and 5xx, with capped exponential backoff honoring Retry-After")
+	hedge := flag.Duration("hedge", 0, "client mode: send a duplicate request if no answer within this delay; first response wins (0 = off)")
 	flag.Parse()
 
 	if *metricsURL != "" {
 		return clientMetrics(*metricsURL)
 	}
 	if *checkURL != "" {
-		return clientCheck(*checkURL, *builtin, *specPath, *archName, *entry, flag.Args(), *noCache)
+		return clientCheck(*checkURL, *builtin, *specPath, *archName, *entry, flag.Args(), *noCache, *retries, *hedge)
 	}
 
 	var store *vstore.Store
 	if *storeDir != "" {
 		var err error
-		store, err = vstore.Open(*storeDir, vstore.Options{MemBytes: *memBytes, DiskBytes: *diskBytes})
+		store, err = vstore.Open(*storeDir, vstore.Options{
+			MemBytes: *memBytes, DiskBytes: *diskBytes,
+			Shards: *storeShards, NoSync: *storeNoSync,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcsafed:", err)
 			return 2
@@ -91,9 +101,12 @@ func run() int {
 	trace := obs.New()
 	trace.SetSpanLimit(*traceSpans)
 	srv := server.New(server.Config{
-		Store:       store,
-		Parallelism: *parallel,
-		MaxInFlight: *maxInFlight,
+		Store:              store,
+		Parallelism:        *parallel,
+		MaxInFlight:        *maxInFlight,
+		AdmissionWait:      *admissionWait,
+		StoreFailThreshold: *storeFailThreshold,
+		StoreRecovery:      *storeRecovery,
 		DefaultBudget: mcsafe.Budget{
 			Deadline: *defDeadline, SolverSteps: *defBudget, CondTimeout: *defCondTimeout,
 		},
@@ -133,91 +146,5 @@ func run() int {
 		return 2
 	}
 	fmt.Println("mcsafed: stopped")
-	return 0
-}
-
-// clientCheck submits one program and prints the response.
-func clientCheck(base, builtin, specPath, arch, entry string, args []string, noCache bool) int {
-	var req server.CheckRequest
-	switch {
-	case builtin != "":
-		b := progs.Get(builtin)
-		if b == nil {
-			fmt.Fprintf(os.Stderr, "mcsafed: unknown built-in program %q\n", builtin)
-			return 2
-		}
-		req = server.CheckRequest{Asm: b.Source, Spec: b.Spec, Entry: b.Entry}
-	case specPath != "" && len(args) == 1:
-		specText, err := os.ReadFile(specPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcsafed:", err)
-			return 2
-		}
-		asmText, err := os.ReadFile(args[0])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcsafed:", err)
-			return 2
-		}
-		req = server.CheckRequest{Arch: arch, Asm: string(asmText), Spec: string(specText), Entry: entry}
-	default:
-		fmt.Fprintln(os.Stderr, "usage: mcsafed -check URL -prog Name | -check URL -spec policy.spec prog.s")
-		return 2
-	}
-	req.NoCache = noCache
-
-	body, err := json.Marshal(req)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	httpResp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	defer httpResp.Body.Close()
-	respBody, err := io.ReadAll(httpResp.Body)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	var resp server.CheckResponse
-	if err := json.Unmarshal(respBody, &resp); err != nil {
-		fmt.Fprintf(os.Stderr, "mcsafed: bad response (%s): %v\n", httpResp.Status, err)
-		return 2
-	}
-	// Pretty-print the full response for humans and greppers alike.
-	out, err := json.MarshalIndent(resp, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	fmt.Println(string(out))
-	if resp.Error != "" {
-		return 2
-	}
-	wire, err := mcsafe.UnmarshalWire(resp.Result)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	if !wire.Safe {
-		return 1
-	}
-	return 0
-}
-
-// clientMetrics dumps the server's metrics snapshot.
-func clientMetrics(base string) int {
-	resp, err := http.Get(base + "/v1/metrics")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		fmt.Fprintln(os.Stderr, "mcsafed:", err)
-		return 2
-	}
 	return 0
 }

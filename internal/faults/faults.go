@@ -6,6 +6,15 @@
 // forced cancellation), drives a real check, and asserts the checker
 // still terminates with a well-formed Result or structured error.
 //
+// The verdict store's filesystem boundary (internal/vfs) adds four I/O
+// points — store-read, store-write, store-sync, store-rename — and the
+// Err kind, which makes the operation fail with an injected error
+// (EIO-style by default, ENOSPC via Fault.Err) or tear a write short at
+// an exact byte boundary (Fault.Torn). These fire through FireErr and
+// FireWrite, so a chaos test can fill the disk, tear a record at every
+// byte, or kill the process mid-commit (a Cancel fault whose func
+// os.Exits), deterministically.
+//
 // Injection is deterministic and seed-addressable: a Fault fires on an
 // exact hit count (After) at an exact point, so a failing combination
 // replays from its (point, kind, after) triple alone, and PlanFromSeed
@@ -19,9 +28,11 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -41,10 +52,28 @@ const (
 	// Lift fires as the CFG builder consumes each instruction's
 	// lifted RTL (Phase 1).
 	Lift Point = "lift"
+
+	// StoreRead fires before every verdict-store record read.
+	StoreRead Point = "store-read"
+	// StoreWrite fires on every verdict-store temp-file write (the
+	// only point where Fault.Torn tears the write short).
+	StoreWrite Point = "store-write"
+	// StoreSync fires before every verdict-store fsync (record file
+	// and parent directory alike).
+	StoreSync Point = "store-sync"
+	// StoreRename fires before the rename that commits a record.
+	StoreRename Point = "store-rename"
 )
 
-// Points lists every injection site, for sweep-style tests.
+// Points lists the checker-pipeline injection sites, for sweep-style
+// tests that drive plain checks (which never touch the store).
 var Points = []Point{SolverStep, CacheLookup, WorkerStart, Lift}
+
+// StorePoints lists the verdict store's filesystem injection sites.
+var StorePoints = []Point{StoreRead, StoreWrite, StoreSync, StoreRename}
+
+// AllPoints is every injection site in the process.
+var AllPoints = append(append([]Point{}, Points...), StorePoints...)
 
 // Kind is what an armed fault does when it fires.
 type Kind int
@@ -59,6 +88,11 @@ const (
 	// Cancel invokes the fault's Cancel func (typically a
 	// context.CancelFunc) — the check must unwind promptly.
 	Cancel
+	// Err makes an I/O operation fail with the fault's Err (ErrIO if
+	// unset), optionally tearing a write short at Torn bytes first.
+	// Only the FireErr/FireWrite points (the store's I/O seam) can
+	// surface it; at a plain Fire point an Err fault is a no-op.
+	Err
 )
 
 func (k Kind) String() string {
@@ -69,12 +103,23 @@ func (k Kind) String() string {
 		return "delay"
 	case Cancel:
 		return "cancel"
+	case Err:
+		return "err"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
 // Kinds lists every fault kind, for sweep-style tests.
-var Kinds = []Kind{Panic, Delay, Cancel}
+var Kinds = []Kind{Panic, Delay, Cancel, Err}
+
+// ErrIO is the default injected I/O failure: a generic medium error,
+// the shape a dying disk produces.
+var ErrIO = errors.New("faults: injected I/O error")
+
+// ErrNoSpace is an injected disk-full failure. It wraps
+// syscall.ENOSPC, so errors.Is(err, syscall.ENOSPC) holds — exactly
+// what a full filesystem returns.
+var ErrNoSpace = fmt.Errorf("faults: injected disk full: %w", syscall.ENOSPC)
 
 // InjectedPanic is the value a Panic fault panics with, so containment
 // tests can tell an injected panic from a genuine checker bug.
@@ -97,6 +142,12 @@ type Fault struct {
 	Repeat bool          // keep firing on every later hit too
 	Sleep  time.Duration // Delay kind: how long to sleep per firing
 	Cancel func()        // Cancel kind: invoked once when the fault fires
+	Err    error         // Err kind: the returned error (nil = ErrIO)
+	// Torn applies to Err faults at a FireWrite point: the write
+	// succeeds for exactly Torn bytes (clamped to [0, len]) before the
+	// error surfaces, leaving a torn record on disk. The zero default
+	// fails the write with nothing written.
+	Torn int
 }
 
 // armed is one fault plus its live hit counter.
@@ -127,11 +178,19 @@ func NewPlan(fs ...Fault) *Plan {
 // seed: the point, kind, and hit count are a pure function of the seed,
 // so a sweep over seeds covers the (point, kind, after) space and any
 // failure replays from its seed. Cancel faults invoke cancel (which may
-// be nil for a no-op).
+// be nil for a no-op). The point is drawn from the checker-pipeline
+// Points; store sweeps use PlanFromSeedOver with StorePoints.
 func PlanFromSeed(seed int64, cancel func()) (*Plan, Fault) {
+	return PlanFromSeedOver(seed, Points, cancel)
+}
+
+// PlanFromSeedOver is PlanFromSeed over an explicit point set, so a
+// sweep can target one subsystem (e.g. the store's I/O points) while
+// staying seed-replayable.
+func PlanFromSeedOver(seed int64, points []Point, cancel func()) (*Plan, Fault) {
 	r := rand.New(rand.NewSource(seed))
 	f := Fault{
-		Point: Points[r.Intn(len(Points))],
+		Point: points[r.Intn(len(points))],
 		Kind:  Kinds[r.Intn(len(Kinds))],
 		After: 1 + r.Int63n(50),
 	}
@@ -141,6 +200,11 @@ func PlanFromSeed(seed int64, cancel func()) (*Plan, Fault) {
 		f.Repeat = r.Intn(2) == 0
 	case Cancel:
 		f.Cancel = cancel
+	case Err:
+		if r.Intn(2) == 0 {
+			f.Err = ErrNoSpace
+		}
+		f.Torn = r.Intn(64)
 	}
 	return NewPlan(f), f
 }
@@ -158,21 +222,28 @@ func Activate(p *Plan) (restore func()) {
 // Active reports whether a plan is currently armed.
 func Active() bool { return active.Load() != nil }
 
-// Fire triggers the armed fault at point p, if any. The no-plan fast
-// path is one atomic load.
-func Fire(p Point) {
+// firing returns the armed fault at p and its hit number when the
+// fault fires on this hit, or nil. The no-plan fast path is one atomic
+// load.
+func firing(p Point) (*armed, int64) {
 	plan := active.Load()
 	if plan == nil {
-		return
+		return nil, 0
 	}
 	a := plan.byPoint[p]
 	if a == nil {
-		return
+		return nil, 0
 	}
 	hit := a.hits.Add(1)
 	if hit < a.After || (hit > a.After && !a.Repeat) {
-		return
+		return nil, 0
 	}
+	return a, hit
+}
+
+// act performs the fault's non-error behavior (panic, delay, cancel);
+// Err faults are surfaced only by FireErr/FireWrite.
+func (a *armed) act(p Point, hit int64) {
 	switch a.Kind {
 	case Panic:
 		panic(InjectedPanic{Point: p, Hit: hit})
@@ -183,4 +254,57 @@ func Fire(p Point) {
 			a.Cancel()
 		}
 	}
+}
+
+// Fire triggers the armed fault at point p, if any. An Err fault is a
+// no-op here — plain pipeline points have no error to return.
+func Fire(p Point) {
+	if a, hit := firing(p); a != nil {
+		a.act(p, hit)
+	}
+}
+
+// FireErr triggers the armed fault at an I/O point: Err faults return
+// their injected error (ErrIO if unset); every other kind behaves as at
+// a plain Fire point and returns nil.
+func FireErr(p Point) error {
+	a, hit := firing(p)
+	if a == nil {
+		return nil
+	}
+	if a.Kind == Err {
+		if a.Err != nil {
+			return a.Err
+		}
+		return ErrIO
+	}
+	a.act(p, hit)
+	return nil
+}
+
+// FireWrite triggers the armed fault at a write point for a buffer of n
+// bytes. It returns how many bytes the write may persist and the error
+// to surface: (n, nil) when no Err fault fires, (min(Torn, n), err)
+// when one does — the torn-write shape a crash mid-write leaves behind.
+func FireWrite(p Point, n int) (int, error) {
+	a, hit := firing(p)
+	if a == nil {
+		return n, nil
+	}
+	if a.Kind != Err {
+		a.act(p, hit)
+		return n, nil
+	}
+	allow := a.Torn
+	if allow < 0 {
+		allow = 0
+	}
+	if allow > n {
+		allow = n
+	}
+	err := a.Err
+	if err == nil {
+		err = ErrIO
+	}
+	return allow, err
 }

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the store-failure circuit's position.
+type breakerState int
+
+const (
+	// breakerClosed: the store is healthy; every request uses it.
+	breakerClosed breakerState = iota
+	// breakerOpen: repeated store failures tripped the circuit; the
+	// server runs degraded — checks proceed, the store is bypassed —
+	// until the recovery interval elapses.
+	breakerOpen
+	// breakerHalfOpen: the recovery interval elapsed; exactly one
+	// request is let through as a probe. Its success closes the
+	// circuit, its failure re-opens it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is the server's store-failure circuit breaker: the mechanism
+// that turns "the disk is dying" into a degraded-but-serving mode
+// instead of a failing service. Checking never depends on it — only
+// caching does, which is best-effort by design.
+type breaker struct {
+	threshold int           // consecutive failures that trip the circuit
+	recovery  time.Duration // open duration before a half-open probe
+	now       func() time.Time
+
+	mu            sync.Mutex
+	state         breakerState
+	failures      int       // consecutive, reset by any success
+	until         time.Time // open until (then half-open)
+	probeInFlight bool
+	trips         int64
+}
+
+func newBreaker(threshold int, recovery time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if recovery <= 0 {
+		recovery = 15 * time.Second
+	}
+	return &breaker{threshold: threshold, recovery: recovery, now: time.Now}
+}
+
+// allow reports whether the store may be used for this request, and
+// whether the request is the half-open recovery probe (whose outcome
+// must be reported via success/failure).
+func (b *breaker) allow() (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Before(b.until) {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probeInFlight = true
+		return true, true
+	default: // half-open
+		if b.probeInFlight {
+			return false, false
+		}
+		b.probeInFlight = true
+		return true, true
+	}
+}
+
+// success records a store operation that completed: consecutive
+// failures reset, and a half-open probe closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probeInFlight = false
+	b.state = breakerClosed
+}
+
+// failure records a store I/O failure: in the closed state it trips the
+// circuit at the threshold; in half-open it re-opens immediately.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probeInFlight = false
+	switch b.state {
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.trip()
+	case breakerOpen:
+		// Already open (a concurrent request raced the trip): extend.
+		b.until = b.now().Add(b.recovery)
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.until = b.now().Add(b.recovery)
+	b.trips++
+}
+
+// degraded reports whether the circuit is anything but closed — the
+// /v1/healthz and /v1/metrics "degraded" signal.
+func (b *breaker) degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// snapshot returns the state name and trip count for metrics.
+func (b *breaker) snapshot() (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.trips
+}

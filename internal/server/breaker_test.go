@@ -1,0 +1,89 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed → open → half-open →
+// closed circle on an injected clock: trip at the threshold, refuse
+// while open, exactly one probe after recovery, and probe outcome
+// deciding between re-open and close.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	// Below the threshold the circuit stays closed.
+	b.failure()
+	b.failure()
+	if b.degraded() {
+		t.Fatal("degraded after 2 failures with threshold 3")
+	}
+	if allowed, probe := b.allow(); !allowed || probe {
+		t.Fatalf("closed allow() = (%v, %v), want (true, false)", allowed, probe)
+	}
+
+	// The third consecutive failure trips it.
+	b.failure()
+	if !b.degraded() {
+		t.Fatal("not degraded after threshold failures")
+	}
+	if state, trips := b.snapshot(); state != "open" || trips != 1 {
+		t.Fatalf("snapshot = (%s, %d), want (open, 1)", state, trips)
+	}
+	if allowed, _ := b.allow(); allowed {
+		t.Fatal("open circuit allowed a request before recovery elapsed")
+	}
+
+	// Recovery elapses: exactly one probe goes through, the rest wait.
+	now = now.Add(1100 * time.Millisecond)
+	allowed, probe := b.allow()
+	if !allowed || !probe {
+		t.Fatalf("post-recovery allow() = (%v, %v), want (true, true)", allowed, probe)
+	}
+	if allowed, _ := b.allow(); allowed {
+		t.Fatal("second request allowed while the probe is in flight")
+	}
+
+	// The probe fails: straight back to open, trip counted.
+	b.failure()
+	if state, trips := b.snapshot(); state != "open" || trips != 2 {
+		t.Fatalf("snapshot after failed probe = (%s, %d), want (open, 2)", state, trips)
+	}
+
+	// Next recovery window, the probe succeeds: circuit closes.
+	now = now.Add(1100 * time.Millisecond)
+	if allowed, probe := b.allow(); !allowed || !probe {
+		t.Fatalf("second probe allow() = (%v, %v), want (true, true)", allowed, probe)
+	}
+	b.success()
+	if b.degraded() {
+		t.Fatal("degraded after successful probe")
+	}
+	if allowed, probe := b.allow(); !allowed || probe {
+		t.Fatalf("closed-again allow() = (%v, %v), want (true, false)", allowed, probe)
+	}
+}
+
+// TestBreakerSuccessResetsStreak pins that failures must be
+// consecutive: any success restarts the count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if b.degraded() {
+		t.Fatal("tripped despite never reaching 3 consecutive failures")
+	}
+}
+
+// TestBreakerDefaults pins the zero-config defaults New relies on.
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != 3 || b.recovery != 15*time.Second {
+		t.Fatalf("defaults = (%d, %v), want (3, 15s)", b.threshold, b.recovery)
+	}
+}

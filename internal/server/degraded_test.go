@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcsafe/internal/faults"
+	"mcsafe/internal/obs"
+	"mcsafe/internal/vstore"
+)
+
+// newDegradableServer builds a server over a real store (whose default
+// FS routes through the fault seam) with a fast-tripping, fast-healing
+// breaker, so degraded-mode tests run in milliseconds.
+func newDegradableServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := vstore.Open(t.TempDir(), vstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("vstore.Open: %v", err)
+	}
+	srv := New(Config{
+		Store:              store,
+		Parallelism:        1,
+		Trace:              obs.New(),
+		StoreFailThreshold: 2,
+		StoreRecovery:      50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return m
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b)
+}
+
+// TestDegradedModeAndRecovery is the degraded-mode acceptance test: a
+// store whose writes fail persistently trips the breaker after the
+// threshold, the server keeps answering checks at full fidelity with
+// the store bypassed, /v1/healthz and /v1/metrics surface the state,
+// and once the disk heals a recovery probe silently restores caching.
+func TestDegradedModeAndRecovery(t *testing.T) {
+	srv, ts := newDegradableServer(t)
+
+	// Every temp-file write fails from here on: each request's Put
+	// after a successful check counts one breaker failure.
+	restore := faults.Activate(faults.NewPlan(faults.Fault{
+		Point: faults.StoreWrite, Kind: faults.Err, Repeat: true,
+	}))
+	armed := true
+	defer func() {
+		if armed {
+			restore()
+		}
+	}()
+
+	// Distinct programs so every request is a genuine miss + Put.
+	for _, name := range []string{"Sum", "Hash", "BubbleSort"} {
+		resp, status := postCheck(t, ts.URL, builtinRequest(t, name))
+		if status != http.StatusOK || resp.Error != "" {
+			t.Fatalf("%s under store faults: status %d, err %q — checking must not depend on the store", name, status, resp.Error)
+		}
+		if resp.Cached || len(resp.Result) == 0 {
+			t.Fatalf("%s: cached=%v result=%d bytes, want a fresh full verdict", name, resp.Cached, len(resp.Result))
+		}
+	}
+	if !srv.Degraded() {
+		t.Fatal("breaker not tripped after repeated Put failures past the threshold")
+	}
+
+	// The degraded state is visible: healthz deep-probes the store
+	// (the probe write also fails) and metrics gauge it.
+	hz := getJSON(t, ts.URL+"/v1/healthz")
+	if hz["ok"] != true {
+		t.Fatalf("healthz ok = %v: degraded caching must not fail liveness", hz["ok"])
+	}
+	if hz["store"] != "degraded" {
+		t.Fatalf("healthz store = %v, want degraded", hz["store"])
+	}
+	if hz["degraded"] != true {
+		t.Fatalf("healthz degraded = %v, want true", hz["degraded"])
+	}
+	if _, ok := hz["store_error"]; !ok {
+		t.Fatal("healthz missing store_error while the probe fails")
+	}
+	if hz["shards"] == nil || hz["records"] == nil {
+		t.Fatalf("healthz missing shard/record counts: %v", hz)
+	}
+	metrics := getText(t, ts.URL+"/v1/metrics")
+	if !strings.Contains(metrics, "mcsafe_server_degraded 1") {
+		t.Fatalf("metrics missing mcsafe_server_degraded 1:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "mcsafe_server_breaker_trips 1") {
+		t.Fatalf("metrics missing mcsafe_server_breaker_trips 1:\n%s", metrics)
+	}
+
+	// While open, requests bypass the store entirely but still serve.
+	if resp, status := postCheck(t, ts.URL, builtinRequest(t, "Sum")); status != http.StatusOK || resp.Cached {
+		t.Fatalf("degraded request: status %d cached=%v, want uncached 200", status, resp.Cached)
+	}
+
+	// The disk heals. After the recovery interval, the next request is
+	// the half-open probe: its miss resolves against a real write-probe,
+	// which now succeeds and closes the circuit, and its Put lands.
+	restore()
+	armed = false
+	time.Sleep(120 * time.Millisecond)
+	if resp, status := postCheck(t, ts.URL, builtinRequest(t, "StartTimer")); status != http.StatusOK || resp.Error != "" {
+		t.Fatalf("probe request: status %d err %q", status, resp.Error)
+	}
+	if srv.Degraded() {
+		t.Fatal("breaker still open after a successful recovery probe")
+	}
+	// Caching restored: the probe's Put serves the resubmission warm.
+	resp, status := postCheck(t, ts.URL, builtinRequest(t, "StartTimer"))
+	if status != http.StatusOK || !resp.Cached {
+		t.Fatalf("post-recovery resubmission: status %d cached=%v, want cached hit", status, resp.Cached)
+	}
+	if !strings.Contains(getText(t, ts.URL+"/v1/metrics"), "mcsafe_server_degraded 0") {
+		t.Fatal("metrics still gauge degraded after recovery")
+	}
+}
+
+// TestHealthzProbeTripsBreaker pins that the deep health probe is a
+// first-class breaker signal: an unwritable store is discovered (and
+// the server degraded) by health checks alone, before any Put fails.
+func TestHealthzProbeTripsBreaker(t *testing.T) {
+	srv, ts := newDegradableServer(t)
+	if hz := getJSON(t, ts.URL+"/v1/healthz"); hz["store"] != "ok" || hz["degraded"] != false {
+		t.Fatalf("healthy store healthz = %v, want store ok, degraded false", hz)
+	}
+	restore := faults.Activate(faults.NewPlan(faults.Fault{
+		Point: faults.StoreWrite, Kind: faults.Err, Err: faults.ErrNoSpace, Repeat: true,
+	}))
+	defer restore()
+	for i := 0; i < 2; i++ { // threshold is 2
+		if hz := getJSON(t, ts.URL+"/v1/healthz"); hz["store"] != "degraded" {
+			t.Fatalf("probe %d: store = %v, want degraded", i, hz["store"])
+		}
+	}
+	if !srv.Degraded() {
+		t.Fatal("health probes alone did not trip the breaker")
+	}
+}
+
+// TestAdmissionShedRetryAfter pins overload shedding: with every
+// admission slot held and AdmissionWait set, a cache-missing request is
+// refused 503 with a Retry-After hint instead of queueing forever.
+func TestAdmissionShedRetryAfter(t *testing.T) {
+	store, err := vstore.Open(t.TempDir(), vstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("vstore.Open: %v", err)
+	}
+	srv := New(Config{
+		Store:         store,
+		Parallelism:   1,
+		Trace:         obs.New(),
+		MaxInFlight:   1,
+		AdmissionWait: 5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	srv.sem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sem }()
+
+	body := strings.NewReader(marshalCheck(t, builtinRequest(t, "Sum")))
+	httpResp, err := http.Post(ts.URL+"/v1/check", "application/json", body)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", httpResp.StatusCode)
+	}
+	if got := httpResp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	var resp CheckResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !strings.Contains(resp.Error, "overloaded") {
+		t.Fatalf("error = %q, want an overload message", resp.Error)
+	}
+}
+
+func marshalCheck(t *testing.T, req CheckRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}

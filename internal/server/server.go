@@ -10,9 +10,21 @@
 // Admission control reuses the checker's resource governor: each
 // request's Budget is clamped to server-wide maxima, and a bounded
 // in-flight semaphore keeps concurrent solver work at a configured
-// level (store hits bypass admission — they do no solver work).
+// level (store hits bypass admission — they do no solver work). Under
+// sustained overload the semaphore sheds instead of queueing without
+// bound: a request that cannot be admitted within AdmissionWait is
+// refused with 503 and a Retry-After hint the client's backoff honors.
 // Observability flows through the existing obs layer: one span per
 // request plus server_/store counters on /v1/metrics.
+//
+// The store is best-effort by construction: a circuit breaker watches
+// for store I/O failures and, after StoreFailThreshold consecutive
+// errors, trips the server into a degraded cache-bypass mode — checking
+// continues at full fidelity, caching stops. After StoreRecovery the
+// breaker lets one request through as a probe; its success restores
+// caching. /v1/healthz deepens this with a real write-probe of the
+// store directory, so an unwritable disk is visible before the first
+// failed Put.
 package server
 
 import (
@@ -53,6 +65,16 @@ type Config struct {
 	MaxBatchItems int
 	// MaxBodyBytes bounds a request body (default 16 MiB).
 	MaxBodyBytes int64
+	// AdmissionWait bounds how long a request may queue for an
+	// admission slot before being shed with 503 + Retry-After.
+	// 0 (the default) queues for as long as the client waits.
+	AdmissionWait time.Duration
+	// StoreFailThreshold is how many consecutive store I/O failures
+	// trip the breaker into degraded cache-bypass mode (default 3).
+	StoreFailThreshold int
+	// StoreRecovery is how long the breaker stays open before letting
+	// a half-open probe through (default 15s).
+	StoreRecovery time.Duration
 	// Trace receives request spans, check spans, and counters; nil
 	// runs unobserved (metrics then expose only store gauges).
 	Trace *obs.Trace
@@ -64,6 +86,7 @@ type Server struct {
 	sem      chan struct{}
 	inFlight atomic.Int64
 	draining atomic.Bool
+	brk      *breaker
 
 	mu     sync.Mutex
 	closed bool
@@ -80,8 +103,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
-	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	return &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+		brk: newBreaker(cfg.StoreFailThreshold, cfg.StoreRecovery),
+	}
 }
+
+// Degraded reports whether the store breaker is tripped (the server is
+// serving in cache-bypass mode).
+func (s *Server) Degraded() bool { return s.brk.degraded() }
 
 // Handler returns the v1 API mux.
 func (s *Server) Handler() http.Handler {
@@ -131,6 +162,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	resp, status := s.process(r.Context(), worker, &req)
 	worker.End("status", fmt.Sprint(status), "cached", fmt.Sprint(resp.Cached))
 	worker.Flush()
+	if status == http.StatusServiceUnavailable {
+		// The refusal is load, not failure: tell the client when to
+		// come back (its retry loop honors this).
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -219,23 +255,74 @@ func (s *Server) process(ctx context.Context, worker *obs.Worker, req *CheckRequ
 	resp.Program = key.Program
 	resp.Policy = key.Policy
 
-	if s.cfg.Store != nil && !req.NoCache {
-		if verdict, ok := s.cfg.Store.Get(key); ok {
+	// The breaker decides whether this request touches the store at
+	// all: tripped means degraded cache-bypass mode — checking is
+	// unaffected, caching pauses until a recovery probe succeeds.
+	useStore := s.cfg.Store != nil && !req.NoCache
+	probe := false
+	if useStore {
+		var allowed bool
+		allowed, probe = s.brk.allow()
+		if !allowed {
+			worker.Add("server_degraded_requests", 1)
+			useStore = false
+		} else if probe {
+			worker.Add("server_breaker_probes", 1)
+		}
+	}
+	if useStore {
+		verdict, ok, err := s.cfg.Store.Get(key)
+		switch {
+		case err != nil:
+			// The store's disk is failing. Record it, and leave the
+			// store alone for the rest of this request.
+			s.brk.failure()
+			worker.Add("server_store_errors", 1)
+			useStore = false
+		case ok:
+			s.brk.success()
 			worker.Add("server_store_hits", 1)
 			resp.Cached = true
 			resp.Result = json.RawMessage(verdict)
 			return resp, http.StatusOK
+		default:
+			// A miss is neutral for the breaker: no record I/O happened,
+			// so it neither resets a failure streak (a write-only disk
+			// fault must still trip) nor resolves a half-open probe. A
+			// probe that misses resolves against a real write-probe
+			// instead, so recovery never depends on drawing a warm hit.
+			worker.Add("server_store_misses", 1)
+			if probe {
+				if perr := s.cfg.Store.Probe(); perr != nil {
+					s.brk.failure()
+					worker.Add("server_store_errors", 1)
+					useStore = false
+				} else {
+					s.brk.success()
+				}
+			}
 		}
-		worker.Add("server_store_misses", 1)
 	}
 
 	// Admission: a bounded number of checks run concurrently; the rest
-	// queue here until a slot frees or the client gives up.
+	// queue here until a slot frees, the client gives up, or (with
+	// AdmissionWait set) the shedding deadline passes — overload then
+	// answers 503 + Retry-After instead of queueing without bound.
+	var shed <-chan time.Time
+	if s.cfg.AdmissionWait > 0 {
+		timer := time.NewTimer(s.cfg.AdmissionWait)
+		defer timer.Stop()
+		shed = timer.C
+	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		resp.Error = "admission: " + ctx.Err().Error()
 		worker.Add("server_admission_timeouts", 1)
+		return resp, http.StatusServiceUnavailable
+	case <-shed:
+		resp.Error = "admission: server overloaded, retry later"
+		worker.Add("server_admission_shed", 1)
 		return resp, http.StatusServiceUnavailable
 	}
 	s.inFlight.Add(1)
@@ -266,9 +353,15 @@ func (s *Server) process(ctx context.Context, worker *obs.Worker, req *CheckRequ
 		return resp, http.StatusInternalServerError
 	}
 	resp.Result = json.RawMessage(wire)
-	if s.cfg.Store != nil && !req.NoCache && cacheable(res) {
+	if useStore && cacheable(res) {
 		if err := s.cfg.Store.Put(key, wire); err == nil {
+			s.brk.success()
 			worker.Add("server_store_puts", 1)
+		} else {
+			// Caching is best-effort: the verdict still goes out, the
+			// breaker counts the failure.
+			s.brk.failure()
+			worker.Add("server_store_errors", 1)
 		}
 	}
 	return resp, http.StatusOK
@@ -316,12 +409,36 @@ func (s *Server) effectiveBudget(req *BudgetRequest) mcsafe.Budget {
 	return b
 }
 
+// handleHealthz is a deep health check: besides liveness it runs a real
+// write-probe against the verdict store (CreateTemp+write+fsync), so an
+// unwritable store directory reports "store": "degraded" before the
+// first Put ever fails. "ok" stays true as long as the service can
+// check — a degraded store only means caching is best-effort. The probe
+// outcome feeds the breaker, so a healed disk observed here restores
+// caching without waiting for a request-path probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":        true,
 		"draining":  s.draining.Load(),
 		"in_flight": s.inFlight.Load(),
-	})
+		"store":     "none",
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Probe(); err != nil {
+			s.brk.failure()
+			resp["store"] = "degraded"
+			resp["store_error"] = err.Error()
+		} else {
+			s.brk.success()
+			resp["store"] = "ok"
+		}
+		st := s.cfg.Store.Stats()
+		resp["shards"] = st.Shards
+		resp["records"] = st.DiskEntries
+		resp["quarantined"] = st.Quarantined
+	}
+	resp["degraded"] = s.brk.degraded()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
@@ -333,7 +450,8 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the Prometheus-style text snapshot: the trace's
 // counters and span aggregates (checker effort + server_ counters),
-// then the store's counters and gauges as mcsafe_store_* lines.
+// the breaker's degraded-mode gauges, then the store's counters and
+// gauges as mcsafe_store_* lines.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.cfg.Trace != nil {
@@ -344,8 +462,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store == nil {
 		return
 	}
+	degraded := int64(0)
+	if s.brk.degraded() {
+		degraded = 1
+	}
+	_, trips := s.brk.snapshot()
 	st := s.cfg.Store.Stats()
 	lines := map[string]int64{
+		"server_degraded":      degraded,
+		"server_breaker_trips": trips,
 		"store_mem_hits":       st.MemHits,
 		"store_disk_hits":      st.DiskHits,
 		"store_hits":           st.MemHits + st.DiskHits,
@@ -355,6 +480,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"store_disk_evictions": st.DiskEvictions,
 		"store_rejects":        st.Rejects,
 		"store_corrupt":        st.Corrupt,
+		"store_quarantined":    st.Quarantined,
+		"store_read_errors":    st.ReadErrors,
+		"store_put_errors":     st.PutErrors,
+		"store_shards":         int64(st.Shards),
 		"store_mem_bytes":      st.MemBytes,
 		"store_disk_bytes":     st.DiskBytes,
 		"store_mem_entries":    int64(st.MemEntries),
@@ -372,6 +501,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return true
 	}

@@ -1,0 +1,148 @@
+// Package vfs is the verdict store's filesystem seam: the narrow set
+// of operations vstore performs, behind an interface, so tests can
+// inject the failures production disks actually produce — EIO, ENOSPC,
+// torn writes, a crash between write and rename — at exact,
+// deterministic points (internal/faults), while production runs on the
+// real filesystem with zero indirection beyond an interface call.
+//
+// Disk is the real implementation; Faulty wraps any FS and fires the
+// faults harness's store points (store-read, store-write, store-sync,
+// store-rename) before each corresponding operation, so one armed Plan
+// turns a normal store into a failing one.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mcsafe/internal/faults"
+)
+
+// File is the writable temp-file handle a commit goes through: write,
+// fsync, close — each a separate failure point.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is every filesystem operation the verdict store performs. The
+// durability-critical ones are CreateTemp→Write→Sync→Close→Rename→
+// SyncDir (the commit sequence) and ReadFile (the serve path); the rest
+// are maintenance.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making a just-renamed entry durable.
+	SyncDir(dir string) error
+	Stat(name string) (os.FileInfo, error)
+	Chtimes(name string, atime, mtime time.Time) error
+	WalkDir(root string, fn fs.WalkDirFunc) error
+}
+
+// Disk is the real filesystem.
+type Disk struct{}
+
+func (Disk) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (Disk) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (Disk) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (Disk) Remove(name string) error                     { return os.Remove(name) }
+func (Disk) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (Disk) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (Disk) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+func (Disk) WalkDir(root string, fn fs.WalkDirFunc) error { return filepath.WalkDir(root, fn) }
+
+// SyncDir opens the directory and fsyncs it: after it returns, the
+// directory's entries (a renamed-in record) are on stable storage.
+func (Disk) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Faulty threads every operation through the faults harness's store
+// points. With no plan armed each hook is one atomic load, so tests
+// can run a store on Faulty{Disk{}} unconditionally.
+type Faulty struct {
+	FS FS
+}
+
+// WithFaults wraps fs so the faults harness can fail its operations.
+func WithFaults(fs FS) Faulty { return Faulty{FS: fs} }
+
+type faultyFile struct {
+	f File
+}
+
+// Write asks the harness how much of the buffer may persist: an armed
+// torn-write fault writes that prefix for real (so the torn record is
+// actually on disk) and then surfaces the injected error.
+func (f faultyFile) Write(p []byte) (int, error) {
+	allow, ferr := faults.FireWrite(faults.StoreWrite, len(p))
+	if ferr != nil {
+		n := 0
+		if allow > 0 {
+			n, _ = f.f.Write(p[:allow])
+		}
+		return n, ferr
+	}
+	return f.f.Write(p)
+}
+
+func (f faultyFile) Sync() error {
+	if err := faults.FireErr(faults.StoreSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f faultyFile) Close() error { return f.f.Close() }
+func (f faultyFile) Name() string { return f.f.Name() }
+
+func (v Faulty) CreateTemp(dir, pattern string) (File, error) {
+	f, err := v.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return faultyFile{f: f}, nil
+}
+
+func (v Faulty) ReadFile(name string) ([]byte, error) {
+	if err := faults.FireErr(faults.StoreRead); err != nil {
+		return nil, err
+	}
+	return v.FS.ReadFile(name)
+}
+
+func (v Faulty) Rename(oldpath, newpath string) error {
+	if err := faults.FireErr(faults.StoreRename); err != nil {
+		return err
+	}
+	return v.FS.Rename(oldpath, newpath)
+}
+
+func (v Faulty) SyncDir(dir string) error {
+	if err := faults.FireErr(faults.StoreSync); err != nil {
+		return err
+	}
+	return v.FS.SyncDir(dir)
+}
+
+func (v Faulty) Remove(name string) error                     { return v.FS.Remove(name) }
+func (v Faulty) MkdirAll(path string, perm os.FileMode) error { return v.FS.MkdirAll(path, perm) }
+func (v Faulty) Stat(name string) (os.FileInfo, error)        { return v.FS.Stat(name) }
+func (v Faulty) Chtimes(name string, atime, mtime time.Time) error {
+	return v.FS.Chtimes(name, atime, mtime)
+}
+func (v Faulty) WalkDir(root string, fn fs.WalkDirFunc) error { return v.FS.WalkDir(root, fn) }

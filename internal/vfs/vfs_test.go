@@ -1,0 +1,118 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"mcsafe/internal/faults"
+)
+
+// TestDiskCommitSequence drives the real implementation through the
+// full commit sequence a Put performs and verifies the renamed file
+// carries exactly the written bytes.
+func TestDiskCommitSequence(t *testing.T) {
+	dir := t.TempDir()
+	fs := Disk{}
+	f, err := fs.CreateTemp(dir, "put-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("record bytes")
+	if n, err := f.Write(want); n != len(want) || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "rec.json")
+	if err := fs.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(dst)
+	if err != nil || string(got) != string(want) {
+		t.Fatalf("ReadFile = (%q, %v), want %q", got, err, want)
+	}
+}
+
+// TestFaultyInjectsAtEveryPoint arms an Err fault at each store point
+// in turn and asserts exactly the corresponding operation fails, with
+// the injected error surfaced verbatim.
+func TestFaultyInjectsAtEveryPoint(t *testing.T) {
+	dir := t.TempDir()
+	fs := WithFaults(Disk{})
+	seed := filepath.Join(dir, "seed.json")
+	if err := os.WriteFile(seed, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		point faults.Point
+		op    func() error
+	}{
+		{faults.StoreRead, func() error { _, err := fs.ReadFile(seed); return err }},
+		{faults.StoreWrite, func() error {
+			f, err := fs.CreateTemp(dir, "t-*")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.Write([]byte("abc"))
+			return err
+		}},
+		{faults.StoreSync, func() error { return fs.SyncDir(dir) }},
+		{faults.StoreRename, func() error { return fs.Rename(seed, seed+".renamed") }},
+	}
+	for _, tc := range cases {
+		restore := faults.Activate(faults.NewPlan(faults.Fault{Point: tc.point, Kind: faults.Err}))
+		err := tc.op()
+		restore()
+		if !errors.Is(err, faults.ErrIO) {
+			t.Errorf("%s: err = %v, want injected ErrIO", tc.point, err)
+		}
+		if err := tc.op(); err != nil {
+			t.Errorf("%s: failed after disarm: %v", tc.point, err)
+		}
+	}
+}
+
+// TestTornWrite sweeps the torn boundary across a buffer: the file must
+// hold exactly the allowed prefix when the injected error surfaces.
+func TestTornWrite(t *testing.T) {
+	fs := WithFaults(Disk{})
+	payload := []byte("0123456789")
+	for torn := 0; torn <= len(payload); torn++ {
+		dir := t.TempDir()
+		f, err := fs.CreateTemp(dir, "t-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := faults.Activate(faults.NewPlan(faults.Fault{
+			Point: faults.StoreWrite, Kind: faults.Err, Err: faults.ErrNoSpace, Torn: torn,
+		}))
+		n, werr := f.Write(payload)
+		restore()
+		f.Close()
+		if !errors.Is(werr, syscall.ENOSPC) {
+			t.Fatalf("torn %d: err = %v, want ENOSPC", torn, werr)
+		}
+		if n != torn {
+			t.Fatalf("torn %d: wrote %d bytes", torn, n)
+		}
+		got, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(payload[:torn]) {
+			t.Fatalf("torn %d: file holds %q", torn, got)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package vstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mcsafe/internal/faults"
+	"mcsafe/internal/progs"
+)
+
+// chaosKey derives a deterministic key for a program name.
+func chaosKey(name string) Key {
+	return Key{Program: "prog-" + name, Policy: "policy-chaos", Checker: "chk-1"}
+}
+
+// chaosVerdict derives a deterministic, distinct verdict per program.
+func chaosVerdict(name string) []byte {
+	return []byte(fmt.Sprintf(`{"schema":1,"safe":true,"program":%q}`, name))
+}
+
+// encodedRecord builds the exact on-disk bytes Put would commit for
+// (k, verdict), so torn-record tests can cut real record bytes at
+// arbitrary boundaries.
+func encodedRecord(t *testing.T, k Key, verdict []byte) []byte {
+	t.Helper()
+	data, err := json.Marshal(record{
+		Schema: recordSchema, Program: k.Program, Policy: k.Policy,
+		Checker: k.Checker, CreatedUnix: time.Now().Unix(),
+		Verdict: json.RawMessage(verdict),
+	})
+	if err != nil {
+		t.Fatalf("marshal record: %v", err)
+	}
+	return data
+}
+
+// TestTornRecordSweep cuts a real record at every byte boundary, plants
+// the prefix where a committed record would live, and proves the
+// recovery scan never serves it: every torn prefix is quarantined (the
+// evidence file preserved), the lookup is a clean miss, and only the
+// full-length record is served — bit-identical.
+func TestTornRecordSweep(t *testing.T) {
+	k := chaosKey("torn")
+	verdict := chaosVerdict("torn")
+	full := encodedRecord(t, k, verdict)
+	id := k.id()
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "records", id[:2], id+".json")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		got, ok, gerr := s.Get(k)
+		if gerr != nil {
+			t.Fatalf("cut %d: Get error: %v", cut, gerr)
+		}
+		st := s.Stats()
+		if cut == len(full) {
+			if !ok || !bytes.Equal(got, verdict) {
+				t.Fatalf("full record: hit=%v verdict=%q, want bit-identical %q", ok, got, verdict)
+			}
+			if st.Corrupt != 0 {
+				t.Fatalf("full record flagged corrupt: %+v", st)
+			}
+		} else {
+			if ok {
+				t.Fatalf("cut %d: torn record served (%q) — must be a clean miss", cut, got)
+			}
+			if st.Corrupt != 1 || st.Quarantined != 1 {
+				t.Fatalf("cut %d: corrupt=%d quarantined=%d, want 1/1", cut, st.Corrupt, st.Quarantined)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("cut %d: torn record still at %s", cut, path)
+			}
+			qents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(qents) != 1 {
+				t.Fatalf("cut %d: quarantine holds %d entries (err=%v), want the torn evidence", cut, len(qents), err)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestTornWriteNeverIndexed drives torn writes through the vfs seam at
+// every boundary of the record: Put must fail, leave nothing indexed
+// and nothing in records/, and succeed cleanly once the fault clears.
+func TestTornWriteNeverIndexed(t *testing.T) {
+	k := chaosKey("torn-live")
+	verdict := chaosVerdict("torn-live")
+	recLen := len(encodedRecord(t, k, verdict))
+
+	for _, torn := range []int{0, 1, recLen / 2, recLen - 1} {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{}) // full durability: sync points live
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := faults.Activate(faults.NewPlan(faults.Fault{
+			Point: faults.StoreWrite, Kind: faults.Err, Torn: torn,
+		}))
+		err = s.Put(k, verdict)
+		restore()
+		if !errors.Is(err, faults.ErrIO) {
+			t.Fatalf("torn %d: Put err = %v, want injected ErrIO", torn, err)
+		}
+		if _, ok, _ := s.Get(k); ok {
+			t.Fatalf("torn %d: failed Put left the key serving", torn)
+		}
+		if st := s.Stats(); st.PutErrors != 1 || st.DiskEntries != 0 {
+			t.Fatalf("torn %d: stats %+v, want 1 put error, empty store", torn, st)
+		}
+		ents, _ := os.ReadDir(filepath.Join(dir, "records"))
+		if len(ents) != 0 {
+			t.Fatalf("torn %d: %d entries left under records/ after failed Put", torn, len(ents))
+		}
+		// The disk heals: the same Put commits and round-trips.
+		if err := s.Put(k, verdict); err != nil {
+			t.Fatalf("torn %d: healed Put: %v", torn, err)
+		}
+		if got, ok, _ := s.Get(k); !ok || !bytes.Equal(got, verdict) {
+			t.Fatalf("torn %d: healed Get = (%q, %v)", torn, got, ok)
+		}
+		s.Close()
+	}
+}
+
+// TestENOSPCSurfaced pins that an injected disk-full reaches the caller
+// as syscall.ENOSPC through the store's error wrapping.
+func TestENOSPCSurfaced(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	restore := faults.Activate(faults.NewPlan(faults.Fault{
+		Point: faults.StoreWrite, Kind: faults.Err, Err: faults.ErrNoSpace, Repeat: true,
+	}))
+	defer restore()
+	err = s.Put(chaosKey("enospc"), chaosVerdict("enospc"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put err = %v, want wrapped ENOSPC", err)
+	}
+}
+
+// TestStoreFaultSeedSweep is the deterministic chaos sweep over the
+// store's injection points: each seed derives one (point, kind, after)
+// fault, a store runs a Put/Get workload under it, and the invariant
+// holds regardless of where the fault landed — a Put that returned nil
+// is served bit-identical (now and after a clean reopen), a Put that
+// errored is a clean miss or bit-identical, and a verdict that is
+// neither is garbage, which must never happen.
+func TestStoreFaultSeedSweep(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3", "s4"}
+	for seed := int64(0); seed < 48; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			// MemBytes<0 disables the memory layer, so every Get is a
+			// disk read and the store-read point actually fires.
+			s, err := Open(dir, Options{MemBytes: -1, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, f := faults.PlanFromSeedOver(seed, faults.StorePoints, nil)
+			restore := faults.Activate(plan)
+			committed := make(map[string]bool)
+			for _, n := range names {
+				if chaosPut(s, chaosKey(n), chaosVerdict(n)) == nil {
+					committed[n] = true
+				}
+			}
+			for _, n := range names {
+				got, ok, _ := chaosGet(s, chaosKey(n))
+				if ok && !bytes.Equal(got, chaosVerdict(n)) {
+					t.Fatalf("fault %+v: live Get(%s) returned garbage %q", f, n, got)
+				}
+				if committed[n] && !ok {
+					// A read fault may hide a committed record while
+					// armed; it must be an error-reported miss, never a
+					// wrong verdict. Nothing further to assert here.
+					continue
+				}
+			}
+			restore()
+			s.Close()
+
+			// The fault is gone: a clean reopen must serve every
+			// committed verdict bit-identical and miss the rest cleanly.
+			s2, err := Open(dir, Options{Shards: 2, NoSync: true})
+			if err != nil {
+				t.Fatalf("fault %+v: reopen: %v", f, err)
+			}
+			defer s2.Close()
+			for _, n := range names {
+				got, ok, gerr := s2.Get(chaosKey(n))
+				if gerr != nil {
+					t.Fatalf("fault %+v: reopened Get(%s): %v", f, n, gerr)
+				}
+				switch {
+				case committed[n] && (!ok || !bytes.Equal(got, chaosVerdict(n))):
+					t.Fatalf("fault %+v: committed %s lost or mangled after reopen (hit=%v, %q)", f, n, ok, got)
+				case !committed[n] && ok && !bytes.Equal(got, chaosVerdict(n)):
+					t.Fatalf("fault %+v: failed Put of %s surfaced garbage %q", f, n, got)
+				}
+			}
+		})
+	}
+}
+
+// chaosPut runs s.Put absorbing an injected panic (the sweep may arm
+// Panic at a store point); the panic counts as a failed Put.
+func chaosPut(s *Store, k Key, verdict []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ip, ok := r.(faults.InjectedPanic); ok {
+				err = fmt.Errorf("injected panic: %v", ip)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.Put(k, verdict)
+}
+
+// chaosGet runs s.Get absorbing an injected panic as a miss.
+func chaosGet(s *Store, k Key) (data []byte, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ip, pok := r.(faults.InjectedPanic); pok {
+				data, ok, err = nil, false, fmt.Errorf("injected panic: %v", ip)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.Get(k)
+}
+
+// Crash-recovery sweep: a child process is SIGKILLed (os.Exit mid-Put,
+// via a Cancel fault whose hook exits) at each injection point in the
+// commit sequence, and the parent reopens the directory to check the
+// durability contract — every previously committed verdict is served
+// bit-identical, the interrupted Put is a clean miss or bit-identical,
+// never garbage.
+
+const (
+	killEnvDir   = "MCSAFE_VSTORE_KILL_DIR"
+	killEnvPoint = "MCSAFE_VSTORE_KILL_POINT"
+	killEnvAfter = "MCSAFE_VSTORE_KILL_AFTER"
+	killEnvMode  = "MCSAFE_VSTORE_KILL_MODE"
+	killExitCode = 137
+)
+
+// overwriteVerdict is the second verdict an overwrite-mode kill writes
+// over program 0's committed record.
+func overwriteVerdict(name string) []byte {
+	return []byte(fmt.Sprintf(`{"schema":1,"safe":false,"program":%q,"v":2}`, name))
+}
+
+// TestKillHelper is the re-exec'd child: inert in a normal test run, it
+// activates only under the kill env vars. It commits all 13 paper
+// programs durably, arms a process-exit fault at the requested point,
+// and dies mid-Put of the victim.
+func TestKillHelper(t *testing.T) {
+	dir := os.Getenv(killEnvDir)
+	if dir == "" {
+		t.Skip("kill-helper child only")
+	}
+	s, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(3)
+	}
+	var names []string
+	for _, b := range progs.All() {
+		names = append(names, b.Name)
+	}
+	for _, n := range names {
+		if err := s.Put(chaosKey(n), chaosVerdict(n)); err != nil {
+			fmt.Fprintln(os.Stderr, "child put:", err)
+			os.Exit(3)
+		}
+	}
+	victim, verdict := chaosKey("victim"), chaosVerdict("victim")
+	if os.Getenv(killEnvMode) == "overwrite" {
+		victim, verdict = chaosKey(names[0]), overwriteVerdict(names[0])
+	}
+	var after int64
+	fmt.Sscan(os.Getenv(killEnvAfter), &after)
+	faults.Activate(faults.NewPlan(faults.Fault{
+		Point:  faults.Point(os.Getenv(killEnvPoint)),
+		Kind:   faults.Cancel,
+		After:  after,
+		Cancel: func() { os.Exit(killExitCode) },
+	}))
+	s.Put(victim, verdict)
+	// The fault did not fire: signal the parent's sweep is wrong.
+	os.Exit(4)
+}
+
+// TestKillDuringPutRecovery sweeps the kill over every injection point
+// the commit sequence crosses — the temp write, the temp-file fsync,
+// the rename, and the directory fsync after it — in both fresh-key and
+// overwrite modes, 13 committed programs each run.
+func TestKillDuringPutRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 8 child processes with durable I/O")
+	}
+	cases := []struct {
+		point faults.Point
+		after int64 // which hit of the point dies
+	}{
+		{faults.StoreWrite, 1},  // before any byte of the victim exists
+		{faults.StoreSync, 1},   // written, not yet on stable storage
+		{faults.StoreRename, 1}, // synced, never renamed into place
+		{faults.StoreSync, 2},   // renamed; killed during the dir fsync
+	}
+	var names []string
+	for _, b := range progs.All() {
+		names = append(names, b.Name)
+	}
+	if len(names) != 13 {
+		t.Fatalf("expected the 13 paper programs, got %d", len(names))
+	}
+	for _, mode := range []string{"fresh", "overwrite"} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/%s-hit%d", mode, tc.point, tc.after), func(t *testing.T) {
+				dir := t.TempDir()
+				cmd := exec.Command(os.Args[0], "-test.run=^TestKillHelper$", "-test.count=1")
+				cmd.Env = append(os.Environ(),
+					killEnvDir+"="+dir,
+					killEnvPoint+"="+string(tc.point),
+					fmt.Sprintf("%s=%d", killEnvAfter, tc.after),
+					killEnvMode+"="+mode,
+				)
+				out, err := cmd.CombinedOutput()
+				var ee *exec.ExitError
+				if !errors.As(err, &ee) || ee.ExitCode() != killExitCode {
+					t.Fatalf("child exit = %v (want %d), output:\n%s", err, killExitCode, out)
+				}
+
+				// Restart: reopen with a different stripe count, full
+				// verification scan included.
+				s, err := Open(dir, Options{Shards: 2, NoSync: true})
+				if err != nil {
+					t.Fatalf("reopen after kill: %v", err)
+				}
+				defer s.Close()
+				survivors := names
+				if mode == "overwrite" {
+					survivors = names[1:]
+				}
+				for _, n := range survivors {
+					got, ok, gerr := s.Get(chaosKey(n))
+					if gerr != nil || !ok || !bytes.Equal(got, chaosVerdict(n)) {
+						t.Fatalf("committed %s after kill: hit=%v err=%v verdict=%q, want bit-identical", n, ok, gerr, got)
+					}
+				}
+				switch mode {
+				case "fresh":
+					got, ok, gerr := s.Get(chaosKey("victim"))
+					if gerr != nil {
+						t.Fatalf("victim Get: %v", gerr)
+					}
+					if ok && !bytes.Equal(got, chaosVerdict("victim")) {
+						t.Fatalf("victim is garbage %q — must be a clean miss or bit-identical", got)
+					}
+				case "overwrite":
+					got, ok, gerr := s.Get(chaosKey(names[0]))
+					if gerr != nil || !ok {
+						t.Fatalf("overwritten %s vanished entirely (hit=%v err=%v): one committed version must survive", names[0], ok, gerr)
+					}
+					if !bytes.Equal(got, chaosVerdict(names[0])) && !bytes.Equal(got, overwriteVerdict(names[0])) {
+						t.Fatalf("overwritten %s is garbage %q — must be the old or the new verdict", names[0], got)
+					}
+				}
+				// No torn record may survive the scan, and no stray temp
+				// files either.
+				if st := s.Stats(); st.Corrupt != 0 {
+					t.Fatalf("recovery scan found %d corrupt records after a rename-last kill", st.Corrupt)
+				}
+				tmps, _ := os.ReadDir(filepath.Join(dir, "tmp"))
+				if len(tmps) != 0 {
+					t.Fatalf("%d temp files survived reopen", len(tmps))
+				}
+			})
+		}
+	}
+}

@@ -2,9 +2,29 @@
 // cache mapping content-addressed keys — (program fingerprint, policy
 // hash, checker version) — to wire-encoded Results. The in-memory layer
 // is a bytes-bounded LRU serving repeat submissions in microseconds;
-// under it sits a disk-backed layer whose records survive restarts, are
-// written atomically (write to a temp file, then rename), and are
-// evicted least-recently-used when the store exceeds its size budget.
+// under it sits a disk-backed layer whose records survive restarts and
+// crashes and are evicted least-recently-used when the store exceeds
+// its size budget.
+//
+// The store is sharded: records fan out across 256 prefix directories
+// (the first fingerprint byte), grouped into N lock stripes, each with
+// its own mutex, LRU lists, and byte budgets — concurrent Puts to
+// different shards never contend, and the slow part of a commit (the
+// temp-file write and fsync) runs outside every lock. The layout does
+// not depend on the stripe count, so a store can be reopened with any
+// Shards setting.
+//
+// Commits are crash-safe: a record counts as committed only after the
+// temp file is written and fsynced, renamed into place, and the parent
+// directory fsynced (Options.NoSync trades that for speed in tests). A
+// crash at any earlier point leaves a temp file (cleared on the next
+// Open) or a torn record; Open's recovery scan re-verifies every
+// record's embedded key and moves anything corrupt or torn into
+// quarantine/ — evidence preserved, never served — before rebuilding
+// the LRU state from modification times.
+//
+// All filesystem access goes through internal/vfs, so the faults
+// harness can fail any read, write, sync, or rename deterministically.
 //
 // The store holds opaque verdict bytes: it returns on a hit exactly the
 // bytes that were Put, which is what lets a warm submission's Result be
@@ -25,6 +45,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mcsafe/internal/vfs"
 )
 
 // Key addresses one verdict: the program's content address, the
@@ -55,25 +77,40 @@ func (k Key) id() string {
 // Options tunes a store. The zero value gets sensible defaults.
 type Options struct {
 	// MemBytes bounds the in-memory layer's verdict bytes
-	// (default 64 MiB; negative disables the layer).
+	// (default 64 MiB; negative disables the layer). The budget is
+	// split evenly across shards.
 	MemBytes int64
-	// DiskBytes bounds the disk layer's record bytes (default 1 GiB).
-	// A Put that would exceed it evicts least-recently-used records
-	// first; a single record larger than the whole budget is rejected
-	// (counted in Stats.Rejects, not an error).
+	// DiskBytes bounds the disk layer's record bytes (default 1 GiB),
+	// split evenly across shards. A Put that would exceed a shard's
+	// budget evicts that shard's least-recently-used records first; a
+	// single record larger than the shard budget is rejected (counted
+	// in Stats.Rejects, not an error).
 	DiskBytes int64
+	// Shards is the lock-stripe count (default 8). Concurrent Puts and
+	// Gets in different shards never contend. The on-disk layout is
+	// shard-count-independent, so any value reopens any store.
+	Shards int
+	// NoSync skips every fsync (record file and parent directory) —
+	// the fast mode for tests. Production stores leave it false: a
+	// commit is not acknowledged until it is on stable storage.
+	NoSync bool
+	// FS overrides the filesystem (tests). Nil uses the real disk
+	// behind the fault-injection seam.
+	FS vfs.FS
 }
 
 const (
 	defaultMemBytes  = 64 << 20
 	defaultDiskBytes = 1 << 30
+	defaultShards    = 8
 	// recordSchema versions the on-disk envelope.
 	recordSchema = 1
 )
 
 // record is the on-disk envelope: the key it answers for (verified on
-// read — a hash collision or a corrupted file can turn into a miss, but
-// never into a wrong verdict) and the opaque verdict bytes.
+// read and on the recovery scan — a hash collision, a torn write, or a
+// corrupted file can turn into a miss, but never into a wrong verdict)
+// and the opaque verdict bytes.
 type record struct {
 	Schema      int             `json:"schema"`
 	Program     string          `json:"program"`
@@ -91,37 +128,59 @@ type Stats struct {
 	Puts          int64 `json:"puts"`
 	MemEvictions  int64 `json:"mem_evictions"`
 	DiskEvictions int64 `json:"disk_evictions"`
-	// Rejects counts Puts dropped because the record alone exceeds the
-	// disk budget or the key/verdict was invalid.
+	// Rejects counts Puts dropped because the record alone exceeds a
+	// shard's disk budget or the key/verdict was invalid.
 	Rejects int64 `json:"rejects"`
-	// Corrupt counts disk records that failed to decode or answered for
-	// a different key; they are removed and the lookup misses.
+	// Corrupt counts disk records that failed verification — torn,
+	// garbled, or answering for a different key. Each is moved to
+	// quarantine/ (evidence, not deleted) and the lookup misses.
 	Corrupt int64 `json:"corrupt"`
+	// Quarantined counts records successfully moved into quarantine/.
+	Quarantined int64 `json:"quarantined"`
+	// ReadErrors counts record reads that failed at the I/O layer
+	// (distinct from corruption: the bytes never arrived). The lookup
+	// reports the error; the record stays indexed — the disk may heal.
+	ReadErrors int64 `json:"read_errors"`
+	// PutErrors counts Puts that failed at the I/O layer (write, sync,
+	// or rename).
+	PutErrors int64 `json:"put_errors"`
 
 	MemBytes    int64 `json:"mem_bytes"`
 	DiskBytes   int64 `json:"disk_bytes"`
 	MemEntries  int   `json:"mem_entries"`
 	DiskEntries int   `json:"disk_entries"`
+	Shards      int   `json:"shards"`
 }
 
-// Store is a two-layer verdict store. All methods are safe for
+// Store is a sharded two-layer verdict store. All methods are safe for
 // concurrent use.
 type Store struct {
-	dir  string
-	opts Options
+	dir    string
+	opts   Options
+	fsys   vfs.FS
+	closed atomic.Bool
 
 	memHits, diskHits, misses, puts atomic.Int64
 	memEvics, diskEvics             atomic.Int64
 	rejects, corrupt                atomic.Int64
+	quarantined, readErrs, putErrs  atomic.Int64
+	quarantineSeq                   atomic.Int64
 
+	shards []*shard
+}
+
+// shard is one lock stripe: a slice of the memory and disk layers with
+// its own LRU state and budgets.
+type shard struct {
 	mu        sync.Mutex
-	closed    bool
 	mem       map[string]*list.Element // id -> *memEntry element
 	memList   *list.List               // front = most recently used
 	memBytes  int64
 	disk      map[string]*list.Element // id -> *diskEntry element
 	diskList  *list.List               // front = most recently used
 	diskBytes int64
+	// Per-shard budgets (the store budgets split evenly).
+	memBudget, diskBudget int64
 }
 
 type memEntry struct {
@@ -134,10 +193,14 @@ type diskEntry struct {
 	size int64
 }
 
-// Open opens (creating as needed) a verdict store rooted at dir. The
-// disk index is rebuilt from the record files, ordered by their
-// modification times, so the LRU eviction order survives restarts.
-// Leftover temp files from an interrupted Put are removed.
+// Open opens (creating as needed) a verdict store rooted at dir and
+// runs the recovery scan: every record is read back, its embedded key
+// verified against its file name, and anything torn or corrupt is moved
+// into quarantine/ (Stats.Quarantined) instead of being served or
+// silently deleted. The disk index is rebuilt from the surviving
+// records, ordered by modification time, so the LRU eviction order
+// survives restarts. Leftover temp files from an interrupted Put are
+// removed.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MemBytes == 0 {
 		opts.MemBytes = defaultMemBytes
@@ -145,21 +208,37 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.DiskBytes == 0 {
 		opts.DiskBytes = defaultDiskBytes
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "records"), 0o755); err != nil {
-		return nil, fmt.Errorf("vstore: %v", err)
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.WithFaults(vfs.Disk{})
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "records"), 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: %w", err)
 	}
 	tmpDir := filepath.Join(dir, "tmp")
 	if err := os.RemoveAll(tmpDir); err != nil {
-		return nil, fmt.Errorf("vstore: %v", err)
+		return nil, fmt.Errorf("vstore: %w", err)
 	}
-	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
-		return nil, fmt.Errorf("vstore: %v", err)
+	if err := fsys.MkdirAll(tmpDir, 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: %w", err)
 	}
-	s := &Store{
-		dir: dir, opts: opts,
-		mem: make(map[string]*list.Element), memList: list.New(),
-		disk: make(map[string]*list.Element), diskList: list.New(),
+	s := &Store{dir: dir, opts: opts, fsys: fsys}
+	memBudget, diskBudget := opts.MemBytes, opts.DiskBytes
+	if memBudget > 0 {
+		memBudget /= int64(opts.Shards)
 	}
+	diskBudget /= int64(opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			mem: make(map[string]*list.Element), memList: list.New(),
+			disk: make(map[string]*list.Element), diskList: list.New(),
+			memBudget: memBudget, diskBudget: diskBudget,
+		})
+	}
+
 	type found struct {
 		id    string
 		size  int64
@@ -167,15 +246,27 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	var entries []found
 	root := filepath.Join(dir, "records")
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	err := fsys.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
 			return err
+		}
+		id := d.Name()[:len(d.Name())-len(".json")]
+		// Recovery scan: only records whose bytes verify are indexed.
+		data, rerr := fsys.ReadFile(path)
+		if rerr != nil {
+			// The bytes never arrived; leave the file for a later scan
+			// rather than condemning a possibly fine record.
+			s.readErrs.Add(1)
+			return nil
+		}
+		if _, ok := s.verify(id, data); !ok {
+			s.quarantine(path)
+			return nil
 		}
 		info, ierr := d.Info()
 		if ierr != nil {
 			return nil // raced with an eviction; skip
 		}
-		id := d.Name()[:len(d.Name())-len(".json")]
 		entries = append(entries, found{id: id, size: info.Size(), mtime: info.ModTime()})
 		return nil
 	})
@@ -191,99 +282,169 @@ func Open(dir string, opts Options) (*Store, error) {
 		return entries[i].id < entries[j].id
 	})
 	for _, e := range entries {
-		s.disk[e.id] = s.diskList.PushFront(&diskEntry{id: e.id, size: e.size})
-		s.diskBytes += e.size
+		sh := s.shardOf(e.id)
+		sh.disk[e.id] = sh.diskList.PushFront(&diskEntry{id: e.id, size: e.size})
+		sh.diskBytes += e.size
 	}
 	// The reopened store may exceed a (newly lowered) budget.
-	s.evictDiskLocked()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.evictDiskLocked(sh)
+		sh.mu.Unlock()
+	}
 	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Shards returns the lock-stripe count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardOf maps a record id (hex) to its lock stripe via the first
+// fingerprint byte — the same byte that names the prefix directory, so
+// a stripe owns a fixed set of directories.
+func (s *Store) shardOf(id string) *shard {
+	var b int
+	if len(id) >= 2 {
+		if v, err := hex.DecodeString(id[:2]); err == nil {
+			b = int(v[0])
+		}
+	}
+	return s.shards[b%len(s.shards)]
+}
+
+// verify decodes a record and checks it answers for the id it is filed
+// under: schema, non-empty key re-deriving the id, valid verdict JSON.
+// Anything else — torn writes included — fails verification.
+func (s *Store) verify(id string, data []byte) (record, bool) {
+	var rec record
+	if json.Unmarshal(data, &rec) != nil || rec.Schema != recordSchema || len(rec.Verdict) == 0 {
+		return record{}, false
+	}
+	k := Key{Program: rec.Program, Policy: rec.Policy, Checker: rec.Checker}
+	if !k.Valid() || k.id() != id || !json.Valid(rec.Verdict) {
+		return record{}, false
+	}
+	return rec, true
+}
+
+// quarantine moves a failed record into quarantine/ — evidence for the
+// operator, guaranteed never to be served — and counts it. Removal is
+// the fallback if even the move fails.
+func (s *Store) quarantine(path string) {
+	s.corrupt.Add(1)
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := s.fsys.MkdirAll(qdir, 0o755); err == nil {
+		dst := filepath.Join(qdir, fmt.Sprintf("%d-%s", s.quarantineSeq.Add(1), filepath.Base(path)))
+		if err := os.Rename(path, dst); err == nil {
+			s.quarantined.Add(1)
+			return
+		}
+	}
+	os.Remove(path)
+}
+
 // Get returns the verdict bytes stored for k, consulting the in-memory
 // layer first and falling back to disk (promoting the record into
 // memory on a disk hit). The returned slice must not be modified.
 //
-// The disk read runs outside the store mutex, so a cold lookup never
+// The bool reports a hit. A non-nil error means the store's disk is
+// failing (a read I/O error) — the lookup is a miss, but the caller
+// (the server's breaker) should treat it as store trouble, not as a
+// cold key. Corrupt records are quarantined and reported as plain
+// misses: they are handled, not a health signal by themselves.
+//
+// The disk read runs outside the shard mutex, so a cold lookup never
 // blocks concurrent in-memory hits; the entry is revalidated under the
 // lock before the record is promoted.
-func (s *Store) Get(k Key) ([]byte, bool) {
-	if !k.Valid() {
+func (s *Store) Get(k Key) ([]byte, bool, error) {
+	if !k.Valid() || s.closed.Load() {
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, nil
 	}
 	id := k.id()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.misses.Add(1)
-		return nil, false
-	}
-	if el, ok := s.mem[id]; ok {
-		s.memList.MoveToFront(el)
-		if del, ok := s.disk[id]; ok {
-			s.diskList.MoveToFront(del)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	if el, ok := sh.mem[id]; ok {
+		sh.memList.MoveToFront(el)
+		if del, ok := sh.disk[id]; ok {
+			sh.diskList.MoveToFront(del)
 		}
 		verdict := el.Value.(*memEntry).verdict
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		s.memHits.Add(1)
-		return verdict, true
+		return verdict, true, nil
 	}
-	if _, ok := s.disk[id]; !ok {
-		s.mu.Unlock()
+	if _, ok := sh.disk[id]; !ok {
+		sh.mu.Unlock()
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, nil
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	path := s.recordPath(id)
-	data, err := os.ReadFile(path)
-	var rec record
-	bad := err != nil || json.Unmarshal(data, &rec) != nil ||
-		rec.Program != k.Program || rec.Policy != k.Policy || rec.Checker != k.Checker ||
-		len(rec.Verdict) == 0
-
-	s.mu.Lock()
-	el, present := s.disk[id]
-	if present && bad {
-		// Unreadable, corrupt, or answering for a different key:
-		// fail safe to a miss and drop the record. (If the entry is
-		// gone, a concurrent Get already dropped it — or a concurrent
-		// eviction removed the file mid-read, which is not corruption.)
-		s.removeDiskLocked(el)
-		s.mu.Unlock()
-		os.Remove(path)
-		s.corrupt.Add(1)
+	data, err := s.fsys.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		// The disk failed to deliver the bytes. Keep the index entry —
+		// the record may be fine once the disk recovers — and surface
+		// the error so the caller can count store failures.
+		s.readErrs.Add(1)
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, fmt.Errorf("vstore: reading record: %w", err)
 	}
-	if bad || s.closed {
-		s.mu.Unlock()
+	var rec record
+	var ok bool
+	if err == nil {
+		rec, ok = s.verify(id, data)
+		ok = ok && rec.Program == k.Program && rec.Policy == k.Policy && rec.Checker == k.Checker
+	}
+
+	sh.mu.Lock()
+	el, present := sh.disk[id]
+	if present && !ok {
+		// Torn, corrupt, or answering for a different key: fail safe to
+		// a miss and quarantine the evidence. (If the entry is gone, a
+		// concurrent Get already handled it — or a concurrent eviction
+		// removed the file mid-read, which is not corruption.)
+		s.removeDiskLocked(sh, el)
+		sh.mu.Unlock()
+		if err == nil {
+			s.quarantine(path)
+		}
 		s.misses.Add(1)
-		return nil, false
+		return nil, false, nil
+	}
+	if !ok || s.closed.Load() {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false, nil
 	}
 	verdict := []byte(rec.Verdict)
 	if present {
 		// Still indexed: refresh recency and promote into memory. (If
 		// evicted while we read, serve the verdict — it answered for
 		// exactly this key — without resurrecting the entry.)
-		s.diskList.MoveToFront(el)
-		s.insertMemLocked(id, verdict)
+		sh.diskList.MoveToFront(el)
+		s.insertMemLocked(sh, id, verdict)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if present {
 		now := time.Now()
-		os.Chtimes(path, now, now) // best effort: persist the LRU order
+		s.fsys.Chtimes(path, now, now) // best effort: persist the LRU order
 	}
 	s.diskHits.Add(1)
-	return verdict, true
+	return verdict, true, nil
 }
 
 // Put stores verdict under k in both layers. The bytes are stored
 // verbatim: a later Get returns exactly them. Storing is idempotent —
 // re-putting an existing key refreshes its recency and contents.
+//
+// A nil return means the record is committed: written, fsynced,
+// renamed into place, and the parent directory fsynced (unless
+// Options.NoSync). On any I/O failure the store cleans up — no torn
+// record is ever left indexed — and returns the error.
 func (s *Store) Put(k Key, verdict []byte) error {
 	if !k.Valid() || len(verdict) == 0 {
 		s.rejects.Add(1)
@@ -293,7 +454,11 @@ func (s *Store) Put(k Key, verdict []byte) error {
 		s.rejects.Add(1)
 		return fmt.Errorf("vstore: verdict is not valid JSON")
 	}
+	if s.closed.Load() {
+		return fmt.Errorf("vstore: store is closed")
+	}
 	id := k.id()
+	sh := s.shardOf(id)
 	rec := record{
 		Schema: recordSchema, Program: k.Program, Policy: k.Policy,
 		Checker: k.Checker, CreatedUnix: time.Now().Unix(),
@@ -301,71 +466,140 @@ func (s *Store) Put(k Key, verdict []byte) error {
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("vstore: %v", err)
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if int64(len(data)) > sh.diskBudget {
+		s.rejects.Add(1)
+		return nil // silently uncacheable: larger than its shard's whole budget
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("vstore: store is closed")
-	}
-	if int64(len(data)) > s.opts.DiskBytes {
-		s.rejects.Add(1)
-		return nil // silently uncacheable: larger than the whole budget
-	}
-	// Atomic write-then-rename: a crash mid-write leaves only a temp
-	// file (cleared on the next Open), never a torn record.
-	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	// The slow half — temp write and fsync — runs outside every lock,
+	// so concurrent Puts only serialize on the (fast) rename+index step
+	// of their own shard.
+	tmp, err := s.fsys.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
 	if err != nil {
-		return fmt.Errorf("vstore: %v", err)
+		s.putErrs.Add(1)
+		return fmt.Errorf("vstore: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("vstore: %v", err)
+		s.putErrs.Add(1)
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			s.putErrs.Add(1)
+			return fmt.Errorf("vstore: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("vstore: %v", err)
+		s.putErrs.Add(1)
+		return fmt.Errorf("vstore: %w", err)
 	}
 	path := s.recordPath(id)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("vstore: %v", err)
+		s.putErrs.Add(1)
+		return fmt.Errorf("vstore: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("vstore: %v", err)
+		return fmt.Errorf("vstore: store is closed")
 	}
-	if el, ok := s.disk[id]; ok {
-		s.diskBytes += int64(len(data)) - el.Value.(*diskEntry).size
+	if err := s.fsys.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.fsys.SyncDir(filepath.Dir(path)); err != nil {
+			// The rename may not survive a crash: un-commit. The old
+			// record (if any) was replaced by the rename, so its index
+			// entry must go too — a miss is safe, a maybe-lost record
+			// serving as committed is not.
+			os.Remove(path)
+			if el, ok := sh.disk[id]; ok {
+				s.removeDiskLocked(sh, el)
+			}
+			if el, ok := sh.mem[id]; ok {
+				s.removeMemLocked(sh, el)
+			}
+			s.putErrs.Add(1)
+			return fmt.Errorf("vstore: %w", err)
+		}
+	}
+	if el, ok := sh.disk[id]; ok {
+		sh.diskBytes += int64(len(data)) - el.Value.(*diskEntry).size
 		el.Value.(*diskEntry).size = int64(len(data))
-		s.diskList.MoveToFront(el)
+		sh.diskList.MoveToFront(el)
 	} else {
-		s.disk[id] = s.diskList.PushFront(&diskEntry{id: id, size: int64(len(data))})
-		s.diskBytes += int64(len(data))
+		sh.disk[id] = sh.diskList.PushFront(&diskEntry{id: id, size: int64(len(data))})
+		sh.diskBytes += int64(len(data))
 	}
-	s.insertMemLocked(id, verdict)
-	s.evictDiskLocked()
+	s.insertMemLocked(sh, id, verdict)
+	s.evictDiskLocked(sh)
 	s.puts.Add(1)
+	return nil
+}
+
+// Probe verifies the store can still commit: it runs the full
+// temp-write/sync sequence (and removes the probe file). A non-nil
+// error means Puts will fail — the health check's "degraded" signal.
+func (s *Store) Probe() error {
+	if s.closed.Load() {
+		return fmt.Errorf("vstore: store is closed")
+	}
+	tmp, err := s.fsys.CreateTemp(filepath.Join(s.dir, "tmp"), "probe-*")
+	if err != nil {
+		return fmt.Errorf("vstore: probe: %w", err)
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write([]byte(`{"probe":true}`)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("vstore: probe: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("vstore: probe: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("vstore: probe: %w", err)
+	}
 	return nil
 }
 
 // Len returns the number of records in the disk layer.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.disk)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.disk)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats snapshots the store's counters and gauges.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	st := Stats{
-		MemBytes: s.memBytes, DiskBytes: s.diskBytes,
-		MemEntries: len(s.mem), DiskEntries: len(s.disk),
+	st := Stats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.MemBytes += sh.memBytes
+		st.DiskBytes += sh.diskBytes
+		st.MemEntries += len(sh.mem)
+		st.DiskEntries += len(sh.disk)
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	st.MemHits = s.memHits.Load()
 	st.DiskHits = s.diskHits.Load()
 	st.Misses = s.misses.Load()
@@ -374,18 +608,23 @@ func (s *Store) Stats() Stats {
 	st.DiskEvictions = s.diskEvics.Load()
 	st.Rejects = s.rejects.Load()
 	st.Corrupt = s.corrupt.Load()
+	st.Quarantined = s.quarantined.Load()
+	st.ReadErrors = s.readErrs.Load()
+	st.PutErrors = s.putErrs.Load()
 	return st
 }
 
 // Close marks the store closed: subsequent Gets miss and Puts fail. All
 // writes are synchronous, so there is nothing to flush.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	s.mem = make(map[string]*list.Element)
-	s.memList = list.New()
-	s.memBytes = 0
+	s.closed.Store(true)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.mem = make(map[string]*list.Element)
+		sh.memList = list.New()
+		sh.memBytes = 0
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
@@ -393,52 +632,59 @@ func (s *Store) recordPath(id string) string {
 	return filepath.Join(s.dir, "records", id[:2], id+".json")
 }
 
-// insertMemLocked inserts (or refreshes) a verdict in the memory layer
-// and evicts from the back until the layer fits its budget.
-func (s *Store) insertMemLocked(id string, verdict []byte) {
-	if s.opts.MemBytes < 0 || int64(len(verdict)) > s.opts.MemBytes {
+// insertMemLocked inserts (or refreshes) a verdict in the shard's
+// memory layer and evicts from the back until the layer fits its
+// budget. Caller holds sh.mu.
+func (s *Store) insertMemLocked(sh *shard, id string, verdict []byte) {
+	if s.opts.MemBytes < 0 || int64(len(verdict)) > sh.memBudget {
 		return
 	}
-	if el, ok := s.mem[id]; ok {
-		s.memBytes += int64(len(verdict)) - int64(len(el.Value.(*memEntry).verdict))
+	if el, ok := sh.mem[id]; ok {
+		sh.memBytes += int64(len(verdict)) - int64(len(el.Value.(*memEntry).verdict))
 		el.Value.(*memEntry).verdict = verdict
-		s.memList.MoveToFront(el)
+		sh.memList.MoveToFront(el)
 	} else {
-		s.mem[id] = s.memList.PushFront(&memEntry{id: id, verdict: verdict})
-		s.memBytes += int64(len(verdict))
+		sh.mem[id] = sh.memList.PushFront(&memEntry{id: id, verdict: verdict})
+		sh.memBytes += int64(len(verdict))
 	}
-	for s.memBytes > s.opts.MemBytes {
-		back := s.memList.Back()
+	for sh.memBytes > sh.memBudget {
+		back := sh.memList.Back()
 		if back == nil {
 			break
 		}
-		e := back.Value.(*memEntry)
-		s.memList.Remove(back)
-		delete(s.mem, e.id)
-		s.memBytes -= int64(len(e.verdict))
+		s.removeMemLocked(sh, back)
 		s.memEvics.Add(1)
 	}
 }
 
-// evictDiskLocked drops least-recently-used records until the disk
-// layer fits its budget.
-func (s *Store) evictDiskLocked() {
-	for s.diskBytes > s.opts.DiskBytes {
-		back := s.diskList.Back()
+// removeMemLocked unlinks one memory-layer entry. Caller holds sh.mu.
+func (s *Store) removeMemLocked(sh *shard, el *list.Element) {
+	e := el.Value.(*memEntry)
+	sh.memList.Remove(el)
+	delete(sh.mem, e.id)
+	sh.memBytes -= int64(len(e.verdict))
+}
+
+// evictDiskLocked drops the shard's least-recently-used records until
+// its disk layer fits its budget. Caller holds sh.mu.
+func (s *Store) evictDiskLocked(sh *shard) {
+	for sh.diskBytes > sh.diskBudget {
+		back := sh.diskList.Back()
 		if back == nil {
 			break
 		}
 		e := back.Value.(*diskEntry)
-		s.removeDiskLocked(back)
+		s.removeDiskLocked(sh, back)
 		os.Remove(s.recordPath(e.id))
 		s.diskEvics.Add(1)
 	}
 }
 
-// removeDiskLocked unlinks a disk index entry (not the file).
-func (s *Store) removeDiskLocked(el *list.Element) {
+// removeDiskLocked unlinks a disk index entry (not the file). Caller
+// holds sh.mu.
+func (s *Store) removeDiskLocked(sh *shard, el *list.Element) {
 	e := el.Value.(*diskEntry)
-	s.diskList.Remove(el)
-	delete(s.disk, e.id)
-	s.diskBytes -= e.size
+	sh.diskList.Remove(el)
+	delete(sh.disk, e.id)
+	sh.diskBytes -= e.size
 }

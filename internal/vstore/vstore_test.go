@@ -24,6 +24,16 @@ func verdict(i, size int) []byte {
 	return []byte(fmt.Sprintf(`{"schema":1,"safe":true,"n":%d,"pad":%q}`, i, pad))
 }
 
+// get is the test shorthand for lookups that must not hit I/O errors.
+func get(t *testing.T, s *Store, k Key) ([]byte, bool) {
+	t.Helper()
+	v, ok, err := s.Get(k)
+	if err != nil {
+		t.Fatalf("Get(%v): unexpected I/O error: %v", k, err)
+	}
+	return v, ok
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s, err := Open(t.TempDir(), Options{})
 	if err != nil {
@@ -34,17 +44,17 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err := s.Put(key(1), want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(key(1))
+	got, ok := get(t, s, key(1))
 	if !ok || !bytes.Equal(got, want) {
 		t.Fatalf("Get = (%q, %v), want (%q, true)", got, ok, want)
 	}
-	if _, ok := s.Get(key(2)); ok {
+	if _, ok := get(t, s, key(2)); ok {
 		t.Fatal("Get of unstored key hit")
 	}
 	// A different checker version never sees the verdict.
 	other := key(1)
 	other.Checker = "mcsafe-other"
-	if _, ok := s.Get(other); ok {
+	if _, ok := get(t, s, other); ok {
 		t.Fatal("verdict leaked across checker versions")
 	}
 	st := s.Stats()
@@ -68,7 +78,7 @@ func TestInvalidKeysAndVerdicts(t *testing.T) {
 	if err := s.Put(key(0), []byte("not json")); err == nil {
 		t.Error("non-JSON verdict accepted")
 	}
-	if _, ok := s.Get(Key{}); ok {
+	if _, ok := get(t, s, Key{}); ok {
 		t.Error("empty key hit")
 	}
 	if s.Stats().Rejects == 0 {
@@ -94,7 +104,7 @@ func TestRestartPersistence(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key(0)); ok {
+	if _, ok := get(t, s, key(0)); ok {
 		t.Fatal("closed store served a verdict")
 	}
 
@@ -107,7 +117,7 @@ func TestRestartPersistence(t *testing.T) {
 		t.Fatalf("reopened store has %d records, want %d", s2.Len(), n)
 	}
 	for i := 0; i < n; i++ {
-		got, ok := s2.Get(key(i))
+		got, ok := get(t, s2, key(i))
 		if !ok {
 			t.Fatalf("key %d lost across restart", i)
 		}
@@ -119,7 +129,7 @@ func TestRestartPersistence(t *testing.T) {
 	if st.DiskHits != n || st.MemHits != 0 {
 		t.Errorf("first pass after restart: disk=%d mem=%d, want %d/0", st.DiskHits, st.MemHits, n)
 	}
-	if got, ok := s2.Get(key(3)); !ok || !bytes.Equal(got, verdict(3, 100)) {
+	if got, ok := get(t, s2, key(3)); !ok || !bytes.Equal(got, verdict(3, 100)) {
 		t.Fatal("promoted record wrong")
 	}
 	if st := s2.Stats(); st.MemHits != 1 {
@@ -130,12 +140,15 @@ func TestRestartPersistence(t *testing.T) {
 // TestEvictionProperty drives random puts and gets against a reference
 // LRU model and asserts after every operation that (a) the disk layer
 // never exceeds its byte budget, and (b) exactly the model's surviving
-// keys are retrievable after a reopen (memory layer emptied).
+// keys are retrievable after a reopen (memory layer emptied). A single
+// shard keeps the global-LRU reference model exact; the sharded
+// variants are covered by TestShardedBudgets.
 func TestEvictionProperty(t *testing.T) {
 	const budget = 4096
 	rng := rand.New(rand.NewSource(1))
 	dir := t.TempDir()
-	s, err := Open(dir, Options{DiskBytes: budget, MemBytes: 512})
+	opts := Options{DiskBytes: budget, MemBytes: 512, Shards: 1, NoSync: true}
+	s, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +192,7 @@ func TestEvictionProperty(t *testing.T) {
 			// A get refreshes recency in both store and model (only
 			// when the model still holds the key — a store hit on a
 			// model-evicted key would itself be a failure below).
-			_, ok := s.Get(key(i))
+			_, ok := get(t, s, key(i))
 			inModel := false
 			for _, e := range model {
 				if e.i == i {
@@ -216,7 +229,7 @@ func TestEvictionProperty(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Open(dir, Options{DiskBytes: budget, MemBytes: 512})
+	s2, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,9 +239,53 @@ func TestEvictionProperty(t *testing.T) {
 		inModel[e.i] = true
 	}
 	for i := 0; i < 40; i++ {
-		_, ok := s2.Get(key(i))
+		_, ok := get(t, s2, key(i))
 		if ok != inModel[i] {
 			t.Errorf("after restart: key %d present=%v, model says %v", i, ok, inModel[i])
+		}
+	}
+}
+
+// TestShardedBudgets: with N shards the total footprint stays within
+// the overall budgets while every shard enforces its own slice, and a
+// reopen with a different shard count still serves every surviving
+// record (the layout is stripe-count-independent).
+func TestShardedBudgets(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{DiskBytes: 1 << 20, MemBytes: 1 << 16, Shards: 8, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 8 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), verdict(i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.DiskBytes > 1<<20 || st.MemBytes > 1<<16 {
+		t.Fatalf("budgets exceeded: %+v", st)
+	}
+	if st.Shards != 8 {
+		t.Fatalf("Stats.Shards = %d", st.Shards)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a different stripe count: every record still serves.
+	s2, err := Open(dir, Options{Shards: 3, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < n; i++ {
+		got, ok := get(t, s2, key(i))
+		if !ok || !bytes.Equal(got, verdict(i, 100)) {
+			t.Fatalf("key %d lost or changed across shard-count change", i)
 		}
 	}
 }
@@ -237,7 +294,7 @@ func TestEvictionProperty(t *testing.T) {
 // run under -race this is the store's data-race test. Any hit must
 // return the exact bytes some Put stored for that key.
 func TestConcurrentAccess(t *testing.T) {
-	s, err := Open(t.TempDir(), Options{DiskBytes: 1 << 20, MemBytes: 1 << 14})
+	s, err := Open(t.TempDir(), Options{DiskBytes: 1 << 20, MemBytes: 1 << 14, NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +318,12 @@ func TestConcurrentAccess(t *testing.T) {
 						errs <- err
 						return
 					}
-				} else if got, ok := s.Get(key(i)); ok {
-					if !bytes.Equal(got, verdict(i, 50)) {
-						errs <- fmt.Errorf("key %d: wrong bytes", i)
-						return
-					}
+				} else if got, ok, err := s.Get(key(i)); err != nil {
+					errs <- err
+					return
+				} else if ok && !bytes.Equal(got, verdict(i, 50)) {
+					errs <- fmt.Errorf("key %d: wrong bytes", i)
+					return
 				}
 			}
 		}(w)
@@ -278,7 +336,8 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 // TestCorruptionTolerance: a truncated or overwritten record is a miss
-// (never a wrong verdict), is dropped, and the slot is re-fillable.
+// (never a wrong verdict), is quarantined as evidence, and the slot is
+// re-fillable.
 func TestCorruptionTolerance(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{})
@@ -310,20 +369,50 @@ func TestCorruptionTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, ok := s2.Get(key(1)); ok {
+	if _, ok := get(t, s2, key(1)); ok {
 		t.Fatal("corrupt record served")
 	}
-	if st := s2.Stats(); st.Corrupt != 1 {
+	if st := s2.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
 		t.Errorf("corruption not counted: %+v", st)
 	}
 	if _, err := os.Stat(recPath); !os.IsNotExist(err) {
-		t.Error("corrupt record not removed")
+		t.Error("corrupt record left in the records tree")
+	}
+	// The evidence survives in quarantine/.
+	qfiles, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil || len(qfiles) != 1 {
+		t.Errorf("quarantine holds %d files (err=%v), want 1", len(qfiles), err)
 	}
 	if err := s2.Put(key(1), verdict(1, 10)); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := s2.Get(key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
+	if got, ok := get(t, s2, key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
 		t.Fatal("slot not re-fillable after corruption")
+	}
+}
+
+// TestLiveCorruptionQuarantined: corruption that appears while the
+// store is open (bit rot under a live index entry) is caught by the
+// read-path verification, quarantined, and reported as a miss.
+func TestLiveCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MemBytes: -1}) // no memory layer: force disk reads
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(key(1), verdict(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	recPath := s.recordPath(key(1).id())
+	if err := os.WriteFile(recPath, []byte(`torn!`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := get(t, s, key(1)); ok {
+		t.Fatal("live-corrupted record served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
+		t.Errorf("live corruption not counted: %+v", st)
 	}
 }
 
@@ -358,16 +447,16 @@ func TestKeyMismatchIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, ok := s2.Get(key(2)); ok {
+	if _, ok := get(t, s2, key(2)); ok {
 		t.Fatal("record served for a key it does not answer for")
 	}
-	if got, ok := s2.Get(key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
+	if got, ok := get(t, s2, key(1)); !ok || !bytes.Equal(got, verdict(1, 10)) {
 		t.Fatal("legitimate record lost")
 	}
 }
 
 func TestOversizeRejected(t *testing.T) {
-	s, err := Open(t.TempDir(), Options{DiskBytes: 256})
+	s, err := Open(t.TempDir(), Options{DiskBytes: 256, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +464,7 @@ func TestOversizeRejected(t *testing.T) {
 	if err := s.Put(key(1), verdict(1, 1024)); err != nil {
 		t.Fatalf("oversize put errored: %v", err)
 	}
-	if _, ok := s.Get(key(1)); ok {
+	if _, ok := get(t, s, key(1)); ok {
 		t.Fatal("oversize verdict stored")
 	}
 	if st := s.Stats(); st.Rejects != 1 || st.DiskEntries != 0 {
@@ -387,7 +476,7 @@ func TestOversizeRejected(t *testing.T) {
 // eviction after a reopen (mtimes persist the order).
 func TestLRUOrderSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Options{})
+	s, err := Open(dir, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,15 +498,40 @@ func TestLRUOrderSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Budget for roughly two records: the reopen must evict the oldest.
-	s2, err := Open(dir, Options{DiskBytes: 2*rec.Size() + 10})
+	s2, err := Open(dir, Options{DiskBytes: 2*rec.Size() + 10, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, ok := s2.Get(key(0)); !ok {
+	if _, ok := get(t, s2, key(0)); !ok {
 		t.Error("most recently used record evicted on reopen")
 	}
-	if _, ok := s2.Get(key(1)); ok {
+	if _, ok := get(t, s2, key(1)); ok {
 		t.Error("least recently used record survived a shrunk budget")
+	}
+}
+
+// TestProbe: a healthy store probes clean; a store whose directory is
+// unwritable reports the failure.
+func TestProbe(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Probe(); err != nil {
+		t.Fatalf("healthy store probe failed: %v", err)
+	}
+	if os.Getuid() == 0 {
+		t.Log("running as root: skipping the unwritable-directory half")
+		return
+	}
+	if err := os.Chmod(filepath.Join(dir, "tmp"), 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Join(dir, "tmp"), 0o755)
+	if err := s.Probe(); err == nil {
+		t.Fatal("probe of unwritable store succeeded")
 	}
 }
